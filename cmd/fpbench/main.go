@@ -1,0 +1,108 @@
+// fpbench regenerates the paper's evaluation tables (Tables 1–4 of
+// Wang/Wong TR-91-26) on this reproduction's substrate, plus the
+// repository's ablation experiments.
+//
+// Examples:
+//
+//	fpbench -table 1          # Table 1 (FP1)
+//	fpbench -all              # all four tables (several minutes)
+//	fpbench -ablation uniform # R_Selection vs uniform subsampling
+//	fpbench -ablation thetas  # θ / S sensitivity on FP4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"floorplan/internal/tables"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fpbench: ")
+	var (
+		table    = flag.Int("table", 0, "regenerate one paper table (1-4)")
+		all      = flag.Bool("all", false, "regenerate all four tables")
+		ablation = flag.String("ablation", "", "run an ablation: 'uniform' or 'thetas'")
+		limit    = flag.Int64("limit", 0, "override the memory limit (default: calibrated 300000)")
+		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
+		csvOut   = flag.String("csv", "", "also write machine-readable CSV to this file")
+	)
+	flag.Parse()
+
+	cfg := tables.DefaultConfig()
+	if *limit > 0 {
+		cfg.MemoryLimit = *limit
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	switch {
+	case *ablation == "uniform":
+		out, err := tables.AblationUniform(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+	case *ablation == "thetas":
+		out, err := tables.AblationThetaS(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+	case *ablation != "":
+		log.Fatalf("unknown ablation %q (want 'uniform' or 'thetas')", *ablation)
+	case *all:
+		var csvParts []string
+		for i := 1; i <= 4; i++ {
+			t, err := tables.Run(i, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(t.Format())
+			if *csvOut != "" {
+				part, err := t.CSV()
+				if err != nil {
+					log.Fatal(err)
+				}
+				if i > 1 {
+					// Drop the duplicate header of subsequent tables.
+					if idx := strings.IndexByte(part, '\n'); idx >= 0 {
+						part = part[idx+1:]
+					}
+				}
+				csvParts = append(csvParts, part)
+			}
+		}
+		writeCSV(*csvOut, strings.Join(csvParts, ""))
+	case *table >= 1 && *table <= 4:
+		t, err := tables.Run(*table, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Format())
+		if *csvOut != "" {
+			part, err := t.CSV()
+			if err != nil {
+				log.Fatal(err)
+			}
+			writeCSV(*csvOut, part)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeCSV(path, content string) {
+	if path == "" || content == "" {
+		return
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

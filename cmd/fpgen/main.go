@@ -1,0 +1,88 @@
+// fpgen emits floorplan topologies and module libraries as JSON files for
+// fpopt.
+//
+// Examples:
+//
+//	fpgen -fp FP1 -n 20 -seed 1 -tree fp1.json -lib fp1-lib.json
+//	fpgen -random 30 -pwheel 0.5 -seed 7 -n 10 -tree t.json -lib l.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	floorplan "floorplan"
+	"floorplan/internal/gen"
+	"floorplan/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fpgen: ")
+	var (
+		fp       = flag.String("fp", "", "paper floorplan FP1..FP4")
+		random   = flag.Int("random", 0, "generate a random floorplan with this many modules")
+		pWheel   = flag.Float64("pwheel", 0.5, "wheel probability for -random")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		n        = flag.Int("n", 20, "non-redundant implementations per module")
+		aspect   = flag.Float64("aspect", 4, "module aspect-ratio spread (>= 1)")
+		minArea  = flag.Int64("minarea", 2000000, "minimum module area")
+		maxArea  = flag.Int64("maxarea", 20000000, "maximum module area")
+		treeOut  = flag.String("tree", "", "write the topology JSON here (default stdout)")
+		libOut   = flag.String("lib", "", "write the module library JSON here")
+		showTree = flag.Bool("print", false, "also print the topology outline")
+	)
+	flag.Parse()
+
+	var tree *floorplan.Tree
+	var err error
+	switch {
+	case *fp != "" && *random > 0:
+		log.Fatal("use either -fp or -random, not both")
+	case *fp != "":
+		tree, err = floorplan.PaperFloorplan(*fp)
+	case *random > 0:
+		tree, err = floorplan.RandomTree(*random, *pWheel, *seed)
+	default:
+		log.Fatal("one of -fp or -random is required")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	data, err := floorplan.EncodeTree(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *treeOut == "" {
+		fmt.Println(string(data))
+	} else if err := os.WriteFile(*treeOut, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	if *libOut != "" {
+		rng := rand.New(rand.NewSource(*seed))
+		params := gen.ModuleParams{N: *n, MinArea: *minArea, MaxArea: *maxArea, MaxAspect: *aspect}
+		raw, err := gen.Library(rng, tree, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(raw, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*libOut, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *showTree {
+		fmt.Fprint(os.Stderr, render.Tree(tree))
+	}
+	fmt.Fprintf(os.Stderr, "generated %d modules (%d wheels, depth %d)\n",
+		tree.ModuleCount(), tree.WheelCount(), tree.Depth())
+}

@@ -1,0 +1,86 @@
+package floorplan_test
+
+import (
+	"fmt"
+
+	floorplan "floorplan"
+)
+
+// The basic workflow: build a topology, list each module's shapes,
+// optimize, inspect the result.
+func ExampleOptimize() {
+	tree := floorplan.Wheel(
+		floorplan.Leaf("nw"), floorplan.Leaf("ne"), floorplan.Leaf("se"),
+		floorplan.Leaf("sw"), floorplan.Leaf("c"))
+	lib := floorplan.Library{
+		"nw": {{W: 4, H: 7}},
+		"ne": {{W: 6, H: 4}},
+		"se": {{W: 3, H: 6}},
+		"sw": {{W: 7, H: 3}},
+		"c":  {{W: 3, H: 3}},
+	}
+	res, err := floorplan.Optimize(tree, lib, floorplan.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	slack, _ := res.Placement.WhiteSpace()
+	fmt.Printf("envelope %dx%d, area %d, whitespace %d\n",
+		res.Best.W, res.Best.H, res.Best.Area(), slack)
+	// Output: envelope 10x10, area 100, whitespace 0
+}
+
+// R_Selection picks the k-subset of a staircase minimizing the lost area;
+// the endpoints always survive.
+func ExampleSelectImpls() {
+	impls := []floorplan.Impl{
+		{W: 12, H: 1}, {W: 10, H: 2}, {W: 8, H: 4},
+		{W: 6, H: 6}, {W: 4, H: 9}, {W: 2, H: 11},
+	}
+	selected, lost, err := floorplan.SelectImpls(impls, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("kept %d shapes, staircase error %d\n", len(selected), lost)
+	fmt.Printf("first %v, last %v\n", selected[0], selected[len(selected)-1])
+	// Output:
+	// kept 3 shapes, staircase error 16
+	// first (12,1), last (2,11)
+}
+
+// Soft macros with continuous shape functions are sampled densely and then
+// thinned optimally (Section 6 of the paper).
+func ExampleSampleShapeCurve() {
+	curve, err := floorplan.SampleShapeCurve(400, 4, 200)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	thin, lost, err := floorplan.SelectImplsBudget(curve, 25)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("sampled %d points, kept %d within error budget (lost %d)\n",
+		len(curve), len(thin), lost)
+	// Output: sampled 21 points, kept 10 within error budget (lost 24)
+}
+
+// Slicing floorplans use Stockmeyer's linear-merge baseline; modules that
+// may rotate contribute both orientations.
+func ExampleOptimizeSlicing() {
+	tree := floorplan.HSlice(floorplan.Leaf("a"), floorplan.Leaf("b"))
+	lib := floorplan.Library{
+		"a": floorplan.Rotatable(4, 1),
+		"b": floorplan.Rotatable(4, 1),
+	}
+	res, err := floorplan.OptimizeSlicing(tree, lib, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("best %dx%d (area %d) out of %d envelope shapes\n",
+		res.Best.W, res.Best.H, res.Best.Area(), len(res.RootList))
+	// Output: best 4x2 (area 8) out of 2 envelope shapes
+}

@@ -1,0 +1,77 @@
+// Memorylimit: the paper's core scenario. A non-slicing floorplan with a
+// rich module set is optimized under a hard cap on stored implementations.
+// Plain [9] runs out of memory; incorporating R_Selection completes well
+// under the cap at a small area penalty.
+//
+//	go run ./examples/memorylimit
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	floorplan "floorplan"
+)
+
+func main() {
+	tree, err := floorplan.PaperFloorplan("FP1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A diverse module set (the paper's Table 1 case 4 in this repo's
+	// calibration): 40 implementations per module, wide aspect range.
+	lib, err := floorplan.GenerateModules(tree, floorplan.ModuleGen{
+		N: 40, Seed: 4, Aspect: 7, MinArea: 2000000, MaxArea: 20000000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FP1: %d modules, %d wheels, depth %d\n",
+		tree.ModuleCount(), tree.WheelCount(), tree.Depth())
+
+	const limit = 100000
+	fmt.Printf("memory budget: %d stored implementations\n\n", limit)
+
+	// Plain [9]: enumerate every non-redundant implementation everywhere.
+	start := time.Now()
+	_, err = floorplan.Optimize(tree, lib, floorplan.Options{
+		MemoryLimit:   limit,
+		SkipPlacement: true,
+	})
+	switch {
+	case err == nil:
+		fmt.Println("[9] alone unexpectedly fit in memory — try a smaller limit")
+	case floorplan.IsMemoryLimit(err):
+		fmt.Printf("[9] alone: OUT OF MEMORY after %s\n    (%v)\n",
+			time.Since(start).Round(time.Millisecond), err)
+	default:
+		log.Fatal(err)
+	}
+
+	// The unrestricted optimum, for reference (no limit).
+	exact, err := floorplan.Optimize(tree, lib, floorplan.Options{SkipPlacement: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreference optimum (no limit): area %d, M=%d, CPU %s\n",
+		exact.Best.Area(), exact.Stats.PeakStored, exact.Stats.Elapsed.Round(time.Millisecond))
+
+	// [9] + R_Selection under the same budget.
+	for _, k1 := range []int{20, 30, 40} {
+		res, err := floorplan.Optimize(tree, lib, floorplan.Options{
+			Selection:     floorplan.Selection{K1: k1},
+			MemoryLimit:   limit,
+			SkipPlacement: true,
+		})
+		if err != nil {
+			log.Fatalf("K1=%d: %v", k1, err)
+		}
+		delta := 100 * float64(res.Best.Area()-exact.Best.Area()) / float64(exact.Best.Area())
+		fmt.Printf("[9]+R_Selection K1=%d: area %d (+%.2f%%), M=%d (%.1fx less), CPU %s\n",
+			k1, res.Best.Area(), delta,
+			res.Stats.PeakStored,
+			float64(exact.Stats.PeakStored)/float64(res.Stats.PeakStored),
+			res.Stats.Elapsed.Round(time.Millisecond))
+	}
+}

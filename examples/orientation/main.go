@@ -1,0 +1,69 @@
+// Orientation: the classic Stockmeyer problem — every module is a fixed
+// rectangle that may be rotated by 90 degrees, and the floorplan is
+// slicing. Demonstrates the slicing baseline and the paper's point that
+// R_Selection plugs into other optimizers (Section 6).
+//
+//	go run ./examples/orientation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	floorplan "floorplan"
+)
+
+func main() {
+	// A 12-module slicing floorplan: three columns of four stacked blocks.
+	column := func(names ...string) *floorplan.Tree {
+		kids := make([]*floorplan.Tree, len(names))
+		for i, n := range names {
+			kids[i] = floorplan.Leaf(n)
+		}
+		return floorplan.HSlice(kids...)
+	}
+	tree := floorplan.VSlice(
+		column("a1", "a2", "a3", "a4"),
+		column("b1", "b2", "b3", "b4"),
+		column("c1", "c2", "c3", "c4"),
+	)
+
+	lib := floorplan.Library{}
+	dims := [][2]int64{
+		{8, 3}, {6, 5}, {9, 2}, {7, 4},
+		{5, 5}, {10, 3}, {4, 8}, {6, 6},
+		{12, 2}, {3, 9}, {7, 5}, {8, 4},
+	}
+	names := []string{"a1", "a2", "a3", "a4", "b1", "b2", "b3", "b4", "c1", "c2", "c3", "c4"}
+	for i, n := range names {
+		lib[n] = floorplan.Rotatable(dims[i][0], dims[i][1])
+	}
+
+	plain, err := floorplan.OptimizeSlicing(tree, lib, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Stockmeyer baseline: envelope %dx%d, area %d, %d implementations stored\n",
+		plain.Best.W, plain.Best.H, plain.Best.Area(), plain.Stats.PeakStored)
+
+	// The same run with R_Selection capping every node at 4 implementations.
+	pruned, err := floorplan.OptimizeSlicing(tree, lib, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loss := 100 * float64(pruned.Best.Area()-plain.Best.Area()) / float64(plain.Best.Area())
+	fmt.Printf("With R_Selection (K1=4): area %d (+%.2f%%), %d stored, %d selections\n",
+		pruned.Best.Area(), loss, pruned.Stats.PeakStored, pruned.Stats.RSelections)
+
+	// Cross-check with the general optimizer, which also produces a
+	// placement for slicing trees.
+	res, err := floorplan.Optimize(tree, lib, floorplan.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Best.Area() != plain.Best.Area() {
+		log.Fatalf("optimizers disagree: %v vs %v", res.Best, plain.Best)
+	}
+	fmt.Println()
+	fmt.Println(floorplan.RenderPlacement(res.Placement, 72))
+}

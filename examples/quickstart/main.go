@@ -1,0 +1,45 @@
+// Quickstart: optimize a five-module pinwheel floorplan and print the
+// resulting placement.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	floorplan "floorplan"
+)
+
+func main() {
+	// Topology: the classic order-5 pinwheel [NW, NE, SE, SW, center].
+	tree := floorplan.Wheel(
+		floorplan.Leaf("cpu"),
+		floorplan.Leaf("cache"),
+		floorplan.Leaf("dsp"),
+		floorplan.Leaf("io"),
+		floorplan.Leaf("pll"),
+	)
+
+	// Each module offers a few alternative implementations (shapes).
+	lib := floorplan.Library{
+		"cpu":   {{W: 4, H: 7}, {W: 7, H: 4}, {W: 5, H: 6}},
+		"cache": {{W: 6, H: 4}, {W: 4, H: 6}, {W: 8, H: 3}},
+		"dsp":   {{W: 3, H: 6}, {W: 6, H: 3}},
+		"io":    {{W: 7, H: 3}, {W: 3, H: 7}},
+		"pll":   {{W: 3, H: 3}},
+	}
+
+	res, err := floorplan.Optimize(tree, lib, floorplan.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Topology:")
+	fmt.Print(floorplan.RenderTree(tree))
+	fmt.Printf("\nOptimal envelope: %dx%d (area %d)\n",
+		res.Best.W, res.Best.H, res.Best.Area())
+	fmt.Printf("Envelope staircase (all non-redundant shapes): %v\n\n", res.RootList)
+	fmt.Println(floorplan.PlacementTable(res.Placement))
+	fmt.Println(floorplan.RenderPlacement(res.Placement, 64))
+}

@@ -1,0 +1,68 @@
+// Toposearch: the design step upstream of the paper. Starting from a
+// mediocre random topology over 20 modules, simulated annealing rearranges
+// cuts, wheels and module positions; every candidate topology is scored by
+// the area optimizer with R_Selection keeping the inner loop fast.
+//
+//	go run ./examples/toposearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	floorplan "floorplan"
+)
+
+func main() {
+	tree, err := floorplan.RandomTree(20, 0.5, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := floorplan.RandomModules(tree, 6, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// How good is the random starting topology, exactly?
+	initial, err := floorplan.Optimize(tree, lib, floorplan.Options{SkipPlacement: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var used int64
+	for _, impls := range lib {
+		best := impls[0].Area()
+		for _, r := range impls[1:] {
+			if r.Area() < best {
+				best = r.Area()
+			}
+		}
+		used += best
+	}
+	fmt.Printf("start: area %d (module lower bound %d, %.1f%% waste)\n",
+		initial.Best.Area(), used,
+		100*float64(initial.Best.Area()-used)/float64(initial.Best.Area()))
+
+	begin := time.Now()
+	res, err := floorplan.SearchTopology(tree, lib, floorplan.SearchOptions{
+		Seed:       1,
+		Iterations: 400,
+		Selection:  floorplan.Selection{K1: 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("anneal: %d proposed, %d accepted, %d improved in %s\n",
+		res.Proposed, res.Accepted, res.Improved, time.Since(begin).Round(time.Millisecond))
+
+	// Re-optimize the winning topology exactly (no selection) and place it.
+	final, err := floorplan.Optimize(res.Best, lib, floorplan.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gain := 100 * float64(initial.Best.Area()-final.Best.Area()) / float64(initial.Best.Area())
+	fmt.Printf("final: area %d (%.1f%% better than the start, %.1f%% waste)\n\n",
+		final.Best.Area(), gain,
+		100*float64(final.Best.Area()-used)/float64(final.Best.Area()))
+	fmt.Println(floorplan.RenderPlacement(final.Placement, 72))
+}

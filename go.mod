@@ -1,0 +1,3 @@
+module floorplan
+
+go 1.22

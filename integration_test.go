@@ -1,0 +1,76 @@
+package floorplan_test
+
+import (
+	"testing"
+
+	floorplan "floorplan"
+)
+
+// TestFullPipelineFP2 is the end-to-end integration test: the paper's
+// 49-module FP2 with generated modules, optimized exactly and with both
+// selection algorithms, placements verified, and the selection/memory
+// relationships checked.
+func TestFullPipelineFP2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second integration run")
+	}
+	tree, err := floorplan.PaperFloorplan("FP2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := floorplan.GenerateModules(tree, floorplan.ModuleGen{N: 12, Seed: 77, Aspect: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exact, err := floorplan.Optimize(tree, lib, floorplan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Placement == nil || len(exact.Placement.Modules) != 49 {
+		t.Fatalf("exact run placed %d modules", len(exact.Placement.Modules))
+	}
+
+	sel, err := floorplan.Optimize(tree, lib, floorplan.Options{
+		Selection: floorplan.Selection{K1: 10, K2: 200, Theta: 0.5, S: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Placement == nil || len(sel.Placement.Modules) != 49 {
+		t.Fatalf("selection run placed %d modules", len(sel.Placement.Modules))
+	}
+	if sel.Stats.PeakStored >= exact.Stats.PeakStored {
+		t.Fatalf("selection failed to save memory: %d vs %d",
+			sel.Stats.PeakStored, exact.Stats.PeakStored)
+	}
+	if sel.Best.Area() < exact.Best.Area() {
+		t.Fatal("selection produced a better-than-optimal area")
+	}
+	loss := float64(sel.Best.Area()-exact.Best.Area()) / float64(exact.Best.Area())
+	if loss > 0.10 {
+		t.Fatalf("area loss %.1f%% implausibly large for K1=10/K2=200", 100*loss)
+	}
+	// Every envelope implementation in both runs is realizable: the best
+	// ones were placed and verified; spot-check that the staircases are
+	// canonical and the selected one is a subset-like approximation.
+	if len(sel.RootList) > len(exact.RootList) {
+		t.Fatalf("selection grew the root staircase: %d > %d",
+			len(sel.RootList), len(exact.RootList))
+	}
+	// The node statistics account for the final footprint.
+	var sum int64
+	for _, ns := range sel.NodeStats {
+		sum += int64(ns.Stored)
+	}
+	if sum != sel.Stats.FinalStored {
+		t.Fatalf("node stats sum %d != FinalStored %d", sum, sel.Stats.FinalStored)
+	}
+	// Renderers accept the real thing.
+	if svg := floorplan.RenderSVG(sel.Placement, 640); len(svg) < 500 {
+		t.Fatal("SVG suspiciously small")
+	}
+	if art := floorplan.RenderPlacement(sel.Placement, 80); len(art) < 200 {
+		t.Fatal("ASCII art suspiciously small")
+	}
+}

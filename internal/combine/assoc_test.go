@@ -1,0 +1,53 @@
+package combine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"floorplan/internal/shape"
+)
+
+// TestSliceMergeAssociative: multi-way slicing cuts fold into binary cuts
+// in arbitrary order; the restructuring step depends on this.
+func TestSliceMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomRList(r, 1+r.Intn(10))
+		b := randomRList(r, 1+r.Intn(10))
+		c := randomRList(r, 1+r.Intn(10))
+		if !VCut(VCut(a, b), c).Equal(VCut(a, VCut(b, c))) {
+			t.Logf("VCut not associative:\n a=%v\n b=%v\n c=%v", a, b, c)
+			return false
+		}
+		if !HCut(HCut(a, b), c).Equal(HCut(a, HCut(b, c))) {
+			t.Logf("HCut not associative:\n a=%v\n b=%v\n c=%v", a, b, c)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCutsTransposeDuality: HCut is VCut through a 90° rotation of all
+// operands and the result.
+func TestCutsTransposeDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	rot := func(l shape.RList) shape.RList {
+		out := make([]shape.RImpl, len(l))
+		for i, r := range l {
+			out[i] = r.Rotate()
+		}
+		return shape.MustRList(out)
+	}
+	for trial := 0; trial < 60; trial++ {
+		a := randomRList(rng, 1+rng.Intn(12))
+		b := randomRList(rng, 1+rng.Intn(12))
+		if !HCut(a, b).Equal(rot(VCut(rot(a), rot(b)))) {
+			t.Fatalf("duality violated:\n a=%v\n b=%v", a, b)
+		}
+	}
+}

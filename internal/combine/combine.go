@@ -1,0 +1,290 @@
+// Package combine implements the shape-list combination steps of the
+// Wang–Wong DAC'90 optimizer ([9] in the paper): given the non-redundant
+// implementation lists of two blocks, it produces the non-redundant list of
+// their union, for every operation appearing in a restructured binary
+// floorplan tree (package plan).
+//
+// # Geometry
+//
+// The clockwise pinwheel over an enveloping W×H rectangle uses cut
+// abscissae x1 <= x2 and ordinates y1 <= y2:
+//
+//	B1 (NW) = [0,x1]×[y1,H]      B2 (NE) = [x1,W]×[y2,H]
+//	B3 (SE) = [x2,W]×[0,y2]      B4 (SW) = [0,x2]×[0,y1]
+//	B5 (C)  = [x1,x2]×[y1,y2]
+//
+// and is assembled as (((B4 ⊕ B1) ⊕ B5) ⊕ B3) ⊕ B2, where each partial
+// union is an L-shaped block with its notch at the top-right, exactly the
+// paper's 4-tuple convention.
+//
+// # Candidate formulas
+//
+// Each operation combines one implementation from each operand into a
+// single minimal candidate (Cand functions below). Because a block's
+// feasible shapes are upward-closed under dominance — slack can always be
+// absorbed by the boundary basic rectangles — these max/sum formulas are
+// exact, and because they are monotone in every input coordinate, combining
+// only the operands' non-redundant implementations and pruning the
+// candidates yields exactly the union's non-redundant set. DAC'90 generates
+// a narrower candidate set as a constant-factor speedup; the resulting
+// lists are identical.
+package combine
+
+import (
+	"floorplan/internal/shape"
+)
+
+// VCand places a to the left of b (vertical cut): widths add, heights max.
+func VCand(a, b shape.RImpl) shape.RImpl {
+	return shape.RImpl{W: a.W + b.W, H: max64(a.H, b.H)}
+}
+
+// HCand stacks b on top of a (horizontal cut): heights add, widths max.
+func HCand(a, b shape.RImpl) shape.RImpl {
+	return shape.RImpl{W: max64(a.W, b.W), H: a.H + b.H}
+}
+
+// StackCand stacks the NW block b on the left part of the SW block a,
+// opening a pinwheel: the result is L-shaped with bottom width
+// max(a.W, b.W), top width b.W, left height a.H+b.H and right height a.H.
+func StackCand(a, b shape.RImpl) shape.LImpl {
+	return shape.LImpl{
+		W1: max64(a.W, b.W),
+		W2: b.W,
+		H1: a.H + b.H,
+		H2: a.H,
+	}
+}
+
+// NotchCand places the center block c into the notch of l: on top of the
+// bottom slab (height l.H2) and right of the top slab (width l.W2).
+func NotchCand(l shape.LImpl, c shape.RImpl) shape.LImpl {
+	h2 := l.H2 + c.H
+	return shape.LImpl{
+		W1: max64(l.W1, l.W2+c.W),
+		W2: l.W2,
+		H1: max64(l.H1, h2),
+		H2: h2,
+	}
+}
+
+// BottomCand appends the SE block c to the right of l's bottom edge.
+func BottomCand(l shape.LImpl, c shape.RImpl) shape.LImpl {
+	h2 := max64(l.H2, c.H)
+	return shape.LImpl{
+		W1: l.W1 + c.W,
+		W2: l.W2,
+		H1: max64(l.H1, h2),
+		H2: h2,
+	}
+}
+
+// CloseCand fills l's notch with the NE block c, completing a rectangle.
+func CloseCand(l shape.LImpl, c shape.RImpl) shape.RImpl {
+	return shape.RImpl{
+		W: max64(l.W1, l.W2+c.W),
+		H: max64(l.H1, l.H2+c.H),
+	}
+}
+
+// VCut merges the R-lists of two blocks joined by a vertical cut. The merge
+// is the classic Stockmeyer two-pointer walk over the union of height
+// breakpoints, O(len(a)+len(b)); the result is canonical and irreducible.
+func VCut(a, b shape.RList) shape.RList {
+	return sliceMerge(a, b, true)
+}
+
+// HCut merges the R-lists of two blocks joined by a horizontal cut.
+func HCut(a, b shape.RList) shape.RList {
+	return sliceMerge(a, b, false)
+}
+
+// sliceMerge enumerates the non-redundant results of a slicing cut.
+// For a vertical cut, the minimal width at height budget h is
+// minW_a(h) + minW_b(h), and the staircase can only break at heights
+// present in a or b. A horizontal cut is the transpose.
+func sliceMerge(a, b shape.RList, vertical bool) shape.RList {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	if !vertical {
+		a, b = transpose(a), transpose(b)
+	}
+	// Both lists are sorted with H ascending; walk their height values in
+	// ascending merged order. Pointers ia/ib track the widest (last) entry
+	// with H <= current h; widths shrink as h grows.
+	candidates := make([]shape.RImpl, 0, len(a)+len(b))
+	ia, ib := 0, 0 // indices of current minimal-width entries
+	h := max64(a[0].H, b[0].H)
+	for {
+		for ia+1 < len(a) && a[ia+1].H <= h {
+			ia++
+		}
+		for ib+1 < len(b) && b[ib+1].H <= h {
+			ib++
+		}
+		candidates = append(candidates, shape.RImpl{W: a[ia].W + b[ib].W, H: h})
+		// Next height breakpoint above h.
+		next := int64(-1)
+		if ia+1 < len(a) {
+			next = a[ia+1].H
+		}
+		if ib+1 < len(b) && (next < 0 || b[ib+1].H < next) {
+			next = b[ib+1].H
+		}
+		if next < 0 {
+			break
+		}
+		h = next
+	}
+	out := shape.MustRList(candidates)
+	if !vertical {
+		out = transpose(out)
+	}
+	return out
+}
+
+// transpose swaps W and H of every entry, reversing to keep canonical
+// order (W descending becomes H descending, so the reversed list has W
+// descending again).
+func transpose(l shape.RList) shape.RList {
+	out := make(shape.RList, len(l))
+	for i, r := range l {
+		out[len(l)-1-i] = shape.RImpl{W: r.H, H: r.W}
+	}
+	return out
+}
+
+// candidateChunk bounds the transient candidate buffer during L-block cross
+// products: the buffer is Pareto-pruned whenever it exceeds this size, so
+// peak transient memory stays bounded even when operand lists are huge
+// (pruning is idempotent and composable: minima(minima(A) ∪ B) =
+// minima(A ∪ B)).
+const candidateChunk = 1 << 21
+
+// budgeter carries the optional early-abort budget through a cross-product
+// generation. When budget > 0 and a *pruned* candidate buffer alone already
+// exceeds it, generating the rest of the block is pointless: the caller's
+// memory limit is guaranteed to be exceeded (a later prune can only shrink
+// the buffer below budget if stronger dominators appear, which the abort
+// deliberately forgoes — this mirrors the paper machine running out of
+// memory mid-generation rather than after it).
+type budgeter struct {
+	budget    int
+	chunk     int
+	truncated bool
+}
+
+func newBudgeter(budget int) *budgeter {
+	chunk := candidateChunk
+	if budget > 0 && budget*4 < chunk {
+		chunk = budget * 4
+		if chunk < 4096 {
+			chunk = 4096
+		}
+	}
+	return &budgeter{budget: budget, chunk: chunk}
+}
+
+func (bg *budgeter) pruneL(buf []shape.LImpl, force bool) []shape.LImpl {
+	if !force && len(buf) < bg.chunk {
+		return buf
+	}
+	buf = shape.MinimaL(buf)
+	if bg.budget > 0 && len(buf) > bg.budget {
+		bg.truncated = true
+	}
+	return buf
+}
+
+func (bg *budgeter) pruneR(buf []shape.RImpl, force bool) []shape.RImpl {
+	if !force && len(buf) < bg.chunk {
+		return buf
+	}
+	buf = shape.MinimaR(buf)
+	if bg.budget > 0 && len(buf) > bg.budget {
+		bg.truncated = true
+	}
+	return buf
+}
+
+// LStack combines the SW and NW rectangular blocks into the pinwheel's
+// first L-shaped partial block. budget > 0 enables early abort: when the
+// non-redundant set provably exceeds it, generation stops and truncated is
+// true (the partial set is returned for accounting).
+func LStack(bottom, top shape.RList, budget int) (result shape.LSet, truncated bool) {
+	bg := newBudgeter(budget)
+	var buf []shape.LImpl
+	for _, a := range bottom {
+		for _, b := range top {
+			buf = append(buf, StackCand(a, b))
+		}
+		if buf = bg.pruneL(buf, false); bg.truncated {
+			return shape.MustLSet(buf), true
+		}
+	}
+	buf = bg.pruneL(buf, true)
+	return shape.MustLSet(buf), bg.truncated
+}
+
+// LNotch grows an L-shaped block by the center block.
+func LNotch(l shape.LSet, c shape.RList, budget int) (result shape.LSet, truncated bool) {
+	bg := newBudgeter(budget)
+	var buf []shape.LImpl
+	for _, list := range l.Lists {
+		for _, li := range list {
+			for _, ci := range c {
+				buf = append(buf, NotchCand(li, ci))
+			}
+			if buf = bg.pruneL(buf, false); bg.truncated {
+				return shape.MustLSet(buf), true
+			}
+		}
+	}
+	buf = bg.pruneL(buf, true)
+	return shape.MustLSet(buf), bg.truncated
+}
+
+// LBottom grows an L-shaped block by the SE block.
+func LBottom(l shape.LSet, c shape.RList, budget int) (result shape.LSet, truncated bool) {
+	bg := newBudgeter(budget)
+	var buf []shape.LImpl
+	for _, list := range l.Lists {
+		for _, li := range list {
+			for _, ci := range c {
+				buf = append(buf, BottomCand(li, ci))
+			}
+			if buf = bg.pruneL(buf, false); bg.truncated {
+				return shape.MustLSet(buf), true
+			}
+		}
+	}
+	buf = bg.pruneL(buf, true)
+	return shape.MustLSet(buf), bg.truncated
+}
+
+// Close completes the pinwheel with the NE block, yielding a rectangular
+// block's R-list.
+func Close(l shape.LSet, c shape.RList, budget int) (result shape.RList, truncated bool) {
+	bg := newBudgeter(budget)
+	var buf []shape.RImpl
+	for _, list := range l.Lists {
+		for _, li := range list {
+			for _, ci := range c {
+				buf = append(buf, CloseCand(li, ci))
+			}
+			if buf = bg.pruneR(buf, false); bg.truncated {
+				return shape.MustRList(buf), true
+			}
+		}
+	}
+	buf = bg.pruneR(buf, true)
+	return shape.MustRList(buf), bg.truncated
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

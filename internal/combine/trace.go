@@ -1,0 +1,160 @@
+package combine
+
+import "floorplan/internal/shape"
+
+// This file reconstructs, for a combined implementation stored at a node,
+// the pair of operand implementations that generated it. The optimizer's
+// traceback calls these once per node on the winning path instead of
+// storing per-implementation back-pointers, which would inflate exactly the
+// memory the paper's selection algorithms exist to save.
+//
+// Every finder requires that target was produced by the matching combine
+// call on the same operand lists; they return ok=false only on misuse.
+
+// FindVPair returns operand implementations (a_i, b_j) with
+// VCand(a_i, b_j) == target. It first tries the O(log n) staircase lookup —
+// the minimal-width entries at the target height — and falls back to a full
+// scan for robustness.
+func FindVPair(a, b shape.RList, target shape.RImpl) (shape.RImpl, shape.RImpl, bool) {
+	if ai, okA := minWidthAtHeight(a, target.H); okA {
+		if bi, okB := minWidthAtHeight(b, target.H); okB {
+			if VCand(ai, bi) == target {
+				return ai, bi, true
+			}
+		}
+	}
+	for _, ai := range a {
+		for _, bi := range b {
+			if VCand(ai, bi) == target {
+				return ai, bi, true
+			}
+		}
+	}
+	return shape.RImpl{}, shape.RImpl{}, false
+}
+
+// FindHPair is FindVPair for horizontal cuts.
+func FindHPair(a, b shape.RList, target shape.RImpl) (shape.RImpl, shape.RImpl, bool) {
+	if ai, okA := minHeightAtWidth(a, target.W); okA {
+		if bi, okB := minHeightAtWidth(b, target.W); okB {
+			if HCand(ai, bi) == target {
+				return ai, bi, true
+			}
+		}
+	}
+	for _, ai := range a {
+		for _, bi := range b {
+			if HCand(ai, bi) == target {
+				return ai, bi, true
+			}
+		}
+	}
+	return shape.RImpl{}, shape.RImpl{}, false
+}
+
+// minWidthAtHeight returns the minimal-width entry fitting height budget h
+// — the entry sliceMerge pairs at that breakpoint. Heights ascend, so it is
+// the last entry with H <= h.
+func minWidthAtHeight(l shape.RList, h int64) (shape.RImpl, bool) {
+	lo, hi := 0, len(l)-1
+	best := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if l[mid].H <= h {
+			best = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if best < 0 {
+		return shape.RImpl{}, false
+	}
+	return l[best], true
+}
+
+// minHeightAtWidth returns the minimal-height entry fitting width budget w:
+// widths descend and heights ascend, so it is the first entry with W <= w.
+func minHeightAtWidth(l shape.RList, w int64) (shape.RImpl, bool) {
+	lo, hi := 0, len(l)-1
+	best := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if l[mid].W <= w {
+			best = mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best < 0 {
+		return shape.RImpl{}, false
+	}
+	return l[best], true
+}
+
+// FindStackPair returns (bottom, top) with StackCand(bottom, top) == target.
+func FindStackPair(bottom, top shape.RList, target shape.LImpl) (shape.RImpl, shape.RImpl, bool) {
+	for _, a := range bottom {
+		if a.H != target.H2 {
+			continue
+		}
+		for _, b := range top {
+			if StackCand(a, b) == target {
+				return a, b, true
+			}
+		}
+	}
+	return shape.RImpl{}, shape.RImpl{}, false
+}
+
+// FindNotchPair returns (l_i, c_j) with NotchCand(l_i, c_j) == target.
+func FindNotchPair(l shape.LSet, c shape.RList, target shape.LImpl) (shape.LImpl, shape.RImpl, bool) {
+	for _, list := range l.Lists {
+		if len(list) > 0 && list[0].W2 != target.W2 {
+			continue // NotchCand preserves W2
+		}
+		for _, li := range list {
+			for _, ci := range c {
+				if NotchCand(li, ci) == target {
+					return li, ci, true
+				}
+			}
+		}
+	}
+	return shape.LImpl{}, shape.RImpl{}, false
+}
+
+// FindBottomPair returns (l_i, c_j) with BottomCand(l_i, c_j) == target.
+func FindBottomPair(l shape.LSet, c shape.RList, target shape.LImpl) (shape.LImpl, shape.RImpl, bool) {
+	for _, list := range l.Lists {
+		if len(list) > 0 && list[0].W2 != target.W2 {
+			continue // BottomCand preserves W2
+		}
+		for _, li := range list {
+			for _, ci := range c {
+				if BottomCand(li, ci) == target {
+					return li, ci, true
+				}
+			}
+		}
+	}
+	return shape.LImpl{}, shape.RImpl{}, false
+}
+
+// FindClosePair returns (l_i, c_j) with CloseCand(l_i, c_j) == target.
+func FindClosePair(l shape.LSet, c shape.RList, target shape.RImpl) (shape.LImpl, shape.RImpl, bool) {
+	for _, list := range l.Lists {
+		for _, li := range list {
+			if li.W1 > target.W || li.H1 > target.H {
+				continue
+			}
+			for _, ci := range c {
+				if CloseCand(li, ci) == target {
+					return li, ci, true
+				}
+			}
+		}
+	}
+	return shape.LImpl{}, shape.RImpl{}, false
+}

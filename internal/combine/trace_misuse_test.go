@@ -1,0 +1,33 @@
+package combine
+
+import (
+	"testing"
+
+	"floorplan/internal/shape"
+)
+
+// The Find* helpers return ok=false (not a wrong pair) when the target was
+// not generated from the given operands.
+func TestFindPairsMisuse(t *testing.T) {
+	a := shape.RList{{W: 5, H: 5}}
+	b := shape.RList{{W: 3, H: 3}}
+	bogusL := shape.LImpl{W1: 100, W2: 50, H1: 100, H2: 50}
+	bogusR := shape.RImpl{W: 999, H: 999}
+	set := shape.MustLSet([]shape.LImpl{{W1: 6, W2: 3, H1: 7, H2: 2}})
+
+	if _, _, ok := FindHPair(a, b, bogusR); ok {
+		t.Error("FindHPair accepted an impossible target")
+	}
+	if _, _, ok := FindStackPair(a, b, bogusL); ok {
+		t.Error("FindStackPair accepted an impossible target")
+	}
+	if _, _, ok := FindNotchPair(set, b, bogusL); ok {
+		t.Error("FindNotchPair accepted an impossible target")
+	}
+	if _, _, ok := FindBottomPair(set, b, bogusL); ok {
+		t.Error("FindBottomPair accepted an impossible target")
+	}
+	if _, _, ok := FindClosePair(set, b, bogusR); ok {
+		t.Error("FindClosePair accepted an impossible target")
+	}
+}

@@ -1,0 +1,261 @@
+// Package cspp solves the Constrained Shortest Path Problem of Section 4.1
+// of Wang/Wong TR-91-26: given a weighted DAG, two vertices s and t and a
+// positive integer k, find a minimum-weight path from s to t that visits
+// exactly k vertices, or report that none exists.
+//
+// The dynamic program is the paper's Constrained_Shortest_Path verbatim:
+// W(s,v,l) is the least weight of an s→v path with exactly l vertices,
+// computed for l = 1..k in O(k(|V|+|E|)) time (Theorem 1). On a DAG every
+// walk is a simple path, so no explicit simplicity constraint is needed; the
+// solver verifies acyclicity up front.
+//
+// Two entry points are provided:
+//
+//   - Solve runs on an explicit Graph, exactly as in the paper.
+//   - SolveDense runs on the implicit complete DAG over vertices 0..n-1
+//     (every edge i→j with i < j present, weights from a callback). This is
+//     the instance both selection algorithms generate (Sections 4.2–4.3);
+//     skipping graph materialization keeps their memory at O(kn).
+package cspp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Inf is the sentinel weight for "no such path", the paper's W = ∞.
+const Inf = int64(math.MaxInt64)
+
+// ErrNoPath is returned when no s→t path with exactly k vertices exists —
+// the algorithm's "Can not find such a path." outcome.
+var ErrNoPath = errors.New("cspp: no path with exactly k vertices")
+
+// edge is a directed edge stored on its head so the DP can scan incoming
+// edges, mirroring the paper's "for each edge (v_j, v_i) ∈ E" loop.
+type edge struct {
+	from   int
+	weight int64
+}
+
+// Graph is a directed graph with positive edge weights. Vertices are
+// 0..N-1. The zero Graph is unusable; create one with NewGraph.
+type Graph struct {
+	n  int
+	in [][]edge // incoming edges per vertex
+	m  int
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cspp: graph needs at least one vertex, got %d", n)
+	}
+	return &Graph{n: n, in: make([][]edge, n)}, nil
+}
+
+// MustGraph is NewGraph for statically known sizes; it panics on error.
+func MustGraph(n int) *Graph {
+	g, err := NewGraph(n)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the directed edge from→to with the given weight.
+// Negative weights and self-loops are rejected. The paper states w > 0, but
+// the selection reductions of Sections 4.2–4.3 legitimately produce
+// zero-weight edges (adjacent implementations cost nothing to bridge) and
+// the DP is exact for any non-negative weights on a DAG, so zero is allowed.
+func (g *Graph) AddEdge(from, to int, weight int64) error {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return fmt.Errorf("cspp: edge (%d,%d) out of range [0,%d)", from, to, g.n)
+	}
+	if from == to {
+		return fmt.Errorf("cspp: self-loop on vertex %d", from)
+	}
+	if weight < 0 {
+		return fmt.Errorf("cspp: edge (%d,%d) has negative weight %d", from, to, weight)
+	}
+	g.in[to] = append(g.in[to], edge{from: from, weight: weight})
+	g.m++
+	return nil
+}
+
+// acyclic reports whether g is a DAG, via Kahn's algorithm.
+func (g *Graph) acyclic() bool {
+	indeg := make([]int, g.n)
+	for v := range g.in {
+		indeg[v] = len(g.in[v])
+	}
+	out := make([][]int, g.n)
+	for v, es := range g.in {
+		for _, e := range es {
+			out[e.from] = append(out[e.from], v)
+		}
+	}
+	queue := make([]int, 0, g.n)
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, w := range out[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen == g.n
+}
+
+// Result is the output of a successful CSPP solve.
+type Result struct {
+	// Path is the vertex sequence from s to t; len(Path) == k.
+	Path []int
+	// Weight is the total path weight, 0 when k == 1.
+	Weight int64
+}
+
+// Solve runs the paper's Constrained_Shortest_Path on g.
+func Solve(g *Graph, s, t, k int) (Result, error) {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		return Result{}, fmt.Errorf("cspp: s=%d or t=%d out of range [0,%d)", s, t, g.n)
+	}
+	if k < 1 || k > g.n {
+		return Result{}, fmt.Errorf("cspp: k=%d out of range [1,%d]", k, g.n)
+	}
+	if !g.acyclic() {
+		return Result{}, errors.New("cspp: graph is not a DAG")
+	}
+	if k == 1 {
+		if s != t {
+			return Result{}, ErrNoPath
+		}
+		return Result{Path: []int{s}, Weight: 0}, nil
+	}
+
+	// W[l][v] with rolling rows; pred[l][v] records the vertex that
+	// produced W(s,v,l), the paper's traceback bookkeeping.
+	prev := make([]int64, g.n)
+	cur := make([]int64, g.n)
+	for v := range prev {
+		prev[v] = Inf
+	}
+	prev[s] = 0
+	pred := make([][]int32, k+1)
+	for l := 2; l <= k; l++ {
+		pred[l] = make([]int32, g.n)
+		for v := 0; v < g.n; v++ {
+			cur[v] = Inf
+			pred[l][v] = -1
+			for _, e := range g.in[v] {
+				if prev[e.from] == Inf {
+					continue
+				}
+				if w := prev[e.from] + e.weight; w < cur[v] {
+					cur[v] = w
+					pred[l][v] = int32(e.from)
+				}
+			}
+		}
+		// A path of l >= 2 vertices cannot end at s again in a DAG.
+		cur[s] = Inf
+		prev, cur = cur, prev
+	}
+	if prev[t] == Inf {
+		return Result{}, ErrNoPath
+	}
+	path := make([]int, k)
+	path[k-1] = t
+	v := t
+	for l := k; l >= 2; l-- {
+		v = int(pred[l][v])
+		path[l-2] = v
+	}
+	if path[0] != s {
+		// Cannot happen on a correct DP; guard against silent corruption.
+		return Result{}, fmt.Errorf("cspp: traceback reached %d, not s=%d", path[0], s)
+	}
+	return Result{Path: path, Weight: prev[t]}, nil
+}
+
+// WeightFunc gives the weight of the implicit edge i→j (i < j) of a dense
+// interval DAG. Weights must be >= 0; selection error weights can be zero
+// (adjacent implementations cost nothing to bridge), which is harmless here
+// because the interval DAG is acyclic by construction.
+type WeightFunc func(i, j int) int64
+
+// SolveDense solves the CSPP on the complete DAG over 0..n-1 with source 0
+// and sink n-1: it returns the k vertex indices of a minimum-weight path
+// visiting exactly k vertices. This is the reduction target of R_Selection
+// and L_Selection, where vertex i is the i-th implementation of an
+// irreducible list and w(i,j) = error(r_i, r_j).
+func SolveDense(n, k int, weight WeightFunc) ([]int, int64, error) {
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("cspp: dense graph needs n >= 1, got %d", n)
+	}
+	if k < 1 || k > n {
+		return nil, 0, fmt.Errorf("cspp: k=%d out of range [1,%d]", k, n)
+	}
+	if k == 1 {
+		if n != 1 {
+			return nil, 0, ErrNoPath
+		}
+		return []int{0}, 0, nil
+	}
+	prev := make([]int64, n)
+	cur := make([]int64, n)
+	for v := range prev {
+		prev[v] = Inf
+	}
+	prev[0] = 0
+	pred := make([][]int32, k+1)
+	for l := 2; l <= k; l++ {
+		pred[l] = make([]int32, n)
+		// With exactly l vertices used, the path tip can be no earlier than
+		// vertex l-1 and must leave room for the remaining k-l hops.
+		for v := 0; v < n; v++ {
+			cur[v] = Inf
+			pred[l][v] = -1
+		}
+		lo := l - 1
+		hi := n - 1 - (k - l)
+		for v := lo; v <= hi; v++ {
+			for u := l - 2; u < v; u++ {
+				if prev[u] == Inf {
+					continue
+				}
+				if w := prev[u] + weight(u, v); w < cur[v] {
+					cur[v] = w
+					pred[l][v] = int32(u)
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+	if prev[n-1] == Inf {
+		return nil, 0, ErrNoPath
+	}
+	path := make([]int, k)
+	path[k-1] = n - 1
+	v := n - 1
+	for l := k; l >= 2; l-- {
+		v = int(pred[l][v])
+		path[l-2] = v
+	}
+	return path, prev[n-1], nil
+}

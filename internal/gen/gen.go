@@ -1,0 +1,279 @@
+// Package gen generates the workloads of the paper's experiments: module
+// implementation libraries with a given number N of non-redundant
+// implementations per module, the four test floorplans FP1–FP4 of Figure 8,
+// and random floorplan trees for fuzzing.
+//
+// Everything is seeded and deterministic: the paper's "test case #i" maps
+// to seed i.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"floorplan/internal/plan"
+	"floorplan/internal/shape"
+)
+
+// ModuleParams controls module implementation generation.
+type ModuleParams struct {
+	// N is the number of non-redundant implementations per module.
+	N int
+	// MinArea and MaxArea bound the module's nominal area; each module
+	// draws one nominal area and its implementations trade width for
+	// height around it.
+	MinArea, MaxArea int64
+	// MaxAspect bounds the aspect ratio of the extreme implementations
+	// (width/height of the widest, height/width of the tallest).
+	MaxAspect float64
+}
+
+// DefaultModuleParams mirrors the paper's setup: N configurable, small
+// integer dimensions, aspect ratios up to 1:4.
+func DefaultModuleParams(n int) ModuleParams {
+	return ModuleParams{N: n, MinArea: 120, MaxArea: 1200, MaxAspect: 4}
+}
+
+// Validate rejects unusable parameters.
+func (p ModuleParams) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("gen: N must be >= 1, got %d", p.N)
+	}
+	if p.MinArea < 1 || p.MaxArea < p.MinArea {
+		return fmt.Errorf("gen: bad area range [%d, %d]", p.MinArea, p.MaxArea)
+	}
+	if p.MaxAspect < 1 {
+		return fmt.Errorf("gen: MaxAspect must be >= 1, got %v", p.MaxAspect)
+	}
+	return nil
+}
+
+// Module generates one module's irreducible R-list with exactly p.N
+// implementations: a staircase of integer (w, h) pairs whose areas hover
+// around a nominal area drawn from [MinArea, MaxArea].
+func Module(rng *rand.Rand, p ModuleParams) (shape.RList, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	area := float64(p.MinArea) + rng.Float64()*float64(p.MaxArea-p.MinArea)
+	side := math.Sqrt(area)
+	wMax := int64(math.Round(side * math.Sqrt(p.MaxAspect)))
+	wMin := int64(math.Round(side / math.Sqrt(p.MaxAspect)))
+	if wMin < 1 {
+		wMin = 1
+	}
+	if wMax < wMin+int64(p.N)-1 {
+		wMax = wMin + int64(p.N) - 1 // guarantee N distinct widths
+	}
+	// N distinct widths spread over [wMin, wMax], descending.
+	widths := make([]int64, p.N)
+	if p.N == 1 {
+		widths[0] = (wMin + wMax) / 2
+	} else {
+		span := wMax - wMin
+		for i := 0; i < p.N; i++ {
+			widths[i] = wMax - span*int64(i)/int64(p.N-1)
+		}
+		// Jitter interior widths without breaking strict monotonicity.
+		for i := 1; i < p.N-1; i++ {
+			lo, hi := widths[i+1]+1, widths[i-1]-1
+			if hi > lo {
+				widths[i] = lo + rng.Int63n(hi-lo+1)
+			}
+		}
+	}
+	impls := make([]shape.RImpl, p.N)
+	prevH := int64(0)
+	for i, w := range widths {
+		h := int64(math.Round(area / float64(w)))
+		if h <= prevH {
+			h = prevH + 1 // strict height increase keeps the list irreducible
+		}
+		impls[i] = shape.RImpl{W: w, H: h}
+		prevH = h
+	}
+	list := shape.RList(impls)
+	if err := list.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated list invalid: %w", err)
+	}
+	return list, nil
+}
+
+// Library builds a module library for every leaf of the tree, assigning
+// each leaf a fresh module drawn from p. Leaves must already carry unique
+// module names (see the FP builders and RandomTree). The result converts
+// directly to optimizer.Library.
+func Library(rng *rand.Rand, tree *plan.Node, p ModuleParams) (map[string]shape.RList, error) {
+	lib := make(map[string]shape.RList)
+	for _, leaf := range tree.Leaves() {
+		if leaf.Module == "" {
+			return nil, fmt.Errorf("gen: leaf without module name")
+		}
+		if _, dup := lib[leaf.Module]; dup {
+			return nil, fmt.Errorf("gen: duplicate module name %q", leaf.Module)
+		}
+		l, err := Module(rng, p)
+		if err != nil {
+			return nil, err
+		}
+		lib[leaf.Module] = l
+	}
+	return lib, nil
+}
+
+// namer hands out sequential module names m000, m001, …
+type namer struct{ next int }
+
+func (n *namer) leaf() *plan.Node {
+	l := plan.NewLeaf(fmt.Sprintf("m%03d", n.next))
+	n.next++
+	return l
+}
+
+// wheel5 builds a pinwheel of five fresh leaves.
+func (n *namer) wheel5() *plan.Node {
+	return plan.NewWheel(n.leaf(), n.leaf(), n.leaf(), n.leaf(), n.leaf())
+}
+
+// wheel9 builds a 9-module pattern: a pinwheel whose NW block is itself a
+// 5-module pinwheel.
+func (n *namer) wheel9() *plan.Node {
+	return plan.NewWheel(n.wheel5(), n.leaf(), n.leaf(), n.leaf(), n.leaf())
+}
+
+// wheel25 builds the 25-module pinwheel-of-pinwheels (the FP1 pattern).
+func (n *namer) wheel25() *plan.Node {
+	return plan.NewWheel(n.wheel5(), n.wheel5(), n.wheel5(), n.wheel5(), n.wheel5())
+}
+
+// FP1 is the 25-module floorplan of Figure 8(a), reconstructed as a
+// pinwheel of five 5-module pinwheels.
+func FP1() *plan.Node {
+	n := &namer{}
+	t := plan.NewWheel(n.wheel5(), n.wheel5(), n.wheel5(), n.wheel5(), n.wheel5())
+	t.Name = "FP1"
+	return t
+}
+
+// FP2 is the 49-module floorplan of Figure 8(b), reconstructed as a
+// pinwheel whose five blocks hold 25, 9, 5, 5 and 5 modules
+// (25 + 9 + 3·5 = 49), all pinwheels themselves. The all-wheel structure
+// matches the evaluation's character: in the paper FP2's implementation
+// counts dwarf FP1's, which only happens when every level is non-slicing.
+func FP2() *plan.Node {
+	n := &namer{}
+	t := plan.NewWheel(n.wheel25(), n.wheel9(), n.wheel5(), n.wheel5(), n.wheel5())
+	t.Name = "FP2"
+	return t
+}
+
+// block24 is the 24-module block of Figure 8(c): a pinwheel of four
+// 5-module pinwheels and one 4-module slicing quad (4·5 + 4 = 24).
+func block24(n *namer) *plan.Node {
+	quad := plan.NewHSlice(
+		plan.NewVSlice(n.leaf(), n.leaf()),
+		plan.NewVSlice(n.leaf(), n.leaf()),
+	)
+	return plan.NewWheel(n.wheel5(), n.wheel5(), n.wheel5(), n.wheel5(), quad)
+}
+
+// FP3 is the 120-module floorplan: the Figure 8(d) pinwheel whose five
+// blocks each hold the 24-module block of Figure 8(c).
+func FP3() *plan.Node {
+	n := &namer{}
+	t := plan.NewWheel(block24(n), block24(n), block24(n), block24(n), block24(n))
+	t.Name = "FP3"
+	return t
+}
+
+// block49 is FP2's 49-module block, reused by FP4.
+func block49(n *namer) *plan.Node {
+	return plan.NewWheel(n.wheel25(), n.wheel9(), n.wheel5(), n.wheel5(), n.wheel5())
+}
+
+// FP4 is the 245-module floorplan: the Figure 8(d) pinwheel whose five
+// blocks each hold the 49-module block of Figure 8(b).
+func FP4() *plan.Node {
+	n := &namer{}
+	t := plan.NewWheel(block49(n), block49(n), block49(n), block49(n), block49(n))
+	t.Name = "FP4"
+	return t
+}
+
+// ByName returns one of the four paper floorplans.
+func ByName(name string) (*plan.Node, error) {
+	switch name {
+	case "FP1", "fp1":
+		return FP1(), nil
+	case "FP2", "fp2":
+		return FP2(), nil
+	case "FP3", "fp3":
+		return FP3(), nil
+	case "FP4", "fp4":
+		return FP4(), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown floorplan %q (want FP1..FP4)", name)
+	}
+}
+
+// RandomTree builds a random floorplan tree with exactly modules leaves.
+// pWheel is the probability that a node with >= 5 remaining modules becomes
+// a pinwheel; otherwise slicing cuts are used. Each leaf gets a unique
+// module name.
+func RandomTree(rng *rand.Rand, modules int, pWheel float64) (*plan.Node, error) {
+	if modules < 1 {
+		return nil, fmt.Errorf("gen: need >= 1 module, got %d", modules)
+	}
+	n := &namer{}
+	t := randomTree(rng, n, modules, pWheel)
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: random tree invalid: %w", err)
+	}
+	return t, nil
+}
+
+func randomTree(rng *rand.Rand, n *namer, modules int, pWheel float64) *plan.Node {
+	if modules == 1 {
+		return n.leaf()
+	}
+	if modules >= 5 && rng.Float64() < pWheel {
+		parts := splitCount(rng, modules, 5)
+		kids := make([]*plan.Node, 5)
+		for i, c := range parts {
+			kids[i] = randomTree(rng, n, c, pWheel)
+		}
+		w := plan.NewWheel(kids[0], kids[1], kids[2], kids[3], kids[4])
+		if rng.Intn(2) == 0 {
+			w.CCW = true
+		}
+		return w
+	}
+	// Slicing cut into 2 or 3 parts.
+	k := 2
+	if modules >= 3 && rng.Intn(3) == 0 {
+		k = 3
+	}
+	parts := splitCount(rng, modules, k)
+	kids := make([]*plan.Node, k)
+	for i, c := range parts {
+		kids[i] = randomTree(rng, n, c, pWheel)
+	}
+	if rng.Intn(2) == 0 {
+		return plan.NewHSlice(kids...)
+	}
+	return plan.NewVSlice(kids...)
+}
+
+// splitCount partitions total into k positive parts, roughly evenly with
+// random imbalance.
+func splitCount(rng *rand.Rand, total, k int) []int {
+	parts := make([]int, k)
+	for i := range parts {
+		parts[i] = 1
+	}
+	for extra := total - k; extra > 0; extra-- {
+		parts[rng.Intn(k)]++
+	}
+	return parts
+}

@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"floorplan/internal/plan"
+)
+
+func TestModuleExactCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 20, 40} {
+		for trial := 0; trial < 20; trial++ {
+			l, err := Module(rng, DefaultModuleParams(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(l) != n {
+				t.Fatalf("N=%d: got %d implementations", n, len(l))
+			}
+			if err := l.Validate(); err != nil {
+				t.Fatalf("N=%d: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestModuleParamsValidate(t *testing.T) {
+	bad := []ModuleParams{
+		{N: 0, MinArea: 1, MaxArea: 2, MaxAspect: 2},
+		{N: 5, MinArea: 0, MaxArea: 2, MaxAspect: 2},
+		{N: 5, MinArea: 10, MaxArea: 5, MaxAspect: 2},
+		{N: 5, MinArea: 1, MaxArea: 2, MaxAspect: 0.5},
+	}
+	for _, p := range bad {
+		if _, err := Module(rand.New(rand.NewSource(1)), p); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestModuleDeterministic(t *testing.T) {
+	a, err := Module(rand.New(rand.NewSource(7)), DefaultModuleParams(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Module(rand.New(rand.NewSource(7)), DefaultModuleParams(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different modules")
+	}
+}
+
+func TestPaperFloorplans(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *plan.Node
+		modules int
+		wheels  int
+	}{
+		{"FP1", FP1, 25, 6},
+		{"FP2", FP2, 49, 12},  // top + w25(6) + w9(2) + 3×w5
+		{"FP3", FP3, 120, 26}, // 5 blocks × (1 outer + 4 inner wheels) + top wheel
+		{"FP4", FP4, 245, 61}, // 5 blocks × 12 wheels + top wheel
+	}
+	for _, tc := range cases {
+		tr := tc.build()
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if got := tr.ModuleCount(); got != tc.modules {
+			t.Errorf("%s: %d modules, want %d", tc.name, got, tc.modules)
+		}
+		if got := tr.WheelCount(); got != tc.wheels {
+			t.Errorf("%s: %d wheels, want %d", tc.name, got, tc.wheels)
+		}
+		// Unique module names.
+		seen := map[string]bool{}
+		for _, l := range tr.Leaves() {
+			if seen[l.Module] {
+				t.Errorf("%s: duplicate module %q", tc.name, l.Module)
+			}
+			seen[l.Module] = true
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"FP1", "fp2", "FP3", "fp4"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("FP9"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestLibraryCoversLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := FP1()
+	lib, err := Library(rng, tr, DefaultModuleParams(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib) != 25 {
+		t.Fatalf("library has %d modules, want 25", len(lib))
+	}
+	for name, l := range lib {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("module %s: %v", name, err)
+		}
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(40)
+		tr, err := RandomTree(rng, m, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.ModuleCount(); got != m {
+			t.Fatalf("asked %d modules, got %d", m, got)
+		}
+	}
+	if _, err := RandomTree(rng, 0, 0.5); err == nil {
+		t.Error("0 modules accepted")
+	}
+}
+
+func TestSplitCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		total := 5 + rng.Intn(50)
+		k := 2 + rng.Intn(4)
+		parts := splitCount(rng, total, k)
+		sum := 0
+		for _, p := range parts {
+			if p < 1 {
+				t.Fatalf("empty part in %v", parts)
+			}
+			sum += p
+		}
+		if sum != total {
+			t.Fatalf("parts %v sum to %d, want %d", parts, sum, total)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRect(t *testing.T) {
+	r, err := NewRect(2, 3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width() != 4 || r.Height() != 5 || r.Area() != 20 {
+		t.Errorf("rect = %v", r)
+	}
+	if _, err := NewRect(0, 0, -1, 2); err == nil {
+		t.Error("expected error for negative width")
+	}
+	if _, err := NewRect(0, 0, 1, -2); err == nil {
+		t.Error("expected error for negative height")
+	}
+}
+
+func TestRectWHPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative size")
+		}
+	}()
+	RectWH(-1, 1)
+}
+
+func TestRectPredicates(t *testing.T) {
+	r := RectWH(10, 10)
+	inner := Rect{MinX: 2, MinY: 2, MaxX: 8, MaxY: 8}
+	if !r.Contains(inner) {
+		t.Error("Contains failed for strict inner")
+	}
+	if !r.Contains(r) {
+		t.Error("Contains failed for itself")
+	}
+	outside := Rect{MinX: 5, MinY: 5, MaxX: 11, MaxY: 8}
+	if r.Contains(outside) {
+		t.Error("Contains passed for protruding rect")
+	}
+	if !r.Overlaps(outside) {
+		t.Error("Overlaps failed for partial overlap")
+	}
+	touch := Rect{MinX: 10, MinY: 0, MaxX: 20, MaxY: 10}
+	if r.Overlaps(touch) {
+		t.Error("edge-touching rects must not overlap")
+	}
+	if r.Empty() {
+		t.Error("10x10 rect reported empty")
+	}
+	if !RectWH(0, 5).Empty() {
+		t.Error("zero-width rect not reported empty")
+	}
+}
+
+func TestRectUnionIntersect(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{2, 2, 6, 6}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 6, 6}) {
+		t.Errorf("Union = %v", u)
+	}
+	in, ok := a.Intersect(b)
+	if !ok || in != (Rect{2, 2, 4, 4}) {
+		t.Errorf("Intersect = %v, %v", in, ok)
+	}
+	c := Rect{4, 0, 8, 4}
+	if _, ok := a.Intersect(c); ok {
+		t.Error("touching rects should not intersect")
+	}
+}
+
+func TestRectTranslateMirror(t *testing.T) {
+	r := Rect{1, 2, 3, 5}
+	tr := r.Translate(10, 20)
+	if tr != (Rect{11, 22, 13, 25}) {
+		t.Errorf("Translate = %v", tr)
+	}
+	m := r.MirrorX(0)
+	if m != (Rect{-3, 2, -1, 5}) {
+		t.Errorf("MirrorX = %v", m)
+	}
+	if !m.Valid() {
+		t.Error("mirrored rect invalid")
+	}
+	// Mirroring twice about the same axis restores the rectangle.
+	if got := m.MirrorX(0); got != r {
+		t.Errorf("double mirror = %v, want %v", got, r)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	iv := Interval{Lo: 2, Hi: 5}
+	if iv.Len() != 3 {
+		t.Errorf("Len = %d", iv.Len())
+	}
+	if !iv.Contains(2) || iv.Contains(5) || !iv.Contains(4) {
+		t.Error("Contains half-open semantics violated")
+	}
+	if !iv.Overlaps(Interval{4, 9}) || iv.Overlaps(Interval{5, 9}) {
+		t.Error("Overlaps half-open semantics violated")
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	if Min64(3, -2) != -2 || Max64(3, -2) != 3 {
+		t.Error("Min64/Max64 wrong")
+	}
+	if Abs64(-7) != 7 || Abs64(7) != 7 || Abs64(0) != 0 {
+		t.Error("Abs64 wrong")
+	}
+}
+
+func TestMirrorPreservesAreaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prop := func(x, y int64, w, h uint16, axis int64) bool {
+		r, err := NewRect(x%1000, y%1000, int64(w), int64(h))
+		if err != nil {
+			return false
+		}
+		m := r.MirrorX(axis % 1000)
+		return m.Valid() && m.Area() == r.Area() && m.Width() == r.Width() && m.Height() == r.Height()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p := Point{1, 2}.Add(Point{3, 4})
+	if p != (Point{4, 6}) {
+		t.Errorf("Add = %v", p)
+	}
+	if p.String() != "(4,6)" {
+		t.Errorf("String = %s", p.String())
+	}
+}

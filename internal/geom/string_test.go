@@ -1,0 +1,19 @@
+package geom
+
+import "testing"
+
+func TestRectString(t *testing.T) {
+	r := Rect{MinX: 1, MinY: 2, MaxX: 4, MaxY: 6}
+	if got := r.String(); got != "[1,4)x[2,6)" {
+		t.Errorf("Rect.String = %q", got)
+	}
+}
+
+func TestAbs64OverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on MinInt64")
+		}
+	}()
+	Abs64(-9223372036854775808)
+}

@@ -1,0 +1,75 @@
+// Package memtrack counts stored implementations during a floorplan
+// optimization run. The paper's M column is "the maximum number of
+// implementations ever stored in memory during the computation"; its
+// machine aborted somewhere above ~8·10^5 of them on the large examples
+// (Tables 3–4 report "> 806553" style rows). A Tracker reproduces both: it
+// records the peak count and, when a hard limit is set, fails the run the
+// moment the count would exceed it.
+package memtrack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrLimit is reported (wrapped) when an allocation would push the stored
+// implementation count beyond the configured limit — the reproduction of
+// "[9] failed to run due to insufficient memory space".
+var ErrLimit = errors.New("memtrack: implementation storage limit exceeded")
+
+// Tracker counts currently stored and peak stored implementations.
+// The zero Tracker is ready to use and unlimited.
+type Tracker struct {
+	current int64
+	peak    int64
+	limit   int64
+}
+
+// NewTracker returns a tracker that fails any Add pushing the current count
+// above limit; limit <= 0 means unlimited.
+func NewTracker(limit int64) *Tracker {
+	return &Tracker{limit: limit}
+}
+
+// Add records n newly stored implementations. If a limit is configured and
+// would be exceeded, the count is left at the would-be value (so the caller
+// can report "> limit" like the paper) and an error wrapping ErrLimit is
+// returned.
+func (t *Tracker) Add(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("memtrack: negative Add(%d)", n)
+	}
+	t.current += n
+	if t.current > t.peak {
+		t.peak = t.current
+	}
+	if t.limit > 0 && t.current > t.limit {
+		return fmt.Errorf("%w: %d stored > limit %d", ErrLimit, t.current, t.limit)
+	}
+	return nil
+}
+
+// Release records n implementations freed (e.g. discarded by a selection
+// pass or a transient candidate buffer being dropped).
+func (t *Tracker) Release(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("memtrack: negative Release(%d)", n)
+	}
+	if n > t.current {
+		return fmt.Errorf("memtrack: releasing %d with only %d stored", n, t.current)
+	}
+	t.current -= n
+	return nil
+}
+
+// Current returns the number of implementations stored right now.
+func (t *Tracker) Current() int64 { return t.current }
+
+// Peak returns the paper's M: the maximum ever stored.
+func (t *Tracker) Peak() int64 { return t.peak }
+
+// Limit returns the configured limit (0 = unlimited).
+func (t *Tracker) Limit() int64 { return t.limit }
+
+// Exceeded reports whether the peak has passed the limit.
+func (t *Tracker) Exceeded() bool { return t.limit > 0 && t.peak > t.limit }

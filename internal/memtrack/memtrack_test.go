@@ -1,0 +1,80 @@
+package memtrack
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestZeroTrackerUnlimited(t *testing.T) {
+	var tr Tracker
+	if err := tr.Add(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Peak() != 1<<40 || tr.Current() != 1<<40 {
+		t.Fatalf("peak=%d current=%d", tr.Peak(), tr.Current())
+	}
+	if tr.Exceeded() {
+		t.Error("unlimited tracker cannot be exceeded")
+	}
+}
+
+func TestPeakTracksMaximum(t *testing.T) {
+	tr := NewTracker(0)
+	mustAdd := func(n int64) {
+		t.Helper()
+		if err := tr.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(100)
+	if err := tr.Release(40); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(30)
+	if tr.Current() != 90 {
+		t.Errorf("current = %d, want 90", tr.Current())
+	}
+	if tr.Peak() != 100 {
+		t.Errorf("peak = %d, want 100", tr.Peak())
+	}
+	mustAdd(50)
+	if tr.Peak() != 140 {
+		t.Errorf("peak = %d, want 140", tr.Peak())
+	}
+}
+
+func TestLimitEnforced(t *testing.T) {
+	tr := NewTracker(100)
+	if err := tr.Add(100); err != nil {
+		t.Fatalf("at-limit Add should succeed: %v", err)
+	}
+	err := tr.Add(1)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("over-limit Add = %v, want ErrLimit", err)
+	}
+	if !tr.Exceeded() {
+		t.Error("Exceeded should be true after a failed Add")
+	}
+	if tr.Peak() != 101 {
+		t.Errorf("peak = %d: the over-limit value must be recorded for '>' reporting", tr.Peak())
+	}
+	if tr.Limit() != 100 {
+		t.Errorf("limit = %d", tr.Limit())
+	}
+}
+
+func TestReleaseValidation(t *testing.T) {
+	tr := NewTracker(0)
+	if err := tr.Add(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Release(20); err == nil {
+		t.Error("releasing more than stored should fail")
+	}
+	if err := tr.Release(-1); err == nil {
+		t.Error("negative release should fail")
+	}
+	if err := tr.Add(-1); err == nil {
+		t.Error("negative add should fail")
+	}
+}

@@ -1,0 +1,71 @@
+package optimizer
+
+import (
+	"testing"
+
+	"floorplan/internal/geom"
+	"floorplan/internal/shape"
+)
+
+func TestPlacementByModuleSorted(t *testing.T) {
+	p := &Placement{
+		Envelope: shape.RImpl{W: 10, H: 10},
+		Modules: []ModulePlacement{
+			{Module: "zeta", Box: geom.RectWH(2, 2)},
+			{Module: "alpha", Box: geom.RectWH(3, 3)},
+			{Module: "mid", Box: geom.RectWH(1, 1)},
+		},
+	}
+	sorted := p.ByModule()
+	if sorted[0].Module != "alpha" || sorted[1].Module != "mid" || sorted[2].Module != "zeta" {
+		t.Fatalf("ByModule order: %v %v %v", sorted[0].Module, sorted[1].Module, sorted[2].Module)
+	}
+	// The original slice is untouched.
+	if p.Modules[0].Module != "zeta" {
+		t.Fatal("ByModule mutated the placement")
+	}
+}
+
+func TestVerifyCatchesBadPlacements(t *testing.T) {
+	lib := Library{"m": shape.RList{{W: 2, H: 2}}}
+	env := shape.RImpl{W: 4, H: 2}
+	cases := []struct {
+		name string
+		p    Placement
+	}{
+		{"outside envelope", Placement{Envelope: env, Modules: []ModulePlacement{
+			{Module: "m", Box: geom.Rect{MinX: 3, MinY: 0, MaxX: 6, MaxY: 2}, Impl: shape.RImpl{W: 2, H: 2}},
+		}}},
+		{"box too small", Placement{Envelope: env, Modules: []ModulePlacement{
+			{Module: "m", Box: geom.RectWH(1, 2), Impl: shape.RImpl{W: 2, H: 2}},
+		}}},
+		{"impl not in library", Placement{Envelope: env, Modules: []ModulePlacement{
+			{Module: "m", Box: geom.RectWH(4, 2), Impl: shape.RImpl{W: 3, H: 2}},
+		}}},
+		{"unknown module", Placement{Envelope: env, Modules: []ModulePlacement{
+			{Module: "ghost", Box: geom.RectWH(4, 2), Impl: shape.RImpl{W: 2, H: 2}},
+		}}},
+		{"overlap", Placement{Envelope: env, Modules: []ModulePlacement{
+			{Module: "m", Box: geom.RectWH(3, 2), Impl: shape.RImpl{W: 2, H: 2}},
+			{Module: "m", Box: geom.Rect{MinX: 2, MinY: 0, MaxX: 4, MaxY: 2}, Impl: shape.RImpl{W: 2, H: 2}},
+		}}},
+		{"not a tiling", Placement{Envelope: env, Modules: []ModulePlacement{
+			{Module: "m", Box: geom.RectWH(2, 2), Impl: shape.RImpl{W: 2, H: 2}},
+		}}},
+		{"degenerate box", Placement{Envelope: env, Modules: []ModulePlacement{
+			{Module: "m", Box: geom.RectWH(0, 2), Impl: shape.RImpl{W: 2, H: 2}},
+		}}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Verify(lib); err == nil {
+			t.Errorf("%s: verification passed", tc.name)
+		}
+	}
+	// nil library skips the membership check but keeps geometry checks.
+	good := Placement{Envelope: shape.RImpl{W: 2, H: 2}, Modules: []ModulePlacement{
+		{Module: "anything", Box: geom.RectWH(2, 2), Impl: shape.RImpl{W: 2, H: 2}},
+	}}
+	if err := good.Verify(nil); err != nil {
+		t.Errorf("nil-library verify failed: %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"floorplan/internal/gen"
+	"floorplan/internal/plan"
+	"floorplan/internal/selection"
+)
+
+// TestDeterministicRuns pins down that two identical runs produce identical
+// results and statistics — the whole experiment harness depends on it.
+func TestDeterministicRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	tree, err := gen.RandomTree(rng, 15, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawLib, err := gen.Library(rng, tree, gen.DefaultModuleParams(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := Library(rawLib)
+	opts := Options{Policy: selection.Policy{K1: 4, K2: 40, S: 30}}
+	first := mustRun(t, lib, opts, tree)
+	for trial := 0; trial < 3; trial++ {
+		again := mustRun(t, lib, opts, tree)
+		if again.Best != first.Best {
+			t.Fatalf("trial %d: Best %v != %v", trial, again.Best, first.Best)
+		}
+		if again.Stats.PeakStored != first.Stats.PeakStored ||
+			again.Stats.Generated != first.Stats.Generated ||
+			again.Stats.RSelections != first.Stats.RSelections ||
+			again.Stats.LSelections != first.Stats.LSelections {
+			t.Fatalf("trial %d: stats diverged: %+v vs %+v", trial, again.Stats, first.Stats)
+		}
+		if !again.RootList.Equal(first.RootList) {
+			t.Fatalf("trial %d: root lists diverged", trial)
+		}
+		if len(again.Placement.Modules) != len(first.Placement.Modules) {
+			t.Fatalf("trial %d: placements diverged", trial)
+		}
+		for i := range again.Placement.Modules {
+			if again.Placement.Modules[i] != first.Placement.Modules[i] {
+				t.Fatalf("trial %d: module %d placed differently", trial, i)
+			}
+		}
+	}
+}
+
+// TestNestedCCWWheels exercises mirrored placement inside mirrored
+// placement.
+func TestNestedCCWWheels(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	// Build explicitly: CCW wheel whose NW block is another CCW wheel.
+	inner := plan.NewCCWWheel(
+		plan.NewLeaf("i1"), plan.NewLeaf("i2"), plan.NewLeaf("i3"),
+		plan.NewLeaf("i4"), plan.NewLeaf("i5"))
+	outer := plan.NewCCWWheel(inner,
+		plan.NewLeaf("o2"), plan.NewLeaf("o3"), plan.NewLeaf("o4"), plan.NewLeaf("o5"))
+	lib := make(Library)
+	for _, m := range []string{"i1", "i2", "i3", "i4", "i5", "o2", "o3", "o4", "o5"} {
+		ml, err := gen.Module(rng, gen.DefaultModuleParams(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib[m] = ml
+	}
+	res := mustRun(t, lib, Options{}, outer)
+	if err := res.Placement.Verify(lib); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placement.Modules) != 9 {
+		t.Fatalf("placed %d modules", len(res.Placement.Modules))
+	}
+}

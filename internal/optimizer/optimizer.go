@@ -1,0 +1,347 @@
+// Package optimizer implements the floorplan area optimization algorithm of
+// Wang–Wong DAC'90 ([9] in the paper), the host into which the paper's
+// R_Selection and L_Selection are incorporated.
+//
+// The optimizer takes a floorplan tree and a module library, restructures
+// the tree into the binary tree T' of rectangular and L-shaped blocks
+// (package plan), and computes every block's non-redundant implementation
+// list bottom-up (package combine). After each internal node's list is
+// generated, the configured selection policy (package selection) may reduce
+// it; this is exactly the paper's memory-reduction scheme. The minimum-area
+// implementation at the root is then traced back to a concrete placement of
+// every module, which is verified geometrically.
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"floorplan/internal/combine"
+	"floorplan/internal/memtrack"
+	"floorplan/internal/plan"
+	"floorplan/internal/selection"
+	"floorplan/internal/shape"
+)
+
+// Library maps module names to their non-redundant implementation lists.
+type Library map[string]shape.RList
+
+// Validate checks that every list is non-empty and canonical.
+func (lib Library) Validate() error {
+	for name, l := range lib {
+		if len(l) == 0 {
+			return fmt.Errorf("optimizer: module %q has no implementations", name)
+		}
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("optimizer: module %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Options configures a run.
+type Options struct {
+	// Policy is the selection policy (zero value: plain [9], no selection).
+	Policy selection.Policy
+	// MemoryLimit caps the number of stored implementations, reproducing
+	// the paper's out-of-memory failures. 0 = unlimited.
+	MemoryLimit int64
+	// SkipPlacement skips traceback and verification; evaluation stats and
+	// the optimal area are still produced. Used by benchmarks that only
+	// measure the bottom-up phase.
+	SkipPlacement bool
+}
+
+// ErrMemoryLimit wraps memtrack.ErrLimit so callers can match the paper's
+// "failed to run" outcome with errors.Is.
+var ErrMemoryLimit = memtrack.ErrLimit
+
+// Stats records the cost metrics the paper reports.
+type Stats struct {
+	// PeakStored is the paper's M: the maximum number of implementations
+	// simultaneously stored.
+	PeakStored int64
+	// FinalStored is the implementation count at the end of the run.
+	FinalStored int64
+	// Generated is the total number of non-redundant implementations
+	// produced across all nodes, before selection discarded any.
+	Generated int64
+	// Nodes is the number of BinNodes evaluated.
+	Nodes int
+	// LNodes is the number of L-shaped BinNodes evaluated.
+	LNodes int
+	// RSelections / LSelections count selection invocations.
+	RSelections int
+	LSelections int
+	// MaxRList and MaxLSet are the largest rectangular list and L-shaped
+	// set stored (after selection), for calibrating K1/K2.
+	MaxRList int
+	MaxLSet  int
+	// Elapsed is the wall time of the bottom-up evaluation (the phase whose
+	// CPU seconds the paper reports), excluding traceback.
+	Elapsed time.Duration
+}
+
+// Result is a successful optimization outcome.
+type Result struct {
+	// Best is the minimum-area implementation of the entire floorplan.
+	Best shape.RImpl
+	// RootList is the root block's retained implementation list.
+	RootList shape.RList
+	// Placement realizes Best; nil when Options.SkipPlacement is set.
+	Placement *Placement
+	Stats     Stats
+	// NodeStats describes every evaluated block in preorder (ID order):
+	// where the implementations live and what selection did to them.
+	NodeStats []NodeStat
+}
+
+// NodeStat records one block's evaluation outcome.
+type NodeStat struct {
+	// ID is the BinNode's preorder index.
+	ID int
+	// Kind is the combine operation that formed the block.
+	Kind plan.BinKind
+	// LShaped marks L-shaped blocks.
+	LShaped bool
+	// Generated is the non-redundant implementation count before
+	// selection.
+	Generated int
+	// Stored is the count kept after selection (== Generated when
+	// selection did not run).
+	Stored int
+	// Lists is the number of irreducible L-lists (1 for rectangular
+	// blocks).
+	Lists int
+}
+
+// Optimizer runs floorplan area optimization over one module library.
+type Optimizer struct {
+	lib  Library
+	opts Options
+}
+
+// New validates the library and policy and returns an Optimizer.
+func New(lib Library, opts Options) (*Optimizer, error) {
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MemoryLimit < 0 {
+		return nil, fmt.Errorf("optimizer: negative memory limit %d", opts.MemoryLimit)
+	}
+	return &Optimizer{lib: lib, opts: opts}, nil
+}
+
+// nodeEval stores a node's retained implementation list; exactly one of
+// rl/ls is meaningful depending on node kind. Lists are retained until the
+// end of the run because traceback needs them — their count is what the
+// memory tracker measures.
+type nodeEval struct {
+	rl shape.RList
+	ls shape.LSet
+}
+
+type runState struct {
+	o     *Optimizer
+	mem   *memtrack.Tracker
+	evals map[int]*nodeEval
+	stats Stats
+	nodes []NodeStat
+}
+
+// Run optimizes the floorplan tree. On memory exhaustion it returns an
+// error matching ErrMemoryLimit together with a partial Result carrying the
+// stats gathered so far (mirroring the paper's "> M" rows).
+func (o *Optimizer) Run(tree *plan.Node) (*Result, error) {
+	bin, err := plan.Restructure(tree)
+	if err != nil {
+		return nil, err
+	}
+	return o.RunBinary(bin)
+}
+
+// RunBinary optimizes an already-restructured binary tree.
+func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
+	if err := bin.Validate(); err != nil {
+		return nil, err
+	}
+	if bin.IsL() {
+		return nil, fmt.Errorf("optimizer: root block is L-shaped; the floorplan root must be rectangular")
+	}
+	for _, m := range bin.Modules() {
+		if _, ok := o.lib[m]; !ok {
+			return nil, fmt.Errorf("optimizer: module %q not in library", m)
+		}
+	}
+	st := &runState{
+		o:     o,
+		mem:   memtrack.NewTracker(o.opts.MemoryLimit),
+		evals: make(map[int]*nodeEval),
+	}
+	start := time.Now()
+	rootEval, evalErr := st.eval(bin)
+	st.stats.Elapsed = time.Since(start)
+	st.stats.PeakStored = st.mem.Peak()
+	st.stats.FinalStored = st.mem.Current()
+	if evalErr != nil {
+		return &Result{Stats: st.stats}, evalErr
+	}
+	if len(rootEval.rl) == 0 {
+		return &Result{Stats: st.stats}, fmt.Errorf("optimizer: root has no implementations")
+	}
+	best, _ := rootEval.rl.Best()
+	sort.Slice(st.nodes, func(i, j int) bool { return st.nodes[i].ID < st.nodes[j].ID })
+	res := &Result{
+		Best:      best,
+		RootList:  rootEval.rl.Clone(),
+		Stats:     st.stats,
+		NodeStats: st.nodes,
+	}
+	if !o.opts.SkipPlacement {
+		placement, err := st.trace(bin, best)
+		if err != nil {
+			return res, err
+		}
+		if err := placement.Verify(o.lib); err != nil {
+			return res, fmt.Errorf("optimizer: traceback produced an illegal placement: %w", err)
+		}
+		res.Placement = placement
+	}
+	return res, nil
+}
+
+// eval computes a node's retained implementation list bottom-up.
+func (st *runState) eval(b *plan.BinNode) (*nodeEval, error) {
+	st.stats.Nodes++
+	if b.Kind == plan.BinLeaf {
+		list := st.o.lib[b.Module]
+		return st.finishR(b, list, false)
+	}
+	left, err := st.eval(b.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := st.eval(b.Right)
+	if err != nil {
+		return nil, err
+	}
+	// budget lets the combination abort as soon as a node's non-redundant
+	// set alone exceeds the remaining memory allowance, instead of fully
+	// generating a doomed node first.
+	budget := st.remainingBudget()
+	switch b.Kind {
+	case plan.BinVCut:
+		return st.finishR(b, combine.VCut(left.rl, right.rl), false)
+	case plan.BinHCut:
+		return st.finishR(b, combine.HCut(left.rl, right.rl), false)
+	case plan.BinLStack:
+		set, truncated := combine.LStack(left.rl, right.rl, budget)
+		return st.finishL(b, set, truncated)
+	case plan.BinLNotch:
+		set, truncated := combine.LNotch(left.ls, right.rl, budget)
+		return st.finishL(b, set, truncated)
+	case plan.BinLBottom:
+		set, truncated := combine.LBottom(left.ls, right.rl, budget)
+		return st.finishL(b, set, truncated)
+	case plan.BinClose:
+		list, truncated := combine.Close(left.ls, right.rl, budget)
+		return st.finishR(b, list, truncated)
+	default:
+		return nil, fmt.Errorf("optimizer: unexpected node kind %v", b.Kind)
+	}
+}
+
+// remainingBudget returns how many more implementations may be stored
+// before the memory limit trips, or 0 (unlimited) when no limit is set.
+func (st *runState) remainingBudget() int {
+	limit := st.o.opts.MemoryLimit
+	if limit <= 0 {
+		return 0
+	}
+	rem := limit - st.mem.Current()
+	if rem < 1 {
+		rem = 1
+	}
+	return int(rem)
+}
+
+// finishR accounts for, optionally reduces, and stores a rectangular
+// block's list. truncated marks a list whose generation aborted early on
+// the memory budget; accounting still happens so the error carries the
+// count, but the run must fail.
+func (st *runState) finishR(b *plan.BinNode, list shape.RList, truncated bool) (*nodeEval, error) {
+	st.stats.Generated += int64(len(list))
+	if err := st.mem.Add(int64(len(list))); err != nil {
+		return nil, fmt.Errorf("optimizer: node %d (%v): %w", b.ID, b.Kind, err)
+	}
+	if truncated {
+		return nil, fmt.Errorf("optimizer: node %d (%v): generation aborted: %w: %d stored",
+			b.ID, b.Kind, memtrack.ErrLimit, st.mem.Current())
+	}
+	generated := len(list)
+	if st.o.opts.Policy.WantR(len(list)) {
+		reduced, err := st.o.opts.Policy.ReduceR(list)
+		if err != nil {
+			return nil, err
+		}
+		st.stats.RSelections++
+		if err := st.mem.Release(int64(len(list) - len(reduced))); err != nil {
+			return nil, err
+		}
+		list = reduced
+	}
+	st.nodes = append(st.nodes, NodeStat{
+		ID: b.ID, Kind: b.Kind, Generated: generated, Stored: len(list), Lists: 1,
+	})
+	if len(list) > st.stats.MaxRList {
+		st.stats.MaxRList = len(list)
+	}
+	ev := &nodeEval{rl: list}
+	st.evals[b.ID] = ev
+	return ev, nil
+}
+
+// finishL accounts for, optionally reduces, and stores an L-shaped block's
+// set of L-lists.
+func (st *runState) finishL(b *plan.BinNode, set shape.LSet, truncated bool) (*nodeEval, error) {
+	st.stats.LNodes++
+	size := set.Size()
+	st.stats.Generated += int64(size)
+	if err := st.mem.Add(int64(size)); err != nil {
+		return nil, fmt.Errorf("optimizer: node %d (%v): %w", b.ID, b.Kind, err)
+	}
+	if truncated {
+		return nil, fmt.Errorf("optimizer: node %d (%v): generation aborted: %w: %d stored",
+			b.ID, b.Kind, memtrack.ErrLimit, st.mem.Current())
+	}
+	generated := size
+	if st.o.opts.Policy.WantL(size) {
+		reduced, err := st.o.opts.Policy.ReduceLSet(set)
+		if err != nil {
+			return nil, err
+		}
+		st.stats.LSelections++
+		if err := st.mem.Release(int64(size - reduced.Size())); err != nil {
+			return nil, err
+		}
+		set = reduced
+	}
+	st.nodes = append(st.nodes, NodeStat{
+		ID: b.ID, Kind: b.Kind, LShaped: true,
+		Generated: generated, Stored: set.Size(), Lists: len(set.Lists),
+	})
+	if set.Size() > st.stats.MaxLSet {
+		st.stats.MaxLSet = set.Size()
+	}
+	ev := &nodeEval{ls: set}
+	st.evals[b.ID] = ev
+	return ev, nil
+}
+
+// IsMemoryLimit reports whether err is a memory-limit abort.
+func IsMemoryLimit(err error) bool { return errors.Is(err, memtrack.ErrLimit) }

@@ -1,0 +1,83 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"floorplan/internal/gen"
+	"floorplan/internal/oracle"
+	"floorplan/internal/selection"
+	"floorplan/internal/shape"
+)
+
+// TestMatchesIndependentOracle cross-validates the whole bottom-up pipeline
+// (restructuring, the L-shaped combine steps, dominance pruning, traceback)
+// against internal/oracle, which evaluates the pinwheel geometry with
+// independently derived closed-form width/height programs and brute-forces
+// the implementation choice. Any divergence in the combine formulas, the
+// pruning, or the restructuring would show up here.
+func TestMatchesIndependentOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 60; trial++ {
+		nMod := 2 + rng.Intn(7)
+		tree, err := gen.RandomTree(rng, nMod, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib := make(Library)
+		for _, l := range tree.Leaves() {
+			p := gen.DefaultModuleParams(1 + rng.Intn(3))
+			p.MinArea, p.MaxArea = 6, 80
+			ml, err := gen.Module(rng, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lib[l.Module] = ml
+		}
+		res := mustRun(t, lib, Options{}, tree)
+		rawLib := make(map[string]shape.RList, len(lib))
+		for k, v := range lib {
+			rawLib[k] = v
+		}
+		want, assign, err := oracle.BruteMin(tree, rawLib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best.Area() != want {
+			t.Fatalf("trial %d: optimizer %d != oracle %d (assignment %v)\ntree: %d modules",
+				trial, res.Best.Area(), want, assign, nMod)
+		}
+	}
+}
+
+// TestSelectionLowerBoundedByOracle: with selection enabled the area can
+// only move up from the oracle optimum, never below it.
+func TestSelectionLowerBoundedByOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	for trial := 0; trial < 20; trial++ {
+		tree, err := gen.RandomTree(rng, 2+rng.Intn(6), 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib := make(Library)
+		rawLib := make(map[string]shape.RList)
+		for _, l := range tree.Leaves() {
+			p := gen.DefaultModuleParams(3)
+			p.MinArea, p.MaxArea = 6, 80
+			ml, err := gen.Module(rng, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lib[l.Module] = ml
+			rawLib[l.Module] = ml
+		}
+		want, _, err := oracle.BruteMin(tree, rawLib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mustRun(t, lib, Options{Policy: selection.Policy{K1: 2, K2: 4}}, tree)
+		if res.Best.Area() < want {
+			t.Fatalf("selection run area %d below true optimum %d", res.Best.Area(), want)
+		}
+	}
+}

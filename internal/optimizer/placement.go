@@ -1,0 +1,255 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+
+	"floorplan/internal/combine"
+	"floorplan/internal/geom"
+	"floorplan/internal/plan"
+	"floorplan/internal/shape"
+)
+
+// ModulePlacement is one module's realized basic rectangle. Box may be
+// larger than Impl: basic rectangles absorb slack; the module itself sits
+// at the box's lower-left corner.
+type ModulePlacement struct {
+	Module string
+	Box    geom.Rect
+	Impl   shape.RImpl
+}
+
+// Placement is a fully realized floorplan: the basic rectangles tile the
+// envelope exactly.
+type Placement struct {
+	Envelope shape.RImpl
+	Modules  []ModulePlacement
+}
+
+// trace reconstructs a placement for the root implementation `best` by
+// descending the binary tree, at each node finding an operand pair that
+// generated the node's chosen implementation.
+func (st *runState) trace(bin *plan.BinNode, best shape.RImpl) (*Placement, error) {
+	p := &Placement{Envelope: best}
+	box := geom.RectWH(best.W, best.H)
+	if err := st.placeR(bin, best, box, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// placeR realizes a rectangular block's implementation inside box.
+// Invariant: box.Width() >= target.W and box.Height() >= target.H.
+func (st *runState) placeR(b *plan.BinNode, target shape.RImpl, box geom.Rect, p *Placement) error {
+	if box.Width() < target.W || box.Height() < target.H {
+		return fmt.Errorf("optimizer: node %d: box %v smaller than implementation %v", b.ID, box, target)
+	}
+	ev := st.evals[b.ID]
+	if ev == nil {
+		return fmt.Errorf("optimizer: node %d has no stored evaluation", b.ID)
+	}
+	switch b.Kind {
+	case plan.BinLeaf:
+		p.Modules = append(p.Modules, ModulePlacement{Module: b.Module, Box: box, Impl: target})
+		return nil
+	case plan.BinVCut:
+		a, c, ok := combine.FindVPair(st.evals[b.Left.ID].rl, st.evals[b.Right.ID].rl, target)
+		if !ok {
+			return fmt.Errorf("optimizer: node %d: no generating pair for %v", b.ID, target)
+		}
+		leftBox := geom.Rect{MinX: box.MinX, MinY: box.MinY, MaxX: box.MinX + a.W, MaxY: box.MaxY}
+		rightBox := geom.Rect{MinX: box.MinX + a.W, MinY: box.MinY, MaxX: box.MaxX, MaxY: box.MaxY}
+		if err := st.placeR(b.Left, a, leftBox, p); err != nil {
+			return err
+		}
+		return st.placeR(b.Right, c, rightBox, p)
+	case plan.BinHCut:
+		a, c, ok := combine.FindHPair(st.evals[b.Left.ID].rl, st.evals[b.Right.ID].rl, target)
+		if !ok {
+			return fmt.Errorf("optimizer: node %d: no generating pair for %v", b.ID, target)
+		}
+		bottomBox := geom.Rect{MinX: box.MinX, MinY: box.MinY, MaxX: box.MaxX, MaxY: box.MinY + a.H}
+		topBox := geom.Rect{MinX: box.MinX, MinY: box.MinY + a.H, MaxX: box.MaxX, MaxY: box.MaxY}
+		if err := st.placeR(b.Left, a, bottomBox, p); err != nil {
+			return err
+		}
+		return st.placeR(b.Right, c, topBox, p)
+	case plan.BinClose:
+		li, ci, ok := combine.FindClosePair(st.evals[b.Left.ID].ls, st.evals[b.Right.ID].rl, target)
+		if !ok {
+			return fmt.Errorf("optimizer: node %d: no generating pair for %v", b.ID, target)
+		}
+		firstModule := len(p.Modules)
+		// The NE block's box is the notch region of the allocation.
+		neBox := geom.Rect{
+			MinX: box.MinX + li.W2, MinY: box.MinY + li.H2,
+			MaxX: box.MaxX, MaxY: box.MaxY,
+		}
+		// The L child receives the rest: exact top width and right height,
+		// padded bottom width and left height.
+		alloc := shape.LImpl{W1: box.Width(), W2: li.W2, H1: box.Height(), H2: li.H2}
+		if err := st.placeL(b.Left, li, alloc, geom.Point{X: box.MinX, Y: box.MinY}, p); err != nil {
+			return err
+		}
+		if err := st.placeR(b.Right, ci, neBox, p); err != nil {
+			return err
+		}
+		if b.Mirror {
+			mirrorModules(p.Modules[firstModule:], box)
+		}
+		return nil
+	default:
+		return fmt.Errorf("optimizer: placeR on %v node %d", b.Kind, b.ID)
+	}
+}
+
+// placeL realizes an L-shaped block's implementation inside an allocated L
+// region described by alloc (tuple) at origin. Invariants:
+// alloc.W1 >= target.W1, alloc.W2 == target.W2, alloc.H1 >= target.H1,
+// alloc.H2 >= target.H2.
+func (st *runState) placeL(b *plan.BinNode, target, alloc shape.LImpl, origin geom.Point, p *Placement) error {
+	if alloc.W1 < target.W1 || alloc.W2 != target.W2 || alloc.H1 < target.H1 || alloc.H2 < target.H2 {
+		return fmt.Errorf("optimizer: node %d: allocation %v cannot hold %v", b.ID, alloc, target)
+	}
+	switch b.Kind {
+	case plan.BinLStack:
+		a, c, ok := combine.FindStackPair(st.evals[b.Left.ID].rl, st.evals[b.Right.ID].rl, target)
+		if !ok {
+			return fmt.Errorf("optimizer: node %d: no generating pair for %v", b.ID, target)
+		}
+		// Bottom slab gets the full padded width and the full right height;
+		// the top slab needs the remaining height to fit the NW block.
+		if alloc.H1-alloc.H2 < c.H {
+			return fmt.Errorf("optimizer: node %d: top slab %d too short for %v (allocation %v)", b.ID, alloc.H1-alloc.H2, c, alloc)
+		}
+		bottomBox := geom.Rect{
+			MinX: origin.X, MinY: origin.Y,
+			MaxX: origin.X + alloc.W1, MaxY: origin.Y + alloc.H2,
+		}
+		topBox := geom.Rect{
+			MinX: origin.X, MinY: origin.Y + alloc.H2,
+			MaxX: origin.X + alloc.W2, MaxY: origin.Y + alloc.H1,
+		}
+		if err := st.placeR(b.Left, a, bottomBox, p); err != nil {
+			return err
+		}
+		return st.placeR(b.Right, c, topBox, p)
+	case plan.BinLNotch:
+		li, ci, ok := combine.FindNotchPair(st.evals[b.Left.ID].ls, st.evals[b.Right.ID].rl, target)
+		if !ok {
+			return fmt.Errorf("optimizer: node %d: no generating pair for %v", b.ID, target)
+		}
+		// The center block sits in the notch: right of the top slab, on top
+		// of the child L's bottom slab, absorbing all padding above and to
+		// the right.
+		centerBox := geom.Rect{
+			MinX: origin.X + target.W2, MinY: origin.Y + li.H2,
+			MaxX: origin.X + alloc.W1, MaxY: origin.Y + alloc.H2,
+		}
+		childAlloc := shape.LImpl{W1: alloc.W1, W2: li.W2, H1: alloc.H1, H2: li.H2}
+		if err := st.placeL(b.Left, li, childAlloc, origin, p); err != nil {
+			return err
+		}
+		return st.placeR(b.Right, ci, centerBox, p)
+	case plan.BinLBottom:
+		li, ci, ok := combine.FindBottomPair(st.evals[b.Left.ID].ls, st.evals[b.Right.ID].rl, target)
+		if !ok {
+			return fmt.Errorf("optimizer: node %d: no generating pair for %v", b.ID, target)
+		}
+		// The SE block occupies everything right of the child L's bottom
+		// edge, up to the (possibly padded) notch line.
+		seBox := geom.Rect{
+			MinX: origin.X + li.W1, MinY: origin.Y,
+			MaxX: origin.X + alloc.W1, MaxY: origin.Y + alloc.H2,
+		}
+		childAlloc := shape.LImpl{W1: li.W1, W2: li.W2, H1: alloc.H1, H2: alloc.H2}
+		if err := st.placeL(b.Left, li, childAlloc, origin, p); err != nil {
+			return err
+		}
+		return st.placeR(b.Right, ci, seBox, p)
+	default:
+		return fmt.Errorf("optimizer: placeL on %v node %d", b.Kind, b.ID)
+	}
+}
+
+// mirrorModules reflects boxes horizontally within box (integer-exact).
+func mirrorModules(ms []ModulePlacement, box geom.Rect) {
+	for i := range ms {
+		r := ms[i].Box
+		ms[i].Box = geom.Rect{
+			MinX: box.MinX + (box.MaxX - r.MaxX),
+			MinY: r.MinY,
+			MaxX: box.MinX + (box.MaxX - r.MinX),
+			MaxY: r.MaxY,
+		}
+	}
+}
+
+// Verify checks that the placement is a legal floorplan realization:
+//
+//  1. every box lies inside the envelope;
+//  2. boxes are pairwise non-overlapping;
+//  3. the boxes tile the envelope exactly (areas sum to the envelope area);
+//  4. every box is large enough for its module implementation;
+//  5. every implementation appears in the module's library list or is
+//     dominated by the box while matching a library entry exactly.
+func (p *Placement) Verify(lib Library) error {
+	env := geom.RectWH(p.Envelope.W, p.Envelope.H)
+	var areaSum int64
+	for i, m := range p.Modules {
+		if !m.Box.Valid() || m.Box.Empty() {
+			return fmt.Errorf("module %q: degenerate box %v", m.Module, m.Box)
+		}
+		if !env.Contains(m.Box) {
+			return fmt.Errorf("module %q: box %v outside envelope %v", m.Module, m.Box, env)
+		}
+		if m.Box.Width() < m.Impl.W || m.Box.Height() < m.Impl.H {
+			return fmt.Errorf("module %q: box %v too small for implementation %v", m.Module, m.Box, m.Impl)
+		}
+		if lib != nil {
+			list, ok := lib[m.Module]
+			if !ok {
+				return fmt.Errorf("module %q not in library", m.Module)
+			}
+			found := false
+			for _, r := range list {
+				if r == m.Impl {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("module %q: implementation %v not in library", m.Module, m.Impl)
+			}
+		}
+		areaSum += m.Box.Area()
+		for j := 0; j < i; j++ {
+			if m.Box.Overlaps(p.Modules[j].Box) {
+				return fmt.Errorf("modules %q and %q overlap: %v vs %v", m.Module, p.Modules[j].Module, m.Box, p.Modules[j].Box)
+			}
+		}
+	}
+	if areaSum != env.Area() {
+		return fmt.Errorf("boxes cover %d of envelope area %d: not a tiling", areaSum, env.Area())
+	}
+	return nil
+}
+
+// ByModule returns the placements sorted by module name, for stable output.
+func (p *Placement) ByModule() []ModulePlacement {
+	out := make([]ModulePlacement, len(p.Modules))
+	copy(out, p.Modules)
+	sort.Slice(out, func(i, j int) bool { return out[i].Module < out[j].Module })
+	return out
+}
+
+// WhiteSpace returns the total slack area (envelope minus module
+// implementation areas) and its fraction of the envelope.
+func (p *Placement) WhiteSpace() (int64, float64) {
+	var used int64
+	for _, m := range p.Modules {
+		used += m.Impl.Area()
+	}
+	slack := p.Envelope.Area() - used
+	return slack, float64(slack) / float64(p.Envelope.Area())
+}

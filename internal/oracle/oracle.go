@@ -1,0 +1,186 @@
+// Package oracle provides an independent reference evaluator for floorplan
+// area optimization, used to cross-validate the production optimizer.
+//
+// For a FIXED choice of one implementation per module, the minimal
+// enveloping rectangle of a floorplan tree follows directly from the
+// geometry definitions:
+//
+//   - a vertical slice sums widths and maxes heights (transposed for
+//     horizontal slices);
+//
+//   - a clockwise pinwheel with cut lines x1 <= x2, y1 <= y2 has
+//     independent width and height programs, each solved greedily:
+//
+//     x1 = w_nw                     y1 = h_sw
+//     x2 = max(x1 + w_c, w_sw)      y2 = max(y1 + h_c, h_se)
+//     W  = max(x2 + w_se, x1+w_ne)  H  = max(y2 + h_ne, y1 + h_nw)
+//
+// Crucially, this code shares no formulas with package combine (which
+// assembles the pinwheel through L-shaped partial blocks); agreement
+// between the two on every input is a strong correctness check, exercised
+// by the optimizer's tests.
+//
+// BruteMin enumerates every implementation assignment, so it is only
+// usable on small instances — exactly what a test oracle is for.
+package oracle
+
+import (
+	"fmt"
+
+	"floorplan/internal/plan"
+	"floorplan/internal/shape"
+)
+
+// Assignment fixes one implementation per module name.
+type Assignment map[string]shape.RImpl
+
+// Evaluate returns the minimal enveloping rectangle of the tree under a
+// fixed assignment.
+func Evaluate(tree *plan.Node, a Assignment) (shape.RImpl, error) {
+	if err := tree.Validate(); err != nil {
+		return shape.RImpl{}, err
+	}
+	return eval(tree, a)
+}
+
+func eval(n *plan.Node, a Assignment) (shape.RImpl, error) {
+	switch n.Kind {
+	case plan.Leaf:
+		impl, ok := a[n.Module]
+		if !ok {
+			return shape.RImpl{}, fmt.Errorf("oracle: module %q not assigned", n.Module)
+		}
+		if !impl.Valid() {
+			return shape.RImpl{}, fmt.Errorf("oracle: module %q assigned invalid %v", n.Module, impl)
+		}
+		return impl, nil
+	case plan.VSlice:
+		var w, h int64
+		for _, c := range n.Children {
+			r, err := eval(c, a)
+			if err != nil {
+				return shape.RImpl{}, err
+			}
+			w += r.W
+			if r.H > h {
+				h = r.H
+			}
+		}
+		return shape.RImpl{W: w, H: h}, nil
+	case plan.HSlice:
+		var w, h int64
+		for _, c := range n.Children {
+			r, err := eval(c, a)
+			if err != nil {
+				return shape.RImpl{}, err
+			}
+			h += r.H
+			if r.W > w {
+				w = r.W
+			}
+		}
+		return shape.RImpl{W: w, H: h}, nil
+	case plan.Wheel:
+		nw, err := eval(n.Children[0], a)
+		if err != nil {
+			return shape.RImpl{}, err
+		}
+		ne, err := eval(n.Children[1], a)
+		if err != nil {
+			return shape.RImpl{}, err
+		}
+		se, err := eval(n.Children[2], a)
+		if err != nil {
+			return shape.RImpl{}, err
+		}
+		sw, err := eval(n.Children[3], a)
+		if err != nil {
+			return shape.RImpl{}, err
+		}
+		c, err := eval(n.Children[4], a)
+		if err != nil {
+			return shape.RImpl{}, err
+		}
+		if n.CCW {
+			// The mirror image: exchange the roles across the vertical
+			// axis; child shapes are mirror-invariant.
+			nw, ne = ne, nw
+			sw, se = se, sw
+		}
+		// Width program: x1 <= x2 <= W.
+		x1 := nw.W
+		x2 := max64(x1+c.W, sw.W)
+		w := max64(x2+se.W, x1+ne.W)
+		// Height program: y1 <= y2 <= H.
+		y1 := sw.H
+		y2 := max64(y1+c.H, se.H)
+		h := max64(y2+ne.H, y1+nw.H)
+		return shape.RImpl{W: w, H: h}, nil
+	default:
+		return shape.RImpl{}, fmt.Errorf("oracle: unknown node kind %v", n.Kind)
+	}
+}
+
+// BruteMin returns the minimum envelope area over every combination of
+// module implementations, together with one minimizing assignment. The
+// library must cover every leaf. Cost is the product of list lengths —
+// keep instances tiny.
+func BruteMin(tree *plan.Node, lib map[string]shape.RList) (int64, Assignment, error) {
+	if err := tree.Validate(); err != nil {
+		return 0, nil, err
+	}
+	leaves := tree.Leaves()
+	names := make([]string, len(leaves))
+	seen := make(map[string]bool, len(leaves))
+	for i, l := range leaves {
+		names[i] = l.Module
+		if seen[l.Module] {
+			// The optimizer lets two leaves of the same module choose
+			// different implementations; a per-name assignment cannot
+			// express that, so reject rather than silently diverge.
+			return 0, nil, fmt.Errorf("oracle: module %q appears at several leaves", l.Module)
+		}
+		seen[l.Module] = true
+		if len(lib[l.Module]) == 0 {
+			return 0, nil, fmt.Errorf("oracle: module %q missing from library", l.Module)
+		}
+	}
+	bestArea := int64(-1)
+	var bestAssign Assignment
+	current := make(Assignment, len(names))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(names) {
+			r, err := eval(tree, current)
+			if err != nil {
+				return err
+			}
+			if bestArea < 0 || r.Area() < bestArea {
+				bestArea = r.Area()
+				bestAssign = make(Assignment, len(current))
+				for k, v := range current {
+					bestAssign[k] = v
+				}
+			}
+			return nil
+		}
+		for _, impl := range lib[names[i]] {
+			current[names[i]] = impl
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return 0, nil, err
+	}
+	return bestArea, bestAssign, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

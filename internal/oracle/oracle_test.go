@@ -1,0 +1,136 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"floorplan/internal/gen"
+	"floorplan/internal/plan"
+	"floorplan/internal/shape"
+)
+
+func TestEvaluateSlices(t *testing.T) {
+	a := Assignment{"a": {W: 4, H: 2}, "b": {W: 3, H: 5}}
+	v := plan.NewVSlice(plan.NewLeaf("a"), plan.NewLeaf("b"))
+	r, err := Evaluate(v, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != (shape.RImpl{W: 7, H: 5}) {
+		t.Fatalf("VSlice = %v", r)
+	}
+	h := plan.NewHSlice(plan.NewLeaf("a"), plan.NewLeaf("b"))
+	r, err = Evaluate(h, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != (shape.RImpl{W: 4, H: 7}) {
+		t.Fatalf("HSlice = %v", r)
+	}
+}
+
+func TestEvaluatePerfectPinwheel(t *testing.T) {
+	a := Assignment{
+		"nw": {W: 4, H: 7}, "ne": {W: 6, H: 4}, "se": {W: 3, H: 6},
+		"sw": {W: 7, H: 3}, "c": {W: 3, H: 3},
+	}
+	wheel := plan.NewWheel(plan.NewLeaf("nw"), plan.NewLeaf("ne"), plan.NewLeaf("se"), plan.NewLeaf("sw"), plan.NewLeaf("c"))
+	r, err := Evaluate(wheel, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != (shape.RImpl{W: 10, H: 10}) {
+		t.Fatalf("pinwheel = %v", r)
+	}
+	// The mirrored wheel with mirrored roles has the same envelope.
+	ccw := plan.NewCCWWheel(plan.NewLeaf("ne"), plan.NewLeaf("nw"), plan.NewLeaf("sw"), plan.NewLeaf("se"), plan.NewLeaf("c"))
+	r2, err := Evaluate(ccw, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != r {
+		t.Fatalf("CCW = %v, want %v", r2, r)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	tree := plan.NewLeaf("x")
+	if _, err := Evaluate(tree, Assignment{}); err == nil {
+		t.Error("missing assignment accepted")
+	}
+	if _, err := Evaluate(tree, Assignment{"x": {W: 0, H: 1}}); err == nil {
+		t.Error("invalid implementation accepted")
+	}
+	if _, err := Evaluate(&plan.Node{Kind: plan.Leaf}, nil); err == nil {
+		t.Error("invalid tree accepted")
+	}
+}
+
+func TestBruteMinRejectsSharedModules(t *testing.T) {
+	tree := plan.NewVSlice(plan.NewLeaf("m"), plan.NewLeaf("m"))
+	lib := map[string]shape.RList{"m": {{W: 1, H: 1}}}
+	if _, _, err := BruteMin(tree, lib); err == nil {
+		t.Error("shared module accepted")
+	}
+}
+
+func TestBruteMinMissingModule(t *testing.T) {
+	tree := plan.NewLeaf("m")
+	if _, _, err := BruteMin(tree, nil); err == nil {
+		t.Error("missing library accepted")
+	}
+}
+
+func TestBruteMinSimple(t *testing.T) {
+	tree := plan.NewVSlice(plan.NewLeaf("a"), plan.NewLeaf("b"))
+	lib := map[string]shape.RList{
+		"a": shape.MustRList([]shape.RImpl{{W: 4, H: 2}, {W: 2, H: 4}}),
+		"b": shape.MustRList([]shape.RImpl{{W: 3, H: 3}}),
+	}
+	area, assign, err := BruteMin(tree, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if area != 20 {
+		t.Fatalf("area = %d, want 20", area)
+	}
+	if assign["a"] != (shape.RImpl{W: 2, H: 4}) {
+		t.Fatalf("assignment = %v", assign)
+	}
+}
+
+// TestEvaluateMonotone: growing any module implementation never shrinks the
+// envelope — the upward-closure property the whole bottom-up machinery
+// relies on, checked against the independent evaluator.
+func TestEvaluateMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 60; trial++ {
+		tree, err := gen.RandomTree(rng, 2+rng.Intn(10), 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign := Assignment{}
+		for _, l := range tree.Leaves() {
+			assign[l.Module] = shape.RImpl{W: 1 + rng.Int63n(20), H: 1 + rng.Int63n(20)}
+		}
+		base, err := Evaluate(tree, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Grow one random module.
+		leaves := tree.Leaves()
+		pick := leaves[rng.Intn(len(leaves))].Module
+		grown := Assignment{}
+		for k, v := range assign {
+			grown[k] = v
+		}
+		grown[pick] = shape.RImpl{W: assign[pick].W + rng.Int63n(5), H: assign[pick].H + rng.Int63n(5)}
+		bigger, err := Evaluate(tree, grown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bigger.W < base.W || bigger.H < base.H {
+			t.Fatalf("envelope shrank from %v to %v after growing %s", base, bigger, pick)
+		}
+	}
+}

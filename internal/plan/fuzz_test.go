@@ -1,0 +1,46 @@
+package plan
+
+import (
+	"testing"
+)
+
+// FuzzParseTree checks that arbitrary input never panics the parser and
+// that anything it accepts survives an encode/decode round trip.
+func FuzzParseTree(f *testing.F) {
+	seeds := []string{
+		`{"kind":"leaf","module":"m"}`,
+		`{"kind":"vslice","children":[{"kind":"leaf","module":"a"},{"kind":"leaf","module":"b"}]}`,
+		`{"kind":"wheel","ccw":true,"children":[
+			{"kind":"leaf","module":"1"},{"kind":"leaf","module":"2"},
+			{"kind":"leaf","module":"3"},{"kind":"leaf","module":"4"},
+			{"kind":"leaf","module":"5"}]}`,
+		`{"kind":"spiral"}`,
+		`{"kind":"hslice","children":[null]}`,
+		`not json at all`,
+		`{"kind":"wheel","children":[]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree, err := ParseTree(data)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		// Accepted trees are valid and round-trip.
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("ParseTree accepted an invalid tree: %v", err)
+		}
+		enc, err := EncodeTree(tree)
+		if err != nil {
+			t.Fatalf("EncodeTree failed on accepted tree: %v", err)
+		}
+		back, err := ParseTree(enc)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.ModuleCount() != tree.ModuleCount() || back.Depth() != tree.Depth() {
+			t.Fatal("round trip changed the tree")
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonNode is the serialized form of a Node.
+type jsonNode struct {
+	Kind     string      `json:"kind"`
+	Module   string      `json:"module,omitempty"`
+	Name     string      `json:"name,omitempty"`
+	CCW      bool        `json:"ccw,omitempty"`
+	Children []*jsonNode `json:"children,omitempty"`
+}
+
+// MarshalJSON encodes the node with string kinds, e.g.
+//
+//	{"kind":"wheel","children":[{"kind":"leaf","module":"m1"}, …]}
+func (n *Node) MarshalJSON() ([]byte, error) {
+	return json.Marshal(toJSONNode(n))
+}
+
+func toJSONNode(n *Node) *jsonNode {
+	if n == nil {
+		return nil
+	}
+	j := &jsonNode{Kind: n.Kind.String(), Module: n.Module, Name: n.Name, CCW: n.CCW}
+	for _, c := range n.Children {
+		j.Children = append(j.Children, toJSONNode(c))
+	}
+	return j
+}
+
+// UnmarshalJSON decodes the format produced by MarshalJSON. The decoded
+// tree is not automatically validated; call Validate.
+func (n *Node) UnmarshalJSON(data []byte) error {
+	var j jsonNode
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	dec, err := fromJSONNode(&j)
+	if err != nil {
+		return err
+	}
+	*n = *dec
+	return nil
+}
+
+func fromJSONNode(j *jsonNode) (*Node, error) {
+	if j == nil {
+		return nil, fmt.Errorf("plan: null node in JSON")
+	}
+	n := &Node{Module: j.Module, Name: j.Name, CCW: j.CCW}
+	switch j.Kind {
+	case "leaf":
+		n.Kind = Leaf
+	case "hslice":
+		n.Kind = HSlice
+	case "vslice":
+		n.Kind = VSlice
+	case "wheel":
+		n.Kind = Wheel
+	default:
+		return nil, fmt.Errorf("plan: unknown node kind %q", j.Kind)
+	}
+	for _, c := range j.Children {
+		dec, err := fromJSONNode(c)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, dec)
+	}
+	return n, nil
+}
+
+// ParseTree decodes and validates a floorplan tree from JSON.
+func ParseTree(data []byte) (*Node, error) {
+	var n Node
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("plan: decoding tree: %w", err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}
+
+// EncodeTree validates and encodes a floorplan tree as indented JSON.
+func EncodeTree(n *Node) ([]byte, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(n, "", "  ")
+}

@@ -1,0 +1,210 @@
+// Package plan models floorplan topologies as floorplan trees and
+// restructures them for bottom-up area optimization.
+//
+// A floorplan tree (Section 2 of the paper, Figure 1) describes how an
+// enveloping rectangle is recursively partitioned. This package supports
+// the constructs of hierarchical floorplans of order 5, the input class of
+// the Wang–Wong DAC'90 optimizer the paper builds on:
+//
+//   - Leaf: a basic rectangle holding one module.
+//   - HSlice / VSlice: a slicing cut into two or more parts (children
+//     stacked bottom-to-top, or placed left-to-right).
+//   - Wheel: the order-5 non-slicing pinwheel of five blocks.
+//
+// Restructure converts a floorplan tree T into the binary tree T' of
+// Figure 3, in which every internal node represents either a rectangular
+// block or an L-shaped block; the optimizer evaluates T' bottom-up.
+package plan
+
+import (
+	"fmt"
+)
+
+// Kind enumerates floorplan tree node kinds.
+type Kind int
+
+const (
+	// Leaf is a basic rectangle assigned one module.
+	Leaf Kind = iota
+	// HSlice cuts a rectangle with horizontal lines; children are listed
+	// bottom to top. Heights add, widths max.
+	HSlice
+	// VSlice cuts a rectangle with vertical lines; children are listed
+	// left to right. Widths add, heights max.
+	VSlice
+	// Wheel is the order-5 pinwheel. Children are listed
+	// [NW, NE, SE, SW, center]; see the package comment of internal/combine
+	// for the exact geometry.
+	Wheel
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Leaf:
+		return "leaf"
+	case HSlice:
+		return "hslice"
+	case VSlice:
+		return "vslice"
+	case Wheel:
+		return "wheel"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Node is a floorplan tree node. Build trees with the NewX constructors and
+// check them with Validate.
+type Node struct {
+	Kind     Kind
+	Module   string  // Leaf: the module library key
+	Children []*Node // internal nodes
+	// CCW marks a counter-clockwise wheel (the mirror image of the default
+	// clockwise pinwheel).
+	CCW bool
+	// Name optionally labels the node for diagnostics and rendering.
+	Name string
+}
+
+// NewLeaf returns a leaf node referencing a module by name.
+func NewLeaf(module string) *Node { return &Node{Kind: Leaf, Module: module} }
+
+// NewHSlice returns a horizontal slicing node over the children, listed
+// bottom to top.
+func NewHSlice(children ...*Node) *Node { return &Node{Kind: HSlice, Children: children} }
+
+// NewVSlice returns a vertical slicing node over the children, listed left
+// to right.
+func NewVSlice(children ...*Node) *Node { return &Node{Kind: VSlice, Children: children} }
+
+// NewWheel returns a clockwise pinwheel node over exactly five children
+// [NW, NE, SE, SW, center].
+func NewWheel(nw, ne, se, sw, center *Node) *Node {
+	return &Node{Kind: Wheel, Children: []*Node{nw, ne, se, sw, center}}
+}
+
+// NewCCWWheel returns a counter-clockwise pinwheel, the mirror image of
+// NewWheel with the same child roles.
+func NewCCWWheel(nw, ne, se, sw, center *Node) *Node {
+	n := NewWheel(nw, ne, se, sw, center)
+	n.CCW = true
+	return n
+}
+
+// Validate checks structural well-formedness: leaves name a module and have
+// no children, slices have at least two children, wheels exactly five, and
+// the tree is free of nil nodes and cycles.
+func (n *Node) Validate() error {
+	seen := make(map[*Node]bool)
+	return n.validate(seen, "root")
+}
+
+func (n *Node) validate(seen map[*Node]bool, path string) error {
+	if n == nil {
+		return fmt.Errorf("plan: nil node at %s", path)
+	}
+	if seen[n] {
+		return fmt.Errorf("plan: node %s appears more than once (tree is a DAG or cyclic)", path)
+	}
+	seen[n] = true
+	switch n.Kind {
+	case Leaf:
+		if n.Module == "" {
+			return fmt.Errorf("plan: leaf at %s has no module", path)
+		}
+		if len(n.Children) != 0 {
+			return fmt.Errorf("plan: leaf at %s has %d children", path, len(n.Children))
+		}
+	case HSlice, VSlice:
+		if len(n.Children) < 2 {
+			return fmt.Errorf("plan: %s at %s needs >= 2 children, has %d", n.Kind, path, len(n.Children))
+		}
+		if n.Module != "" {
+			return fmt.Errorf("plan: internal node at %s names module %q", path, n.Module)
+		}
+	case Wheel:
+		if len(n.Children) != 5 {
+			return fmt.Errorf("plan: wheel at %s needs exactly 5 children, has %d", path, len(n.Children))
+		}
+		if n.Module != "" {
+			return fmt.Errorf("plan: internal node at %s names module %q", path, n.Module)
+		}
+	default:
+		return fmt.Errorf("plan: unknown kind %d at %s", int(n.Kind), path)
+	}
+	for i, c := range n.Children {
+		if err := c.validate(seen, fmt.Sprintf("%s.%d", path, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ModuleCount returns the number of leaves.
+func (n *Node) ModuleCount() int {
+	if n == nil {
+		return 0
+	}
+	if n.Kind == Leaf {
+		return 1
+	}
+	total := 0
+	for _, c := range n.Children {
+		total += c.ModuleCount()
+	}
+	return total
+}
+
+// Leaves appends all leaf nodes in depth-first order.
+func (n *Node) Leaves() []*Node {
+	var out []*Node
+	n.walkLeaves(&out)
+	return out
+}
+
+func (n *Node) walkLeaves(out *[]*Node) {
+	if n == nil {
+		return
+	}
+	if n.Kind == Leaf {
+		*out = append(*out, n)
+		return
+	}
+	for _, c := range n.Children {
+		c.walkLeaves(out)
+	}
+}
+
+// Depth returns the height of the tree (a lone leaf has depth 1).
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	if n.Kind == Leaf {
+		return 1
+	}
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// WheelCount returns the number of wheel nodes, a proxy for how non-slicing
+// (and hence how L-heavy) the floorplan is.
+func (n *Node) WheelCount() int {
+	if n == nil || n.Kind == Leaf {
+		return 0
+	}
+	total := 0
+	if n.Kind == Wheel {
+		total = 1
+	}
+	for _, c := range n.Children {
+		total += c.WheelCount()
+	}
+	return total
+}

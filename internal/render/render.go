@@ -1,0 +1,180 @@
+// Package render draws floorplan placements and trees as ASCII art, for the
+// example programs and CLI tools (Figure 8-style pictures of the test
+// floorplans).
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"floorplan/internal/optimizer"
+	"floorplan/internal/plan"
+)
+
+// Placement renders the floorplan as a character grid of the given maximum
+// width. Every module's box is outlined with +-| characters and labeled
+// with as much of its name as fits. Aspect ratio is roughly preserved
+// (characters are about twice as tall as wide, so vertical resolution is
+// halved).
+func Placement(p *optimizer.Placement, maxWidth int) string {
+	if p == nil || len(p.Modules) == 0 {
+		return "(empty placement)\n"
+	}
+	if maxWidth < 16 {
+		maxWidth = 16
+	}
+	// Scale layout units to character cells.
+	sx := float64(maxWidth-1) / float64(p.Envelope.W)
+	sy := sx / 2 // terminal cells are ~2x taller than wide
+	rows := int(float64(p.Envelope.H)*sy) + 1
+	if rows < 4 {
+		rows = 4
+	}
+	cols := maxWidth
+	grid := make([][]byte, rows+1)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols+1))
+	}
+	// Draw boxes in a deterministic order.
+	mods := p.ByModule()
+	for _, m := range mods {
+		x0 := int(float64(m.Box.MinX) * sx)
+		x1 := int(float64(m.Box.MaxX) * sx)
+		// Flip y: row 0 is the top of the floorplan.
+		y0 := rows - int(float64(m.Box.MaxY)*sy)
+		y1 := rows - int(float64(m.Box.MinY)*sy)
+		if x1 <= x0 {
+			x1 = x0 + 1
+		}
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		drawBox(grid, x0, y0, x1, y1)
+		label := m.Module
+		if len(label) > x1-x0-1 {
+			label = label[:max(0, x1-x0-1)]
+		}
+		if label != "" && y0+1 <= y1-1 {
+			copy(grid[y0+1][x0+1:], label)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "envelope %dx%d, area %d\n", p.Envelope.W, p.Envelope.H, p.Envelope.Area())
+	for _, row := range grid {
+		line := strings.TrimRight(string(row), " ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func drawBox(grid [][]byte, x0, y0, x1, y1 int) {
+	clampY := func(y int) int {
+		if y < 0 {
+			return 0
+		}
+		if y >= len(grid) {
+			return len(grid) - 1
+		}
+		return y
+	}
+	y0, y1 = clampY(y0), clampY(y1)
+	clampX := func(x int) int {
+		if x < 0 {
+			return 0
+		}
+		if x >= len(grid[0]) {
+			return len(grid[0]) - 1
+		}
+		return x
+	}
+	x0, x1 = clampX(x0), clampX(x1)
+	for x := x0; x <= x1; x++ {
+		grid[y0][x] = horiz(grid[y0][x])
+		grid[y1][x] = horiz(grid[y1][x])
+	}
+	for y := y0; y <= y1; y++ {
+		grid[y][x0] = vert(grid[y][x0])
+		grid[y][x1] = vert(grid[y][x1])
+	}
+	grid[y0][x0], grid[y0][x1] = '+', '+'
+	grid[y1][x0], grid[y1][x1] = '+', '+'
+}
+
+func horiz(old byte) byte {
+	if old == '|' || old == '+' {
+		return '+'
+	}
+	return '-'
+}
+
+func vert(old byte) byte {
+	if old == '-' || old == '+' {
+		return '+'
+	}
+	return '|'
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Tree renders a floorplan tree as an indented outline.
+func Tree(n *plan.Node) string {
+	var b strings.Builder
+	renderTree(&b, n, 0)
+	return b.String()
+}
+
+func renderTree(b *strings.Builder, n *plan.Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n == nil {
+		fmt.Fprintf(b, "%s(nil)\n", indent)
+		return
+	}
+	switch n.Kind {
+	case plan.Leaf:
+		fmt.Fprintf(b, "%sleaf %s\n", indent, n.Module)
+	default:
+		label := n.Kind.String()
+		if n.Kind == plan.Wheel && n.CCW {
+			label += " (ccw)"
+		}
+		if n.Name != "" {
+			label += " " + n.Name
+		}
+		fmt.Fprintf(b, "%s%s [%d modules]\n", indent, label, n.ModuleCount())
+		for _, c := range n.Children {
+			renderTree(b, c, depth+1)
+		}
+	}
+}
+
+// PlacementTable lists every module's box and implementation, sorted by
+// module name.
+func PlacementTable(p *optimizer.Placement) string {
+	if p == nil {
+		return "(no placement)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %12s %10s %8s\n", "module", "position", "box", "impl", "slack")
+	mods := p.ByModule()
+	sort.SliceStable(mods, func(i, j int) bool { return mods[i].Module < mods[j].Module })
+	for _, m := range mods {
+		slack := m.Box.Area() - m.Impl.Area()
+		fmt.Fprintf(&b, "%-10s %12s %12s %10s %8d\n",
+			m.Module,
+			fmt.Sprintf("(%d,%d)", m.Box.MinX, m.Box.MinY),
+			fmt.Sprintf("%dx%d", m.Box.Width(), m.Box.Height()),
+			fmt.Sprintf("%dx%d", m.Impl.W, m.Impl.H),
+			slack)
+	}
+	slack, frac := p.WhiteSpace()
+	fmt.Fprintf(&b, "envelope %dx%d area %d, whitespace %d (%.2f%%)\n",
+		p.Envelope.W, p.Envelope.H, p.Envelope.Area(), slack, 100*frac)
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"floorplan/internal/optimizer"
+	"floorplan/internal/plan"
+	"floorplan/internal/shape"
+)
+
+func demoPlacement(t *testing.T) *optimizer.Placement {
+	t.Helper()
+	lib := optimizer.Library{
+		"nw": shape.RList{{W: 4, H: 7}},
+		"ne": shape.RList{{W: 6, H: 4}},
+		"se": shape.RList{{W: 3, H: 6}},
+		"sw": shape.RList{{W: 7, H: 3}},
+		"c":  shape.RList{{W: 3, H: 3}},
+	}
+	tree := plan.NewWheel(plan.NewLeaf("nw"), plan.NewLeaf("ne"), plan.NewLeaf("se"), plan.NewLeaf("sw"), plan.NewLeaf("c"))
+	o, err := optimizer.New(lib, optimizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Run(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Placement
+}
+
+func TestPlacementRendering(t *testing.T) {
+	out := Placement(demoPlacement(t), 60)
+	if !strings.Contains(out, "envelope 10x10") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	for _, name := range []string{"nw", "ne", "se", "sw", "c"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing label %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "-") || !strings.Contains(out, "|") {
+		t.Errorf("no box art:\n%s", out)
+	}
+}
+
+func TestPlacementEmptyAndTiny(t *testing.T) {
+	if got := Placement(nil, 40); !strings.Contains(got, "empty") {
+		t.Errorf("nil placement: %q", got)
+	}
+	if got := Placement(&optimizer.Placement{}, 40); !strings.Contains(got, "empty") {
+		t.Errorf("zero placement: %q", got)
+	}
+	// Tiny width is clamped rather than crashing.
+	out := Placement(demoPlacement(t), 1)
+	if len(out) == 0 {
+		t.Error("tiny width produced nothing")
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	tree := plan.NewWheel(
+		plan.NewVSlice(plan.NewLeaf("a"), plan.NewLeaf("b")),
+		plan.NewLeaf("c"), plan.NewLeaf("d"), plan.NewLeaf("e"), plan.NewLeaf("f"),
+	)
+	tree.Name = "demo"
+	out := Tree(tree)
+	for _, want := range []string{"wheel demo [6 modules]", "vslice [2 modules]", "leaf a", "leaf f"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	ccw := plan.NewCCWWheel(plan.NewLeaf("1"), plan.NewLeaf("2"), plan.NewLeaf("3"), plan.NewLeaf("4"), plan.NewLeaf("5"))
+	if !strings.Contains(Tree(ccw), "(ccw)") {
+		t.Error("CCW marker missing")
+	}
+	if !strings.Contains(Tree(nil), "nil") {
+		t.Error("nil tree not handled")
+	}
+}
+
+func TestPlacementTable(t *testing.T) {
+	out := PlacementTable(demoPlacement(t))
+	if !strings.Contains(out, "whitespace 0 (0.00%)") {
+		t.Errorf("perfect pinwheel should report zero whitespace:\n%s", out)
+	}
+	for _, name := range []string{"nw", "ne", "se", "sw"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing module %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(PlacementTable(nil), "no placement") {
+		t.Error("nil placement not handled")
+	}
+}

@@ -1,0 +1,71 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"floorplan/internal/optimizer"
+)
+
+// svgPalette cycles through fill colors for module boxes.
+var svgPalette = []string{
+	"#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3",
+	"#fdb462", "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd",
+}
+
+// SVG renders the placement as a standalone SVG document of the given pixel
+// width (height follows the floorplan's aspect ratio). Each module box is
+// drawn with its name; slack inside a box is visible as the gap between the
+// box outline and its module-implementation inset.
+func SVG(p *optimizer.Placement, width int) string {
+	if p == nil || len(p.Modules) == 0 || p.Envelope.W <= 0 || p.Envelope.H <= 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>`
+	}
+	if width < 64 {
+		width = 64
+	}
+	scale := float64(width) / float64(p.Envelope.W)
+	height := int(float64(p.Envelope.H)*scale) + 1
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%d" height="%d" fill="white" stroke="black"/>`+"\n", width, height)
+	mods := p.ByModule()
+	for i, m := range mods {
+		x := float64(m.Box.MinX) * scale
+		// SVG y grows downward; flip so the floorplan origin is bottom-left.
+		y := float64(p.Envelope.H-m.Box.MaxY) * scale
+		w := float64(m.Box.Width()) * scale
+		h := float64(m.Box.Height()) * scale
+		fill := svgPalette[i%len(svgPalette)]
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="black" stroke-width="1"/>`+"\n",
+			x, y, w, h, fill)
+		// The implementation inset (lower-left of the box).
+		iw := float64(m.Impl.W) * scale
+		ih := float64(m.Impl.H) * scale
+		if iw < w || ih < h {
+			iy := float64(p.Envelope.H-m.Box.MinY) * scale
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="black" stroke-width="0.5" stroke-dasharray="3,2"/>`+"\n",
+				x, iy-ih, iw, ih)
+		}
+		fontSize := h / 4
+		if wBased := w / float64(len(m.Module)+1) * 1.8; wBased < fontSize {
+			fontSize = wBased
+		}
+		if fontSize > 16 {
+			fontSize = 16
+		}
+		if fontSize >= 4 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="%.1f" font-family="monospace">%s</text>`+"\n",
+				x+2, y+fontSize+1, fontSize, svgEscape(m.Module))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,55 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"floorplan/internal/optimizer"
+)
+
+func TestSVGRendering(t *testing.T) {
+	p := demoPlacement(t)
+	out := SVG(p, 400)
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatalf("not an SVG document:\n%s", out)
+	}
+	// One outline rect + five module rects (no slack in the perfect
+	// pinwheel, so no dashed insets).
+	if got := strings.Count(out, "<rect"); got != 6 {
+		t.Errorf("%d rects, want 6:\n%s", got, out)
+	}
+	if strings.Contains(out, "stroke-dasharray") {
+		t.Error("perfect pinwheel should have no slack insets")
+	}
+	for _, name := range []string{"nw", "ne", "se", "sw"} {
+		if !strings.Contains(out, ">"+name+"<") {
+			t.Errorf("label %q missing", name)
+		}
+	}
+}
+
+func TestSVGEdgeCases(t *testing.T) {
+	if out := SVG(nil, 100); !strings.Contains(out, "<svg") {
+		t.Error("nil placement should yield an empty SVG document")
+	}
+	if out := SVG(&optimizer.Placement{}, 100); !strings.Contains(out, "<svg") {
+		t.Error("empty placement should yield an empty SVG document")
+	}
+	// Tiny width is clamped.
+	p := demoPlacement(t)
+	if out := SVG(p, 1); !strings.Contains(out, `width="64"`) {
+		t.Error("width not clamped to 64")
+	}
+}
+
+func TestSVGEscapesNames(t *testing.T) {
+	p := demoPlacement(t)
+	p.Modules[0].Module = "a<b&c"
+	out := SVG(p, 800)
+	if strings.Contains(out, "a<b&c") {
+		t.Error("unescaped name in SVG")
+	}
+	if !strings.Contains(out, "a&lt;b&amp;c") {
+		t.Error("escaped name missing")
+	}
+}

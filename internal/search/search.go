@@ -1,0 +1,269 @@
+// Package search explores floorplan *topologies* by simulated annealing,
+// using the area optimizer as its inner evaluator.
+//
+// The paper's problem setting (its Section 1) fixes the topology and
+// optimizes module shapes; the topology itself comes from an earlier design
+// step. This package provides that step for the reproduction's examples: a
+// seeded annealer over floorplan trees whose energy is the optimal area the
+// Wang–Wong optimizer achieves on the candidate topology. Because every
+// candidate costs one full area optimization, the inner runs use the
+// paper's own R_Selection to stay fast — the selection algorithms are what
+// make topology search over non-slicing floorplans affordable at all.
+//
+// Moves (all topology-preserving of the module set):
+//
+//   - swap the modules of two leaves;
+//   - flip a slicing cut's orientation;
+//   - rotate a wheel's arms or flip its chirality;
+//   - swap two disjoint subtrees.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"floorplan/internal/optimizer"
+	"floorplan/internal/plan"
+	"floorplan/internal/selection"
+)
+
+// Options configures the annealer.
+type Options struct {
+	// Seed makes the search reproducible.
+	Seed int64
+	// Iterations is the number of annealing steps (default 200 when zero;
+	// negative is rejected).
+	Iterations int
+	// InitialTemp and FinalTemp bound the geometric cooling schedule,
+	// expressed as fractions of the initial area (defaults 0.05 and 0.001).
+	InitialTemp, FinalTemp float64
+	// Policy speeds up the inner optimizations (default K1=8).
+	Policy selection.Policy
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 200
+	}
+	if o.InitialTemp == 0 {
+		o.InitialTemp = 0.05
+	}
+	if o.FinalTemp == 0 {
+		o.FinalTemp = 0.001
+	}
+	if o.Policy.K1 == 0 && o.Policy.K2 == 0 {
+		o.Policy = selection.Policy{K1: 8}
+	}
+	return o
+}
+
+// Result is the outcome of Anneal.
+type Result struct {
+	// Best is the best topology found (a deep copy; the input is not
+	// modified).
+	Best *plan.Node
+	// BestArea is the optimizer's area on Best under the search policy.
+	BestArea int64
+	// InitialArea is the area of the starting topology.
+	InitialArea int64
+	// Proposed, Accepted and Improved count moves.
+	Proposed, Accepted, Improved int
+}
+
+// Anneal searches for a lower-area topology starting from tree.
+func Anneal(tree *plan.Node, lib optimizer.Library, opts Options) (*Result, error) {
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.Iterations < 0 {
+		return nil, fmt.Errorf("search: negative iterations %d", opts.Iterations)
+	}
+	if opts.InitialTemp < opts.FinalTemp || opts.FinalTemp <= 0 {
+		return nil, fmt.Errorf("search: bad temperature range [%v, %v]", opts.FinalTemp, opts.InitialTemp)
+	}
+	opt, err := optimizer.New(lib, optimizer.Options{Policy: opts.Policy, SkipPlacement: true})
+	if err != nil {
+		return nil, err
+	}
+	evaluate := func(t *plan.Node) (int64, error) {
+		res, err := opt.Run(t)
+		if err != nil {
+			return 0, err
+		}
+		return res.Best.Area(), nil
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	current := Clone(tree)
+	currentArea, err := evaluate(current)
+	if err != nil {
+		return nil, err
+	}
+	result := &Result{
+		Best:        Clone(current),
+		BestArea:    currentArea,
+		InitialArea: currentArea,
+	}
+	t0 := opts.InitialTemp * float64(currentArea)
+	t1 := opts.FinalTemp * float64(currentArea)
+	cool := math.Pow(t1/t0, 1/float64(opts.Iterations))
+	temp := t0
+	for i := 0; i < opts.Iterations; i++ {
+		candidate := Clone(current)
+		if !Mutate(candidate, rng) {
+			temp *= cool
+			continue
+		}
+		result.Proposed++
+		area, err := evaluate(candidate)
+		if err != nil {
+			return nil, fmt.Errorf("search: evaluating candidate: %w", err)
+		}
+		delta := float64(area - currentArea)
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			result.Accepted++
+			current, currentArea = candidate, area
+			if area < result.BestArea {
+				result.Improved++
+				result.Best = Clone(candidate)
+				result.BestArea = area
+			}
+		}
+		temp *= cool
+	}
+	return result, nil
+}
+
+// Clone deep-copies a floorplan tree.
+func Clone(n *plan.Node) *plan.Node {
+	if n == nil {
+		return nil
+	}
+	out := &plan.Node{Kind: n.Kind, Module: n.Module, CCW: n.CCW, Name: n.Name}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, Clone(c))
+	}
+	return out
+}
+
+// Mutate applies one random topology move in place and reports whether
+// anything changed. The module multiset is always preserved.
+func Mutate(tree *plan.Node, rng *rand.Rand) bool {
+	switch rng.Intn(4) {
+	case 0:
+		return swapLeafModules(tree, rng)
+	case 1:
+		return flipSlice(tree, rng)
+	case 2:
+		return perturbWheel(tree, rng)
+	default:
+		return swapSubtrees(tree, rng)
+	}
+}
+
+func swapLeafModules(tree *plan.Node, rng *rand.Rand) bool {
+	leaves := tree.Leaves()
+	if len(leaves) < 2 {
+		return false
+	}
+	i := rng.Intn(len(leaves))
+	j := rng.Intn(len(leaves) - 1)
+	if j >= i {
+		j++
+	}
+	leaves[i].Module, leaves[j].Module = leaves[j].Module, leaves[i].Module
+	return true
+}
+
+func flipSlice(tree *plan.Node, rng *rand.Rand) bool {
+	var slices []*plan.Node
+	walk(tree, func(n *plan.Node) {
+		if n.Kind == plan.HSlice || n.Kind == plan.VSlice {
+			slices = append(slices, n)
+		}
+	})
+	if len(slices) == 0 {
+		return false
+	}
+	n := slices[rng.Intn(len(slices))]
+	if n.Kind == plan.HSlice {
+		n.Kind = plan.VSlice
+	} else {
+		n.Kind = plan.HSlice
+	}
+	return true
+}
+
+func perturbWheel(tree *plan.Node, rng *rand.Rand) bool {
+	var wheels []*plan.Node
+	walk(tree, func(n *plan.Node) {
+		if n.Kind == plan.Wheel {
+			wheels = append(wheels, n)
+		}
+	})
+	if len(wheels) == 0 {
+		return false
+	}
+	n := wheels[rng.Intn(len(wheels))]
+	if rng.Intn(2) == 0 {
+		n.CCW = !n.CCW
+		return true
+	}
+	// Rotate the four arms [NW, NE, SE, SW]; the center stays.
+	c := n.Children
+	c[0], c[1], c[2], c[3] = c[3], c[0], c[1], c[2]
+	return true
+}
+
+func swapSubtrees(tree *plan.Node, rng *rand.Rand) bool {
+	// Collect child slots (parent, index) so swaps rewire the tree.
+	type slot struct {
+		parent *plan.Node
+		idx    int
+	}
+	var slots []slot
+	walk(tree, func(n *plan.Node) {
+		for i := range n.Children {
+			slots = append(slots, slot{parent: n, idx: i})
+		}
+	})
+	if len(slots) < 2 {
+		return false
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		a := slots[rng.Intn(len(slots))]
+		b := slots[rng.Intn(len(slots))]
+		sa := a.parent.Children[a.idx]
+		sb := b.parent.Children[b.idx]
+		if sa == sb || isAncestor(sa, sb) || isAncestor(sb, sa) {
+			continue
+		}
+		a.parent.Children[a.idx], b.parent.Children[b.idx] = sb, sa
+		return true
+	}
+	return false
+}
+
+func isAncestor(a, b *plan.Node) bool {
+	if a == nil {
+		return false
+	}
+	for _, c := range a.Children {
+		if c == b || isAncestor(c, b) {
+			return true
+		}
+	}
+	return false
+}
+
+func walk(n *plan.Node, fn func(*plan.Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		walk(c, fn)
+	}
+}

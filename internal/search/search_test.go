@@ -1,0 +1,177 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"floorplan/internal/gen"
+	"floorplan/internal/optimizer"
+	"floorplan/internal/plan"
+	"floorplan/internal/selection"
+)
+
+func moduleNames(t *plan.Node) []string {
+	var out []string
+	for _, l := range t.Leaves() {
+		out = append(out, l.Module)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := gen.FP1()
+	c := Clone(orig)
+	if !equalNames(moduleNames(orig), moduleNames(c)) {
+		t.Fatal("clone changed modules")
+	}
+	c.Leaves()[0].Module = "mutated"
+	if orig.Leaves()[0].Module == "mutated" {
+		t.Fatal("clone shares leaves")
+	}
+	if Clone(nil) != nil {
+		t.Fatal("Clone(nil) != nil")
+	}
+}
+
+func TestMutatePreservesValidityAndModules(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for trial := 0; trial < 100; trial++ {
+		base, err := gen.RandomTree(rng, 2+rng.Intn(20), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := moduleNames(base)
+		work := Clone(base)
+		for step := 0; step < 10; step++ {
+			Mutate(work, rng)
+			if err := work.Validate(); err != nil {
+				t.Fatalf("mutation broke tree: %v", err)
+			}
+			if !equalNames(moduleNames(work), names) {
+				t.Fatal("mutation changed the module multiset")
+			}
+		}
+	}
+}
+
+func TestMutateDegenerateTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	single := plan.NewLeaf("m")
+	for i := 0; i < 20; i++ {
+		Mutate(single, rng)
+		if err := single.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func annealFixture(t *testing.T, seed int64) (*plan.Node, optimizer.Library) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tree, err := gen.RandomTree(rng, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := gen.Library(rng, tree, gen.DefaultModuleParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, optimizer.Library(raw)
+}
+
+func TestAnnealImprovesOrEquals(t *testing.T) {
+	tree, lib := annealFixture(t, 143)
+	res, err := Anneal(tree, lib, Options{Seed: 1, Iterations: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestArea > res.InitialArea {
+		t.Fatalf("search worsened the area: %d > %d", res.BestArea, res.InitialArea)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !equalNames(moduleNames(res.Best), moduleNames(tree)) {
+		t.Fatal("search changed the module multiset")
+	}
+	// The best topology's claimed area must be real.
+	opt, err := optimizer.New(lib, optimizer.Options{Policy: selection.Policy{K1: 8}, SkipPlacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, err := opt.Run(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Best.Area() != res.BestArea {
+		t.Fatalf("claimed %d, re-evaluated %d", res.BestArea, check.Best.Area())
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	tree, lib := annealFixture(t, 144)
+	a, err := Anneal(tree, lib, Options{Seed: 7, Iterations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal(tree, lib, Options{Seed: 7, Iterations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestArea != b.BestArea || a.Accepted != b.Accepted || a.Proposed != b.Proposed {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestAnnealDoesNotMutateInput(t *testing.T) {
+	tree, lib := annealFixture(t, 145)
+	before, err := plan.EncodeTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Anneal(tree, lib, Options{Seed: 2, Iterations: 40}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := plan.EncodeTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("Anneal mutated its input tree")
+	}
+}
+
+func TestAnnealValidation(t *testing.T) {
+	tree, lib := annealFixture(t, 146)
+	if _, err := Anneal(&plan.Node{Kind: plan.Leaf}, lib, Options{}); err == nil {
+		t.Error("invalid tree accepted")
+	}
+	if _, err := Anneal(tree, lib, Options{Iterations: -1}); err == nil {
+		t.Error("negative iterations accepted")
+	}
+	if _, err := Anneal(tree, lib, Options{InitialTemp: 0.001, FinalTemp: 0.05}); err == nil {
+		t.Error("inverted temperatures accepted")
+	}
+	// Zero iterations means "default": the run proposes moves.
+	res, err := Anneal(tree, lib, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proposed == 0 {
+		t.Error("default run proposed no moves")
+	}
+}

@@ -1,0 +1,89 @@
+package selection
+
+import (
+	"fmt"
+
+	"floorplan/internal/shape"
+)
+
+// LErrorTable holds error(l_i, l_j) for all 0 <= i < j < n of one
+// irreducible L-list: the summed cost of discarding every implementation
+// strictly between positions i and j, where each discarded l_q costs its
+// Manhattan distance to the nearer of its two retained neighbours (Lemma 3
+// of the paper shows the nearest retained implementation is always one of
+// the two neighbours, by the monotonicity of Lemma 2).
+type LErrorTable struct {
+	n   int
+	tab []int64
+}
+
+// ComputeLError runs the paper's O(n^3) Compute_L_Error:
+//
+//	error(l_i, l_j) = sum over i < q < j of min(dist(l_i, l_q), dist(l_q, l_j))
+func ComputeLError(l shape.LList) *LErrorTable {
+	n := len(l)
+	t := &LErrorTable{n: n, tab: make([]int64, n*n)}
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			var e int64
+			for q := i + 1; q < j; q++ {
+				dl := l[i].Dist(l[q])
+				dr := l[q].Dist(l[j])
+				if dr < dl {
+					dl = dr
+				}
+				e += dl
+			}
+			t.tab[i*n+j] = e
+		}
+	}
+	return t
+}
+
+// At returns error(l_i, l_j). It panics unless 0 <= i < j < n.
+func (t *LErrorTable) At(i, j int) int64 {
+	if i < 0 || j <= i || j >= t.n {
+		panic(fmt.Sprintf("selection: LErrorTable.At(%d,%d) out of range, n=%d", i, j, t.n))
+	}
+	return t.tab[i*t.n+j]
+}
+
+// N returns the list length the table was built for.
+func (t *LErrorTable) N() int { return t.n }
+
+// LSubsetError computes ERROR(L, L') directly from the definition — each
+// discarded implementation pays its distance to the nearest retained one,
+// searched over the *whole* retained set rather than just the neighbours.
+// It is the independent oracle used to validate Lemma 3 and the selection
+// results in tests. indices must be strictly increasing and include both
+// endpoints.
+func LSubsetError(l shape.LList, indices []int) (int64, error) {
+	n := len(l)
+	if len(indices) < 2 || indices[0] != 0 || indices[len(indices)-1] != n-1 {
+		return 0, fmt.Errorf("selection: subset must include both endpoints")
+	}
+	retained := make(map[int]bool, len(indices))
+	prev := -1
+	for _, idx := range indices {
+		if idx <= prev || idx >= n {
+			return 0, fmt.Errorf("selection: bad subset index %d", idx)
+		}
+		retained[idx] = true
+		prev = idx
+	}
+	var total int64
+	for q := 0; q < n; q++ {
+		if retained[q] {
+			continue
+		}
+		best := int64(-1)
+		for _, idx := range indices {
+			d := l[q].Dist(l[idx])
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total, nil
+}

@@ -1,0 +1,189 @@
+package selection
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"floorplan/internal/shape"
+)
+
+func TestMetricStringsAndValidity(t *testing.T) {
+	if Manhattan.String() != "L1" || Chebyshev.String() != "Linf" || EuclideanSq.String() != "L2sq" {
+		t.Error("metric names wrong")
+	}
+	if !strings.Contains(Metric(9).String(), "9") {
+		t.Error("unknown metric formatting wrong")
+	}
+	if !Manhattan.Valid() || !Chebyshev.Valid() || !EuclideanSq.Valid() {
+		t.Error("known metrics reported invalid")
+	}
+	if Metric(9).Valid() {
+		t.Error("unknown metric reported valid")
+	}
+}
+
+func TestMetricDist(t *testing.T) {
+	a := shape.LImpl{W1: 10, W2: 4, H1: 3, H2: 1}
+	b := shape.LImpl{W1: 7, W2: 4, H1: 5, H2: 4}
+	// Deltas: 3, 0, 2, 3.
+	if got := Manhattan.Dist(a, b); got != 8 {
+		t.Errorf("L1 = %d", got)
+	}
+	if got := Chebyshev.Dist(a, b); got != 3 {
+		t.Errorf("Linf = %d", got)
+	}
+	if got := EuclideanSq.Dist(a, b); got != 9+0+4+9 {
+		t.Errorf("L2sq = %d", got)
+	}
+	for _, m := range []Metric{Manhattan, Chebyshev, EuclideanSq} {
+		if m.Dist(a, b) != m.Dist(b, a) {
+			t.Errorf("%v not symmetric", m)
+		}
+		if m.Dist(a, a) != 0 {
+			t.Errorf("%v: d(a,a) != 0", m)
+		}
+	}
+}
+
+func TestMetricDistPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Metric(9).Dist(shape.LImpl{}, shape.LImpl{})
+}
+
+// TestLemma3HoldsForAllMetrics checks footnote 2: the neighbour-restricted
+// error equals the global definition under every supported metric.
+func TestLemma3HoldsForAllMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, m := range []Metric{Manhattan, Chebyshev, EuclideanSq} {
+		for trial := 0; trial < 60; trial++ {
+			n := 3 + rng.Intn(12)
+			l := randomLList(rng, n)
+			table := ComputeLErrorMetric(l, m)
+			indices := []int{0}
+			for i := 1; i < n-1; i++ {
+				if rng.Intn(2) == 0 {
+					indices = append(indices, i)
+				}
+			}
+			indices = append(indices, n-1)
+			var viaTable int64
+			for q := 0; q+1 < len(indices); q++ {
+				viaTable += table.At(indices[q], indices[q+1])
+			}
+			direct, err := LSubsetErrorMetric(l, indices, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viaTable != direct {
+				t.Fatalf("%v: neighbour formula %d != global %d\n%v %v", m, viaTable, direct, l, indices)
+			}
+		}
+	}
+}
+
+// lSelectBruteMetric is the exhaustive oracle under a metric.
+func lSelectBruteMetric(l shape.LList, k int, m Metric) int64 {
+	n := len(l)
+	best := int64(-1)
+	indices := make([]int, k)
+	indices[0], indices[k-1] = 0, n-1
+	var rec func(pos, from int)
+	rec = func(pos, from int) {
+		if pos == k-1 {
+			e, err := LSubsetErrorMetric(l, indices, m)
+			if err != nil {
+				panic(err)
+			}
+			if best < 0 || e < best {
+				best = e
+			}
+			return
+		}
+		for i := from; i <= n-2-(k-2-pos); i++ {
+			indices[pos] = i
+			rec(pos+1, i+1)
+		}
+	}
+	rec(1, 1)
+	return best
+}
+
+func TestLSelectMetricOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		k := 2 + r.Intn(n-2)
+		l := randomLList(r, n)
+		for _, m := range []Metric{Manhattan, Chebyshev, EuclideanSq} {
+			res, err := LSelectMetric(l, k, m)
+			if err != nil {
+				t.Logf("%v: %v", m, err)
+				return false
+			}
+			want := lSelectBruteMetric(l, k, m)
+			if res.Error != want {
+				t.Logf("%v: n=%d k=%d got %d want %d", m, n, k, res.Error, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSelectMetricRejectsUnknown(t *testing.T) {
+	l := randomLList(rand.New(rand.NewSource(1)), 5)
+	if _, err := LSelectMetric(l, 3, Metric(42)); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestLSelectDefaultIsManhattan(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	l := randomLList(rng, 12)
+	a, err := LSelect(l, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LSelectMetric(l, 5, Manhattan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Error != b.Error {
+		t.Fatalf("LSelect %d != LSelectMetric(L1) %d", a.Error, b.Error)
+	}
+}
+
+func TestPolicyWithMetric(t *testing.T) {
+	if err := (Policy{K2: 10, LMetric: Chebyshev}).Validate(); err != nil {
+		t.Errorf("Chebyshev policy rejected: %v", err)
+	}
+	if err := (Policy{K2: 10, LMetric: Metric(9)}).Validate(); err == nil {
+		t.Error("unknown metric policy accepted")
+	}
+	// Different metrics generally select different subsets.
+	rng := rand.New(rand.NewSource(94))
+	set := shape.LSet{Lists: []shape.LList{randomLList(rng, 60)}}
+	p1 := Policy{K2: 10, LMetric: Manhattan}
+	p2 := Policy{K2: 10, LMetric: EuclideanSq}
+	r1, err := p1.ReduceLSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p2.ReduceLSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Size() != 10 || r2.Size() != 10 {
+		t.Fatalf("sizes %d, %d", r1.Size(), r2.Size())
+	}
+}

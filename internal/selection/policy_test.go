@@ -1,0 +1,216 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+
+	"floorplan/internal/shape"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	good := []Policy{
+		{},
+		{K1: 40},
+		{K1: 40, K2: 1000, Theta: 0.5, S: 600},
+		{K2: 2, Theta: 1},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", p, err)
+		}
+	}
+	bad := []Policy{
+		{K1: -1},
+		{K2: -2},
+		{S: -3},
+		{K1: 1},
+		{K2: 1},
+		{Theta: 1.5},
+		{Theta: -0.1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) passed", p)
+		}
+	}
+}
+
+func TestPolicyWantR(t *testing.T) {
+	p := Policy{K1: 40}
+	if p.WantR(40) || p.WantR(10) {
+		t.Error("WantR should be false at or below the limit")
+	}
+	if !p.WantR(41) {
+		t.Error("WantR should be true above the limit")
+	}
+	if (Policy{}).WantR(1000) {
+		t.Error("K1=0 disables R_Selection")
+	}
+}
+
+func TestPolicyWantLTheta(t *testing.T) {
+	p := Policy{K2: 1000}
+	if p.WantL(1000) {
+		t.Error("x == K2 should not trigger")
+	}
+	if !p.WantL(1001) {
+		t.Error("x > K2 with theta=0 should trigger")
+	}
+	// θ = 0.5: trigger only when K2/x < 0.5, i.e. x > 2000.
+	p.Theta = 0.5
+	if p.WantL(1500) {
+		t.Error("K2/x = 0.67 >= θ should not trigger")
+	}
+	if p.WantL(2000) {
+		t.Error("K2/x = 0.5 >= θ should not trigger")
+	}
+	if !p.WantL(2001) {
+		t.Error("K2/x < θ should trigger")
+	}
+	if (Policy{Theta: 0.5}).WantL(5000) {
+		t.Error("K2=0 disables L_Selection")
+	}
+}
+
+func TestReduceRPassThrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	l := randomRList(rng, 30)
+	p := Policy{K1: 30}
+	got, err := p.ReduceR(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(l) {
+		t.Error("list at the limit should pass through")
+	}
+	p.K1 = 10
+	got, err = p.ReduceR(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("reduced to %d, want 10", len(got))
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceLSetBudgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Three lists with distinct sizes; force W2 apart by regenerating until
+	// distinct (randomLList picks w2 in a small range).
+	lists := []shape.LList{
+		randomLList(rng, 40),
+		randomLList(rng, 20),
+		randomLList(rng, 10),
+	}
+	set := shape.LSet{Lists: lists}
+	total := set.Size() // 70
+	p := Policy{K2: 35}
+	out, err := p.ReduceLSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budgets: floor(35*40/70)=20, floor(35*20/70)=10, floor(35*10/70)=5.
+	want := []int{20, 10, 5}
+	for i, l := range out.Lists {
+		if len(l) != want[i] {
+			t.Errorf("list %d reduced to %d, want %d", i, len(l), want[i])
+		}
+		if err := l.Validate(); err != nil {
+			t.Errorf("list %d invalid after reduction: %v", i, err)
+		}
+	}
+	if total != 70 {
+		t.Fatalf("generator sizes changed: %d", total)
+	}
+}
+
+func TestReduceLSetPassThroughAndClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	set := shape.LSet{Lists: []shape.LList{randomLList(rng, 5)}}
+	p := Policy{K2: 5}
+	out, err := p.ReduceLSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 5 {
+		t.Error("set within limit should pass through")
+	}
+	// A tiny list inside a big set keeps at least its two endpoints.
+	set = shape.LSet{Lists: []shape.LList{randomLList(rng, 3), randomLList(rng, 97)}}
+	p = Policy{K2: 10}
+	out, err = p.ReduceLSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Lists[0]) < 2 {
+		t.Errorf("small list shrunk below 2: %d", len(out.Lists[0]))
+	}
+	if len(out.Lists[1]) > 10 {
+		t.Errorf("large list got %d > K2", len(out.Lists[1]))
+	}
+}
+
+func TestReduceLSetWithHeuristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	set := shape.LSet{Lists: []shape.LList{randomLList(rng, 200)}}
+	p := Policy{K2: 20, S: 50}
+	out, err := p.ReduceLSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(out.Lists[0]); got != 20 {
+		t.Fatalf("reduced to %d, want 20", got)
+	}
+	if err := out.Lists[0].Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Heuristic + exact never loses the endpoints.
+	orig := set.Lists[0]
+	red := out.Lists[0]
+	if red[0] != orig[0] || red[len(red)-1] != orig[len(orig)-1] {
+		t.Error("endpoints lost through heuristic + exact pipeline")
+	}
+}
+
+// TestOptimalBeatsUniform quantifies the point of the paper's optimal
+// selection: on random staircases the CSPP-optimal subset never has larger
+// error than uniform sampling, and usually strictly smaller.
+func TestOptimalBeatsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	strictlyBetter := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		n := 20 + rng.Intn(40)
+		k := 4 + rng.Intn(8)
+		l := randomRList(rng, n)
+		opt, err := RSelect(l, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni := UniformRReduce(l, k)
+		idx := make([]int, 0, len(uni))
+		j := 0
+		for i, orig := range l {
+			if j < len(uni) && uni[j] == orig {
+				idx = append(idx, i)
+				j++
+			}
+		}
+		uniErr, err := l.StaircaseArea(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Error > uniErr {
+			t.Fatalf("optimal %d worse than uniform %d", opt.Error, uniErr)
+		}
+		if opt.Error < uniErr {
+			strictlyBetter++
+		}
+	}
+	if strictlyBetter == 0 {
+		t.Error("optimal selection never strictly beat uniform sampling across all trials")
+	}
+}

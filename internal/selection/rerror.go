@@ -1,0 +1,72 @@
+// Package selection implements the two optimal implementation-selection
+// algorithms that are the contribution of Wang/Wong TR-91-26 (DAC 1992):
+// R_Selection for rectangular blocks (Section 4.2) and L_Selection for
+// L-shaped blocks (Section 4.3), together with the supporting Section 5
+// machinery — per-list budgets, the θ trigger and the heuristic
+// pre-reduction used when a list is too long for the exact algorithm.
+//
+// Both algorithms reduce "pick the best k-subset of an irreducible list" to
+// a constrained shortest path problem on a complete interval DAG whose edge
+// (i, j) costs the error of discarding every implementation strictly
+// between positions i and j; see package cspp.
+package selection
+
+import (
+	"fmt"
+
+	"floorplan/internal/shape"
+)
+
+// RErrorTable holds error(r_i, r_j) for all 0 <= i < j < n of one
+// irreducible R-list: the area between the list's staircase and the single
+// step from r_i to r_j (the paper's Compute_R_Error output).
+type RErrorTable struct {
+	n   int
+	tab []int64 // row-major upper triangle, full n*n for simple indexing
+}
+
+// ComputeRError runs the paper's O(n^2) Compute_R_Error dynamic program:
+//
+//	error(r_i, r_{i+1}) = 0
+//	error(r_i, r_{i+l}) = error(r_i, r_{i+l-1}) +
+//	                      (w_i - w_{i+l-1}) * (h_{i+l} - h_{i+l-1})
+func ComputeRError(l shape.RList) *RErrorTable {
+	n := len(l)
+	t := &RErrorTable{n: n, tab: make([]int64, n*n)}
+	// l = 1 band (adjacent corners) is zero by initialization.
+	for span := 2; span <= n-1; span++ {
+		for i := 0; i+span < n; i++ {
+			j := i + span
+			t.tab[i*n+j] = t.tab[i*n+j-1] + (l[i].W-l[j-1].W)*(l[j].H-l[j-1].H)
+		}
+	}
+	return t
+}
+
+// At returns error(r_i, r_j). It panics unless 0 <= i < j < n.
+func (t *RErrorTable) At(i, j int) int64 {
+	if i < 0 || j <= i || j >= t.n {
+		panic(fmt.Sprintf("selection: RErrorTable.At(%d,%d) out of range, n=%d", i, j, t.n))
+	}
+	return t.tab[i*t.n+j]
+}
+
+// N returns the list length the table was built for.
+func (t *RErrorTable) N() int { return t.n }
+
+// rErrorColumn fills col[i] = error(r_i, r_j) for all i < j using the
+// column recurrence
+//
+//	error(j-1, j) = 0
+//	error(i, j)   = error(i+1, j) + (w_i - w_{i+1}) * (h_j - h_{i+1})
+//
+// which is algebraically identical to Compute_R_Error but lets R_Selection
+// run in O(k n^2) time with O(n) working memory instead of materializing
+// the full table (important: R-lists can hold thousands of corners).
+func rErrorColumn(l shape.RList, j int, col []int64) {
+	col[j-1] = 0
+	hj := l[j].H
+	for i := j - 2; i >= 0; i-- {
+		col[i] = col[i+1] + (l[i].W-l[i+1].W)*(hj-l[i+1].H)
+	}
+}

@@ -1,0 +1,148 @@
+package selection
+
+import (
+	"fmt"
+
+	"floorplan/internal/cspp"
+	"floorplan/internal/shape"
+)
+
+// RResult is the outcome of R_Selection.
+type RResult struct {
+	// Selected is the retained sub-list, still canonical and irreducible.
+	Selected shape.RList
+	// Indices are the positions of the retained implementations within the
+	// input list, strictly increasing, always containing 0 and n-1.
+	Indices []int
+	// Error is ERROR(R, R'): the staircase area lost by the selection.
+	Error int64
+}
+
+// RSelect is the paper's R_Selection (Section 4.2): it optimally selects k
+// implementations from an irreducible R-list so that the bounded area
+// between the full staircase and the selected staircase is minimum. The
+// endpoints r_1 and r_n are always retained (they bound the feasible
+// region), matching the paper's d_1 = 1, d_k = n.
+//
+// When k >= len(l) the list is returned unchanged with zero error. k < 2 is
+// rejected for lists of length >= 2, since both endpoints must survive.
+//
+// Complexity: O(k n^2) time — the CSPP bound of Theorem 2 with |E| = O(n^2)
+// — and O(k n) memory; the error table of Compute_R_Error is streamed
+// column by column rather than materialized.
+func RSelect(l shape.RList, k int) (RResult, error) {
+	n := len(l)
+	if n == 0 {
+		return RResult{}, fmt.Errorf("selection: RSelect on empty list")
+	}
+	if k >= n {
+		return identityR(l), nil
+	}
+	if k < 2 {
+		return RResult{}, fmt.Errorf("selection: RSelect needs k >= 2 to keep both endpoints, got k=%d for n=%d", k, n)
+	}
+
+	// CSPP on the implicit complete DAG over list positions, solved with a
+	// specialized DP so that edge weights error(i, j) are generated on the
+	// fly with the column recurrence.
+	const inf = cspp.Inf
+	prev := make([]int64, n)
+	cur := make([]int64, n)
+	for i := range prev {
+		prev[i] = inf
+	}
+	prev[0] = 0
+	pred := make([][]int32, k+1)
+	col := make([]int64, n)
+	for level := 2; level <= k; level++ {
+		pred[level] = make([]int32, n)
+		for j := 0; j < n; j++ {
+			cur[j] = inf
+			pred[level][j] = -1
+		}
+		lo := level - 1
+		hi := n - 1 - (k - level)
+		for j := lo; j <= hi; j++ {
+			rErrorColumn(l, j, col)
+			best, bestAt := inf, int32(-1)
+			for i := level - 2; i < j; i++ {
+				if prev[i] == inf {
+					continue
+				}
+				if w := prev[i] + col[i]; w < best {
+					best, bestAt = w, int32(i)
+				}
+			}
+			cur[j], pred[level][j] = best, bestAt
+		}
+		prev, cur = cur, prev
+	}
+	if prev[n-1] == inf {
+		// Unreachable for a complete interval DAG with 2 <= k < n; guard
+		// against silent miscomputation.
+		return RResult{}, fmt.Errorf("selection: RSelect DP found no path (n=%d, k=%d)", n, k)
+	}
+
+	indices := make([]int, k)
+	indices[k-1] = n - 1
+	v := n - 1
+	for level := k; level >= 2; level-- {
+		v = int(pred[level][v])
+		indices[level-2] = v
+	}
+	sub, err := l.Subset(indices)
+	if err != nil {
+		return RResult{}, fmt.Errorf("selection: RSelect traceback: %w", err)
+	}
+	return RResult{Selected: sub, Indices: indices, Error: prev[n-1]}, nil
+}
+
+func identityR(l shape.RList) RResult {
+	idx := make([]int, len(l))
+	for i := range idx {
+		idx[i] = i
+	}
+	return RResult{Selected: l.Clone(), Indices: idx, Error: 0}
+}
+
+// RSelectBrute is the exponential oracle for RSelect: it tries every
+// k-subset containing both endpoints and returns one with minimum staircase
+// error. Exported for tests and benchmarks only.
+func RSelectBrute(l shape.RList, k int) (RResult, error) {
+	n := len(l)
+	if n == 0 {
+		return RResult{}, fmt.Errorf("selection: RSelectBrute on empty list")
+	}
+	if k >= n {
+		return identityR(l), nil
+	}
+	if k < 2 {
+		return RResult{}, fmt.Errorf("selection: k=%d too small", k)
+	}
+	best := RResult{Error: -1}
+	indices := make([]int, k)
+	indices[0], indices[k-1] = 0, n-1
+	var rec func(pos, from int)
+	rec = func(pos, from int) {
+		if pos == k-1 {
+			area, err := l.StaircaseArea(indices)
+			if err != nil {
+				panic(err)
+			}
+			if best.Error < 0 || area < best.Error {
+				sub, err := l.Subset(indices)
+				if err != nil {
+					panic(err)
+				}
+				best = RResult{Selected: sub, Indices: append([]int(nil), indices...), Error: area}
+			}
+			return
+		}
+		for i := from; i < n-1-(k-1-pos-1); i++ {
+			indices[pos] = i
+			rec(pos+1, i+1)
+		}
+	}
+	rec(1, 1)
+	return best, nil
+}

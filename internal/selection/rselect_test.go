@@ -1,0 +1,258 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"floorplan/internal/cspp"
+	"floorplan/internal/shape"
+)
+
+// randomRList builds a random canonical irreducible R-list with n corners.
+func randomRList(rng *rand.Rand, n int) shape.RList {
+	ws := make([]int64, n)
+	hs := make([]int64, n)
+	w := int64(1 + rng.Intn(5))
+	h := int64(1 + rng.Intn(5))
+	for i := 0; i < n; i++ {
+		ws[i] = w
+		hs[i] = h
+		w += 1 + rng.Int63n(6)
+		h += 1 + rng.Int63n(6)
+	}
+	l := make(shape.RList, n)
+	for i := 0; i < n; i++ {
+		// widths descending, heights ascending
+		l[i] = shape.RImpl{W: ws[n-1-i], H: hs[i]}
+	}
+	return l
+}
+
+func TestComputeRErrorMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(15)
+		l := randomRList(rng, n)
+		if err := l.Validate(); err != nil {
+			t.Fatalf("generator broke: %v", err)
+		}
+		table := ComputeRError(l)
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				// error(i,j) is the staircase area of the sub-list l[i..j]
+				// with only its endpoints selected.
+				sub := l[i : j+1]
+				want, err := sub.StaircaseArea([]int{0, j - i})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := table.At(i, j); got != want {
+					t.Fatalf("error(%d,%d) = %d, want %d (list %v)", i, j, got, want, l)
+				}
+			}
+		}
+	}
+}
+
+func TestRErrorColumnMatchesTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		l := randomRList(rng, n)
+		table := ComputeRError(l)
+		col := make([]int64, n)
+		for j := 1; j < n; j++ {
+			rErrorColumn(l, j, col)
+			for i := 0; i < j; i++ {
+				if col[i] != table.At(i, j) {
+					t.Fatalf("column error(%d,%d) = %d, want %d", i, j, col[i], table.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestRErrorTableAtPanics(t *testing.T) {
+	l := randomRList(rand.New(rand.NewSource(1)), 5)
+	table := ComputeRError(l)
+	if table.N() != 5 {
+		t.Fatalf("N = %d", table.N())
+	}
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {3, 1}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			table.At(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestRSelectMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(10)
+		k := 2 + r.Intn(n-2)
+		l := randomRList(r, n)
+		fast, err := RSelect(l, k)
+		if err != nil {
+			t.Logf("RSelect: %v", err)
+			return false
+		}
+		slow, err := RSelectBrute(l, k)
+		if err != nil {
+			t.Logf("RSelectBrute: %v", err)
+			return false
+		}
+		if fast.Error != slow.Error {
+			t.Logf("n=%d k=%d: fast error %d, brute %d", n, k, fast.Error, slow.Error)
+			return false
+		}
+		// The reported error must match the geometry of the chosen subset.
+		area, err := l.StaircaseArea(fast.Indices)
+		if err != nil {
+			t.Logf("StaircaseArea: %v", err)
+			return false
+		}
+		if area != fast.Error {
+			t.Logf("reported error %d != subset area %d", fast.Error, area)
+			return false
+		}
+		return len(fast.Selected) == k && fast.Selected.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 250, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSelectIdentityAndErrors(t *testing.T) {
+	l := randomRList(rand.New(rand.NewSource(2)), 6)
+	res, err := RSelect(l, 6)
+	if err != nil || res.Error != 0 || !res.Selected.Equal(l) {
+		t.Fatalf("k=n should be identity: %+v, %v", res, err)
+	}
+	res, err = RSelect(l, 10)
+	if err != nil || res.Error != 0 || !res.Selected.Equal(l) {
+		t.Fatalf("k>n should be identity: %+v, %v", res, err)
+	}
+	if _, err := RSelect(l, 1); err == nil {
+		t.Error("k=1 on n>1 should fail")
+	}
+	if _, err := RSelect(nil, 2); err == nil {
+		t.Error("empty list should fail")
+	}
+	one := shape.RList{{W: 3, H: 4}}
+	res, err = RSelect(one, 5)
+	if err != nil || len(res.Selected) != 1 {
+		t.Fatalf("singleton identity: %+v, %v", res, err)
+	}
+}
+
+func TestRSelectEndpointsAlwaysKept(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(40)
+		k := 2 + rng.Intn(n-2)
+		l := randomRList(rng, n)
+		res, err := RSelect(l, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Indices[0] != 0 || res.Indices[len(res.Indices)-1] != n-1 {
+			t.Fatalf("endpoints dropped: %v", res.Indices)
+		}
+	}
+}
+
+func TestRSelectErrorMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	l := randomRList(rng, 30)
+	prev := int64(-1)
+	for k := 29; k >= 2; k-- {
+		res, err := RSelect(l, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.Error < prev {
+			t.Fatalf("error decreased when k fell to %d: %d < %d", k, res.Error, prev)
+		}
+		prev = res.Error
+	}
+}
+
+// TestRSelectionGraph reproduces the paper's Figure 7 construction: build
+// the explicit weighted DAG from an R-list (edge (i,j) weighted
+// error(r_i, r_j)), solve it with the general CSPP algorithm, and confirm
+// R_Selection reports the same optimum.
+func TestRSelectionGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(12)
+		k := 2 + rng.Intn(n-2)
+		l := randomRList(rng, n)
+		table := ComputeRError(l)
+		g := cspp.MustGraph(n)
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				if err := g.AddEdge(i, j, table.At(i, j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		graphRes, err := cspp.Solve(g, 0, n-1, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		selRes, err := RSelect(l, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if graphRes.Weight != selRes.Error {
+			t.Fatalf("graph optimum %d != RSelect %d (n=%d k=%d)", graphRes.Weight, selRes.Error, n, k)
+		}
+	}
+}
+
+func TestUniformRReduce(t *testing.T) {
+	l := randomRList(rand.New(rand.NewSource(3)), 20)
+	got := UniformRReduce(l, 5)
+	if len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0] != l[0] || got[4] != l[19] {
+		t.Fatal("endpoints not kept")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res := UniformRReduce(l, 25); !res.Equal(l) {
+		t.Error("k >= n should be identity")
+	}
+	// Uniform sampling is never better than the optimal selection.
+	opt, err := RSelect(l, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniIdx := []int{0, 5, 10, 14, 19}
+	_ = uniIdx
+	var idx []int
+	for _, g := range got {
+		for i, orig := range l {
+			if g == orig {
+				idx = append(idx, i)
+				break
+			}
+		}
+	}
+	uniArea, err := l.StaircaseArea(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniArea < opt.Error {
+		t.Fatalf("uniform area %d beat optimal %d", uniArea, opt.Error)
+	}
+}

@@ -1,0 +1,142 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRSweepMatchesIndividualSelections(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(20)
+		l := randomRList(rng, n)
+		curve, err := RSweep(l, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(curve) != n-1 {
+			t.Fatalf("curve has %d points for n=%d", len(curve), n)
+		}
+		for _, p := range curve {
+			res, err := RSelect(l, p.K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Error != p.Error {
+				t.Fatalf("k=%d: sweep %d != RSelect %d", p.K, p.Error, res.Error)
+			}
+		}
+	}
+}
+
+func TestRSweepMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	l := randomRList(rng, 40)
+	curve, err := RSweep(l, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Error > curve[i-1].Error {
+			t.Fatalf("curve not non-increasing at k=%d: %d > %d",
+				curve[i].K, curve[i].Error, curve[i-1].Error)
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.K != 40 || last.Error != 0 {
+		t.Fatalf("curve must end at (n, 0), got (%d, %d)", last.K, last.Error)
+	}
+}
+
+func TestRSweepKmaxClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	l := randomRList(rng, 8)
+	curve, err := RSweep(l, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 7 {
+		t.Fatalf("%d points, want 7", len(curve))
+	}
+	short, err := RSweep(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short) != 3 || short[len(short)-1].K != 4 {
+		t.Fatalf("short sweep wrong: %+v", short)
+	}
+}
+
+func TestRSweepErrors(t *testing.T) {
+	if _, err := RSweep(nil, 5); err == nil {
+		t.Error("empty list accepted")
+	}
+	l := randomRList(rand.New(rand.NewSource(1)), 5)
+	if _, err := RSweep(l, 1); err == nil {
+		t.Error("kmax=1 accepted")
+	}
+}
+
+func TestRSelectBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(20)
+		l := randomRList(rng, n)
+		// Full-budget (error of keeping just the endpoints) must select 2.
+		endpoints, err := RSelect(l, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RSelectBudget(l, endpoints.Error)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Selected) != 2 {
+			t.Fatalf("max budget should keep 2, kept %d", len(res.Selected))
+		}
+		// Zero budget keeps everything (strictly monotone staircase).
+		res, err = RSelectBudget(l, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Selected) != n {
+			t.Fatalf("zero budget kept %d of %d", len(res.Selected), n)
+		}
+		// A middle budget keeps the smallest k whose error fits, and the
+		// error is within budget.
+		mid := endpoints.Error / 2
+		res, err = RSelectBudget(l, mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Error > mid {
+			t.Fatalf("budget %d exceeded: %d", mid, res.Error)
+		}
+		if len(res.Selected) > 2 {
+			// k-1 must not fit the budget (minimality).
+			smaller, err := RSelect(l, len(res.Selected)-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if smaller.Error <= mid {
+				t.Fatalf("k=%d kept but k-1 error %d also fits budget %d",
+					len(res.Selected), smaller.Error, mid)
+			}
+		}
+	}
+}
+
+func TestRSelectBudgetErrors(t *testing.T) {
+	if _, err := RSelectBudget(nil, 10); err == nil {
+		t.Error("empty list accepted")
+	}
+	l := randomRList(rand.New(rand.NewSource(2)), 5)
+	if _, err := RSelectBudget(l, -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+	two := l[:2]
+	res, err := RSelectBudget(two, 0)
+	if err != nil || len(res.Selected) != 2 {
+		t.Fatalf("tiny list: %+v %v", res, err)
+	}
+}

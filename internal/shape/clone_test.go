@@ -1,0 +1,42 @@
+package shape
+
+import "testing"
+
+func TestRListClone(t *testing.T) {
+	if got := RList(nil).Clone(); got != nil {
+		t.Errorf("Clone(nil) = %v", got)
+	}
+	l := MustRList([]RImpl{{W: 5, H: 2}, {W: 3, H: 4}})
+	c := l.Clone()
+	if !c.Equal(l) {
+		t.Fatal("clone differs")
+	}
+	c[0] = RImpl{W: 99, H: 99}
+	if l[0].W == 99 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestRListEqualBranches(t *testing.T) {
+	a := MustRList([]RImpl{{W: 5, H: 2}, {W: 3, H: 4}})
+	b := MustRList([]RImpl{{W: 5, H: 2}})
+	if a.Equal(b) {
+		t.Error("different lengths reported equal")
+	}
+	c := MustRList([]RImpl{{W: 5, H: 2}, {W: 2, H: 4}})
+	if a.Equal(c) {
+		t.Error("different contents reported equal")
+	}
+	if !a.Equal(a) {
+		t.Error("self-equality failed")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := (RImpl{W: 3, H: 4}).String(); got != "(3,4)" {
+		t.Errorf("RImpl.String = %s", got)
+	}
+	if got := (LImpl{W1: 5, W2: 3, H1: 4, H2: 2}).String(); got != "(5,3,4,2)" {
+		t.Errorf("LImpl.String = %s", got)
+	}
+}

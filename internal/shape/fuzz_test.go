@@ -1,0 +1,81 @@
+package shape
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// decodeImpls turns fuzz bytes into a list of small positive candidates.
+func decodeImpls(data []byte) []RImpl {
+	var out []RImpl
+	for i := 0; i+4 <= len(data); i += 4 {
+		w := int64(binary.LittleEndian.Uint16(data[i:])%512) + 1
+		h := int64(binary.LittleEndian.Uint16(data[i+2:])%512) + 1
+		out = append(out, RImpl{W: w, H: h})
+	}
+	return out
+}
+
+// FuzzNewRList checks the pruner's invariants on arbitrary candidate sets.
+func FuzzNewRList(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 3, 0, 4, 0})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := decodeImpls(data)
+		l, err := NewRList(in)
+		if err != nil {
+			t.Fatalf("positive candidates rejected: %v", err)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("non-canonical output: %v", err)
+		}
+		// Coverage: every input dominates some survivor.
+		for _, c := range in {
+			ok := false
+			for _, k := range l {
+				if c.Dominates(k) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("input %v not covered", c)
+			}
+		}
+	})
+}
+
+func decodeLImpls(data []byte) []LImpl {
+	var out []LImpl
+	for i := 0; i+8 <= len(data); i += 8 {
+		w2 := int64(binary.LittleEndian.Uint16(data[i:])%256) + 1
+		dw := int64(binary.LittleEndian.Uint16(data[i+2:]) % 256)
+		h2 := int64(binary.LittleEndian.Uint16(data[i+4:])%256) + 1
+		dh := int64(binary.LittleEndian.Uint16(data[i+6:]) % 256)
+		out = append(out, LImpl{W1: w2 + dw, W2: w2, H1: h2 + dh, H2: h2})
+	}
+	return out
+}
+
+// FuzzNewLSet checks L-set construction invariants on arbitrary candidates.
+func FuzzNewLSet(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{9, 0, 0, 0, 9, 0, 0, 0, 5, 0, 3, 0, 5, 0, 3, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256] // keep Validate's quadratic check cheap
+		}
+		in := decodeLImpls(data)
+		set, err := NewLSet(in)
+		if err != nil {
+			t.Fatalf("valid candidates rejected: %v", err)
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("invalid set produced: %v", err)
+		}
+		if want := len(MinimaL(in)); set.Size() != want {
+			t.Fatalf("set holds %d, minima %d", set.Size(), want)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package shape
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LList is an irreducible L-list (Definitions 3 and 5): implementations with
+// a common top-edge width W2, ordered with W1 nonincreasing and H1, H2
+// nondecreasing, none dominating another. L_Selection operates on exactly
+// this structure — the monotone order is what makes Lemma 2 (and hence the
+// neighbour formula of Lemma 3) hold.
+type LList []LImpl
+
+// Validate checks the L-list invariants.
+func (l LList) Validate() error {
+	for i, li := range l {
+		if !li.Valid() {
+			return fmt.Errorf("shape: LList[%d] = %v invalid", i, li)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := l[i-1]
+		switch {
+		case li.W2 != prev.W2:
+			return fmt.Errorf("shape: LList W2 not constant at %d: %v then %v", i, prev, li)
+		case li.W1 > prev.W1:
+			return fmt.Errorf("shape: LList W1 increases at %d: %v then %v", i, prev, li)
+		case li.H1 < prev.H1:
+			return fmt.Errorf("shape: LList H1 decreases at %d: %v then %v", i, prev, li)
+		case li.H2 < prev.H2:
+			return fmt.Errorf("shape: LList H2 decreases at %d: %v then %v", i, prev, li)
+		case prev.Dominates(li) || li.Dominates(prev):
+			return fmt.Errorf("shape: LList not irreducible at %d: %v vs %v", i, prev, li)
+		}
+	}
+	return nil
+}
+
+// Subset returns the entries at the given strictly increasing indices; a
+// subset of a canonical L-list is canonical.
+func (l LList) Subset(indices []int) (LList, error) {
+	out := make(LList, 0, len(indices))
+	prev := -1
+	for _, idx := range indices {
+		if idx <= prev || idx >= len(l) {
+			return nil, fmt.Errorf("shape: bad subset index %d (prev %d, len %d)", idx, prev, len(l))
+		}
+		out = append(out, l[idx])
+		prev = idx
+	}
+	return out, nil
+}
+
+// LSet stores all non-redundant implementations of an L-shaped block as a
+// set of irreducible L-lists, the representation [9] uses and the paper's
+// L_Selection consumes. Lists are ordered by (W2, first W1) for determinism.
+type LSet struct {
+	Lists []LList
+}
+
+// NewLSet prunes the candidates to their Pareto-minimal subset and partitions
+// the survivors into irreducible L-lists.
+//
+// Within one W2 group the survivors form a 3-d antichain, which in general
+// does not fit in a single monotone list; the group is split greedily into
+// maximal monotone chains (repeated greedy passes over the points in
+// (W1 desc, H1 asc, H2 asc) order). Any such partition is a valid "set of
+// irreducible L-lists" in the paper's sense.
+func NewLSet(candidates []LImpl) (LSet, error) {
+	for _, c := range candidates {
+		if !c.Valid() {
+			return LSet{}, fmt.Errorf("shape: invalid L implementation %v", c)
+		}
+	}
+	return newLSetUnchecked(candidates), nil
+}
+
+// MustLSet is NewLSet for statically known inputs; it panics on error.
+func MustLSet(candidates []LImpl) LSet {
+	s, err := NewLSet(candidates)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func newLSetUnchecked(candidates []LImpl) LSet {
+	minimal := MinimaL(candidates)
+	if len(minimal) == 0 {
+		return LSet{}
+	}
+	// Group by W2.
+	sort.Slice(minimal, func(i, j int) bool {
+		if minimal[i].W2 != minimal[j].W2 {
+			return minimal[i].W2 < minimal[j].W2
+		}
+		if minimal[i].W1 != minimal[j].W1 {
+			return minimal[i].W1 > minimal[j].W1
+		}
+		if minimal[i].H1 != minimal[j].H1 {
+			return minimal[i].H1 < minimal[j].H1
+		}
+		return minimal[i].H2 < minimal[j].H2
+	})
+	var set LSet
+	for lo := 0; lo < len(minimal); {
+		hi := lo
+		for hi < len(minimal) && minimal[hi].W2 == minimal[lo].W2 {
+			hi++
+		}
+		set.Lists = append(set.Lists, partitionChains(minimal[lo:hi])...)
+		lo = hi
+	}
+	return set
+}
+
+// partitionChains splits one W2 group — already sorted by (W1 desc, H1 asc,
+// H2 asc) — into monotone chains by repeated greedy passes. Each pass takes
+// the longest prefix-greedy chain from the remaining points; the number of
+// passes equals the number of lists produced.
+func partitionChains(group []LImpl) []LList {
+	remaining := make([]LImpl, len(group))
+	copy(remaining, group)
+	var lists []LList
+	for len(remaining) > 0 {
+		var chain LList
+		rest := remaining[:0]
+		for _, p := range remaining {
+			if len(chain) == 0 {
+				chain = append(chain, p)
+				continue
+			}
+			last := chain[len(chain)-1]
+			if p.W1 <= last.W1 && p.H1 >= last.H1 && p.H2 >= last.H2 {
+				chain = append(chain, p)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		lists = append(lists, chain)
+		remaining = rest
+	}
+	return lists
+}
+
+// Size returns the total number of implementations across all lists (the
+// paper's N for an L-shaped block).
+func (s LSet) Size() int {
+	n := 0
+	for _, l := range s.Lists {
+		n += len(l)
+	}
+	return n
+}
+
+// All returns every implementation in the set, list by list.
+func (s LSet) All() []LImpl {
+	out := make([]LImpl, 0, s.Size())
+	for _, l := range s.Lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// Validate checks that every list is a canonical irreducible L-list and that
+// no implementation in one list dominates an implementation in another.
+func (s LSet) Validate() error {
+	for i, l := range s.Lists {
+		if len(l) == 0 {
+			return fmt.Errorf("shape: LSet list %d is empty", i)
+		}
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("shape: LSet list %d: %w", i, err)
+		}
+	}
+	all := s.All()
+	minimal := MinimaL(all)
+	if len(minimal) != len(all) {
+		return fmt.Errorf("shape: LSet holds %d implementations but only %d are non-redundant", len(all), len(minimal))
+	}
+	return nil
+}
+
+// BestRect returns the minimum-area bounding box over all implementations,
+// for diagnostics. It returns false when the set is empty.
+func (s LSet) BestRect() (RImpl, bool) {
+	best := RImpl{}
+	found := false
+	for _, l := range s.Lists {
+		for _, li := range l {
+			r := li.Rect()
+			if !found || r.Area() < best.Area() {
+				best, found = r, true
+			}
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,312 @@
+package shape
+
+import "sort"
+
+// This file implements Pareto-minima pruning: from a candidate set, keep
+// exactly the implementations not dominated by (componentwise >=) another.
+// The optimizer calls this on every combine step, and unpruned candidate
+// sets at high tree levels reach 10^5 entries, so the 3-d and 4-d cases use
+// the classic divide-and-conquer of Kung/Luccio/Preparata with a Fenwick
+// prefix-min sweep for the cross-half filter, giving O(n log^2 n) instead of
+// the quadratic pairwise scan (which remains as the test oracle).
+
+// minFenwick is a Fenwick tree over 1-based ranks supporting prefix minima.
+// Values only ever decrease, which is all the dominance sweep needs.
+type minFenwick struct {
+	tree []int64
+}
+
+const fenwickInf = int64(1) << 62
+
+func newMinFenwick(n int) *minFenwick {
+	t := make([]int64, n+1)
+	for i := range t {
+		t[i] = fenwickInf
+	}
+	return &minFenwick{tree: t}
+}
+
+// update lowers the value at rank i (1-based) to at most v.
+func (f *minFenwick) update(i int, v int64) {
+	for ; i < len(f.tree); i += i & (-i) {
+		if v < f.tree[i] {
+			f.tree[i] = v
+		}
+	}
+}
+
+// prefixMin returns the minimum value over ranks 1..i.
+func (f *minFenwick) prefixMin(i int) int64 {
+	m := fenwickInf
+	for ; i > 0; i -= i & (-i) {
+		if f.tree[i] < m {
+			m = f.tree[i]
+		}
+	}
+	return m
+}
+
+// point3 is a point in the 3-dimensional dominance order with a tag
+// carrying it back to the caller's slice.
+type point3 struct {
+	a, b, c int64
+	idx     int
+}
+
+// minima3 marks, in keep, the indices of the Pareto-minimal points: those
+// with no other point <= them componentwise (exact duplicates keep their
+// first occurrence). pts may be in any order and is reordered in place.
+func minima3(pts []point3, keep []bool) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].a != pts[j].a {
+			return pts[i].a < pts[j].a
+		}
+		if pts[i].b != pts[j].b {
+			return pts[i].b < pts[j].b
+		}
+		if pts[i].c != pts[j].c {
+			return pts[i].c < pts[j].c
+		}
+		return pts[i].idx < pts[j].idx
+	})
+	ranks := rankOfB3(pts)
+	fw := newMinFenwick(len(ranks))
+	for i, p := range pts {
+		r := ranks[i]
+		// Every point inserted so far sorts lexicographically before p, so
+		// it has a <= p.a (ties broken consistently); p is redundant iff one
+		// of them also has b <= p.b and c <= p.c.
+		if fw.prefixMin(r) <= p.c {
+			continue
+		}
+		keep[p.idx] = true
+		fw.update(r, p.c)
+	}
+}
+
+// rankOfB3 returns, for each point, the 1-based rank of its b coordinate
+// among the distinct b values present.
+func rankOfB3(pts []point3) []int {
+	bs := make([]int64, len(pts))
+	for i, p := range pts {
+		bs[i] = p.b
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	uniq := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	ranks := make([]int, len(pts))
+	for i, p := range pts {
+		ranks[i] = sort.Search(len(uniq), func(k int) bool { return uniq[k] >= p.b }) + 1
+	}
+	return ranks
+}
+
+// MinimaR returns the Pareto-minimal subset of 2-d rectangular candidates.
+// It is a thin wrapper over R-list construction, provided for symmetry.
+func MinimaR(candidates []RImpl) []RImpl {
+	return []RImpl(newRListUnchecked(candidates))
+}
+
+// MinimaL returns the Pareto-minimal subset of 4-d L-shaped candidates,
+// deduplicated, in lexicographic order. Candidates are not modified.
+func MinimaL(candidates []LImpl) []LImpl {
+	if len(candidates) == 0 {
+		return nil
+	}
+	pts := make([]LImpl, len(candidates))
+	copy(pts, candidates)
+	sortLImpls(pts)
+	// Deduplicate exact copies so mutual domination cannot erase both.
+	uniq := pts[:0]
+	for i, p := range pts {
+		if i == 0 || p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	keep := make([]bool, len(uniq))
+	minima4(uniq, indexRange(len(uniq)), keep)
+	out := make([]LImpl, 0, len(uniq))
+	for i, p := range uniq {
+		if keep[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortLImpls(pts []LImpl) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].W1 != pts[j].W1 {
+			return pts[i].W1 < pts[j].W1
+		}
+		if pts[i].W2 != pts[j].W2 {
+			return pts[i].W2 < pts[j].W2
+		}
+		if pts[i].H1 != pts[j].H1 {
+			return pts[i].H1 < pts[j].H1
+		}
+		return pts[i].H2 < pts[j].H2
+	})
+}
+
+func indexRange(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// minima4SmallCutoff is the subproblem size below which the quadratic scan
+// beats the divide-and-conquer bookkeeping.
+const minima4SmallCutoff = 48
+
+// minima4 marks the Pareto-minimal points among all[i] for i in idx.
+// all must be sorted lexicographically with no duplicates; idx is a sorted
+// (hence W1-nondecreasing) index subset.
+func minima4(all []LImpl, idx []int, keep []bool) {
+	if len(idx) == 0 {
+		return
+	}
+	if len(idx) <= minima4SmallCutoff {
+		minima4Brute(all, idx, keep)
+		return
+	}
+	// Split on W1 so every low point has W1 <= every high point and equal
+	// W1 values stay together.
+	midVal := all[idx[len(idx)/2]].W1
+	if all[idx[0]].W1 == all[idx[len(idx)-1]].W1 {
+		// One W1 value: dominance degenerates to 3-d on (W2, H1, H2).
+		pts := make([]point3, len(idx))
+		for i, id := range idx {
+			p := all[id]
+			pts[i] = point3{a: p.W2, b: p.H1, c: p.H2, idx: id}
+		}
+		minima3(pts, keep)
+		return
+	}
+	split := sort.Search(len(idx), func(i int) bool { return all[idx[i]].W1 > midVal })
+	if split == len(idx) {
+		// midVal is the maximum W1; split just below it instead.
+		split = sort.Search(len(idx), func(i int) bool { return all[idx[i]].W1 >= midVal })
+	}
+	lo, hi := idx[:split], idx[split:]
+	minima4(all, lo, keep)
+	minima4(all, hi, keep)
+	// A high survivor is still redundant if some low survivor is <= it in
+	// the remaining three dimensions (its W1 is <= automatically).
+	var loKept, hiKept []int
+	for _, id := range lo {
+		if keep[id] {
+			loKept = append(loKept, id)
+		}
+	}
+	for _, id := range hi {
+		if keep[id] {
+			hiKept = append(hiKept, id)
+		}
+	}
+	filterDominated3(all, loKept, hiKept, keep)
+}
+
+// minima4Brute is the quadratic reference used for small subproblems.
+func minima4Brute(all []LImpl, idx []int, keep []bool) {
+	for i, id := range idx {
+		p := all[id]
+		redundant := false
+		for j, jd := range idx {
+			if i == j {
+				continue
+			}
+			if p.Dominates(all[jd]) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			keep[id] = true
+		}
+	}
+}
+
+// filterDominated3 clears keep for high points dominated in (W2, H1, H2) by
+// some low point. Low points all have W1 <= every high point's W1.
+func filterDominated3(all []LImpl, lo, hi []int, keep []bool) {
+	if len(lo) == 0 || len(hi) == 0 {
+		return
+	}
+	loSorted := make([]int, len(lo))
+	copy(loSorted, lo)
+	sort.Slice(loSorted, func(i, j int) bool { return all[loSorted[i]].W2 < all[loSorted[j]].W2 })
+	hiSorted := make([]int, len(hi))
+	copy(hiSorted, hi)
+	sort.Slice(hiSorted, func(i, j int) bool { return all[hiSorted[i]].W2 < all[hiSorted[j]].W2 })
+
+	// Rank H1 values across both sets.
+	h1s := make([]int64, 0, len(lo)+len(hi))
+	for _, id := range lo {
+		h1s = append(h1s, all[id].H1)
+	}
+	for _, id := range hi {
+		h1s = append(h1s, all[id].H1)
+	}
+	sort.Slice(h1s, func(i, j int) bool { return h1s[i] < h1s[j] })
+	uniq := h1s[:0]
+	for i, v := range h1s {
+		if i == 0 || v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	rank := func(v int64) int {
+		return sort.Search(len(uniq), func(k int) bool { return uniq[k] >= v }) + 1
+	}
+
+	fw := newMinFenwick(len(uniq))
+	li := 0
+	for _, hid := range hiSorted {
+		h := all[hid]
+		for li < len(loSorted) && all[loSorted[li]].W2 <= h.W2 {
+			p := all[loSorted[li]]
+			fw.update(rank(p.H1), p.H2)
+			li++
+		}
+		if fw.prefixMin(rank(h.H1)) <= h.H2 {
+			keep[hid] = false
+		}
+	}
+}
+
+// MinimaLBrute is the quadratic oracle for MinimaL, exported for tests and
+// benchmarks only.
+func MinimaLBrute(candidates []LImpl) []LImpl {
+	if len(candidates) == 0 {
+		return nil
+	}
+	pts := make([]LImpl, len(candidates))
+	copy(pts, candidates)
+	sortLImpls(pts)
+	uniq := pts[:0]
+	for i, p := range pts {
+		if i == 0 || p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	out := make([]LImpl, 0, len(uniq))
+	for i, p := range uniq {
+		redundant := false
+		for j, q := range uniq {
+			if i != j && p.Dominates(q) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, p)
+		}
+	}
+	return out
+}

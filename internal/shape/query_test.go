@@ -1,0 +1,79 @@
+package shape
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestStaircaseQueriesMatchLinearScan checks MinHeightFor/MinWidthFor, the
+// binary searches traceback depends on, against a straightforward scan.
+func TestStaircaseQueriesMatchLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := newRListUnchecked(randomRImpls(r, 1+r.Intn(40)))
+		if len(l) == 0 {
+			return true
+		}
+		for trial := 0; trial < 20; trial++ {
+			w := 1 + r.Int63n(25)
+			wantH, wantOK := int64(0), false
+			for _, e := range l {
+				if e.W <= w && (!wantOK || e.H < wantH) {
+					wantH, wantOK = e.H, true
+				}
+			}
+			h, ok := l.MinHeightFor(w)
+			if h != wantH || ok != wantOK {
+				t.Logf("MinHeightFor(%d) = (%d,%v), scan (%d,%v), list %v", w, h, ok, wantH, wantOK, l)
+				return false
+			}
+			hq := 1 + r.Int63n(25)
+			wantW, wantOK2 := int64(0), false
+			for _, e := range l {
+				if e.H <= hq && (!wantOK2 || e.W < wantW) {
+					wantW, wantOK2 = e.W, true
+				}
+			}
+			wv, ok2 := l.MinWidthFor(hq)
+			if wv != wantW || ok2 != wantOK2 {
+				t.Logf("MinWidthFor(%d) = (%d,%v), scan (%d,%v)", hq, wv, ok2, wantW, wantOK2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFeasibilityDuality: (w, MinHeightFor(w)) is itself feasible and on
+// the staircase boundary — reducing the height by one must break
+// feasibility of width w.
+func TestFeasibilityDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	for trial := 0; trial < 80; trial++ {
+		l := newRListUnchecked(randomRImpls(rng, 1+rng.Intn(30)))
+		if len(l) == 0 {
+			continue
+		}
+		w := 1 + rng.Int63n(25)
+		h, ok := l.MinHeightFor(w)
+		if !ok {
+			continue
+		}
+		// Feasible: some implementation fits in (w, h).
+		wBack, ok2 := l.MinWidthFor(h)
+		if !ok2 || wBack > w {
+			t.Fatalf("(%d,%d) claimed feasible but MinWidthFor(%d) = (%d,%v)", w, h, h, wBack, ok2)
+		}
+		// Tight: (w, h-1) must not be feasible.
+		if h > 1 {
+			if wb, ok3 := l.MinWidthFor(h - 1); ok3 && wb <= w {
+				t.Fatalf("(%d,%d) not tight: (%d,%d) also feasible", w, h, w, h-1)
+			}
+		}
+	}
+}

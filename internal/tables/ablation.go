@@ -1,0 +1,85 @@
+package tables
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"floorplan/internal/gen"
+	"floorplan/internal/selection"
+)
+
+// AblationUniform quantifies the value of the paper's CSPP-optimal
+// R_Selection against naive uniform subsampling: same floorplan (FP1),
+// same module set, same limits — only the selection rule differs. The
+// paper's algorithm should match or beat uniform subsampling in area at
+// every K1, at identical memory.
+func AblationUniform(cfg Config) (string, error) {
+	tree, err := gen.ByName("FP1")
+	if err != nil {
+		return "", err
+	}
+	c := Case{ID: 3, N: 40, Aspect: 6, Seed: 3}
+	lib, err := caseLibrary(tree, c, cfg)
+	if err != nil {
+		return "", err
+	}
+	ref := runOnce(tree, lib, selection.Policy{}, cfg, "ablation ref")
+	if !ref.OK {
+		return "", fmt.Errorf("tables: ablation reference run failed")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — optimal R_Selection vs uniform subsampling (FP1, N=%d)\n", c.N)
+	fmt.Fprintf(&b, "reference [9]: area %d, M=%d, CPU %.2fs\n\n", ref.Area, ref.M, ref.CPU.Seconds())
+	fmt.Fprintf(&b, "%-5s | %-28s | %-28s\n", "K1", "optimal (paper)", "uniform")
+	fmt.Fprintf(&b, "%-5s | %-12s %-15s | %-12s %-15s\n", "", "M", "area delta", "M", "area delta")
+	fmt.Fprintln(&b, strings.Repeat("-", 70))
+	for _, k1 := range []int{10, 20, 40, 60} {
+		opt := runOnce(tree, lib, selection.Policy{K1: k1}, cfg, fmt.Sprintf("ablation opt K1=%d", k1))
+		uni := runOnce(tree, lib, selection.Policy{K1: k1, RUniform: true}, cfg, fmt.Sprintf("ablation uni K1=%d", k1))
+		fmt.Fprintf(&b, "%-5d | %-12d %-15s | %-12d %-15s\n",
+			k1, opt.M, deltaStr(opt, ref), uni.M, deltaStr(uni, ref))
+	}
+	fmt.Fprintln(&b, "\n(area delta is relative to the unrestricted optimum; lower is better)")
+	return b.String(), nil
+}
+
+func deltaStr(o, ref Outcome) string {
+	if !o.OK || !ref.OK {
+		return "-"
+	}
+	return fmt.Sprintf("+%.3f%%", 100*float64(o.Area-ref.Area)/float64(ref.Area))
+}
+
+// AblationThetaS sweeps the paper's two Section 5 speed-up knobs on an FP4
+// case: the θ trigger (only run L_Selection when K2/X < θ) and the
+// heuristic pre-reduction threshold S.
+func AblationThetaS(cfg Config) (string, error) {
+	tree, err := gen.ByName("FP4")
+	if err != nil {
+		return "", err
+	}
+	c := Case{ID: 1, N: 20, Aspect: 6, Seed: 1}
+	lib, err := caseLibrary(tree, c, cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — θ and S sensitivity (FP4, N=%d, K1=40, K2=1000)\n\n", c.N)
+	fmt.Fprintf(&b, "%-8s %-6s | %-10s %-8s %-10s %-12s\n", "theta", "S", "M", "L-sels", "CPU", "area")
+	fmt.Fprintln(&b, strings.Repeat("-", 62))
+	for _, theta := range []float64{0, 0.25, 0.5, 0.75} {
+		for _, s := range []int{200, 500} {
+			p := selection.Policy{K1: 40, K2: 1000, Theta: theta, S: s}
+			out := runOnce(tree, lib, p, cfg, fmt.Sprintf("ablation theta=%.2f S=%d", theta, s))
+			area := "-"
+			if out.OK {
+				area = fmt.Sprintf("%d", out.Area)
+			}
+			fmt.Fprintf(&b, "%-8.2f %-6d | %-10d %-8d %-10s %-12s\n",
+				theta, s, out.M, out.LSel, out.CPU.Round(time.Millisecond), area)
+		}
+	}
+	fmt.Fprintln(&b, "\nθ=0 always runs L_Selection when X > K2; larger θ skips borderline blocks.")
+	return b.String(), nil
+}

@@ -1,0 +1,82 @@
+package tables
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CSV renders the table as machine-readable CSV, one line per optimizer
+// run. Columns:
+//
+//	table, floorplan, case, N, aspect, seed, run, K, ok, M, cpu_ms,
+//	area, delta_pct
+//
+// run is "ref" for the row's reference configuration and "sel" for the
+// swept selection runs; K is empty for "ref" rows of Tables 1–3 and 40
+// (the fixed K1) for Table 4; delta_pct is empty when unavailable.
+func (t *Table) CSV() (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := []string{
+		"table", "floorplan", "case", "N", "aspect", "seed",
+		"run", "K", "ok", "M", "cpu_ms", "area", "delta_pct",
+	}
+	if err := w.Write(header); err != nil {
+		return "", err
+	}
+	for _, row := range t.Rows {
+		base := []string{
+			strconv.Itoa(t.Number),
+			t.Floorplan,
+			strconv.Itoa(row.Case.ID),
+			strconv.Itoa(row.Case.N),
+			strconv.FormatFloat(row.Case.Aspect, 'g', -1, 64),
+			strconv.FormatInt(row.Case.Seed, 10),
+		}
+		refK := ""
+		if t.Number == 4 {
+			refK = "40"
+		}
+		if err := w.Write(append(append([]string{}, base...), outcomeCells("ref", refK, row.Ref, "")...)); err != nil {
+			return "", err
+		}
+		if row.Plain != nil {
+			if err := w.Write(append(append([]string{}, base...), outcomeCells("plain", "", *row.Plain, "")...)); err != nil {
+				return "", err
+			}
+		}
+		for _, s := range row.Sel {
+			delta := ""
+			if s.HasDelta {
+				delta = fmt.Sprintf("%.4f", s.Delta)
+			}
+			cells := outcomeCells("sel", strconv.Itoa(s.K), s.Out, delta)
+			if err := w.Write(append(append([]string{}, base...), cells...)); err != nil {
+				return "", err
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func outcomeCells(run, k string, o Outcome, delta string) []string {
+	area := ""
+	if o.OK {
+		area = strconv.FormatInt(o.Area, 10)
+	}
+	return []string{
+		run,
+		k,
+		strconv.FormatBool(o.OK),
+		strconv.FormatInt(o.M, 10),
+		strconv.FormatInt(o.CPU.Milliseconds(), 10),
+		area,
+		delta,
+	}
+}

@@ -1,0 +1,87 @@
+package tables
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTable() *Table {
+	plain := Outcome{OK: false, M: 300144, CPU: 17 * time.Second}
+	return &Table{
+		Number:    4,
+		Floorplan: "FP4",
+		Modules:   245,
+		Config:    DefaultConfig(),
+		Rows: []Row{
+			{
+				Case:  Case{ID: 1, N: 20, Aspect: 6, Seed: 1},
+				Ref:   Outcome{OK: true, M: 113710, CPU: 1450 * time.Millisecond, Area: 3836461896},
+				Plain: &plain,
+				Sel: []SelRun{
+					{K: 1000, Out: Outcome{OK: true, M: 98611, CPU: 1500 * time.Millisecond, Area: 3859620099}, Delta: 0.6037, HasDelta: true},
+					{K: 2000, Out: Outcome{OK: false, M: 300500, CPU: 2 * time.Second}},
+				},
+			},
+		},
+	}
+}
+
+func TestCSVWellFormed(t *testing.T) {
+	out, err := sampleTable().CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(out))
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v\n%s", err, out)
+	}
+	// Header + ref + plain + 2 sel rows.
+	if len(records) != 5 {
+		t.Fatalf("%d records, want 5:\n%s", len(records), out)
+	}
+	header := records[0]
+	if header[0] != "table" || header[len(header)-1] != "delta_pct" {
+		t.Fatalf("header = %v", header)
+	}
+	for i, rec := range records[1:] {
+		if len(rec) != len(header) {
+			t.Fatalf("record %d has %d fields, want %d", i, len(rec), len(header))
+		}
+	}
+	// The ref row carries the fixed K1 of Table 4.
+	if records[1][6] != "ref" || records[1][7] != "40" {
+		t.Fatalf("ref row = %v", records[1])
+	}
+	// The plain row is marked and failed.
+	if records[2][6] != "plain" || records[2][8] != "false" {
+		t.Fatalf("plain row = %v", records[2])
+	}
+	// A successful selection row has area and delta.
+	if records[3][11] == "" || records[3][12] == "" {
+		t.Fatalf("sel row missing area/delta: %v", records[3])
+	}
+	// A failed selection row has neither.
+	if records[4][11] != "" || records[4][12] != "" {
+		t.Fatalf("failed sel row should have empty area/delta: %v", records[4])
+	}
+}
+
+func TestCSVTables13HaveEmptyRefK(t *testing.T) {
+	tbl := sampleTable()
+	tbl.Number = 1
+	tbl.Rows[0].Plain = nil
+	out, err := tbl.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records[1][7] != "" {
+		t.Fatalf("table 1 ref K should be empty, got %q", records[1][7])
+	}
+}

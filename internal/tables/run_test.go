@@ -1,0 +1,104 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunCasesMiniTable exercises the full table protocol (reference +
+// sweep + formatting + CSV) at unit-test scale.
+func TestRunCasesMiniTable(t *testing.T) {
+	cfg := miniConfig()
+	cases := []Case{
+		{ID: 1, N: 6, Aspect: 4, Seed: 1, K1s: []int{4, 5}},
+		{ID: 2, N: 6, Aspect: 5, Seed: 2, K1s: []int{4, 5}},
+	}
+	tbl, err := RunCases(1, "FP1", cases, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if !row.Ref.OK {
+			t.Fatalf("case %d reference failed", row.Case.ID)
+		}
+		for _, s := range row.Sel {
+			if !s.Out.OK || !s.HasDelta || s.Delta < 0 {
+				t.Fatalf("case %d K1=%d: %+v", row.Case.ID, s.K, s)
+			}
+		}
+	}
+	out := tbl.Format()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "FP1") {
+		t.Fatalf("format:\n%s", out)
+	}
+	csvOut, err := tbl.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 cases × (1 ref + 2 sel) = 7 lines.
+	if got := strings.Count(strings.TrimSpace(csvOut), "\n") + 1; got != 7 {
+		t.Fatalf("CSV has %d lines, want 7:\n%s", got, csvOut)
+	}
+}
+
+// TestRunCasesMiniTable4 exercises the Table 4 protocol, including the
+// plain-[9] verification line, at unit-test scale.
+func TestRunCasesMiniTable4(t *testing.T) {
+	cfg := miniConfig()
+	cfg.MemoryLimit = 2500 // small enough that plain [9] fails on FP1/N=8
+	cases := []Case{{ID: 1, N: 8, Aspect: 5, Seed: 3, K2s: []int{40, 80}}}
+	tbl, err := RunCases(4, "FP1", cases, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	if row.Plain == nil {
+		t.Fatal("table 4 must include the plain [9] verification run")
+	}
+	if row.Plain.OK {
+		t.Skip("plain [9] fit in the mini budget; calibration-dependent")
+	}
+	out := tbl.Format()
+	if !strings.Contains(out, "[9] alone, case 1: out of memory") {
+		t.Fatalf("missing plain-failure line:\n%s", out)
+	}
+}
+
+func TestRunCasesRejectsBadInputs(t *testing.T) {
+	if _, err := RunCases(7, "FP1", nil, miniConfig()); err == nil {
+		t.Error("table 7 accepted")
+	}
+	if _, err := RunCases(1, "FP9", nil, miniConfig()); err == nil {
+		t.Error("unknown floorplan accepted")
+	}
+}
+
+// TestAblationsMini runs both ablations at reduced scale so their plumbing
+// (including formatting) is covered by the unit suite.
+func TestAblationsMini(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runs take seconds")
+	}
+	cfg := miniConfig()
+	uni, err := AblationUniform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"uniform", "optimal", "K1"} {
+		if !strings.Contains(uni, want) {
+			t.Fatalf("uniform ablation missing %q:\n%s", want, uni)
+		}
+	}
+	th, err := AblationThetaS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"theta", "L-sels"} {
+		if !strings.Contains(th, want) {
+			t.Fatalf("theta ablation missing %q:\n%s", want, th)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"floorplan/internal/gen"
+)
+
+// miniConfig keeps unit tests fast: small modules, small floorplan rows.
+func miniConfig() Config {
+	return Config{
+		MemoryLimit: 0,
+		MinArea:     2000,
+		MaxArea:     20000,
+		S:           100,
+		Theta:       0,
+	}
+}
+
+func TestPaperCasesStructure(t *testing.T) {
+	for table := 1; table <= 4; table++ {
+		cases, fp, err := paperCases(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cases) != 4 {
+			t.Fatalf("table %d: %d cases, want 4", table, len(cases))
+		}
+		wantFP := map[int]string{1: "FP1", 2: "FP2", 3: "FP3", 4: "FP4"}[table]
+		if fp != wantFP {
+			t.Fatalf("table %d: floorplan %s, want %s", table, fp, wantFP)
+		}
+		for i, c := range cases {
+			if c.ID != i+1 {
+				t.Errorf("table %d case %d: ID %d", table, i, c.ID)
+			}
+			if c.N != 20 && c.N != 40 {
+				t.Errorf("table %d case %d: N=%d", table, i, c.N)
+			}
+			// The paper's K1 sweeps.
+			if table != 4 {
+				want := "[20 30 40]"
+				if c.N == 40 {
+					want = "[40 50 60]"
+				}
+				if got := sliceStr(c.K1s); got != want {
+					t.Errorf("table %d case %d: K1s %s, want %s", table, i, got, want)
+				}
+			} else {
+				if sliceStr(c.K1s) != "[40]" || sliceStr(c.K2s) != "[1000 1500 2000]" {
+					t.Errorf("table 4 case %d: K1s %v K2s %v", i, c.K1s, c.K2s)
+				}
+			}
+		}
+	}
+	if _, _, err := paperCases(5); err == nil {
+		t.Error("table 5 accepted")
+	}
+	if _, err := Run(0, DefaultConfig()); err == nil {
+		t.Error("table 0 accepted")
+	}
+}
+
+func sliceStr(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = itoa(x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var digits []byte
+	for x > 0 {
+		digits = append([]byte{byte('0' + x%10)}, digits...)
+		x /= 10
+	}
+	return string(digits)
+}
+
+// TestRunRowMini exercises one full table row on a small module set and
+// checks the structural invariants the paper tables rest on.
+func TestRunRowMini(t *testing.T) {
+	tree, err := gen.ByName("FP1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := miniConfig()
+	c := Case{ID: 1, N: 8, Aspect: 4, Seed: 1, K1s: []int{4, 6}}
+	row, err := runRow(1, tree, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Ref.OK {
+		t.Fatal("reference run failed without a limit")
+	}
+	if len(row.Sel) != 2 {
+		t.Fatalf("%d selection runs", len(row.Sel))
+	}
+	for _, s := range row.Sel {
+		if !s.Out.OK {
+			t.Fatalf("K1=%d failed", s.K)
+		}
+		if !s.HasDelta {
+			t.Fatalf("K1=%d missing delta", s.K)
+		}
+		if s.Delta < 0 {
+			t.Fatalf("K1=%d: selection beat the optimum (%.3f%%)", s.K, s.Delta)
+		}
+		if s.Out.M > row.Ref.M {
+			t.Fatalf("K1=%d: selection increased M: %d > %d", s.K, s.Out.M, row.Ref.M)
+		}
+	}
+	// Tighter limits use no more memory.
+	if row.Sel[0].Out.M > row.Sel[1].Out.M+row.Sel[1].Out.M/4 {
+		t.Logf("note: K1=%d M=%d vs K1=%d M=%d", row.Sel[0].K, row.Sel[0].Out.M, row.Sel[1].K, row.Sel[1].Out.M)
+	}
+}
+
+// TestRunRowTable4Mini checks the Table 4 row logic (R-only reference,
+// K2 sweep) on a small FP1 stand-in tree via runRow's table-4 branch.
+func TestRunRowTable4Mini(t *testing.T) {
+	tree, err := gen.ByName("FP1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := miniConfig()
+	c := Case{ID: 1, N: 8, Aspect: 4, Seed: 2, K1s: []int{40}, K2s: []int{50, 200}}
+	row, err := runRow(4, tree, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Ref.OK {
+		t.Fatal("R-only reference failed")
+	}
+	if len(row.Sel) != 2 {
+		t.Fatalf("%d K2 runs", len(row.Sel))
+	}
+	for _, s := range row.Sel {
+		if !s.Out.OK || !s.HasDelta {
+			t.Fatalf("K2=%d: %+v", s.K, s)
+		}
+		if s.Out.M > row.Ref.M {
+			t.Fatalf("K2=%d increased M: %d > %d", s.K, s.Out.M, row.Ref.M)
+		}
+	}
+}
+
+// TestMemoryFailureRow checks the "> M" reporting path.
+func TestMemoryFailureRow(t *testing.T) {
+	tree, err := gen.ByName("FP1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := miniConfig()
+	cfg.MemoryLimit = 500
+	c := Case{ID: 1, N: 8, Aspect: 4, Seed: 1, K1s: []int{4}}
+	row, err := runRow(1, tree, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Ref.OK {
+		t.Fatal("plain run should exceed a 500-implementation limit")
+	}
+	if row.Ref.M <= 500 {
+		t.Fatalf("failed run must report the over-limit count, got %d", row.Ref.M)
+	}
+	// Selection runs under the same limit should still be reported (they
+	// may pass or fail), and deltas must be absent without a reference.
+	for _, s := range row.Sel {
+		if s.HasDelta {
+			t.Fatal("delta must be unavailable when the reference failed")
+		}
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		Number:    1,
+		Floorplan: "FP1",
+		Modules:   25,
+		RefLabel:  "[9]",
+		SelLabel:  "[9]+R_Selection",
+		Config:    DefaultConfig(),
+		Rows: []Row{
+			{
+				Case: Case{ID: 1, N: 20},
+				Ref:  Outcome{OK: true, M: 67871, CPU: 16200 * time.Millisecond, Area: 1000},
+				Sel: []SelRun{
+					{K: 20, Out: Outcome{OK: true, M: 15834, CPU: 5300 * time.Millisecond, Area: 1012}, Delta: 1.21, HasDelta: true},
+					{K: 30, Out: Outcome{OK: false, M: 400001}},
+				},
+			},
+		},
+	}
+	out := tbl.Format()
+	for _, want := range []string{"Table 1", "FP1", "25 modules", "67871", "1.21%", "> 400001", "-", "K1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Table 4 uses the K2 column header.
+	tbl.Number = 4
+	if !strings.Contains(tbl.Format(), "K2") {
+		t.Error("table 4 should use a K2 column")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	ok := Outcome{OK: true, M: 100, CPU: time.Second}
+	if !strings.Contains(ok.String(), "M=100") {
+		t.Errorf("ok outcome: %s", ok)
+	}
+	fail := Outcome{OK: false, M: 999}
+	if !strings.Contains(fail.String(), "M>999") || !strings.Contains(fail.String(), "out of memory") {
+		t.Errorf("fail outcome: %s", fail)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MemoryLimit != 300000 {
+		t.Errorf("calibrated limit = %d, want 300000 (see EXPERIMENTS.md)", cfg.MemoryLimit)
+	}
+	if cfg.S == 0 || cfg.Theta == 0 {
+		t.Error("Section 5 knobs should default on")
+	}
+}

@@ -1,0 +1,47 @@
+package floorplan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"floorplan/internal/shape"
+)
+
+// EncodeLibrary serializes a module library as indented JSON, the format
+// fpgen emits and fpopt consumes:
+//
+//	{"cpu": [{"W":4,"H":7},{"W":7,"H":4}], …}
+//
+// Each list is canonicalized (redundant implementations pruned, staircase
+// order) before encoding, so the file round-trips bit-exactly.
+func EncodeLibrary(lib Library) ([]byte, error) {
+	canonical := make(map[string][]Impl, len(lib))
+	for name, impls := range lib {
+		l, err := shape.NewRList(impls)
+		if err != nil {
+			return nil, fmt.Errorf("floorplan: module %q: %w", name, err)
+		}
+		canonical[name] = []Impl(l)
+	}
+	return json.MarshalIndent(canonical, "", "  ")
+}
+
+// ParseLibrary decodes a module library from JSON and validates it: every
+// module must have at least one implementation with positive extents.
+func ParseLibrary(data []byte) (Library, error) {
+	var lib Library
+	if err := json.Unmarshal(data, &lib); err != nil {
+		return nil, fmt.Errorf("floorplan: decoding library: %w", err)
+	}
+	for name, impls := range lib {
+		if len(impls) == 0 {
+			return nil, fmt.Errorf("floorplan: module %q has no implementations", name)
+		}
+		l, err := shape.NewRList(impls)
+		if err != nil {
+			return nil, fmt.Errorf("floorplan: module %q: %w", name, err)
+		}
+		lib[name] = []Impl(l)
+	}
+	return lib, nil
+}

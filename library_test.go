@@ -1,0 +1,89 @@
+package floorplan_test
+
+import (
+	"strings"
+	"testing"
+
+	floorplan "floorplan"
+)
+
+func TestLibraryRoundTrip(t *testing.T) {
+	lib := floorplan.Library{
+		"cpu": {{W: 4, H: 7}, {W: 7, H: 4}, {W: 7, H: 7}}, // (7,7) redundant
+		"pll": {{W: 3, H: 3}},
+	}
+	data, err := floorplan.EncodeLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := floorplan.ParseLibrary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("%d modules", len(back))
+	}
+	if len(back["cpu"]) != 2 {
+		t.Fatalf("redundant implementation survived: %v", back["cpu"])
+	}
+	// Round trip is now a fixed point.
+	data2, err := floorplan.EncodeLibrary(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("encode/parse/encode not a fixed point")
+	}
+}
+
+func TestParseLibraryErrors(t *testing.T) {
+	cases := []string{
+		`{`,                      // malformed
+		`{"m": []}`,              // empty list
+		`{"m": [{"W":0,"H":1}]}`, // invalid implementation
+	}
+	for _, c := range cases {
+		if _, err := floorplan.ParseLibrary([]byte(c)); err == nil {
+			t.Errorf("ParseLibrary(%q) succeeded", c)
+		}
+	}
+}
+
+func TestEncodeLibraryRejectsInvalid(t *testing.T) {
+	if _, err := floorplan.EncodeLibrary(floorplan.Library{"m": {{W: -1, H: 1}}}); err == nil {
+		t.Error("invalid library encoded")
+	}
+}
+
+func TestLibraryInteropWithGenerators(t *testing.T) {
+	tree, err := floorplan.PaperFloorplan("FP1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := floorplan.RandomModules(tree, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := floorplan.EncodeLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "m000") {
+		t.Fatal("module names missing from encoding")
+	}
+	back, err := floorplan.ParseLibrary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := floorplan.Optimize(tree, lib, floorplan.Options{SkipPlacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := floorplan.Optimize(tree, back, floorplan.Options{SkipPlacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != b.Best {
+		t.Fatalf("round-tripped library changed the optimum: %v vs %v", a.Best, b.Best)
+	}
+}

@@ -1,0 +1,67 @@
+package floorplan
+
+import (
+	"floorplan/internal/optimizer"
+	"floorplan/internal/search"
+	"floorplan/internal/selection"
+	"floorplan/internal/shape"
+)
+
+// SearchOptions configures SearchTopology.
+type SearchOptions struct {
+	// Seed makes the search reproducible.
+	Seed int64
+	// Iterations is the number of annealing steps (default 200).
+	Iterations int
+	// Selection speeds up the inner area optimizations (default K1=8).
+	Selection Selection
+}
+
+// SearchResult is the outcome of SearchTopology.
+type SearchResult struct {
+	// Best is the best topology found; optimize it again (possibly without
+	// selection) for the final placement.
+	Best *Tree
+	// BestArea and InitialArea are the optimizer areas under the search's
+	// selection policy.
+	BestArea, InitialArea int64
+	// Proposed, Accepted, Improved count annealing moves.
+	Proposed, Accepted, Improved int
+}
+
+// SearchTopology improves a floorplan topology by simulated annealing,
+// evaluating every candidate with the area optimizer. This is the design
+// step *upstream* of the paper's problem: the paper optimizes shapes for a
+// fixed topology; here the topology itself moves, and the paper's
+// R_Selection keeps each inner evaluation fast.
+func SearchTopology(tree *Tree, lib Library, opts SearchOptions) (*SearchResult, error) {
+	canonical := make(optimizer.Library, len(lib))
+	for name, impls := range lib {
+		l, err := shape.NewRList(impls)
+		if err != nil {
+			return nil, err
+		}
+		canonical[name] = l
+	}
+	res, err := search.Anneal(tree, canonical, search.Options{
+		Seed:       opts.Seed,
+		Iterations: opts.Iterations,
+		Policy: selection.Policy{
+			K1:    opts.Selection.K1,
+			K2:    opts.Selection.K2,
+			Theta: opts.Selection.Theta,
+			S:     opts.Selection.S,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SearchResult{
+		Best:        res.Best,
+		BestArea:    res.BestArea,
+		InitialArea: res.InitialArea,
+		Proposed:    res.Proposed,
+		Accepted:    res.Accepted,
+		Improved:    res.Improved,
+	}, nil
+}

@@ -1,0 +1,43 @@
+package floorplan_test
+
+import (
+	"testing"
+
+	floorplan "floorplan"
+)
+
+func TestSearchTopology(t *testing.T) {
+	tree, err := floorplan.RandomTree(12, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := floorplan.RandomModules(tree, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := floorplan.SearchTopology(tree, lib, floorplan.SearchOptions{
+		Seed:       3,
+		Iterations: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestArea > res.InitialArea {
+		t.Fatalf("search worsened the area: %d > %d", res.BestArea, res.InitialArea)
+	}
+	if res.Best.ModuleCount() != 12 {
+		t.Fatalf("module count changed: %d", res.Best.ModuleCount())
+	}
+	// The result optimizes and places cleanly.
+	final, err := floorplan.Optimize(res.Best, lib, floorplan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Placement == nil {
+		t.Fatal("no placement for searched topology")
+	}
+	// Bad library is rejected.
+	if _, err := floorplan.SearchTopology(tree, floorplan.Library{"m000": {{W: 0, H: 1}}}, floorplan.SearchOptions{}); err == nil {
+		t.Fatal("invalid library accepted")
+	}
+}
