@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the CI gate: vet plus the full
+# test suite under the race detector (the parallel evaluator, annealer and
+# table grid are all exercised concurrently by their tests).
+
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short-mode suite under the race detector; must stay race-clean.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -run NONE -bench EvalParallel -benchtime 3x .
+
+check: vet race

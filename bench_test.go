@@ -253,3 +253,42 @@ func BenchmarkStockmeyerBaseline(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkEvalParallel measures the parallel bottom-up evaluator on FP3
+// (120 modules) across worker counts. Workers=1 is the sequential baseline;
+// results are bit-identical for every sub-benchmark, so the only difference
+// is wall-clock. On a multi-core machine expect near-linear scaling until
+// the tree's dependency structure limits the ready set.
+func BenchmarkEvalParallel(b *testing.B) {
+	tree, err := floorplan.PaperFloorplan("FP3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := floorplan.RandomModules(tree, 12, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := floorplan.Options{
+		Selection:     floorplan.Selection{K1: 30},
+		SkipPlacement: true,
+	}
+	ref, err := floorplan.Optimize(tree, lib, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := opts
+			o.Workers = w
+			for i := 0; i < b.N; i++ {
+				res, err := floorplan.Optimize(tree, lib, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Best != ref.Best {
+					b.Fatalf("workers=%d changed the optimum: %v vs %v", w, res.Best, ref.Best)
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"floorplan/internal/tables"
@@ -30,6 +31,8 @@ func main() {
 		limit    = flag.Int64("limit", 0, "override the memory limit (default: calibrated 300000)")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 		csvOut   = flag.String("csv", "", "also write machine-readable CSV to this file")
+		jsonDir  = flag.String("benchjson", "", "write BENCH_table<N>.json files into this directory")
+		workers  = flag.Int("workers", 0, "concurrent optimizer runs (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -37,6 +40,10 @@ func main() {
 	if *limit > 0 {
 		cfg.MemoryLimit = *limit
 	}
+	if *workers < 0 {
+		log.Fatalf("negative -workers %d", *workers)
+	}
+	cfg.Workers = *workers
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
@@ -64,6 +71,7 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Println(t.Format())
+			writeJSON(*jsonDir, t)
 			if *csvOut != "" {
 				part, err := t.CSV()
 				if err != nil {
@@ -85,6 +93,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(t.Format())
+		writeJSON(*jsonDir, t)
 		if *csvOut != "" {
 			part, err := t.CSV()
 			if err != nil {
@@ -103,6 +112,26 @@ func writeCSV(path, content string) {
 		return
 	}
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeJSON drops one BENCH_table<N>.json per regenerated table into dir,
+// the machine-readable record (M, cpu_ms, area per run) consumed by
+// benchmark tooling.
+func writeJSON(dir string, t *tables.Table) {
+	if dir == "" {
+		return
+	}
+	raw, err := t.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_table%d.json", t.Number))
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
 }

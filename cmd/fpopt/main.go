@@ -97,6 +97,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of text")
 		nodes    = flag.Bool("nodes", false, "print per-block implementation counts")
 		svgOut   = flag.String("svg", "", "write the placement as SVG to this file")
+		workers  = flag.Int("workers", 0, "parallel block evaluators (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 	if *treeFile == "" || *libFile == "" {
@@ -125,6 +126,7 @@ func main() {
 		Selection:     floorplan.Selection{K1: *k1, K2: *k2, Theta: *theta, S: *s},
 		MemoryLimit:   *limit,
 		SkipPlacement: *skip,
+		Workers:       *workers,
 	}
 	start := time.Now()
 	res, err := floorplan.Optimize(tree, lib, opts)

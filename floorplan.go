@@ -108,6 +108,12 @@ type Options struct {
 	MemoryLimit int64
 	// SkipPlacement skips traceback; only the optimal area is computed.
 	SkipPlacement bool
+	// Workers bounds the number of goroutines evaluating floorplan blocks
+	// concurrently (0 = one per CPU, 1 = sequential). Successful runs
+	// return bit-identical results for every worker count; memory-limited
+	// runs always fail with IsMemoryLimit but may abort at a different
+	// block.
+	Workers int
 }
 
 // Stats are the run's cost metrics; see the paper's M and CPU columns.
@@ -156,6 +162,7 @@ func Optimize(tree *Tree, lib Library, opts Options) (*Result, error) {
 		},
 		MemoryLimit:   opts.MemoryLimit,
 		SkipPlacement: opts.SkipPlacement,
+		Workers:       opts.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -168,7 +168,8 @@ const candidateChunk = 1 << 21
 // memory limit is guaranteed to be exceeded (a later prune can only shrink
 // the buffer below budget if stronger dominators appear, which the abort
 // deliberately forgoes — this mirrors the paper machine running out of
-// memory mid-generation rather than after it).
+// memory mid-generation rather than after it). A negative budget is the
+// exhausted sentinel: the combination aborts before generating anything.
 type budgeter struct {
 	budget    int
 	chunk     int
@@ -176,6 +177,9 @@ type budgeter struct {
 }
 
 func newBudgeter(budget int) *budgeter {
+	if budget < 0 {
+		return &budgeter{budget: budget, chunk: 1, truncated: true}
+	}
 	chunk := candidateChunk
 	if budget > 0 && budget*4 < chunk {
 		chunk = budget * 4
@@ -184,6 +188,20 @@ func newBudgeter(budget int) *budgeter {
 		}
 	}
 	return &budgeter{budget: budget, chunk: chunk}
+}
+
+// lCap sizes a candidate buffer for a cross product of the given operand
+// cardinalities: the exact product when it is small, else the prune
+// threshold (the buffer is Pareto-pruned whenever it reaches chunk, so it
+// never needs to grow much beyond it).
+func (bg *budgeter) lCap(a, b int) int {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a > bg.chunk/b {
+		return bg.chunk
+	}
+	return a * b
 }
 
 func (bg *budgeter) pruneL(buf []shape.LImpl, force bool) []shape.LImpl {
@@ -214,7 +232,10 @@ func (bg *budgeter) pruneR(buf []shape.RImpl, force bool) []shape.RImpl {
 // true (the partial set is returned for accounting).
 func LStack(bottom, top shape.RList, budget int) (result shape.LSet, truncated bool) {
 	bg := newBudgeter(budget)
-	var buf []shape.LImpl
+	if bg.truncated {
+		return shape.LSet{}, true
+	}
+	buf := make([]shape.LImpl, 0, bg.lCap(len(bottom), len(top)))
 	for _, a := range bottom {
 		for _, b := range top {
 			buf = append(buf, StackCand(a, b))
@@ -230,7 +251,10 @@ func LStack(bottom, top shape.RList, budget int) (result shape.LSet, truncated b
 // LNotch grows an L-shaped block by the center block.
 func LNotch(l shape.LSet, c shape.RList, budget int) (result shape.LSet, truncated bool) {
 	bg := newBudgeter(budget)
-	var buf []shape.LImpl
+	if bg.truncated {
+		return shape.LSet{}, true
+	}
+	buf := make([]shape.LImpl, 0, bg.lCap(l.Size(), len(c)))
 	for _, list := range l.Lists {
 		for _, li := range list {
 			for _, ci := range c {
@@ -248,7 +272,10 @@ func LNotch(l shape.LSet, c shape.RList, budget int) (result shape.LSet, truncat
 // LBottom grows an L-shaped block by the SE block.
 func LBottom(l shape.LSet, c shape.RList, budget int) (result shape.LSet, truncated bool) {
 	bg := newBudgeter(budget)
-	var buf []shape.LImpl
+	if bg.truncated {
+		return shape.LSet{}, true
+	}
+	buf := make([]shape.LImpl, 0, bg.lCap(l.Size(), len(c)))
 	for _, list := range l.Lists {
 		for _, li := range list {
 			for _, ci := range c {
@@ -267,7 +294,10 @@ func LBottom(l shape.LSet, c shape.RList, budget int) (result shape.LSet, trunca
 // block's R-list.
 func Close(l shape.LSet, c shape.RList, budget int) (result shape.RList, truncated bool) {
 	bg := newBudgeter(budget)
-	var buf []shape.RImpl
+	if bg.truncated {
+		return nil, true
+	}
+	buf := make([]shape.RImpl, 0, bg.lCap(l.Size(), len(c)))
 	for _, list := range l.Lists {
 		for _, li := range list {
 			for _, ci := range c {

@@ -404,3 +404,53 @@ func TestBudgetTruncation(t *testing.T) {
 		t.Fatalf("budget == size truncated=%v size=%d want %d", truncated, same.Size(), full.Size())
 	}
 }
+
+// TestExhaustedBudgetSentinel checks the negative-budget sentinel: every
+// cross-product combiner must abort before generating a single candidate,
+// returning an empty, truncated result. This is what the optimizer passes
+// when the memory limit is already fully consumed.
+func TestExhaustedBudgetSentinel(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	a := randomRList(rng, 10)
+	b := randomRList(rng, 10)
+	set, truncated := LStack(a, b, -1)
+	if !truncated || set.Size() != 0 {
+		t.Fatalf("LStack sentinel: truncated=%v size=%d, want true/0", truncated, set.Size())
+	}
+	l, truncated := LStack(a, b, 0)
+	if truncated {
+		t.Fatal("unlimited LStack truncated")
+	}
+	if set, truncated := LNotch(l, b, -1); !truncated || set.Size() != 0 {
+		t.Fatalf("LNotch sentinel: truncated=%v size=%d", truncated, set.Size())
+	}
+	if set, truncated := LBottom(l, b, -1); !truncated || set.Size() != 0 {
+		t.Fatalf("LBottom sentinel: truncated=%v size=%d", truncated, set.Size())
+	}
+	if list, truncated := Close(l, b, -1); !truncated || len(list) != 0 {
+		t.Fatalf("Close sentinel: truncated=%v len=%d", truncated, len(list))
+	}
+}
+
+// TestSentinelIdenticalResultsOtherwise pins that a positive or zero budget
+// is unaffected by the sentinel plumbing and the preallocated buffers:
+// results must match the historical behavior exactly.
+func TestSentinelIdenticalResultsOtherwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		a := randomRList(rng, 3+rng.Intn(12))
+		b := randomRList(rng, 3+rng.Intn(12))
+		c := randomRList(rng, 3+rng.Intn(12))
+		l, truncated := LStack(a, b, 0)
+		if truncated {
+			t.Fatal("unlimited LStack truncated")
+		}
+		closed, truncated := Close(l, c, 0)
+		if truncated {
+			t.Fatal("unlimited Close truncated")
+		}
+		if err := closed.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Inf is the sentinel weight for "no such path", the paper's W = ∞.
@@ -122,6 +123,54 @@ func (g *Graph) acyclic() bool {
 	return seen == g.n
 }
 
+// dpState holds the DP's working storage: the two rolling weight rows and
+// the per-layer predecessor tables. The optimizer's selection policies
+// solve thousands of small CSPP instances per run — and, with the parallel
+// evaluator, from many goroutines at once — so the tables are recycled
+// through a sync.Pool instead of being reallocated per solve. Nothing in a
+// Result aliases the pooled storage (the path is extracted into a fresh
+// slice before release).
+type dpState struct {
+	prev, cur []int64
+	pred      [][]int32
+}
+
+var dpPool = sync.Pool{New: func() any { return new(dpState) }}
+
+// getDP returns a dpState with prev/cur sized for n vertices (initialized
+// to Inf with prev[0] left for the caller) and room for k+1 pred rows.
+func getDP(n, k int) *dpState {
+	d := dpPool.Get().(*dpState)
+	if cap(d.prev) < n {
+		d.prev = make([]int64, n)
+		d.cur = make([]int64, n)
+	}
+	d.prev = d.prev[:n]
+	d.cur = d.cur[:n]
+	for v := range d.prev {
+		d.prev[v] = Inf
+	}
+	if cap(d.pred) < k+1 {
+		pred := make([][]int32, k+1)
+		copy(pred, d.pred)
+		d.pred = pred
+	}
+	d.pred = d.pred[:k+1]
+	return d
+}
+
+// row returns the pred row for layer l, sized for n vertices. Rows are not
+// cleared here: both DP loops assign every entry before reading it.
+func (d *dpState) row(l, n int) []int32 {
+	if cap(d.pred[l]) < n {
+		d.pred[l] = make([]int32, n)
+	}
+	d.pred[l] = d.pred[l][:n]
+	return d.pred[l]
+}
+
+func (d *dpState) release() { dpPool.Put(d) }
+
 // Result is the output of a successful CSPP solve.
 type Result struct {
 	// Path is the vertex sequence from s to t; len(Path) == k.
@@ -150,25 +199,22 @@ func Solve(g *Graph, s, t, k int) (Result, error) {
 
 	// W[l][v] with rolling rows; pred[l][v] records the vertex that
 	// produced W(s,v,l), the paper's traceback bookkeeping.
-	prev := make([]int64, g.n)
-	cur := make([]int64, g.n)
-	for v := range prev {
-		prev[v] = Inf
-	}
+	d := getDP(g.n, k)
+	defer d.release()
+	prev, cur := d.prev, d.cur
 	prev[s] = 0
-	pred := make([][]int32, k+1)
 	for l := 2; l <= k; l++ {
-		pred[l] = make([]int32, g.n)
+		pred := d.row(l, g.n)
 		for v := 0; v < g.n; v++ {
 			cur[v] = Inf
-			pred[l][v] = -1
+			pred[v] = -1
 			for _, e := range g.in[v] {
 				if prev[e.from] == Inf {
 					continue
 				}
 				if w := prev[e.from] + e.weight; w < cur[v] {
 					cur[v] = w
-					pred[l][v] = int32(e.from)
+					pred[v] = int32(e.from)
 				}
 			}
 		}
@@ -183,7 +229,7 @@ func Solve(g *Graph, s, t, k int) (Result, error) {
 	path[k-1] = t
 	v := t
 	for l := k; l >= 2; l-- {
-		v = int(pred[l][v])
+		v = int(d.pred[l][v])
 		path[l-2] = v
 	}
 	if path[0] != s {
@@ -217,20 +263,17 @@ func SolveDense(n, k int, weight WeightFunc) ([]int, int64, error) {
 		}
 		return []int{0}, 0, nil
 	}
-	prev := make([]int64, n)
-	cur := make([]int64, n)
-	for v := range prev {
-		prev[v] = Inf
-	}
+	d := getDP(n, k)
+	defer d.release()
+	prev, cur := d.prev, d.cur
 	prev[0] = 0
-	pred := make([][]int32, k+1)
 	for l := 2; l <= k; l++ {
-		pred[l] = make([]int32, n)
+		pred := d.row(l, n)
 		// With exactly l vertices used, the path tip can be no earlier than
 		// vertex l-1 and must leave room for the remaining k-l hops.
 		for v := 0; v < n; v++ {
 			cur[v] = Inf
-			pred[l][v] = -1
+			pred[v] = -1
 		}
 		lo := l - 1
 		hi := n - 1 - (k - l)
@@ -241,7 +284,7 @@ func SolveDense(n, k int, weight WeightFunc) ([]int, int64, error) {
 				}
 				if w := prev[u] + weight(u, v); w < cur[v] {
 					cur[v] = w
-					pred[l][v] = int32(u)
+					pred[v] = int32(u)
 				}
 			}
 		}
@@ -254,7 +297,7 @@ func SolveDense(n, k int, weight WeightFunc) ([]int, int64, error) {
 	path[k-1] = n - 1
 	v := n - 1
 	for l := k; l >= 2; l-- {
-		v = int(pred[l][v])
+		v = int(d.pred[l][v])
 		path[l-2] = v
 	}
 	return path, prev[n-1], nil

@@ -314,3 +314,52 @@ func TestSolveDenseKTwo(t *testing.T) {
 		t.Fatalf("k=2: %v %d", path, weight)
 	}
 }
+
+// TestPooledBuffersReuse solves instances of varying sizes back to back and
+// concurrently, checking that the recycled DP tables never leak state
+// between solves. The weights make the optimal path unique so any
+// contamination would flip the result.
+func TestPooledBuffersReuse(t *testing.T) {
+	solve := func(n, k int) ([]int, int64, error) {
+		return SolveDense(n, k, func(i, j int) int64 { return int64((j - i) * (j - i)) })
+	}
+	// Sequential size churn: big, small, big again.
+	for _, nk := range [][2]int{{40, 10}, {3, 2}, {40, 10}, {8, 8}, {40, 40}} {
+		n, k := nk[0], nk[1]
+		path, w, err := solve(n, k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", n, k, err)
+		}
+		if len(path) != k || path[0] != 0 || path[k-1] != n-1 {
+			t.Fatalf("n=%d k=%d: bad path %v", n, k, path)
+		}
+		if ref, refW, _ := solve(n, k); refW != w || len(ref) != len(path) {
+			t.Fatalf("n=%d k=%d: unstable weight %d vs %d", n, k, w, refW)
+		}
+	}
+	// Concurrent solves (run with -race): the pool must isolate states.
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 200; i++ {
+				n := 5 + (g+i)%30
+				k := 2 + (g+i)%(n-1)
+				path, _, err := solve(n, k)
+				if err != nil {
+					done <- err
+					return
+				}
+				if len(path) != k {
+					done <- ErrNoPath
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package memtrack
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -60,6 +62,65 @@ func TestLimitEnforced(t *testing.T) {
 	}
 	if tr.Limit() != 100 {
 		t.Errorf("limit = %d", tr.Limit())
+	}
+}
+
+// TestConcurrentNeverOverAdmits hammers a limited tracker from many
+// goroutines and checks the reservation invariant: the admitted count never
+// exceeds the limit at any observed moment, while rejected attempts still
+// surface in Peak for "> limit" reporting. Run with -race.
+func TestConcurrentNeverOverAdmits(t *testing.T) {
+	const limit = 1000
+	tr := NewTracker(limit)
+	var wg sync.WaitGroup
+	var observedMax atomic.Int64
+	var failures atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := int64(1 + (g+i)%37)
+				if err := tr.Add(n); err != nil {
+					if !errors.Is(err, ErrLimit) {
+						t.Errorf("unexpected Add error: %v", err)
+						return
+					}
+					failures.Add(1)
+					// Make room so other goroutines keep exercising both paths.
+					for tr.Current() > limit/2 {
+						if err := tr.Release(1); err != nil {
+							break
+						}
+					}
+					continue
+				}
+				if cur := tr.Current(); cur > limit {
+					t.Errorf("over-admitted: current %d > limit %d", cur, limit)
+					return
+				}
+				for {
+					old := observedMax.Load()
+					cur := tr.Admitted()
+					if cur <= old || observedMax.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				if i%3 == 0 {
+					_ = tr.Release(n)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if observedMax.Load() > limit {
+		t.Fatalf("admitted peak %d exceeds limit %d", observedMax.Load(), limit)
+	}
+	if tr.Admitted() > limit {
+		t.Fatalf("Admitted() = %d exceeds limit %d", tr.Admitted(), limit)
+	}
+	if failures.Load() > 0 && tr.Peak() <= limit {
+		t.Fatalf("Peak() = %d should report the over-limit attempt", tr.Peak())
 	}
 }
 

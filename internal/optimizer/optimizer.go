@@ -15,6 +15,7 @@ package optimizer
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -52,6 +53,32 @@ type Options struct {
 	// the optimal area are still produced. Used by benchmarks that only
 	// measure the bottom-up phase.
 	SkipPlacement bool
+	// Workers bounds the number of binary-tree nodes evaluated
+	// concurrently. 0 defaults to runtime.GOMAXPROCS(0); 1 runs the exact
+	// sequential evaluation order of the original implementation. For any
+	// value, a successful run's Best, RootList, Stats (except Elapsed),
+	// NodeStats and Placement are bit-identical: per-node results do not
+	// depend on evaluation order and the final merge replays the
+	// sequential memory-accounting order. Memory-limited runs may abort at
+	// a different node under different worker counts (admission order is
+	// scheduling-dependent), but they never admit past the limit and
+	// always fail with an error matching ErrMemoryLimit.
+	Workers int
+}
+
+// workers resolves the effective worker count for a schedule of n nodes.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // ErrMemoryLimit wraps memtrack.ErrLimit so callers can match the paper's
@@ -134,6 +161,9 @@ func New(lib Library, opts Options) (*Optimizer, error) {
 	if opts.MemoryLimit < 0 {
 		return nil, fmt.Errorf("optimizer: negative memory limit %d", opts.MemoryLimit)
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("optimizer: negative worker count %d", opts.Workers)
+	}
 	return &Optimizer{lib: lib, opts: opts}, nil
 }
 
@@ -146,12 +176,29 @@ type nodeEval struct {
 	ls shape.LSet
 }
 
+// nodeOutcome is the order-independent record one node evaluation leaves
+// behind. Outcomes are produced by whichever worker evaluates the node and
+// merged into Stats/NodeStats afterwards in the canonical sequential order,
+// which is what makes the run's statistics identical for any worker count.
+type nodeOutcome struct {
+	stat NodeStat
+	// rsel/lsel count selection invocations at this node (0 or 1).
+	rsel, lsel int
+	// failed marks a node whose evaluation aborted (memory limit or
+	// selection error): its generated count still feeds the stats, but it
+	// contributes no NodeStat row and no stored list.
+	failed bool
+}
+
 type runState struct {
-	o     *Optimizer
-	mem   *memtrack.Tracker
-	evals map[int]*nodeEval
-	stats Stats
-	nodes []NodeStat
+	o   *Optimizer
+	mem *memtrack.Tracker
+	// evals and outcomes are indexed by BinNode.ID (preorder, 0..n-1).
+	// Each slot is written exactly once, by the worker that evaluates the
+	// node, before any reader can observe it (the scheduler's dependency
+	// hand-off orders the accesses).
+	evals    []*nodeEval
+	outcomes []*nodeOutcome
 }
 
 // Run optimizes the floorplan tree. On memory exhaustion it returns an
@@ -165,7 +212,10 @@ func (o *Optimizer) Run(tree *plan.Node) (*Result, error) {
 	return o.RunBinary(bin)
 }
 
-// RunBinary optimizes an already-restructured binary tree.
+// RunBinary optimizes an already-restructured binary tree. Trees built by
+// plan.Restructure carry preorder IDs; a hand-built tree whose IDs are not
+// the preorder permutation 0..n-1 is renumbered in place first, because the
+// evaluator's per-node tables are indexed by ID.
 func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 	if err := bin.Validate(); err != nil {
 		return nil, err
@@ -178,29 +228,44 @@ func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 			return nil, fmt.Errorf("optimizer: module %q not in library", m)
 		}
 	}
+	if !bin.HasPreorderIDs() {
+		bin.AssignIDs()
+	}
+	schedule := flattenPostorder(bin)
 	st := &runState{
-		o:     o,
-		mem:   memtrack.NewTracker(o.opts.MemoryLimit),
-		evals: make(map[int]*nodeEval),
+		o:        o,
+		mem:      memtrack.NewTracker(o.opts.MemoryLimit),
+		evals:    make([]*nodeEval, len(schedule)),
+		outcomes: make([]*nodeOutcome, len(schedule)),
 	}
+	workers := o.opts.workers(len(schedule))
 	start := time.Now()
-	rootEval, evalErr := st.eval(bin)
-	st.stats.Elapsed = time.Since(start)
-	st.stats.PeakStored = st.mem.Peak()
-	st.stats.FinalStored = st.mem.Current()
-	if evalErr != nil {
-		return &Result{Stats: st.stats}, evalErr
+	var evalErr error
+	if workers <= 1 {
+		evalErr = st.runSequential(schedule)
+	} else {
+		evalErr = st.runParallel(schedule, workers)
 	}
-	if len(rootEval.rl) == 0 {
-		return &Result{Stats: st.stats}, fmt.Errorf("optimizer: root has no implementations")
+	stats, nodeStats := st.mergeOutcomes(schedule)
+	stats.Elapsed = time.Since(start)
+	if evalErr != nil {
+		// A failed run reports the tracker's view: the peak includes the
+		// would-be count of the rejected admission, the paper's "> M".
+		stats.PeakStored = st.mem.Peak()
+		stats.FinalStored = st.mem.Current()
+		return &Result{Stats: stats}, evalErr
+	}
+	rootEval := st.evals[bin.ID]
+	if rootEval == nil || len(rootEval.rl) == 0 {
+		return &Result{Stats: stats}, fmt.Errorf("optimizer: root has no implementations")
 	}
 	best, _ := rootEval.rl.Best()
-	sort.Slice(st.nodes, func(i, j int) bool { return st.nodes[i].ID < st.nodes[j].ID })
+	sort.Slice(nodeStats, func(i, j int) bool { return nodeStats[i].ID < nodeStats[j].ID })
 	res := &Result{
 		Best:      best,
 		RootList:  rootEval.rl.Clone(),
-		Stats:     st.stats,
-		NodeStats: st.nodes,
+		Stats:     stats,
+		NodeStats: nodeStats,
 	}
 	if !o.opts.SkipPlacement {
 		placement, err := st.trace(bin, best)
@@ -215,132 +280,219 @@ func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 	return res, nil
 }
 
-// eval computes a node's retained implementation list bottom-up.
-func (st *runState) eval(b *plan.BinNode) (*nodeEval, error) {
-	st.stats.Nodes++
+// flattenPostorder linearizes the binary tree into the canonical bottom-up
+// evaluation order (left subtree, right subtree, node) — the exact order
+// the original recursive evaluator visited nodes, and the order the stats
+// merge replays for memory accounting.
+func flattenPostorder(bin *plan.BinNode) []*plan.BinNode {
+	out := make([]*plan.BinNode, 0, bin.Count())
+	var walk func(*plan.BinNode)
+	walk = func(b *plan.BinNode) {
+		if b == nil {
+			return
+		}
+		walk(b.Left)
+		walk(b.Right)
+		out = append(out, b)
+	}
+	walk(bin)
+	return out
+}
+
+// runSequential evaluates the schedule on the calling goroutine, in exact
+// postorder — byte-for-byte the original single-threaded behavior.
+func (st *runState) runSequential(schedule []*plan.BinNode) error {
+	for _, b := range schedule {
+		if err := st.evalNode(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeOutcomes folds the per-node outcomes into run-wide statistics. It
+// walks the canonical postorder schedule, so every derived quantity — in
+// particular PeakStored, which replays the sequential Add/Release ledger —
+// is identical no matter which worker evaluated which node, or in what
+// real-time order. Nodes never evaluated (parallel abort drained them) are
+// skipped; a failed node contributes its generated count only.
+func (st *runState) mergeOutcomes(schedule []*plan.BinNode) (Stats, []NodeStat) {
+	var stats Stats
+	var nodeStats []NodeStat
+	var cur, peak int64
+	for _, b := range schedule {
+		out := st.outcomes[b.ID]
+		if out == nil {
+			continue
+		}
+		stats.Nodes++
+		if out.stat.LShaped {
+			stats.LNodes++
+		}
+		stats.Generated += int64(out.stat.Generated)
+		stats.RSelections += out.rsel
+		stats.LSelections += out.lsel
+		if out.failed {
+			continue
+		}
+		if out.stat.LShaped {
+			if out.stat.Stored > stats.MaxLSet {
+				stats.MaxLSet = out.stat.Stored
+			}
+		} else if out.stat.Stored > stats.MaxRList {
+			stats.MaxRList = out.stat.Stored
+		}
+		// Replay the sequential memory ledger: the node admits its full
+		// generated set, peaks, then selection releases the discarded part.
+		cur += int64(out.stat.Generated)
+		if cur > peak {
+			peak = cur
+		}
+		cur -= int64(out.stat.Generated - out.stat.Stored)
+		nodeStats = append(nodeStats, out.stat)
+	}
+	stats.PeakStored = peak
+	stats.FinalStored = cur
+	return stats, nodeStats
+}
+
+// evalNode computes one node's retained implementation list. Its operands
+// (st.evals of the children) must already be present; the schedulers
+// guarantee that. Apart from the shared memory tracker — which is atomic —
+// it touches only this node's slots, so any number of evalNode calls on
+// distinct nodes may run concurrently.
+func (st *runState) evalNode(b *plan.BinNode) error {
+	out := &nodeOutcome{}
+	st.outcomes[b.ID] = out
 	if b.Kind == plan.BinLeaf {
-		list := st.o.lib[b.Module]
-		return st.finishR(b, list, false)
+		return st.finishR(b, out, st.o.lib[b.Module], false)
 	}
-	left, err := st.eval(b.Left)
-	if err != nil {
-		return nil, err
-	}
-	right, err := st.eval(b.Right)
-	if err != nil {
-		return nil, err
-	}
+	left := st.evals[b.Left.ID]
+	right := st.evals[b.Right.ID]
 	// budget lets the combination abort as soon as a node's non-redundant
 	// set alone exceeds the remaining memory allowance, instead of fully
 	// generating a doomed node first.
-	budget := st.remainingBudget()
+	budget, err := st.remainingBudget(b)
+	if err != nil {
+		out.stat = NodeStat{ID: b.ID, Kind: b.Kind, LShaped: b.IsL()}
+		out.failed = true
+		return err
+	}
 	switch b.Kind {
 	case plan.BinVCut:
-		return st.finishR(b, combine.VCut(left.rl, right.rl), false)
+		return st.finishR(b, out, combine.VCut(left.rl, right.rl), false)
 	case plan.BinHCut:
-		return st.finishR(b, combine.HCut(left.rl, right.rl), false)
+		return st.finishR(b, out, combine.HCut(left.rl, right.rl), false)
 	case plan.BinLStack:
 		set, truncated := combine.LStack(left.rl, right.rl, budget)
-		return st.finishL(b, set, truncated)
+		return st.finishL(b, out, set, truncated)
 	case plan.BinLNotch:
 		set, truncated := combine.LNotch(left.ls, right.rl, budget)
-		return st.finishL(b, set, truncated)
+		return st.finishL(b, out, set, truncated)
 	case plan.BinLBottom:
 		set, truncated := combine.LBottom(left.ls, right.rl, budget)
-		return st.finishL(b, set, truncated)
+		return st.finishL(b, out, set, truncated)
 	case plan.BinClose:
 		list, truncated := combine.Close(left.ls, right.rl, budget)
-		return st.finishR(b, list, truncated)
+		return st.finishR(b, out, list, truncated)
 	default:
-		return nil, fmt.Errorf("optimizer: unexpected node kind %v", b.Kind)
+		out.failed = true
+		return fmt.Errorf("optimizer: unexpected node kind %v", b.Kind)
 	}
 }
 
 // remainingBudget returns how many more implementations may be stored
 // before the memory limit trips, or 0 (unlimited) when no limit is set.
-func (st *runState) remainingBudget() int {
+// When the budget is already exhausted it fails immediately: every
+// combination stores at least one implementation, so generating the node
+// would only burn CPU before the inevitable limit error. The probing Add
+// records the would-be count so the failure reports "> limit" like every
+// other abort.
+func (st *runState) remainingBudget(b *plan.BinNode) (int, error) {
 	limit := st.o.opts.MemoryLimit
 	if limit <= 0 {
-		return 0
+		return 0, nil
 	}
 	rem := limit - st.mem.Current()
-	if rem < 1 {
-		rem = 1
+	if rem >= 1 {
+		return int(rem), nil
 	}
-	return int(rem)
+	if err := st.mem.Add(1); err != nil {
+		return 0, fmt.Errorf("optimizer: node %d (%v): %w", b.ID, b.Kind, err)
+	}
+	// A concurrent Release freed room between the two tracker reads; hand
+	// the probed unit back and continue with the minimal budget.
+	if err := st.mem.Release(1); err != nil {
+		return 0, err
+	}
+	return 1, nil
 }
 
 // finishR accounts for, optionally reduces, and stores a rectangular
 // block's list. truncated marks a list whose generation aborted early on
 // the memory budget; accounting still happens so the error carries the
 // count, but the run must fail.
-func (st *runState) finishR(b *plan.BinNode, list shape.RList, truncated bool) (*nodeEval, error) {
-	st.stats.Generated += int64(len(list))
+func (st *runState) finishR(b *plan.BinNode, out *nodeOutcome, list shape.RList, truncated bool) error {
+	out.stat = NodeStat{ID: b.ID, Kind: b.Kind, Generated: len(list)}
 	if err := st.mem.Add(int64(len(list))); err != nil {
-		return nil, fmt.Errorf("optimizer: node %d (%v): %w", b.ID, b.Kind, err)
+		out.failed = true
+		return fmt.Errorf("optimizer: node %d (%v): %w", b.ID, b.Kind, err)
 	}
 	if truncated {
-		return nil, fmt.Errorf("optimizer: node %d (%v): generation aborted: %w: %d stored",
+		out.failed = true
+		return fmt.Errorf("optimizer: node %d (%v): generation aborted: %w: %d stored",
 			b.ID, b.Kind, memtrack.ErrLimit, st.mem.Current())
 	}
-	generated := len(list)
 	if st.o.opts.Policy.WantR(len(list)) {
 		reduced, err := st.o.opts.Policy.ReduceR(list)
 		if err != nil {
-			return nil, err
+			out.failed = true
+			return err
 		}
-		st.stats.RSelections++
+		out.rsel = 1
 		if err := st.mem.Release(int64(len(list) - len(reduced))); err != nil {
-			return nil, err
+			out.failed = true
+			return err
 		}
 		list = reduced
 	}
-	st.nodes = append(st.nodes, NodeStat{
-		ID: b.ID, Kind: b.Kind, Generated: generated, Stored: len(list), Lists: 1,
-	})
-	if len(list) > st.stats.MaxRList {
-		st.stats.MaxRList = len(list)
-	}
-	ev := &nodeEval{rl: list}
-	st.evals[b.ID] = ev
-	return ev, nil
+	out.stat.Stored = len(list)
+	out.stat.Lists = 1
+	st.evals[b.ID] = &nodeEval{rl: list}
+	return nil
 }
 
 // finishL accounts for, optionally reduces, and stores an L-shaped block's
 // set of L-lists.
-func (st *runState) finishL(b *plan.BinNode, set shape.LSet, truncated bool) (*nodeEval, error) {
-	st.stats.LNodes++
+func (st *runState) finishL(b *plan.BinNode, out *nodeOutcome, set shape.LSet, truncated bool) error {
 	size := set.Size()
-	st.stats.Generated += int64(size)
+	out.stat = NodeStat{ID: b.ID, Kind: b.Kind, LShaped: true, Generated: size}
 	if err := st.mem.Add(int64(size)); err != nil {
-		return nil, fmt.Errorf("optimizer: node %d (%v): %w", b.ID, b.Kind, err)
+		out.failed = true
+		return fmt.Errorf("optimizer: node %d (%v): %w", b.ID, b.Kind, err)
 	}
 	if truncated {
-		return nil, fmt.Errorf("optimizer: node %d (%v): generation aborted: %w: %d stored",
+		out.failed = true
+		return fmt.Errorf("optimizer: node %d (%v): generation aborted: %w: %d stored",
 			b.ID, b.Kind, memtrack.ErrLimit, st.mem.Current())
 	}
-	generated := size
 	if st.o.opts.Policy.WantL(size) {
 		reduced, err := st.o.opts.Policy.ReduceLSet(set)
 		if err != nil {
-			return nil, err
+			out.failed = true
+			return err
 		}
-		st.stats.LSelections++
+		out.lsel = 1
 		if err := st.mem.Release(int64(size - reduced.Size())); err != nil {
-			return nil, err
+			out.failed = true
+			return err
 		}
 		set = reduced
 	}
-	st.nodes = append(st.nodes, NodeStat{
-		ID: b.ID, Kind: b.Kind, LShaped: true,
-		Generated: generated, Stored: set.Size(), Lists: len(set.Lists),
-	})
-	if set.Size() > st.stats.MaxLSet {
-		st.stats.MaxLSet = set.Size()
-	}
-	ev := &nodeEval{ls: set}
-	st.evals[b.ID] = ev
-	return ev, nil
+	out.stat.Stored = set.Size()
+	out.stat.Lists = len(set.Lists)
+	st.evals[b.ID] = &nodeEval{ls: set}
+	return nil
 }
 
 // IsMemoryLimit reports whether err is a memory-limit abort.

@@ -1,0 +1,102 @@
+package optimizer
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"floorplan/internal/plan"
+)
+
+// runParallel evaluates the schedule with a bounded pool of worker
+// goroutines using dependency-counting dispatch: every node carries the
+// number of unevaluated children; leaves start ready, and the worker that
+// completes a node's last child enqueues the node. The ready queue is a
+// buffered channel sized for the whole schedule, so enqueues never block
+// and a worker is only ever idle when no node is ready.
+//
+// Correctness notes:
+//
+//   - st.evals[id] and st.outcomes[id] are each written once, by the worker
+//     evaluating node id. A parent's worker observes its children's writes
+//     through the atomic pending-counter decrement followed by the channel
+//     hand-off, both of which establish happens-before edges.
+//   - The shared memory tracker is atomic and reservation-based, so
+//     concurrent admissions can never push the stored count past the limit.
+//   - On any failure the scheduler stops evaluating (remaining ready nodes
+//     drain without running) and, after all workers join, reports the error
+//     of the lowest-ID failed node — deterministic when a failure is itself
+//     deterministic, e.g. a selection error on a specific node.
+func (st *runState) runParallel(schedule []*plan.BinNode, workers int) error {
+	n := len(schedule)
+	byID := make([]*plan.BinNode, n)
+	parent := make([]int, n)
+	pending := make([]atomic.Int32, n)
+	for _, b := range schedule {
+		byID[b.ID] = b
+		parent[b.ID] = -1
+	}
+	ready := make(chan int, n)
+	var inFlight atomic.Int64
+	for _, b := range schedule {
+		if b.Kind == plan.BinLeaf {
+			continue
+		}
+		parent[b.Left.ID] = b.ID
+		parent[b.Right.ID] = b.ID
+		pending[b.ID].Store(2)
+	}
+	for _, b := range schedule {
+		if b.Kind == plan.BinLeaf {
+			inFlight.Add(1)
+			ready <- b.ID
+		}
+	}
+
+	var (
+		aborted atomic.Bool
+		errMu   sync.Mutex
+		nodeErr []struct {
+			id  int
+			err error
+		}
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ready {
+				completed := false
+				if !aborted.Load() {
+					if err := st.evalNode(byID[id]); err != nil {
+						aborted.Store(true)
+						errMu.Lock()
+						nodeErr = append(nodeErr, struct {
+							id  int
+							err error
+						}{id, err})
+						errMu.Unlock()
+					} else {
+						completed = true
+					}
+				}
+				if completed {
+					if p := parent[id]; p >= 0 && pending[p].Add(-1) == 0 {
+						inFlight.Add(1)
+						ready <- p
+					}
+				}
+				if inFlight.Add(-1) == 0 {
+					close(ready)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(nodeErr) == 0 {
+		return nil
+	}
+	sort.Slice(nodeErr, func(i, j int) bool { return nodeErr[i].id < nodeErr[j].id })
+	return nodeErr[0].err
+}

@@ -160,6 +160,31 @@ func restructure(n *Node) *BinNode {
 	}
 }
 
+// AssignIDs renumbers the subtree's IDs as a fresh preorder walk starting
+// at 0, the numbering Restructure produces. The optimizer's evaluator
+// indexes its per-node tables by ID, so hand-built binary trees whose IDs
+// are not the preorder permutation 0..Count-1 are renumbered before a run.
+func (b *BinNode) AssignIDs() { assignIDs(b, new(int)) }
+
+// HasPreorderIDs reports whether the subtree's IDs are exactly the preorder
+// indices 0..Count-1 — the invariant the optimizer's ID-indexed per-node
+// tables rely on.
+func (b *BinNode) HasPreorderIDs() bool {
+	next := 0
+	var walk func(*BinNode) bool
+	walk = func(n *BinNode) bool {
+		if n == nil {
+			return true
+		}
+		if n.ID != next {
+			return false
+		}
+		next++
+		return walk(n.Left) && walk(n.Right)
+	}
+	return walk(b)
+}
+
 func assignIDs(b *BinNode, next *int) {
 	if b == nil {
 		return

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"floorplan/internal/optimizer"
 	"floorplan/internal/plan"
@@ -40,6 +42,16 @@ type Options struct {
 	InitialTemp, FinalTemp float64
 	// Policy speeds up the inner optimizations (default K1=8).
 	Policy selection.Policy
+	// Workers bounds how many candidate topologies are evaluated
+	// concurrently per annealing batch (0 means runtime.GOMAXPROCS(0)).
+	// Workers == 1 reproduces the classic sequential annealer exactly —
+	// same rng stream, same trajectory. Workers > 1 evaluates batches of
+	// speculative candidates in parallel and accepts them sequentially in
+	// proposal order, so the trajectory is deterministic for a fixed
+	// (Seed, Workers) pair but differs between worker counts: candidates
+	// proposed after an accepted move in the same batch are stale (they
+	// mutated the pre-acceptance topology) and are discarded.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -80,10 +92,16 @@ func Anneal(tree *plan.Node, lib optimizer.Library, opts Options) (*Result, erro
 	if opts.Iterations < 0 {
 		return nil, fmt.Errorf("search: negative iterations %d", opts.Iterations)
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("search: negative worker count %d", opts.Workers)
+	}
 	if opts.InitialTemp < opts.FinalTemp || opts.FinalTemp <= 0 {
 		return nil, fmt.Errorf("search: bad temperature range [%v, %v]", opts.FinalTemp, opts.InitialTemp)
 	}
-	opt, err := optimizer.New(lib, optimizer.Options{Policy: opts.Policy, SkipPlacement: true})
+	// Inner optimizations stay sequential (Workers: 1): the annealer's
+	// parallelism is across candidates, and the search trees are small
+	// enough that nested node-level parallelism would only add overhead.
+	opt, err := optimizer.New(lib, optimizer.Options{Policy: opts.Policy, SkipPlacement: true, Workers: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -110,28 +128,76 @@ func Anneal(tree *plan.Node, lib optimizer.Library, opts Options) (*Result, erro
 	t1 := opts.FinalTemp * float64(currentArea)
 	cool := math.Pow(t1/t0, 1/float64(opts.Iterations))
 	temp := t0
-	for i := 0; i < opts.Iterations; i++ {
-		candidate := Clone(current)
-		if !Mutate(candidate, rng) {
-			temp *= cool
-			continue
+
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Speculative batched annealing: propose up to `workers` candidates
+	// sequentially from the single rng (so the mutation stream depends only
+	// on the seed and worker count), evaluate them concurrently, then run
+	// the Metropolis acceptance test sequentially in proposal order. The
+	// first acceptance invalidates the rest of the batch — those candidates
+	// were derived from the superseded topology — so they are discarded:
+	// their evaluations still count as Proposed (the work was done) but
+	// they take no acceptance test, draw no rng, and their errors are
+	// irrelevant. Every slot consumes one iteration and one cooling step,
+	// exactly as in the sequential schedule. With workers == 1 each batch
+	// is a single candidate and the loop is the classic annealer verbatim.
+	type slot struct {
+		candidate *plan.Node
+		changed   bool
+		area      int64
+		err       error
+	}
+	for iter := 0; iter < opts.Iterations; {
+		n := workers
+		if rem := opts.Iterations - iter; n > rem {
+			n = rem
 		}
-		result.Proposed++
-		area, err := evaluate(candidate)
-		if err != nil {
-			return nil, fmt.Errorf("search: evaluating candidate: %w", err)
+		batch := make([]slot, n)
+		for i := range batch {
+			c := Clone(current)
+			batch[i] = slot{candidate: c, changed: Mutate(c, rng)}
 		}
-		delta := float64(area - currentArea)
-		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
-			result.Accepted++
-			current, currentArea = candidate, area
-			if area < result.BestArea {
-				result.Improved++
-				result.Best = Clone(candidate)
-				result.BestArea = area
+		var wg sync.WaitGroup
+		for i := range batch {
+			if !batch[i].changed {
+				continue
 			}
+			wg.Add(1)
+			go func(s *slot) {
+				defer wg.Done()
+				s.area, s.err = evaluate(s.candidate)
+			}(&batch[i])
 		}
-		temp *= cool
+		wg.Wait()
+		accepted := false
+		for i := range batch {
+			s := &batch[i]
+			if s.changed {
+				result.Proposed++
+			}
+			if s.changed && !accepted {
+				if s.err != nil {
+					return nil, fmt.Errorf("search: evaluating candidate: %w", s.err)
+				}
+				delta := float64(s.area - currentArea)
+				if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+					accepted = true
+					result.Accepted++
+					current, currentArea = s.candidate, s.area
+					if s.area < result.BestArea {
+						result.Improved++
+						result.Best = Clone(s.candidate)
+						result.BestArea = s.area
+					}
+				}
+			}
+			temp *= cool
+			iter++
+		}
 	}
 	return result, nil
 }

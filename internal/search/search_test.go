@@ -1,6 +1,7 @@
 package search
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -173,5 +174,122 @@ func TestAnnealValidation(t *testing.T) {
 	}
 	if res.Proposed == 0 {
 		t.Error("default run proposed no moves")
+	}
+}
+
+// sequentialReference is the pre-batching annealer loop, kept verbatim as a
+// test oracle: Anneal with Workers == 1 must reproduce it exactly — same rng
+// stream, same trajectory, same counters.
+func sequentialReference(t *testing.T, tree *plan.Node, lib optimizer.Library, opts Options) *Result {
+	t.Helper()
+	opts = opts.withDefaults()
+	opt, err := optimizer.New(lib, optimizer.Options{Policy: opts.Policy, SkipPlacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluate := func(n *plan.Node) int64 {
+		res, err := opt.Run(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Best.Area()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	current := Clone(tree)
+	currentArea := evaluate(current)
+	result := &Result{Best: Clone(current), BestArea: currentArea, InitialArea: currentArea}
+	t0 := opts.InitialTemp * float64(currentArea)
+	t1 := opts.FinalTemp * float64(currentArea)
+	cool := math.Pow(t1/t0, 1/float64(opts.Iterations))
+	temp := t0
+	for i := 0; i < opts.Iterations; i++ {
+		candidate := Clone(current)
+		if !Mutate(candidate, rng) {
+			temp *= cool
+			continue
+		}
+		result.Proposed++
+		area := evaluate(candidate)
+		delta := float64(area - currentArea)
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			result.Accepted++
+			current, currentArea = candidate, area
+			if area < result.BestArea {
+				result.Improved++
+				result.Best = Clone(candidate)
+				result.BestArea = area
+			}
+		}
+		temp *= cool
+	}
+	return result
+}
+
+func encodeTree(t *testing.T, n *plan.Node) string {
+	t.Helper()
+	b, err := plan.EncodeTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestAnnealWorkersOneMatchesSequential(t *testing.T) {
+	tree, lib := annealFixture(t, 147)
+	opts := Options{Seed: 11, Iterations: 80, Workers: 1}
+	got, err := Anneal(tree, lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sequentialReference(t, tree, lib, opts)
+	if got.BestArea != want.BestArea || got.InitialArea != want.InitialArea ||
+		got.Proposed != want.Proposed || got.Accepted != want.Accepted ||
+		got.Improved != want.Improved {
+		t.Fatalf("Workers=1 diverged from the sequential annealer:\n got %+v\nwant %+v", got, want)
+	}
+	if encodeTree(t, got.Best) != encodeTree(t, want.Best) {
+		t.Fatal("Workers=1 found a different best topology than the sequential annealer")
+	}
+}
+
+// TestAnnealWorkersDeterministic checks that for a fixed (Seed, Workers)
+// pair the batched annealer is fully reproducible even though candidate
+// evaluations run concurrently: acceptance is sequential in proposal order,
+// so scheduling cannot leak into the trajectory.
+func TestAnnealWorkersDeterministic(t *testing.T) {
+	tree, lib := annealFixture(t, 148)
+	for _, w := range []int{2, 4} {
+		opts := Options{Seed: 21, Iterations: 60, Workers: w}
+		a, err := Anneal(tree, lib, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Anneal(tree, lib, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.BestArea != b.BestArea || a.Proposed != b.Proposed ||
+			a.Accepted != b.Accepted || a.Improved != b.Improved {
+			t.Fatalf("workers %d: non-deterministic: %+v vs %+v", w, a, b)
+		}
+		if encodeTree(t, a.Best) != encodeTree(t, b.Best) {
+			t.Fatalf("workers %d: best topologies diverged", w)
+		}
+		if a.BestArea > a.InitialArea {
+			t.Fatalf("workers %d: search worsened the area", w)
+		}
+		if err := a.Best.Validate(); err != nil {
+			t.Fatalf("workers %d: %v", w, err)
+		}
+		if !equalNames(moduleNames(a.Best), moduleNames(tree)) {
+			t.Fatalf("workers %d: module multiset changed", w)
+		}
+	}
+}
+
+func TestAnnealNegativeWorkers(t *testing.T) {
+	tree, lib := annealFixture(t, 149)
+	if _, err := Anneal(tree, lib, Options{Workers: -2}); err == nil {
+		t.Error("negative worker count accepted")
 	}
 }

@@ -1,0 +1,88 @@
+package tables
+
+import "encoding/json"
+
+// jsonOutcome is one optimizer run in the JSON rendering. M carries the
+// paper's M column; when ok is false it is the stored count at abort and
+// reads "> M". area is omitted for failed runs.
+type jsonOutcome struct {
+	OK    bool  `json:"ok"`
+	M     int64 `json:"m"`
+	CPUms int64 `json:"cpu_ms"`
+	Area  int64 `json:"area,omitempty"`
+}
+
+type jsonSel struct {
+	K        int         `json:"k"`
+	Out      jsonOutcome `json:"out"`
+	DeltaPct *float64    `json:"delta_pct,omitempty"`
+}
+
+type jsonRow struct {
+	Case   int          `json:"case"`
+	N      int          `json:"n"`
+	Aspect float64      `json:"aspect"`
+	Seed   int64        `json:"seed"`
+	Ref    jsonOutcome  `json:"ref"`
+	Plain  *jsonOutcome `json:"plain,omitempty"`
+	Sel    []jsonSel    `json:"sel"`
+}
+
+type jsonTable struct {
+	Table       int       `json:"table"`
+	Floorplan   string    `json:"floorplan"`
+	Modules     int       `json:"modules"`
+	MemoryLimit int64     `json:"memory_limit"`
+	RefLabel    string    `json:"ref_label"`
+	SelLabel    string    `json:"sel_label"`
+	Rows        []jsonRow `json:"rows"`
+}
+
+func toJSONOutcome(o Outcome) jsonOutcome {
+	j := jsonOutcome{OK: o.OK, M: o.M, CPUms: o.CPU.Milliseconds()}
+	if o.OK {
+		j.Area = o.Area
+	}
+	return j
+}
+
+// JSON renders the table as an indented machine-readable document, the
+// benchmark harness's structured counterpart to Format/CSV. The layout
+// mirrors the paper's: one row per test case with the reference run, the
+// optional plain-[9] verification run (Table 4), and the swept selection
+// runs with their area deltas in percent.
+func (t *Table) JSON() ([]byte, error) {
+	doc := jsonTable{
+		Table:       t.Number,
+		Floorplan:   t.Floorplan,
+		Modules:     t.Modules,
+		MemoryLimit: t.Config.MemoryLimit,
+		RefLabel:    t.RefLabel,
+		SelLabel:    t.SelLabel,
+		Rows:        make([]jsonRow, 0, len(t.Rows)),
+	}
+	for _, row := range t.Rows {
+		r := jsonRow{
+			Case:   row.Case.ID,
+			N:      row.Case.N,
+			Aspect: row.Case.Aspect,
+			Seed:   row.Case.Seed,
+			Ref:    toJSONOutcome(row.Ref),
+			Sel:    make([]jsonSel, 0, len(row.Sel)),
+		}
+		if row.Plain != nil {
+			p := toJSONOutcome(*row.Plain)
+			r.Plain = &p
+		}
+		for _, s := range row.Sel {
+			js := jsonSel{K: s.K, Out: toJSONOutcome(s.Out)}
+			if s.HasDelta {
+				d := s.Delta
+				js.DeltaPct = &d
+			}
+			r.Sel = append(r.Sel, js)
+		}
+		doc.Rows = append(doc.Rows, r)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

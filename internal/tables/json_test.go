@@ -1,0 +1,83 @@
+package tables
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestJSONRoundTrips(t *testing.T) {
+	cfg := miniConfig()
+	cfg.MemoryLimit = 2500
+	cases := []Case{{ID: 1, N: 8, Aspect: 5, Seed: 3, K2s: []int{40, 80}}}
+	tbl, err := RunCases(4, "FP1", cases, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := tbl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Table       int    `json:"table"`
+		Floorplan   string `json:"floorplan"`
+		Modules     int    `json:"modules"`
+		MemoryLimit int64  `json:"memory_limit"`
+		Rows        []struct {
+			Case int `json:"case"`
+			N    int `json:"n"`
+			Ref  struct {
+				OK    bool  `json:"ok"`
+				M     int64 `json:"m"`
+				CPUms int64 `json:"cpu_ms"`
+				Area  int64 `json:"area"`
+			} `json:"ref"`
+			Plain *struct {
+				OK   bool  `json:"ok"`
+				M    int64 `json:"m"`
+				Area int64 `json:"area"`
+			} `json:"plain"`
+			Sel []struct {
+				K        int      `json:"k"`
+				DeltaPct *float64 `json:"delta_pct"`
+				Out      struct {
+					OK bool  `json:"ok"`
+					M  int64 `json:"m"`
+				} `json:"out"`
+			} `json:"sel"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, raw)
+	}
+	if doc.Table != 4 || doc.Floorplan != "FP1" || doc.MemoryLimit != 2500 {
+		t.Fatalf("header wrong: %+v", doc)
+	}
+	if len(doc.Rows) != 1 {
+		t.Fatalf("%d rows", len(doc.Rows))
+	}
+	row := doc.Rows[0]
+	if row.Case != 1 || row.N != 8 {
+		t.Fatalf("case header wrong: %+v", row)
+	}
+	if row.Plain == nil {
+		t.Fatal("table 4 JSON must include the plain run")
+	}
+	if row.Plain.OK {
+		t.Fatal("plain [9] should have hit the memory limit in this fixture")
+	}
+	if row.Plain.Area != 0 {
+		t.Fatal("failed runs must omit area")
+	}
+	if len(row.Sel) != 2 || row.Sel[0].K != 40 || row.Sel[1].K != 80 {
+		t.Fatalf("sel sweep wrong: %+v", row.Sel)
+	}
+	for _, s := range row.Sel {
+		if s.Out.OK && row.Ref.OK && s.DeltaPct == nil {
+			t.Fatalf("K=%d: missing delta despite both runs succeeding", s.K)
+		}
+	}
+	// The numbers must agree with the in-memory table.
+	if row.Ref.M != tbl.Rows[0].Ref.M || row.Ref.OK != tbl.Rows[0].Ref.OK {
+		t.Fatalf("ref mismatch: %+v vs %+v", row.Ref, tbl.Rows[0].Ref)
+	}
+}

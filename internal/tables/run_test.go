@@ -1,6 +1,8 @@
 package tables
 
 import (
+	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -100,5 +102,87 @@ func TestAblationsMini(t *testing.T) {
 		if !strings.Contains(th, want) {
 			t.Fatalf("theta ablation missing %q:\n%s", want, th)
 		}
+	}
+}
+
+// zeroCPUs strips the wall-clock columns, the only fields allowed to differ
+// between worker counts.
+func zeroCPUs(tbl *Table) {
+	for i := range tbl.Rows {
+		tbl.Rows[i].Ref.CPU = 0
+		if tbl.Rows[i].Plain != nil {
+			tbl.Rows[i].Plain.CPU = 0
+		}
+		for j := range tbl.Rows[i].Sel {
+			tbl.Rows[i].Sel[j].Out.CPU = 0
+		}
+	}
+	tbl.Config.Workers = 0
+	tbl.Config.Progress = nil
+}
+
+// TestRunCasesWorkersEquivalent runs the same mini grid sequentially and
+// with a parallel worker pool: every cell is an independent deterministic
+// optimization, so the tables must agree exactly outside the CPU columns.
+func TestRunCasesWorkersEquivalent(t *testing.T) {
+	cases := []Case{
+		{ID: 1, N: 6, Aspect: 4, Seed: 1, K1s: []int{4, 5}},
+		{ID: 2, N: 6, Aspect: 5, Seed: 2, K1s: []int{4, 5}},
+	}
+	seqCfg := miniConfig()
+	seqCfg.Workers = 1
+	ref, err := RunCases(1, "FP1", cases, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		cfg := miniConfig()
+		cfg.Workers = w
+		var progress bytes.Buffer
+		cfg.Progress = &progress
+		got, err := RunCases(1, "FP1", cases, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zeroCPUs(ref)
+		zeroCPUs(got)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers %d: tables diverged:\n%+v\nvs\n%+v", w, got, ref)
+		}
+		// 2 cases × (1 ref + 2 sweeps) = 6 atomic progress lines.
+		lines := strings.Split(strings.TrimSpace(progress.String()), "\n")
+		if len(lines) != 6 {
+			t.Fatalf("workers %d: %d progress lines, want 6:\n%s", w, len(lines), progress.String())
+		}
+		for _, l := range lines {
+			if !strings.Contains(l, "M=") {
+				t.Fatalf("workers %d: garbled progress line %q", w, l)
+			}
+		}
+	}
+}
+
+// TestRunCasesWorkersTable4 checks the parallel path through the Table 4
+// protocol (reference + plain + K2 sweep), including a memory-limit
+// failure cell.
+func TestRunCasesWorkersTable4(t *testing.T) {
+	cfg := miniConfig()
+	cfg.MemoryLimit = 2500
+	cases := []Case{{ID: 1, N: 8, Aspect: 5, Seed: 3, K2s: []int{40, 80}}}
+	seqCfg := cfg
+	seqCfg.Workers = 1
+	ref, err := RunCases(4, "FP1", cases, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	got, err := RunCases(4, "FP1", cases, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroCPUs(ref)
+	zeroCPUs(got)
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("tables diverged:\n%+v\nvs\n%+v", got, ref)
 	}
 }

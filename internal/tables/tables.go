@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"floorplan/internal/gen"
@@ -53,8 +55,17 @@ type Config struct {
 	S int
 	// Theta is the L_Selection trigger ratio (Section 5).
 	Theta float64
-	// Progress, when non-nil, receives one line per completed run.
+	// Progress, when non-nil, receives one line per completed run. With
+	// Workers > 1 lines arrive in completion order, not case order; each
+	// line is still written atomically.
 	Progress io.Writer
+	// Workers bounds how many optimizer runs of the table grid execute
+	// concurrently (0 means runtime.GOMAXPROCS(0), 1 is fully sequential).
+	// Every cell of a table — reference, plain and swept selection runs of
+	// every case — is an independent optimization, so the grid
+	// parallelizes perfectly and the results are identical for any worker
+	// count; only the CPU columns (wall-clock of each run) vary with load.
+	Workers int
 }
 
 // DefaultConfig returns the calibrated configuration used by fpbench and
@@ -193,17 +204,71 @@ func RunCases(table int, fp string, cases []Case, cfg Config) (*Table, error) {
 		t.RefLabel = "[9]+R_Selection (K1=40)"
 		t.SelLabel = "[9]+R_Selection+L_Selection"
 	}
-	for _, c := range cases {
-		row, err := runRow(table, tree, c, cfg)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		// Fully sequential: runs execute — and report progress — in the
+		// table's reading order.
+		for _, c := range cases {
+			row, err := runRow(table, tree, c, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, *row)
+		}
+		return t, nil
+	}
+	// Every cell in the grid is independent, so all rows launch at once and
+	// a shared semaphore bounds how many optimizer runs are in flight. Row
+	// goroutines never hold a token themselves — only cell runs do — so a
+	// stalled row cannot starve the pool.
+	if cfg.Progress != nil {
+		cfg.Progress = &syncWriter{w: cfg.Progress}
+	}
+	sem := make(chan struct{}, workers)
+	rows := make([]*Row, len(cases))
+	errs := make([]error, len(cases))
+	var wg sync.WaitGroup
+	for i := range cases {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows[i], errs[i] = runRow(table, tree, cases[i], cfg, sem)
+		}(i)
+	}
+	wg.Wait()
+	// Report the first error in case order, deterministically.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	for _, row := range rows {
 		t.Rows = append(t.Rows, *row)
 	}
 	return t, nil
 }
 
-func runRow(table int, tree *plan.Node, c Case, cfg Config) (*Row, error) {
+// syncWriter makes each progress line atomic when runs complete
+// concurrently.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// runRow runs one case's reference run and selection sweep. With a nil sem
+// the cells run sequentially in table order; otherwise each cell runs in its
+// own goroutine gated by sem. Deltas are relative to the reference outcome,
+// so they are filled in after every cell has finished.
+func runRow(table int, tree *plan.Node, c Case, cfg Config, sem chan struct{}) (*Row, error) {
 	lib, err := caseLibrary(tree, c, cfg)
 	if err != nil {
 		return nil, err
@@ -214,22 +279,54 @@ func runRow(table int, tree *plan.Node, c Case, cfg Config) (*Row, error) {
 	if table == 4 {
 		refPolicy = selection.Policy{K1: 40}
 	}
-	row.Ref = runOnce(tree, lib, refPolicy, cfg, fmt.Sprintf("table%d case%d ref", table, c.ID))
-
-	if table == 4 {
-		plain := runOnce(tree, lib, selection.Policy{}, cfg, fmt.Sprintf("table4 case%d plain", c.ID))
-		row.Plain = &plain
-		for _, k2 := range c.K2s {
-			p := selection.Policy{K1: 40, K2: k2, Theta: cfg.Theta, S: cfg.S}
-			out := runOnce(tree, lib, p, cfg, fmt.Sprintf("table4 case%d K2=%d", c.ID, k2))
-			row.Sel = append(row.Sel, selRun(k2, out, row.Ref))
-		}
-		return row, nil
+	type cell struct {
+		dst    *Outcome
+		policy selection.Policy
+		label  string
 	}
-	for _, k1 := range c.K1s {
-		p := selection.Policy{K1: k1}
-		out := runOnce(tree, lib, p, cfg, fmt.Sprintf("table%d case%d K1=%d", table, c.ID, k1))
-		row.Sel = append(row.Sel, selRun(k1, out, row.Ref))
+	cells := []cell{{&row.Ref, refPolicy, fmt.Sprintf("table%d case%d ref", table, c.ID)}}
+	if table == 4 {
+		row.Plain = &Outcome{}
+		cells = append(cells, cell{row.Plain, selection.Policy{}, fmt.Sprintf("table4 case%d plain", c.ID)})
+		row.Sel = make([]SelRun, len(c.K2s))
+		for i, k2 := range c.K2s {
+			row.Sel[i].K = k2
+			cells = append(cells, cell{
+				&row.Sel[i].Out,
+				selection.Policy{K1: 40, K2: k2, Theta: cfg.Theta, S: cfg.S},
+				fmt.Sprintf("table4 case%d K2=%d", c.ID, k2),
+			})
+		}
+	} else {
+		row.Sel = make([]SelRun, len(c.K1s))
+		for i, k1 := range c.K1s {
+			row.Sel[i].K = k1
+			cells = append(cells, cell{
+				&row.Sel[i].Out,
+				selection.Policy{K1: k1},
+				fmt.Sprintf("table%d case%d K1=%d", table, c.ID, k1),
+			})
+		}
+	}
+	if sem == nil {
+		for _, j := range cells {
+			*j.dst = runOnce(tree, lib, j.policy, cfg, j.label)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, j := range cells {
+			wg.Add(1)
+			go func(j cell) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				*j.dst = runOnce(tree, lib, j.policy, cfg, j.label)
+			}(j)
+		}
+		wg.Wait()
+	}
+	for i := range row.Sel {
+		row.Sel[i] = selRun(row.Sel[i].K, row.Sel[i].Out, row.Ref)
 	}
 	return row, nil
 }
@@ -263,6 +360,11 @@ func runOnce(tree *plan.Node, lib optimizer.Library, policy selection.Policy, cf
 		Policy:        policy,
 		MemoryLimit:   cfg.MemoryLimit,
 		SkipPlacement: true,
+		// The paper's M column is defined by the sequential bottom-up
+		// admission order, and the grid-level parallelism above already
+		// saturates the machine, so each cell's optimizer stays
+		// single-worker.
+		Workers: 1,
 	}
 	o, err := optimizer.New(lib, opts)
 	if err != nil {

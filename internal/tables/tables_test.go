@@ -92,7 +92,7 @@ func TestRunRowMini(t *testing.T) {
 	}
 	cfg := miniConfig()
 	c := Case{ID: 1, N: 8, Aspect: 4, Seed: 1, K1s: []int{4, 6}}
-	row, err := runRow(1, tree, c, cfg)
+	row, err := runRow(1, tree, c, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestRunRowTable4Mini(t *testing.T) {
 	}
 	cfg := miniConfig()
 	c := Case{ID: 1, N: 8, Aspect: 4, Seed: 2, K1s: []int{40}, K2s: []int{50, 200}}
-	row, err := runRow(4, tree, c, cfg)
+	row, err := runRow(4, tree, c, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestMemoryFailureRow(t *testing.T) {
 	cfg := miniConfig()
 	cfg.MemoryLimit = 500
 	c := Case{ID: 1, N: 8, Aspect: 4, Seed: 1, K1s: []int{4}}
-	row, err := runRow(1, tree, c, cfg)
+	row, err := runRow(1, tree, c, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,12 @@ type SearchOptions struct {
 	Iterations int
 	// Selection speeds up the inner area optimizations (default K1=8).
 	Selection Selection
+	// Workers bounds how many candidate topologies are evaluated
+	// concurrently per annealing batch (0 = one per CPU). Workers == 1 is
+	// the classic sequential annealer; larger counts evaluate speculative
+	// batches in parallel with deterministic, seed-reproducible acceptance
+	// (the trajectory depends on the worker count).
+	Workers int
 }
 
 // SearchResult is the outcome of SearchTopology.
@@ -46,6 +52,7 @@ func SearchTopology(tree *Tree, lib Library, opts SearchOptions) (*SearchResult,
 	res, err := search.Anneal(tree, canonical, search.Options{
 		Seed:       opts.Seed,
 		Iterations: opts.Iterations,
+		Workers:    opts.Workers,
 		Policy: selection.Policy{
 			K1:    opts.Selection.K1,
 			K2:    opts.Selection.K2,
