@@ -1,10 +1,11 @@
 # Developer entry points. `make check` is the CI gate: vet plus the full
 # test suite under the race detector (the parallel evaluator, annealer and
-# table grid are all exercised concurrently by their tests).
+# table grid are all exercised concurrently by their tests), plus a focused
+# race pass over the telemetry collector.
 
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet bench bench-report check
 
 all: build
 
@@ -24,4 +25,13 @@ race:
 bench:
 	$(GO) test -run NONE -bench EvalParallel -benchtime 3x .
 
+# bench-report runs the CI-scale grid with telemetry and writes the merged
+# run report plus per-table BENCH json. fpbench itself re-parses the report
+# (telemetry.ParseReport) and exits non-zero if it does not round-trip, so
+# this target fails on any report schema or marshalling regression.
+bench-report: build
+	mkdir -p bench-out
+	$(GO) run ./cmd/fpbench -smoke -quiet -benchjson bench-out -report bench-out/report.json
+
 check: vet race
+	$(GO) test -race ./internal/telemetry/...

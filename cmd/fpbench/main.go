@@ -8,6 +8,7 @@
 //	fpbench -all              # all four tables (several minutes)
 //	fpbench -ablation uniform # R_Selection vs uniform subsampling
 //	fpbench -ablation thetas  # θ / S sensitivity on FP4
+//	fpbench -smoke -benchjson out -report out/report.json  # CI-scale grid
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"floorplan/internal/tables"
+	"floorplan/internal/telemetry"
 )
 
 func main() {
@@ -27,12 +29,16 @@ func main() {
 	var (
 		table    = flag.Int("table", 0, "regenerate one paper table (1-4)")
 		all      = flag.Bool("all", false, "regenerate all four tables")
+		smoke    = flag.Bool("smoke", false, "run a small CI-scale grid instead of a paper table")
 		ablation = flag.String("ablation", "", "run an ablation: 'uniform' or 'thetas'")
 		limit    = flag.Int64("limit", 0, "override the memory limit (default: calibrated 300000)")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 		csvOut   = flag.String("csv", "", "also write machine-readable CSV to this file")
 		jsonDir  = flag.String("benchjson", "", "write BENCH_table<N>.json files into this directory")
 		workers  = flag.Int("workers", 0, "concurrent optimizer runs (0 = all CPUs, 1 = sequential)")
+		report   = flag.String("report", "", "write the merged telemetry run report (JSON) to this file")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this file")
+		debug    = flag.String("debug-addr", "", "serve expvar and pprof on this address while the grid runs")
 	)
 	flag.Parse()
 
@@ -46,6 +52,34 @@ func main() {
 	cfg.Workers = *workers
 	if !*quiet {
 		cfg.Progress = os.Stderr
+	}
+
+	// The root collector spans the whole invocation; each table runs
+	// against its own shard (so its BENCH json embeds only its own
+	// numbers) and the shards merge back into the root for -report. The
+	// -benchjson embed implies collection even without -report.
+	var root *telemetry.Collector
+	if *report != "" || *traceOut != "" || *debug != "" || *jsonDir != "" {
+		root = telemetry.New()
+	}
+	if *debug != "" {
+		_, addr, err := telemetry.StartDebugServer(*debug, root)
+		if err != nil {
+			log.Fatalf("debug listener: %v", err)
+		}
+		log.Printf("debug listener on http://%s/debug/vars", addr)
+	}
+	// runTable executes fn with a per-table telemetry shard in cfg.
+	runTable := func(fn func(cfg tables.Config) (*tables.Table, error)) *tables.Table {
+		tcfg := cfg
+		shard := root.Shard()
+		tcfg.Telemetry = shard
+		t, err := fn(tcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		root.Merge(shard)
+		return t
 	}
 
 	switch {
@@ -63,13 +97,26 @@ func main() {
 		fmt.Print(out)
 	case *ablation != "":
 		log.Fatalf("unknown ablation %q (want 'uniform' or 'thetas')", *ablation)
-	case *all:
-		var csvParts []string
-		for i := 1; i <= 4; i++ {
-			t, err := tables.Run(i, cfg)
+	case *smoke:
+		t := runTable(func(cfg tables.Config) (*tables.Table, error) {
+			return tables.RunCases(1, "FP1", smokeCases(), cfg)
+		})
+		fmt.Println(t.Format())
+		writeJSON(*jsonDir, t)
+		if *csvOut != "" {
+			part, err := t.CSV()
 			if err != nil {
 				log.Fatal(err)
 			}
+			writeCSV(*csvOut, part)
+		}
+	case *all:
+		var csvParts []string
+		for i := 1; i <= 4; i++ {
+			i := i
+			t := runTable(func(cfg tables.Config) (*tables.Table, error) {
+				return tables.Run(i, cfg)
+			})
 			fmt.Println(t.Format())
 			writeJSON(*jsonDir, t)
 			if *csvOut != "" {
@@ -88,10 +135,9 @@ func main() {
 		}
 		writeCSV(*csvOut, strings.Join(csvParts, ""))
 	case *table >= 1 && *table <= 4:
-		t, err := tables.Run(*table, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
+		t := runTable(func(cfg tables.Config) (*tables.Table, error) {
+			return tables.Run(*table, cfg)
+		})
 		fmt.Println(t.Format())
 		writeJSON(*jsonDir, t)
 		if *csvOut != "" {
@@ -105,6 +151,51 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *report != "" {
+		if err := os.WriteFile(*report, mustReport(root), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		// Round-trip gate: a report that does not re-parse (schema drift,
+		// marshalling bug) fails the run, not a downstream consumer.
+		data, err := os.ReadFile(*report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := telemetry.ParseReport(data); err != nil {
+			log.Fatalf("report round-trip failed: %v", err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := root.WriteTrace(f); err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func mustReport(c *telemetry.Collector) []byte {
+	raw, err := c.Report().JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return raw
+}
+
+// smokeCases is the CI-scale grid behind -smoke: two cases small enough to
+// finish in well under a second yet still exercising the full table
+// protocol (reference run, K1 sweep, selection, telemetry plumbing).
+func smokeCases() []tables.Case {
+	return []tables.Case{
+		{ID: 1, N: 6, Aspect: 4, Seed: 1, K1s: []int{4, 6}},
+		{ID: 2, N: 8, Aspect: 5, Seed: 2, K1s: []int{4, 6}},
+	}
 }
 
 func writeCSV(path, content string) {
@@ -117,8 +208,8 @@ func writeCSV(path, content string) {
 }
 
 // writeJSON drops one BENCH_table<N>.json per regenerated table into dir,
-// the machine-readable record (M, cpu_ms, area per run) consumed by
-// benchmark tooling.
+// the machine-readable record (M, cpu_ms, wall_ms, peak per run, plus the
+// embedded telemetry report) consumed by benchmark tooling.
 func writeJSON(dir string, t *tables.Table) {
 	if dir == "" {
 		return

@@ -18,6 +18,7 @@ import (
 	floorplan "floorplan"
 	"floorplan/internal/gen"
 	"floorplan/internal/render"
+	"floorplan/internal/telemetry"
 )
 
 func main() {
@@ -35,9 +36,16 @@ func main() {
 		treeOut  = flag.String("tree", "", "write the topology JSON here (default stdout)")
 		libOut   = flag.String("lib", "", "write the module library JSON here")
 		showTree = flag.Bool("print", false, "also print the topology outline")
+		report   = flag.String("report", "", "write the telemetry run report (JSON) to this file")
 	)
 	flag.Parse()
 
+	var col *telemetry.Collector
+	if *report != "" {
+		col = telemetry.New()
+	}
+
+	treeStart := col.Now()
 	var tree *floorplan.Tree
 	var err error
 	switch {
@@ -53,24 +61,41 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	col.RecordSpan(telemetry.Span{
+		Name: "generate_tree", Cat: telemetry.CatStage,
+		Start: treeStart, Dur: col.Now() - treeStart,
+	})
 
 	data, err := floorplan.EncodeTree(tree)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *treeOut == "" {
-		fmt.Println(string(data))
+		// Stdout can fail (closed pipe, full disk behind a redirect); a
+		// generator that exits 0 with truncated output corrupts pipelines.
+		if _, err := fmt.Println(string(data)); err != nil {
+			log.Fatalf("writing topology to stdout: %v", err)
+		}
 	} else if err := os.WriteFile(*treeOut, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
 
 	if *libOut != "" {
+		libStart := col.Now()
 		rng := rand.New(rand.NewSource(*seed))
 		params := gen.ModuleParams{N: *n, MinArea: *minArea, MaxArea: *maxArea, MaxAspect: *aspect}
 		raw, err := gen.Library(rng, tree, params)
 		if err != nil {
 			log.Fatal(err)
 		}
+		col.Add(telemetry.CtrGenModules, int64(len(raw)))
+		for _, l := range raw {
+			col.Add(telemetry.CtrGenImpls, int64(len(l)))
+		}
+		col.RecordSpan(telemetry.Span{
+			Name: "generate_library", Cat: telemetry.CatStage,
+			Start: libStart, Dur: col.Now() - libStart,
+		})
 		blob, err := json.MarshalIndent(raw, "", "  ")
 		if err != nil {
 			log.Fatal(err)
@@ -80,8 +105,23 @@ func main() {
 		}
 	}
 
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := col.WriteReport(f); err != nil {
+			log.Fatalf("writing report: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *showTree {
-		fmt.Fprint(os.Stderr, render.Tree(tree))
+		if _, err := fmt.Fprint(os.Stderr, render.Tree(tree)); err != nil {
+			log.Fatalf("writing outline: %v", err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "generated %d modules (%d wheels, depth %d)\n",
 		tree.ModuleCount(), tree.WheelCount(), tree.Depth())

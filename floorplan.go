@@ -34,6 +34,7 @@
 package floorplan
 
 import (
+	"io"
 	"math/rand"
 
 	"floorplan/internal/gen"
@@ -43,6 +44,7 @@ import (
 	"floorplan/internal/selection"
 	"floorplan/internal/shape"
 	"floorplan/internal/stockmeyer"
+	"floorplan/internal/telemetry"
 )
 
 // Impl is a rectangular implementation (width, height).
@@ -114,7 +116,31 @@ type Options struct {
 	// runs always fail with IsMemoryLimit but may abort at a different
 	// block.
 	Workers int
+	// Telemetry, when non-nil, records the run's metrics, per-block eval
+	// spans and pipeline stage spans; read them back with
+	// Collector.Report or export a Chrome trace with WriteTrace. nil (the
+	// default) disables collection with no measurable overhead.
+	Telemetry *Collector
 }
+
+// Collector gathers metrics, spans and histograms across a run; create one
+// with NewCollector and pass it via Options.Telemetry. All methods are safe
+// for concurrent use; a nil *Collector is the disabled state.
+type Collector = telemetry.Collector
+
+// TelemetryReport is the structured JSON run report a Collector snapshots:
+// a deterministic section (identical for any worker count) and a Runtime
+// section (wall times, spans, contention churn).
+type TelemetryReport = telemetry.Report
+
+// NewCollector returns an empty telemetry collector whose span clock
+// starts now.
+func NewCollector() *Collector { return telemetry.New() }
+
+// WriteTrace writes the collector's spans in Chrome trace_event format
+// (load in Perfetto or chrome://tracing): one logical thread per worker,
+// with per-block evaluation spans placed on the timeline.
+func WriteTrace(w io.Writer, c *Collector) error { return c.WriteTrace(w) }
 
 // Stats are the run's cost metrics; see the paper's M and CPU columns.
 type Stats = optimizer.Stats
@@ -163,6 +189,7 @@ func Optimize(tree *Tree, lib Library, opts Options) (*Result, error) {
 		MemoryLimit:   opts.MemoryLimit,
 		SkipPlacement: opts.SkipPlacement,
 		Workers:       opts.Workers,
+		Telemetry:     opts.Telemetry,
 	})
 	if err != nil {
 		return nil, err

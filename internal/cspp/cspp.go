@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Inf is the sentinel weight for "no such path", the paper's W = ∞.
@@ -137,10 +138,33 @@ type dpState struct {
 
 var dpPool = sync.Pool{New: func() any { return new(dpState) }}
 
+// Pool telemetry: solves, and whether a pooled state's weight rows could
+// be reused or had to grow. Process-wide (the pool itself is process-wide);
+// collectors snapshot deltas around a run, so concurrent runs see combined
+// churn — documented in the telemetry report's runtime section.
+var (
+	poolSolves atomic.Int64
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
+)
+
+// PoolCounters returns the cumulative DP-table pool statistics: total
+// solves, reuses of an adequately sized pooled table, and misses that had
+// to allocate fresh rows.
+func PoolCounters() (solves, hits, misses int64) {
+	return poolSolves.Load(), poolHits.Load(), poolMisses.Load()
+}
+
 // getDP returns a dpState with prev/cur sized for n vertices (initialized
 // to Inf with prev[0] left for the caller) and room for k+1 pred rows.
 func getDP(n, k int) *dpState {
 	d := dpPool.Get().(*dpState)
+	poolSolves.Add(1)
+	if cap(d.prev) >= n {
+		poolHits.Add(1)
+	} else {
+		poolMisses.Add(1)
+	}
 	if cap(d.prev) < n {
 		d.prev = make([]int64, n)
 		d.cur = make([]int64, n)

@@ -36,7 +36,12 @@ type Tracker struct {
 	// overPeak is the maximum would-be count of any rejected Add — the
 	// value behind the paper's "> M" rows. Zero until an Add fails.
 	overPeak atomic.Int64
-	limit    int64
+	// casRetries counts failed compare-and-swap attempts in Add/Release —
+	// the contention signal telemetry reports as reservation pressure.
+	casRetries atomic.Int64
+	// denials counts Adds rejected at the limit.
+	denials atomic.Int64
+	limit   int64
 }
 
 // NewTracker returns a tracker that fails any Add pushing the current count
@@ -59,12 +64,14 @@ func (t *Tracker) Add(n int64) error {
 		next := cur + n
 		if t.limit > 0 && next > t.limit {
 			bumpMax(&t.overPeak, next)
+			t.denials.Add(1)
 			return fmt.Errorf("%w: %d stored > limit %d", ErrLimit, next, t.limit)
 		}
 		if t.current.CompareAndSwap(cur, next) {
 			bumpMax(&t.peak, next)
 			return nil
 		}
+		t.casRetries.Add(1)
 	}
 }
 
@@ -82,6 +89,7 @@ func (t *Tracker) Release(n int64) error {
 		if t.current.CompareAndSwap(cur, cur-n) {
 			return nil
 		}
+		t.casRetries.Add(1)
 	}
 }
 
@@ -120,3 +128,12 @@ func (t *Tracker) Limit() int64 { return t.limit }
 
 // Exceeded reports whether any admission attempt has passed the limit.
 func (t *Tracker) Exceeded() bool { return t.limit > 0 && t.Peak() > t.limit }
+
+// CASRetries returns the number of failed compare-and-swap attempts across
+// Add and Release — a measure of reservation contention under the parallel
+// evaluator. Inherently nondeterministic; telemetry files it under the
+// runtime section.
+func (t *Tracker) CASRetries() int64 { return t.casRetries.Load() }
+
+// Denials returns the number of admissions rejected at the limit.
+func (t *Tracker) Denials() int64 { return t.denials.Load() }

@@ -20,10 +20,12 @@ import (
 	"time"
 
 	"floorplan/internal/combine"
+	"floorplan/internal/cspp"
 	"floorplan/internal/memtrack"
 	"floorplan/internal/plan"
 	"floorplan/internal/selection"
 	"floorplan/internal/shape"
+	"floorplan/internal/telemetry"
 )
 
 // Library maps module names to their non-redundant implementation lists.
@@ -64,6 +66,12 @@ type Options struct {
 	// scheduling-dependent), but they never admit past the limit and
 	// always fail with an error matching ErrMemoryLimit.
 	Workers int
+	// Telemetry, when non-nil, receives the run's metrics, per-node eval
+	// spans and stage spans. The deterministic report section is identical
+	// for any worker count (the per-node records fold in canonical
+	// postorder, like Stats); nil disables collection at the cost of one
+	// branch per instrumentation site.
+	Telemetry *telemetry.Collector
 }
 
 // workers resolves the effective worker count for a schedule of n nodes.
@@ -188,11 +196,24 @@ type nodeOutcome struct {
 	// selection error): its generated count still feeds the stats, but it
 	// contributes no NodeStat row and no stored list.
 	failed bool
+
+	// Telemetry fields, populated only when a collector is attached.
+	// selErr is the selection error admitted at this node; selN/selK the
+	// CSPP instance dimensions when selection ran; candidates the number
+	// of implementation pairs the combine operation considered. start,
+	// dur and worker place the evaluation on the trace timeline.
+	selErr     int64
+	selN, selK int
+	candidates int64
+	start, dur time.Duration
+	worker     int
 }
 
 type runState struct {
 	o   *Optimizer
 	mem *memtrack.Tracker
+	// tel is nil when telemetry is disabled; every use is one branch.
+	tel *telemetry.Collector
 	// evals and outcomes are indexed by BinNode.ID (preorder, 0..n-1).
 	// Each slot is written exactly once, by the worker that evaluates the
 	// node, before any reader can observe it (the scheduler's dependency
@@ -205,10 +226,16 @@ type runState struct {
 // error matching ErrMemoryLimit together with a partial Result carrying the
 // stats gathered so far (mirroring the paper's "> M" rows).
 func (o *Optimizer) Run(tree *plan.Node) (*Result, error) {
+	tel := o.opts.Telemetry
+	restructureStart := tel.Now()
 	bin, err := plan.Restructure(tree)
 	if err != nil {
 		return nil, err
 	}
+	tel.RecordSpan(telemetry.Span{
+		Name: "restructure", Cat: telemetry.CatStage,
+		Start: restructureStart, Dur: tel.Now() - restructureStart,
+	})
 	return o.RunBinary(bin)
 }
 
@@ -235,10 +262,16 @@ func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 	st := &runState{
 		o:        o,
 		mem:      memtrack.NewTracker(o.opts.MemoryLimit),
+		tel:      o.opts.Telemetry,
 		evals:    make([]*nodeEval, len(schedule)),
 		outcomes: make([]*nodeOutcome, len(schedule)),
 	}
 	workers := o.opts.workers(len(schedule))
+	var poolSolves0, poolHits0, poolMisses0 int64
+	evalSpanStart := st.tel.Now()
+	if st.tel != nil {
+		poolSolves0, poolHits0, poolMisses0 = cspp.PoolCounters()
+	}
 	start := time.Now()
 	var evalErr error
 	if workers <= 1 {
@@ -253,6 +286,20 @@ func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 		// would-be count of the rejected admission, the paper's "> M".
 		stats.PeakStored = st.mem.Peak()
 		stats.FinalStored = st.mem.Current()
+	}
+	if st.tel != nil {
+		st.tel.RecordSpan(telemetry.Span{
+			Name: "evaluate", Cat: telemetry.CatStage,
+			Start: evalSpanStart, Dur: st.tel.Now() - evalSpanStart,
+			Args: map[string]int64{"workers": int64(workers)},
+		})
+		solves, hits, misses := cspp.PoolCounters()
+		st.tel.Add(telemetry.CtrCSPPSolves, solves-poolSolves0)
+		st.tel.Add(telemetry.CtrCSPPPoolHits, hits-poolHits0)
+		st.tel.Add(telemetry.CtrCSPPPoolMiss, misses-poolMisses0)
+		st.emitTelemetry(schedule, stats)
+	}
+	if evalErr != nil {
 		return &Result{Stats: stats}, evalErr
 	}
 	rootEval := st.evals[bin.ID]
@@ -268,6 +315,7 @@ func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 		NodeStats: nodeStats,
 	}
 	if !o.opts.SkipPlacement {
+		traceStart := st.tel.Now()
 		placement, err := st.trace(bin, best)
 		if err != nil {
 			return res, err
@@ -276,6 +324,10 @@ func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 			return res, fmt.Errorf("optimizer: traceback produced an illegal placement: %w", err)
 		}
 		res.Placement = placement
+		st.tel.RecordSpan(telemetry.Span{
+			Name: "traceback", Cat: telemetry.CatStage,
+			Start: traceStart, Dur: st.tel.Now() - traceStart,
+		})
 	}
 	return res, nil
 }
@@ -303,7 +355,7 @@ func flattenPostorder(bin *plan.BinNode) []*plan.BinNode {
 // postorder — byte-for-byte the original single-threaded behavior.
 func (st *runState) runSequential(schedule []*plan.BinNode) error {
 	for _, b := range schedule {
-		if err := st.evalNode(b); err != nil {
+		if err := st.evalNode(b, 0); err != nil {
 			return err
 		}
 	}
@@ -360,8 +412,24 @@ func (st *runState) mergeOutcomes(schedule []*plan.BinNode) (Stats, []NodeStat) 
 // (st.evals of the children) must already be present; the schedulers
 // guarantee that. Apart from the shared memory tracker — which is atomic —
 // it touches only this node's slots, so any number of evalNode calls on
-// distinct nodes may run concurrently.
-func (st *runState) evalNode(b *plan.BinNode) error {
+// distinct nodes may run concurrently. worker tags the outcome for trace
+// attribution; with telemetry disabled the timing wrapper is a single
+// branch.
+func (st *runState) evalNode(b *plan.BinNode, worker int) error {
+	if st.tel == nil {
+		return st.evalNodeInner(b)
+	}
+	start := st.tel.Now()
+	err := st.evalNodeInner(b)
+	if out := st.outcomes[b.ID]; out != nil {
+		out.start = start
+		out.dur = st.tel.Now() - start
+		out.worker = worker
+	}
+	return err
+}
+
+func (st *runState) evalNodeInner(b *plan.BinNode) error {
 	out := &nodeOutcome{}
 	st.outcomes[b.ID] = out
 	if b.Kind == plan.BinLeaf {
@@ -369,6 +437,21 @@ func (st *runState) evalNode(b *plan.BinNode) error {
 	}
 	left := st.evals[b.Left.ID]
 	right := st.evals[b.Right.ID]
+	if st.tel != nil {
+		// Candidate pairs the combine operation enumerates: |left|·|right|.
+		var ln, rn int
+		if b.Left.IsL() {
+			ln = left.ls.Size()
+		} else {
+			ln = len(left.rl)
+		}
+		if b.Right.IsL() {
+			rn = right.ls.Size()
+		} else {
+			rn = len(right.rl)
+		}
+		out.candidates = int64(ln) * int64(rn)
+	}
 	// budget lets the combination abort as soon as a node's non-redundant
 	// set alone exceeds the remaining memory allowance, instead of fully
 	// generating a doomed node first.
@@ -444,12 +527,14 @@ func (st *runState) finishR(b *plan.BinNode, out *nodeOutcome, list shape.RList,
 			b.ID, b.Kind, memtrack.ErrLimit, st.mem.Current())
 	}
 	if st.o.opts.Policy.WantR(len(list)) {
-		reduced, err := st.o.opts.Policy.ReduceR(list)
+		reduced, admitted, err := st.o.opts.Policy.ReduceR(list)
 		if err != nil {
 			out.failed = true
 			return err
 		}
 		out.rsel = 1
+		out.selErr = admitted
+		out.selN, out.selK = len(list), st.o.opts.Policy.K1
 		if err := st.mem.Release(int64(len(list) - len(reduced))); err != nil {
 			out.failed = true
 			return err
@@ -477,12 +562,14 @@ func (st *runState) finishL(b *plan.BinNode, out *nodeOutcome, set shape.LSet, t
 			b.ID, b.Kind, memtrack.ErrLimit, st.mem.Current())
 	}
 	if st.o.opts.Policy.WantL(size) {
-		reduced, err := st.o.opts.Policy.ReduceLSet(set)
+		reduced, admitted, err := st.o.opts.Policy.ReduceLSet(set)
 		if err != nil {
 			out.failed = true
 			return err
 		}
 		out.lsel = 1
+		out.selErr = admitted
+		out.selN, out.selK = size, st.o.opts.Policy.K2
 		if err := st.mem.Release(int64(size - reduced.Size())); err != nil {
 			out.failed = true
 			return err
@@ -493,6 +580,63 @@ func (st *runState) finishL(b *plan.BinNode, out *nodeOutcome, set shape.LSet, t
 	out.stat.Lists = len(set.Lists)
 	st.evals[b.ID] = &nodeEval{ls: set}
 	return nil
+}
+
+// emitTelemetry folds the per-node records into the run's collector,
+// walking the canonical postorder schedule exactly like mergeOutcomes —
+// every node's contribution lands in the same order no matter which
+// worker produced it, so the deterministic report section is bit-identical
+// across worker counts. Wall-clock data (eval spans, per-worker busy time,
+// memtrack churn) goes to the runtime section, which legitimately varies.
+func (st *runState) emitTelemetry(schedule []*plan.BinNode, stats Stats) {
+	tel := st.tel
+	for _, b := range schedule {
+		out := st.outcomes[b.ID]
+		if out == nil {
+			continue
+		}
+		tel.Record(telemetry.HistListBefore, int64(out.stat.Generated))
+		tel.Add(telemetry.CtrCombineCandidates, out.candidates)
+		if out.rsel > 0 {
+			tel.Add(telemetry.CtrRSelectionError, out.selErr)
+		}
+		if out.lsel > 0 {
+			tel.Add(telemetry.CtrLSelectionError, out.selErr)
+		}
+		if out.rsel > 0 || out.lsel > 0 {
+			tel.Observe(telemetry.MaxCSPPN, int64(out.selN))
+			tel.Observe(telemetry.MaxCSPPK, int64(out.selK))
+		}
+		if !out.failed {
+			tel.Record(telemetry.HistListAfter, int64(out.stat.Stored))
+			tel.Add(telemetry.CtrStored, int64(out.stat.Stored))
+		}
+		if out.dur > 0 {
+			tel.Record(telemetry.HistNodeEvalNs, out.dur.Nanoseconds())
+			tel.RecordSpan(telemetry.Span{
+				Name:  fmt.Sprintf("n%d %v", b.ID, b.Kind),
+				Cat:   "eval",
+				Track: out.worker,
+				Start: out.start,
+				Dur:   out.dur,
+				Args: map[string]int64{
+					"node":      int64(b.ID),
+					"generated": int64(out.stat.Generated),
+					"stored":    int64(out.stat.Stored),
+				},
+			})
+		}
+	}
+	tel.Add(telemetry.CtrNodes, int64(stats.Nodes))
+	tel.Add(telemetry.CtrLNodes, int64(stats.LNodes))
+	tel.Add(telemetry.CtrGenerated, stats.Generated)
+	tel.Add(telemetry.CtrRSelections, int64(stats.RSelections))
+	tel.Add(telemetry.CtrLSelections, int64(stats.LSelections))
+	tel.Observe(telemetry.MaxPeakStored, stats.PeakStored)
+	tel.Observe(telemetry.MaxRList, int64(stats.MaxRList))
+	tel.Observe(telemetry.MaxLSet, int64(stats.MaxLSet))
+	tel.Add(telemetry.CtrMemDenials, st.mem.Denials())
+	tel.Add(telemetry.CtrMemCASRetries, st.mem.CASRetries())
 }
 
 // IsMemoryLimit reports whether err is a memory-limit abort.

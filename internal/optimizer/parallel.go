@@ -64,12 +64,12 @@ func (st *runState) runParallel(schedule []*plan.BinNode, workers int) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for id := range ready {
 				completed := false
 				if !aborted.Load() {
-					if err := st.evalNode(byID[id]); err != nil {
+					if err := st.evalNode(byID[id], w); err != nil {
 						aborted.Store(true)
 						errMu.Lock()
 						nodeErr = append(nodeErr, struct {
@@ -91,7 +91,7 @@ func (st *runState) runParallel(schedule []*plan.BinNode, workers int) error {
 					close(ready)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if len(nodeErr) == 0 {

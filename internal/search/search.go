@@ -28,6 +28,7 @@ import (
 	"floorplan/internal/optimizer"
 	"floorplan/internal/plan"
 	"floorplan/internal/selection"
+	"floorplan/internal/telemetry"
 )
 
 // Options configures the annealer.
@@ -52,6 +53,12 @@ type Options struct {
 	// proposed after an accepted move in the same batch are stale (they
 	// mutated the pre-acceptance topology) and are discarded.
 	Workers int
+	// Telemetry, when non-nil, receives per-move accept/reject counters,
+	// candidate evaluation times, speculation waste and per-batch spans
+	// carrying the annealing temperature. The annealer's counters are
+	// trajectory statistics, not worker-count-invariant folds, so they are
+	// deterministic only for a fixed (Seed, Workers) pair.
+	Telemetry *telemetry.Collector
 }
 
 func (o Options) withDefaults() Options {
@@ -105,8 +112,11 @@ func Anneal(tree *plan.Node, lib optimizer.Library, opts Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	tel := opts.Telemetry
 	evaluate := func(t *plan.Node) (int64, error) {
+		evalStart := tel.Now()
 		res, err := opt.Run(t)
+		tel.Record(telemetry.HistAnnealNs, int64(tel.Now()-evalStart))
 		if err != nil {
 			return 0, err
 		}
@@ -156,6 +166,8 @@ func Anneal(tree *plan.Node, lib optimizer.Library, opts Options) (*Result, erro
 		if rem := opts.Iterations - iter; n > rem {
 			n = rem
 		}
+		batchStart := tel.Now()
+		batchTemp := temp
 		batch := make([]slot, n)
 		for i := range batch {
 			c := Clone(current)
@@ -174,10 +186,16 @@ func Anneal(tree *plan.Node, lib optimizer.Library, opts Options) (*Result, erro
 		}
 		wg.Wait()
 		accepted := false
+		var wasted int64
 		for i := range batch {
 			s := &batch[i]
 			if s.changed {
 				result.Proposed++
+				tel.Inc(telemetry.CtrMovesProposed)
+			}
+			if s.changed && accepted {
+				// Stale speculation: evaluated against a superseded topology.
+				wasted++
 			}
 			if s.changed && !accepted {
 				if s.err != nil {
@@ -187,9 +205,11 @@ func Anneal(tree *plan.Node, lib optimizer.Library, opts Options) (*Result, erro
 				if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 					accepted = true
 					result.Accepted++
+					tel.Inc(telemetry.CtrMovesAccepted)
 					current, currentArea = s.candidate, s.area
 					if s.area < result.BestArea {
 						result.Improved++
+						tel.Inc(telemetry.CtrMovesImproved)
 						result.Best = Clone(s.candidate)
 						result.BestArea = s.area
 					}
@@ -198,6 +218,16 @@ func Anneal(tree *plan.Node, lib optimizer.Library, opts Options) (*Result, erro
 			temp *= cool
 			iter++
 		}
+		tel.Add(telemetry.CtrBatchWaste, wasted)
+		tel.RecordSpan(telemetry.Span{
+			Name: "batch", Cat: "anneal",
+			Start: batchStart, Dur: tel.Now() - batchStart,
+			Args: map[string]int64{
+				"candidates": int64(n),
+				"temp":       int64(batchTemp),
+				"wasted":     wasted,
+			},
+		})
 	}
 	return result, nil
 }

@@ -175,11 +175,11 @@ func TestPolicyWithMetric(t *testing.T) {
 	set := shape.LSet{Lists: []shape.LList{randomLList(rng, 60)}}
 	p1 := Policy{K2: 10, LMetric: Manhattan}
 	p2 := Policy{K2: 10, LMetric: EuclideanSq}
-	r1, err := p1.ReduceLSet(set)
+	r1, _, err := p1.ReduceLSet(set)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := p2.ReduceLSet(set)
+	r2, _, err := p2.ReduceLSet(set)
 	if err != nil {
 		t.Fatal(err)
 	}

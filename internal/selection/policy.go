@@ -67,20 +67,23 @@ func (p Policy) WantL(x int) bool {
 	return true
 }
 
-// ReduceR applies R_Selection under the policy: lists not exceeding K1 pass
-// through untouched.
-func (p Policy) ReduceR(l shape.RList) (shape.RList, error) {
+// ReduceR applies R_Selection under the policy: lists not exceeding K1
+// pass through untouched. The second result is the admitted selection
+// error ERROR(R, R') — the staircase area the reduction gave up — which
+// telemetry totals across the run (0 for pass-through and for the uniform
+// ablation baseline, whose error is not computed).
+func (p Policy) ReduceR(l shape.RList) (shape.RList, int64, error) {
 	if !p.WantR(len(l)) {
-		return l, nil
+		return l, 0, nil
 	}
 	if p.RUniform {
-		return UniformRReduce(l, p.K1), nil
+		return UniformRReduce(l, p.K1), 0, nil
 	}
 	res, err := RSelect(l, p.K1)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return res.Selected, nil
+	return res.Selected, res.Error, nil
 }
 
 // ReduceLSet applies L_Selection to an L-shaped block stored as a set of
@@ -89,13 +92,16 @@ func (p Policy) ReduceR(l shape.RList) (shape.RList, error) {
 // ⌊K·|L|/N⌋ — the limits are "dynamically adjusted" in proportion to list
 // size. Budgets are clamped to [2, |L|] because the selection always keeps
 // a list's two endpoints. Lists longer than S are pre-reduced heuristically
-// first (Section 5).
-func (p Policy) ReduceLSet(set shape.LSet) (shape.LSet, error) {
+// first (Section 5). The second result is the total admitted selection
+// error summed over the exact L_Selection runs (the heuristic pre-reduction
+// does not report an error and contributes 0).
+func (p Policy) ReduceLSet(set shape.LSet) (shape.LSet, int64, error) {
 	total := set.Size()
 	if !p.WantL(total) {
-		return set, nil
+		return set, 0, nil
 	}
 	out := shape.LSet{Lists: make([]shape.LList, 0, len(set.Lists))}
+	var admitted int64
 	for _, l := range set.Lists {
 		budget := p.K2 * len(l) / total
 		if budget < 2 {
@@ -111,13 +117,14 @@ func (p Policy) ReduceLSet(set shape.LSet) (shape.LSet, error) {
 		if len(reduced) > budget {
 			res, err := LSelectMetric(reduced, budget, p.LMetric)
 			if err != nil {
-				return shape.LSet{}, err
+				return shape.LSet{}, 0, err
 			}
 			reduced = res.Selected
+			admitted += res.Error
 		}
 		out.Lists = append(out.Lists, reduced)
 	}
-	return out, nil
+	return out, admitted, nil
 }
 
 // UniformRReduce is the naive baseline R_Selection is compared against in

@@ -76,20 +76,26 @@ func TestReduceRPassThrough(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	l := randomRList(rng, 30)
 	p := Policy{K1: 30}
-	got, err := p.ReduceR(l)
+	got, admitted, err := p.ReduceR(l)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !got.Equal(l) {
 		t.Error("list at the limit should pass through")
 	}
+	if admitted != 0 {
+		t.Errorf("pass-through admitted error %d, want 0", admitted)
+	}
 	p.K1 = 10
-	got, err = p.ReduceR(l)
+	got, admitted, err = p.ReduceR(l)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 10 {
 		t.Fatalf("reduced to %d, want 10", len(got))
+	}
+	if admitted <= 0 {
+		t.Errorf("strict reduction admitted error %d, want > 0", admitted)
 	}
 	if err := got.Validate(); err != nil {
 		t.Fatal(err)
@@ -108,7 +114,7 @@ func TestReduceLSetBudgets(t *testing.T) {
 	set := shape.LSet{Lists: lists}
 	total := set.Size() // 70
 	p := Policy{K2: 35}
-	out, err := p.ReduceLSet(set)
+	out, _, err := p.ReduceLSet(set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +137,7 @@ func TestReduceLSetPassThroughAndClamp(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	set := shape.LSet{Lists: []shape.LList{randomLList(rng, 5)}}
 	p := Policy{K2: 5}
-	out, err := p.ReduceLSet(set)
+	out, _, err := p.ReduceLSet(set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +147,7 @@ func TestReduceLSetPassThroughAndClamp(t *testing.T) {
 	// A tiny list inside a big set keeps at least its two endpoints.
 	set = shape.LSet{Lists: []shape.LList{randomLList(rng, 3), randomLList(rng, 97)}}
 	p = Policy{K2: 10}
-	out, err = p.ReduceLSet(set)
+	out, _, err = p.ReduceLSet(set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +163,7 @@ func TestReduceLSetWithHeuristic(t *testing.T) {
 	rng := rand.New(rand.NewSource(44))
 	set := shape.LSet{Lists: []shape.LList{randomLList(rng, 200)}}
 	p := Policy{K2: 20, S: 50}
-	out, err := p.ReduceLSet(set)
+	out, _, err := p.ReduceLSet(set)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ func AblationUniform(cfg Config) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	ref := runOnce(tree, lib, selection.Policy{}, cfg, "ablation ref")
+	ref := runOnce(tree, lib, selection.Policy{}, cfg, "ablation ref", c.ID)
 	if !ref.OK {
 		return "", fmt.Errorf("tables: ablation reference run failed")
 	}
@@ -35,8 +35,8 @@ func AblationUniform(cfg Config) (string, error) {
 	fmt.Fprintf(&b, "%-5s | %-12s %-15s | %-12s %-15s\n", "", "M", "area delta", "M", "area delta")
 	fmt.Fprintln(&b, strings.Repeat("-", 70))
 	for _, k1 := range []int{10, 20, 40, 60} {
-		opt := runOnce(tree, lib, selection.Policy{K1: k1}, cfg, fmt.Sprintf("ablation opt K1=%d", k1))
-		uni := runOnce(tree, lib, selection.Policy{K1: k1, RUniform: true}, cfg, fmt.Sprintf("ablation uni K1=%d", k1))
+		opt := runOnce(tree, lib, selection.Policy{K1: k1}, cfg, fmt.Sprintf("ablation opt K1=%d", k1), c.ID)
+		uni := runOnce(tree, lib, selection.Policy{K1: k1, RUniform: true}, cfg, fmt.Sprintf("ablation uni K1=%d", k1), c.ID)
 		fmt.Fprintf(&b, "%-5d | %-12d %-15s | %-12d %-15s\n",
 			k1, opt.M, deltaStr(opt, ref), uni.M, deltaStr(uni, ref))
 	}
@@ -71,7 +71,7 @@ func AblationThetaS(cfg Config) (string, error) {
 	for _, theta := range []float64{0, 0.25, 0.5, 0.75} {
 		for _, s := range []int{200, 500} {
 			p := selection.Policy{K1: 40, K2: 1000, Theta: theta, S: s}
-			out := runOnce(tree, lib, p, cfg, fmt.Sprintf("ablation theta=%.2f S=%d", theta, s))
+			out := runOnce(tree, lib, p, cfg, fmt.Sprintf("ablation theta=%.2f S=%d", theta, s), c.ID)
 			area := "-"
 			if out.OK {
 				area = fmt.Sprintf("%d", out.Area)

@@ -1,15 +1,25 @@
 package tables
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"floorplan/internal/telemetry"
+)
 
 // jsonOutcome is one optimizer run in the JSON rendering. M carries the
 // paper's M column; when ok is false it is the stored count at abort and
-// reads "> M". area is omitted for failed runs.
+// reads "> M". area is omitted for failed runs. wall_ms is the cell's
+// end-to-end wall clock (cpu_ms covers only the evaluation phase);
+// generated and peak_stored come from the cell's telemetry shard and are
+// omitted when no collector was configured.
 type jsonOutcome struct {
-	OK    bool  `json:"ok"`
-	M     int64 `json:"m"`
-	CPUms int64 `json:"cpu_ms"`
-	Area  int64 `json:"area,omitempty"`
+	OK         bool  `json:"ok"`
+	M          int64 `json:"m"`
+	CPUms      int64 `json:"cpu_ms"`
+	WallMs     int64 `json:"wall_ms"`
+	Area       int64 `json:"area,omitempty"`
+	Generated  int64 `json:"generated,omitempty"`
+	PeakStored int64 `json:"peak_stored,omitempty"`
 }
 
 type jsonSel struct {
@@ -29,17 +39,25 @@ type jsonRow struct {
 }
 
 type jsonTable struct {
-	Table       int       `json:"table"`
-	Floorplan   string    `json:"floorplan"`
-	Modules     int       `json:"modules"`
-	MemoryLimit int64     `json:"memory_limit"`
-	RefLabel    string    `json:"ref_label"`
-	SelLabel    string    `json:"sel_label"`
-	Rows        []jsonRow `json:"rows"`
+	Table       int               `json:"table"`
+	Floorplan   string            `json:"floorplan"`
+	Modules     int               `json:"modules"`
+	MemoryLimit int64             `json:"memory_limit"`
+	RefLabel    string            `json:"ref_label"`
+	SelLabel    string            `json:"sel_label"`
+	Rows        []jsonRow         `json:"rows"`
+	Telemetry   *telemetry.Report `json:"telemetry,omitempty"`
 }
 
 func toJSONOutcome(o Outcome) jsonOutcome {
-	j := jsonOutcome{OK: o.OK, M: o.M, CPUms: o.CPU.Milliseconds()}
+	j := jsonOutcome{
+		OK:         o.OK,
+		M:          o.M,
+		CPUms:      o.CPU.Milliseconds(),
+		WallMs:     o.Wall.Milliseconds(),
+		Generated:  o.Generated,
+		PeakStored: o.PeakStored,
+	}
 	if o.OK {
 		j.Area = o.Area
 	}
@@ -84,5 +102,6 @@ func (t *Table) JSON() ([]byte, error) {
 		}
 		doc.Rows = append(doc.Rows, r)
 	}
+	doc.Telemetry = t.Telemetry
 	return json.MarshalIndent(doc, "", "  ")
 }

@@ -109,12 +109,12 @@ func TestAblationsMini(t *testing.T) {
 // between worker counts.
 func zeroCPUs(tbl *Table) {
 	for i := range tbl.Rows {
-		tbl.Rows[i].Ref.CPU = 0
+		tbl.Rows[i].Ref.CPU, tbl.Rows[i].Ref.Wall = 0, 0
 		if tbl.Rows[i].Plain != nil {
-			tbl.Rows[i].Plain.CPU = 0
+			tbl.Rows[i].Plain.CPU, tbl.Rows[i].Plain.Wall = 0, 0
 		}
 		for j := range tbl.Rows[i].Sel {
-			tbl.Rows[i].Sel[j].Out.CPU = 0
+			tbl.Rows[i].Sel[j].Out.CPU, tbl.Rows[i].Sel[j].Out.Wall = 0, 0
 		}
 	}
 	tbl.Config.Workers = 0

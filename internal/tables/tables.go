@@ -30,6 +30,7 @@ import (
 	"floorplan/internal/optimizer"
 	"floorplan/internal/plan"
 	"floorplan/internal/selection"
+	"floorplan/internal/telemetry"
 )
 
 // Case describes one of the paper's "test case #" rows.
@@ -66,6 +67,12 @@ type Config struct {
 	// parallelizes perfectly and the results are identical for any worker
 	// count; only the CPU columns (wall-clock of each run) vary with load.
 	Workers int
+	// Telemetry, when non-nil, receives every cell's metrics: each cell
+	// runs its optimizer against a Shard of this collector, the shards are
+	// merged back in, and per-cell wall times and spans (Track = case ID)
+	// land in the runtime section. The finished Table carries a Report
+	// snapshot for embedding in machine-readable output.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultConfig returns the calibrated configuration used by fpbench and
@@ -89,6 +96,14 @@ type Outcome struct {
 	MaxLSet int
 	// RSel and LSel count selection invocations during the run.
 	RSel, LSel int
+	// Wall is the cell's end-to-end wall time, including library setup and
+	// harness overhead (CPU covers only the optimizer's evaluation phase).
+	Wall time.Duration
+	// Generated and PeakStored are sourced from the cell's telemetry shard
+	// when Config.Telemetry is set (zero otherwise): total implementations
+	// generated across all nodes, and the collector's view of the memtrack
+	// peak (equal to M on successful runs).
+	Generated, PeakStored int64
 }
 
 // String formats the outcome's M column as the paper does.
@@ -131,6 +146,9 @@ type Table struct {
 	SelLabel  string // "[9]+R_Selection" or "[9]+R_Selection+L_Selection"
 	Rows      []Row
 	Config    Config
+	// Telemetry is a report snapshot of Config.Telemetry taken when the
+	// table finished; nil when no collector was configured. JSON embeds it.
+	Telemetry *telemetry.Report
 }
 
 // paperCases returns the calibrated case matrix for one of the paper's
@@ -218,6 +236,9 @@ func RunCases(table int, fp string, cases []Case, cfg Config) (*Table, error) {
 			}
 			t.Rows = append(t.Rows, *row)
 		}
+		if cfg.Telemetry != nil {
+			t.Telemetry = cfg.Telemetry.Report()
+		}
 		return t, nil
 	}
 	// Every cell in the grid is independent, so all rows launch at once and
@@ -247,6 +268,9 @@ func RunCases(table int, fp string, cases []Case, cfg Config) (*Table, error) {
 	}
 	for _, row := range rows {
 		t.Rows = append(t.Rows, *row)
+	}
+	if cfg.Telemetry != nil {
+		t.Telemetry = cfg.Telemetry.Report()
 	}
 	return t, nil
 }
@@ -310,7 +334,7 @@ func runRow(table int, tree *plan.Node, c Case, cfg Config, sem chan struct{}) (
 	}
 	if sem == nil {
 		for _, j := range cells {
-			*j.dst = runOnce(tree, lib, j.policy, cfg, j.label)
+			*j.dst = runOnce(tree, lib, j.policy, cfg, j.label, c.ID)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -320,7 +344,7 @@ func runRow(table int, tree *plan.Node, c Case, cfg Config, sem chan struct{}) (
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				*j.dst = runOnce(tree, lib, j.policy, cfg, j.label)
+				*j.dst = runOnce(tree, lib, j.policy, cfg, j.label, c.ID)
 			}(j)
 		}
 		wg.Wait()
@@ -355,7 +379,12 @@ func caseLibrary(tree *plan.Node, c Case, cfg Config) (optimizer.Library, error)
 	return optimizer.Library(lib), nil
 }
 
-func runOnce(tree *plan.Node, lib optimizer.Library, policy selection.Policy, cfg Config, label string) Outcome {
+func runOnce(tree *plan.Node, lib optimizer.Library, policy selection.Policy, cfg Config, label string, caseID int) Outcome {
+	// Each cell records into its own shard so per-cell counters can be read
+	// off cleanly before the shard folds into the table-wide collector.
+	cell := cfg.Telemetry.Shard()
+	cellStart := cfg.Telemetry.Now()
+	wallStart := time.Now()
 	opts := optimizer.Options{
 		Policy:        policy,
 		MemoryLimit:   cfg.MemoryLimit,
@@ -364,7 +393,8 @@ func runOnce(tree *plan.Node, lib optimizer.Library, policy selection.Policy, cf
 		// admission order, and the grid-level parallelism above already
 		// saturates the machine, so each cell's optimizer stays
 		// single-worker.
-		Workers: 1,
+		Workers:   1,
+		Telemetry: cell,
 	}
 	o, err := optimizer.New(lib, opts)
 	if err != nil {
@@ -385,6 +415,23 @@ func runOnce(tree *plan.Node, lib optimizer.Library, policy selection.Policy, cf
 		out.Area = res.Best.Area()
 	} else if !optimizer.IsMemoryLimit(err) {
 		panic(fmt.Sprintf("tables: %s: unexpected failure: %v", label, err))
+	}
+	out.Wall = time.Since(wallStart)
+	if cell.Enabled() {
+		out.Generated = cell.Counter(telemetry.CtrGenerated)
+		out.PeakStored = cell.Watermark(telemetry.MaxPeakStored)
+		tel := cfg.Telemetry
+		tel.Inc(telemetry.CtrCells)
+		tel.Record(telemetry.HistCellNs, out.Wall.Nanoseconds())
+		tel.RecordSpan(telemetry.Span{
+			Name: label, Cat: "cell", Track: caseID,
+			Start: cellStart, Dur: tel.Now() - cellStart,
+			Args: map[string]int64{
+				"peak":      out.PeakStored,
+				"generated": out.Generated,
+			},
+		})
+		tel.Merge(cell)
 	}
 	if cfg.Progress != nil {
 		fmt.Fprintf(cfg.Progress, "%s: %s\n", label, out)

@@ -1,0 +1,78 @@
+package tables
+
+import (
+	"encoding/json"
+	"testing"
+
+	"floorplan/internal/telemetry"
+)
+
+// TestRunCasesTelemetry runs a mini grid with a collector attached and
+// checks the cell-level plumbing: one cell counter and one cell span per
+// optimizer run, per-cell wall/peak/generated columns filled from the
+// shard, and the finished Table embedding a report that survives the JSON
+// round trip.
+func TestRunCasesTelemetry(t *testing.T) {
+	cfg := miniConfig()
+	cfg.Telemetry = telemetry.New()
+	cfg.Workers = 2
+	cases := []Case{
+		{ID: 1, N: 6, Aspect: 4, Seed: 1, K1s: []int{4, 5}},
+		{ID: 2, N: 6, Aspect: 5, Seed: 2, K1s: []int{4}},
+	}
+	tbl, err := RunCases(1, "FP1", cases, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 cells for case 1's sweep + 1 for case 2's, plus one reference each.
+	const wantCells = 5
+	if got := cfg.Telemetry.Counter(telemetry.CtrCells); got != wantCells {
+		t.Errorf("cells counter = %d, want %d", got, wantCells)
+	}
+	var cellSpans int
+	for _, s := range cfg.Telemetry.Spans() {
+		if s.Cat == "cell" {
+			cellSpans++
+			if s.Track != 1 && s.Track != 2 {
+				t.Errorf("cell span %q on track %d, want the case ID", s.Name, s.Track)
+			}
+		}
+	}
+	if cellSpans != wantCells {
+		t.Errorf("%d cell spans, want %d", cellSpans, wantCells)
+	}
+	for _, row := range tbl.Rows {
+		outs := []Outcome{row.Ref}
+		for _, s := range row.Sel {
+			outs = append(outs, s.Out)
+		}
+		for _, o := range outs {
+			if o.Generated <= 0 {
+				t.Errorf("case %d: cell has no generated count", row.Case.ID)
+			}
+			if o.PeakStored != o.M {
+				t.Errorf("case %d: collector peak %d != stats M %d on a successful run",
+					row.Case.ID, o.PeakStored, o.M)
+			}
+		}
+	}
+	if tbl.Telemetry == nil {
+		t.Fatal("table did not embed a telemetry report")
+	}
+	data, err := tbl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Telemetry *telemetry.Report `json:"telemetry"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Telemetry == nil || doc.Telemetry.Schema != telemetry.Schema {
+		t.Fatalf("embedded report missing or wrong schema: %+v", doc.Telemetry)
+	}
+	if doc.Telemetry.Counters["tables.cells"] != wantCells {
+		t.Errorf("embedded report cells = %d, want %d", doc.Telemetry.Counters["tables.cells"], wantCells)
+	}
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-wide expvar registration: expvar.Publish
+// panics on duplicate names, and a long fpbench run may start the debug
+// server once while folding many collectors.
+var publishOnce sync.Once
+
+// debugCollector is the collector the expvar snapshot reads; swapped under
+// debugMu when a new debug server starts.
+var (
+	debugMu        sync.Mutex
+	debugCollector *Collector
+)
+
+// StartDebugServer serves expvar (/debug/vars), pprof (/debug/pprof/) and
+// a live telemetry report (/debug/report) on addr, for profiling long
+// anneals and table grids while they run. It returns the server (for
+// Close) and the bound address (useful with ":0"). The server runs until
+// closed; serving errors after Close are ignored.
+func StartDebugServer(addr string, c *Collector) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	debugMu.Lock()
+	debugCollector = c
+	debugMu.Unlock()
+	publishOnce.Do(func() {
+		expvar.Publish("floorplan_telemetry", expvar.Func(func() any {
+			debugMu.Lock()
+			cur := debugCollector
+			debugMu.Unlock()
+			return cur.Report()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/report", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		debugMu.Lock()
+		cur := debugCollector
+		debugMu.Unlock()
+		if err := cur.WriteReport(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// paddedInt64 spaces adjacent atomics a cache line apart so independent
+// counters written by different workers do not false-share.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// bumpMax raises *v to at least x.
+func bumpMax(v *atomic.Int64, x int64) {
+	for {
+		old := v.Load()
+		if x <= old || v.CompareAndSwap(old, x) {
+			return
+		}
+	}
+}
+
+// histBuckets is the bucket count of the power-of-two histogram: bucket 0
+// holds the value 0 and bucket i (1 <= i <= 63) holds [2^(i-1), 2^i).
+// Observations are non-negative int64s, so bits.Len64 never exceeds 63.
+const histBuckets = 64
+
+// Histogram is a lock-free power-of-two histogram over non-negative int64
+// observations. All fields are atomics, so Observe never locks or
+// allocates; bucket counts, count and sum fold commutatively, which keeps
+// merged histograms deterministic regardless of recording order.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	minPlus atomic.Int64 // min+1; 0 means "no observations yet"
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int { return bits.Len64(uint64(v)) }
+
+// bucketBounds returns the half-open [lo, hi) range of bucket i, with hi
+// clamped to MaxInt64 for the top bucket (whose true bound 2^63 overflows).
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 1
+	}
+	lo = int64(1) << (i - 1)
+	if i >= 63 {
+		return lo, math.MaxInt64
+	}
+	return lo, int64(1) << i
+}
+
+func (h *Histogram) observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	bumpMax(&h.max, v)
+	// min+1 with 0 as the unset sentinel keeps the fast path a single CAS
+	// loop without a separate "initialized" flag.
+	for {
+		old := h.minPlus.Load()
+		if old != 0 && v+1 >= old {
+			return
+		}
+		if h.minPlus.CompareAndSwap(old, v+1) {
+			return
+		}
+	}
+}
+
+func (h *Histogram) merge(o *Histogram) {
+	if o.count.Load() == 0 {
+		return
+	}
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	bumpMax(&h.max, o.max.Load())
+	if om := o.minPlus.Load(); om != 0 {
+		for {
+			old := h.minPlus.Load()
+			if old != 0 && om >= old {
+				return
+			}
+			if h.minPlus.CompareAndSwap(old, om) {
+				return
+			}
+		}
+	}
+}
+
+// BucketCount is one populated histogram bucket in a snapshot: observations
+// v with Lo <= v < Hi.
+type BucketCount struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+	N  int64 `json:"n"`
+}
+
+// HistSnapshot is a histogram's point-in-time state for the JSON report.
+type HistSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Min     int64         `json:"min"`
+	Max     int64         `json:"max"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if mp := h.minPlus.Load(); mp != 0 {
+		s.Min = mp - 1
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			lo, hi := bucketBounds(i)
+			s.Buckets = append(s.Buckets, BucketCount{Lo: lo, Hi: hi, N: n})
+		}
+	}
+	return s
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBucketBoundaries pins the power-of-two bucketing: bucket 0 holds
+// exactly the value 0 and bucket i holds [2^(i-1), 2^i).
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 20, 21}, {1<<21 - 1, 21},
+		{math.MaxInt64, 63},
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.v); got != tc.bucket {
+			t.Errorf("bucketIndex(%d) = %d, want %d", tc.v, got, tc.bucket)
+		}
+		lo, hi := bucketBounds(bucketIndex(tc.v))
+		if tc.v < lo || tc.v >= hi && hi != math.MaxInt64 {
+			t.Errorf("value %d outside its bucket bounds [%d, %d)", tc.v, lo, hi)
+		}
+	}
+	// Explicit bounds of the first few buckets.
+	bounds := [][2]int64{{0, 1}, {1, 2}, {2, 4}, {4, 8}, {8, 16}}
+	for i, want := range bounds {
+		lo, hi := bucketBounds(i)
+		if lo != want[0] || hi != want[1] {
+			t.Errorf("bucketBounds(%d) = [%d, %d), want [%d, %d)", i, lo, hi, want[0], want[1])
+		}
+	}
+	if lo, hi := bucketBounds(63); lo != 1<<62 || hi != math.MaxInt64 {
+		t.Errorf("top bucket = [%d, %d), want [2^62, MaxInt64)", lo, hi)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 3, 3, 8, -5} {
+		h.observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 15 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if s.Min != 0 || s.Max != 8 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+	want := []BucketCount{
+		{Lo: 0, Hi: 1, N: 2}, // 0 and clamped -5
+		{Lo: 1, Hi: 2, N: 1},
+		{Lo: 2, Hi: 4, N: 2},
+		{Lo: 8, Hi: 16, N: 1},
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for i, b := range s.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+// TestHotPathAllocationFree verifies the two instrumentation fast paths
+// the optimizer relies on: the nil-collector no-op and live scalar
+// recording must both be allocation-free.
+func TestHotPathAllocationFree(t *testing.T) {
+	var nilC *Collector
+	if n := testing.AllocsPerRun(1000, func() {
+		nilC.Add(CtrGenerated, 3)
+		nilC.Inc(CtrNodes)
+		nilC.Observe(MaxPeakStored, 9)
+		nilC.Record(HistListBefore, 4)
+	}); n != 0 {
+		t.Fatalf("nil collector fast path allocates %v/op", n)
+	}
+	c := New()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(CtrGenerated, 3)
+		c.Inc(CtrNodes)
+		c.Observe(MaxPeakStored, 9)
+		c.Record(HistListBefore, 4)
+	}); n != 0 {
+		t.Fatalf("live scalar recording allocates %v/op", n)
+	}
+}

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Schema identifies the report document format. Bump on incompatible
+// changes so downstream diff tooling can refuse mixed comparisons.
+const Schema = "floorplan/telemetry/v1"
+
+// StageSpan is one coarse pipeline phase (restructure, evaluate,
+// traceback, ...) in the report, in start order.
+type StageSpan struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// CatSummary aggregates all spans of one category.
+type CatSummary struct {
+	Cat     string `json:"cat"`
+	Count   int64  `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+}
+
+// TrackStat is one logical thread's occupancy: total span time credited to
+// the track. Busy/wall is the worker-pool saturation the trace export
+// shows visually.
+type TrackStat struct {
+	Track  int   `json:"track"`
+	BusyNs int64 `json:"busy_ns"`
+	Spans  int   `json:"spans"`
+}
+
+// RuntimeReport is the nondeterministic half of a report: wall times, span
+// accounting, and churn counters that vary run to run (or worker count to
+// worker count) even when the computation is bit-identical.
+type RuntimeReport struct {
+	WallNs     int64                   `json:"wall_ns"`
+	Counters   map[string]int64        `json:"counters"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+	Stages     []StageSpan             `json:"stages,omitempty"`
+	Categories []CatSummary            `json:"categories,omitempty"`
+	Tracks     []TrackStat             `json:"tracks,omitempty"`
+	SpanCount  int                     `json:"span_count"`
+}
+
+// Report is the structured run record: a deterministic section whose
+// values depend only on the computation performed (identical for any
+// worker count on a successful run), and a Runtime section that does not.
+type Report struct {
+	Schema     string                  `json:"schema"`
+	Counters   map[string]int64        `json:"counters"`
+	Watermarks map[string]int64        `json:"watermarks"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+	Runtime    RuntimeReport           `json:"runtime"`
+}
+
+// CatStage is the span category the report lists individually as pipeline
+// stages.
+const CatStage = "stage"
+
+// Report snapshots the collector. A nil collector yields an empty (but
+// schema-valid) report.
+func (c *Collector) Report() *Report {
+	r := &Report{
+		Schema:     Schema,
+		Counters:   map[string]int64{},
+		Watermarks: map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+		Runtime: RuntimeReport{
+			Counters:   map[string]int64{},
+			Histograms: map[string]HistSnapshot{},
+		},
+	}
+	if c == nil {
+		return r
+	}
+	for i := Counter(0); i < numCounters; i++ {
+		v := c.counters[i].v.Load()
+		if v == 0 {
+			continue
+		}
+		if counterMeta[i].runtime {
+			r.Runtime.Counters[counterMeta[i].name] = v
+		} else {
+			r.Counters[counterMeta[i].name] = v
+		}
+	}
+	for i := Watermark(0); i < numWatermarks; i++ {
+		if v := c.watermarks[i].v.Load(); v != 0 {
+			r.Watermarks[watermarkMeta[i].name] = v
+		}
+	}
+	for i := Hist(0); i < numHists; i++ {
+		s := c.hists[i].snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		if histMeta[i].runtime {
+			r.Runtime.Histograms[histMeta[i].name] = s
+		} else {
+			r.Histograms[histMeta[i].name] = s
+		}
+	}
+	r.Runtime.WallNs = c.Now().Nanoseconds()
+	spans := c.Spans()
+	r.Runtime.SpanCount = len(spans)
+	cats := map[string]*CatSummary{}
+	for _, s := range spans {
+		if s.Cat == CatStage {
+			r.Runtime.Stages = append(r.Runtime.Stages, StageSpan{
+				Name:    s.Name,
+				StartNs: s.Start.Nanoseconds(),
+				DurNs:   s.Dur.Nanoseconds(),
+			})
+		}
+		cs := cats[s.Cat]
+		if cs == nil {
+			cs = &CatSummary{Cat: s.Cat}
+			cats[s.Cat] = cs
+		}
+		cs.Count++
+		cs.TotalNs += s.Dur.Nanoseconds()
+	}
+	sort.Slice(r.Runtime.Stages, func(i, j int) bool {
+		a, b := r.Runtime.Stages[i], r.Runtime.Stages[j]
+		if a.StartNs != b.StartNs {
+			return a.StartNs < b.StartNs
+		}
+		return a.Name < b.Name
+	})
+	for _, cs := range cats {
+		r.Runtime.Categories = append(r.Runtime.Categories, *cs)
+	}
+	sort.Slice(r.Runtime.Categories, func(i, j int) bool {
+		return r.Runtime.Categories[i].Cat < r.Runtime.Categories[j].Cat
+	})
+	c.mu.Lock()
+	for id, t := range c.tracks {
+		r.Runtime.Tracks = append(r.Runtime.Tracks, TrackStat{
+			Track: id, BusyNs: t.busy.Nanoseconds(), Spans: t.spans,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(r.Runtime.Tracks, func(i, j int) bool {
+		return r.Runtime.Tracks[i].Track < r.Runtime.Tracks[j].Track
+	})
+	return r
+}
+
+// Canonical returns a copy of the report with the Runtime section emptied.
+// Two runs performing the same computation — in particular, the same run
+// at different worker counts — marshal canonical reports to identical
+// bytes, which is what makes telemetry reports diffable across perf work.
+func (r *Report) Canonical() *Report {
+	out := *r
+	out.Runtime = RuntimeReport{
+		Counters:   map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	return &out
+}
+
+// JSON marshals the report indented, ending with a newline.
+func (r *Report) JSON() ([]byte, error) {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// WriteReport snapshots the collector and writes the indented JSON report.
+func (c *Collector) WriteReport(w io.Writer) error {
+	raw, err := c.Report().JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// ParseReport unmarshals and schema-checks a report document — the
+// round-trip gate the bench tooling runs on every report it writes.
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("telemetry: decoding report: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("telemetry: report schema %q, want %q", r.Schema, Schema)
+	}
+	return &r, nil
+}

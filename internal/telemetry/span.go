@@ -1,0 +1,44 @@
+package telemetry
+
+import "time"
+
+// Span is one timed event on the collector's timeline. Track is the
+// logical thread the span belongs to — a worker index in the optimizer, a
+// speculation slot in the annealer, a test-case row in the table grid —
+// and becomes the tid of the Chrome trace export.
+type Span struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat"`
+	Track int    `json:"track"`
+	// Start is the offset from the collector's epoch; Dur the span length.
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+	// Args carry small structured payloads into the trace viewer.
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// RecordSpan appends a span and credits its duration to the span's track.
+// Span recording takes the collector lock — it is meant for per-node,
+// per-cell and per-stage events, not per-implementation work; the scalar
+// instruments cover the allocation-free hot path.
+func (c *Collector) RecordSpan(s Span) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	t := c.track(s.Track)
+	t.busy += s.Dur
+	t.spans++
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of all recorded spans, in recording order.
+func (c *Collector) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Span(nil), c.spans...)
+}

@@ -1,0 +1,291 @@
+// Package telemetry is the measurement substrate of the floorplan system:
+// lock-free counters, watermarks and histograms, a span recorder, a
+// structured JSON run report, a Chrome trace_event export of the parallel
+// schedule, and an expvar/pprof debug listener.
+//
+// Every recording method is nil-safe: a nil *Collector is the disabled
+// state and costs exactly one branch per call site, so the optimizer's hot
+// path carries no instrumentation overhead when telemetry is off. All
+// scalar instruments are atomics — recording from any number of goroutines
+// needs no locks and allocates nothing.
+//
+// Determinism: counters, watermarks and histogram buckets are folded by
+// commutative operations (addition, max), so their merged values do not
+// depend on which worker recorded what, or in what order — the same
+// property PR 1's postorder stats merge gives the optimizer's Stats. The
+// Report therefore splits into a deterministic section (bit-identical for
+// any worker count on a successful run) and a Runtime section (wall times,
+// spans, pool and CAS churn) that legitimately varies between runs;
+// Report.Canonical strips the latter for diffing.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Counter identifies one of the fixed additive metrics. The registry is a
+// compile-time enum rather than a name map so that recording is a single
+// atomic add with no hashing or allocation.
+type Counter uint8
+
+const (
+	// Optimizer: bottom-up evaluation of the binary block tree.
+	CtrNodes             Counter = iota // blocks evaluated
+	CtrLNodes                           // L-shaped blocks evaluated
+	CtrGenerated                        // implementations generated before selection
+	CtrStored                           // implementations retained after selection
+	CtrCombineCandidates                // candidate pairs considered by combine ops
+	CtrRSelections                      // R_Selection invocations
+	CtrLSelections                      // L_Selection invocations
+	CtrRSelectionError                  // total staircase area admitted by R_Selection
+	CtrLSelectionError                  // total distance error admitted by L_Selection
+	CtrMemDenials                       // memtrack admissions rejected at the limit
+
+	// Annealer: topology search moves.
+	CtrMovesProposed
+	CtrMovesAccepted
+	CtrMovesImproved
+
+	// Tables: paper-table grid cells (one optimizer run each).
+	CtrCells
+
+	// Generator: workload synthesis.
+	CtrGenModules
+	CtrGenImpls
+
+	// Runtime-only counters: nondeterministic across runs or worker counts.
+	CtrMemCASRetries // failed CAS attempts in the memory tracker
+	CtrCSPPSolves    // CSPP DP solves
+	CtrCSPPPoolHits  // DP table pool reuses (capacity already sufficient)
+	CtrCSPPPoolMiss  // DP table pool misses (fresh allocation)
+	CtrBatchWaste    // speculative anneal candidates evaluated then discarded
+
+	numCounters
+)
+
+// Watermark identifies one of the fixed maximum-value metrics.
+type Watermark uint8
+
+const (
+	MaxPeakStored Watermark = iota // memtrack peak (the paper's M)
+	MaxRList                       // largest rectangular list stored
+	MaxLSet                        // largest L-shaped set stored
+	MaxCSPPN                       // largest CSPP instance size n
+	MaxCSPPK                       // largest CSPP path length k
+
+	numWatermarks
+)
+
+// Hist identifies one of the fixed histograms.
+type Hist uint8
+
+const (
+	// Deterministic, size-valued.
+	HistListBefore Hist = iota // per-node implementation count before selection
+	HistListAfter              // per-node implementation count after selection
+
+	// Runtime-only, time-valued (nanoseconds).
+	HistNodeEvalNs // per-node evaluation wall time
+	HistCellNs     // per-table-cell wall time
+	HistAnnealNs   // per-candidate annealer evaluation wall time
+
+	numHists
+)
+
+// metricMeta names an instrument and classifies it as deterministic or
+// runtime-only for report placement.
+type metricMeta struct {
+	name    string
+	runtime bool
+}
+
+var counterMeta = [numCounters]metricMeta{
+	CtrNodes:             {name: "optimizer.nodes"},
+	CtrLNodes:            {name: "optimizer.l_nodes"},
+	CtrGenerated:         {name: "optimizer.generated"},
+	CtrStored:            {name: "optimizer.stored"},
+	CtrCombineCandidates: {name: "optimizer.combine_candidates"},
+	CtrRSelections:       {name: "optimizer.r_selections"},
+	CtrLSelections:       {name: "optimizer.l_selections"},
+	CtrRSelectionError:   {name: "optimizer.r_selection_error"},
+	CtrLSelectionError:   {name: "optimizer.l_selection_error"},
+	CtrMemDenials:        {name: "memtrack.denials"},
+	CtrMovesProposed:     {name: "anneal.proposed"},
+	CtrMovesAccepted:     {name: "anneal.accepted"},
+	CtrMovesImproved:     {name: "anneal.improved"},
+	CtrCells:             {name: "tables.cells"},
+	CtrGenModules:        {name: "gen.modules"},
+	CtrGenImpls:          {name: "gen.impls"},
+	CtrMemCASRetries:     {name: "memtrack.cas_retries", runtime: true},
+	CtrCSPPSolves:        {name: "cspp.solves", runtime: true},
+	CtrCSPPPoolHits:      {name: "cspp.pool_hits", runtime: true},
+	CtrCSPPPoolMiss:      {name: "cspp.pool_misses", runtime: true},
+	CtrBatchWaste:        {name: "anneal.batch_waste", runtime: true},
+}
+
+var watermarkMeta = [numWatermarks]metricMeta{
+	MaxPeakStored: {name: "memtrack.peak"},
+	MaxRList:      {name: "optimizer.max_rlist"},
+	MaxLSet:       {name: "optimizer.max_lset"},
+	MaxCSPPN:      {name: "cspp.max_n"},
+	MaxCSPPK:      {name: "cspp.max_k"},
+}
+
+var histMeta = [numHists]metricMeta{
+	HistListBefore: {name: "optimizer.list_before"},
+	HistListAfter:  {name: "optimizer.list_after"},
+	HistNodeEvalNs: {name: "optimizer.node_eval_ns", runtime: true},
+	HistCellNs:     {name: "tables.cell_ns", runtime: true},
+	HistAnnealNs:   {name: "anneal.eval_ns", runtime: true},
+}
+
+// Collector accumulates one run's telemetry. The zero value is not used;
+// create collectors with New (or Shard, to share the epoch). All methods
+// are safe for concurrent use and safe on a nil receiver.
+type Collector struct {
+	epoch      time.Time
+	counters   [numCounters]paddedInt64
+	watermarks [numWatermarks]paddedInt64
+	hists      [numHists]Histogram
+
+	mu     sync.Mutex
+	spans  []Span
+	tracks map[int]*trackAccum
+}
+
+// trackAccum aggregates per-track (per-worker) busy time for the report.
+type trackAccum struct {
+	busy  time.Duration
+	spans int
+}
+
+// New returns an empty collector whose span clock starts now.
+func New() *Collector {
+	return &Collector{epoch: time.Now(), tracks: make(map[int]*trackAccum)}
+}
+
+// Shard returns an empty collector sharing c's epoch, so spans recorded in
+// the shard stay on the parent's timeline and Merge composes them
+// seamlessly. Shard of a nil collector is nil, so a disabled parent
+// propagates the disabled state for free.
+func (c *Collector) Shard() *Collector {
+	if c == nil {
+		return nil
+	}
+	return &Collector{epoch: c.epoch, tracks: make(map[int]*trackAccum)}
+}
+
+// Enabled reports whether the collector records anything.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Add adds n to a counter.
+func (c *Collector) Add(ctr Counter, n int64) {
+	if c == nil {
+		return
+	}
+	c.counters[ctr].v.Add(n)
+}
+
+// Inc adds 1 to a counter.
+func (c *Collector) Inc(ctr Counter) { c.Add(ctr, 1) }
+
+// Observe raises a watermark to at least v.
+func (c *Collector) Observe(w Watermark, v int64) {
+	if c == nil {
+		return
+	}
+	bumpMax(&c.watermarks[w].v, v)
+}
+
+// Record adds one observation to a histogram. Negative values clamp to 0.
+func (c *Collector) Record(h Hist, v int64) {
+	if c == nil {
+		return
+	}
+	c.hists[h].observe(v)
+}
+
+// Counter returns a counter's current value (0 on a nil collector).
+func (c *Collector) Counter(ctr Counter) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.counters[ctr].v.Load()
+}
+
+// Watermark returns a watermark's current value (0 on a nil collector).
+func (c *Collector) Watermark(w Watermark) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.watermarks[w].v.Load()
+}
+
+// Now returns the time since the collector's epoch — the timeline spans
+// live on. A nil collector reports 0 without reading the clock.
+func (c *Collector) Now() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Since(c.epoch)
+}
+
+// Merge folds the shards into c: counters add, watermarks max, histograms
+// add bucketwise, spans and track accumulators concatenate. All scalar
+// folds are commutative, so any merge order yields the same deterministic
+// report section; callers that also need a canonical span order (the trace
+// export) get it from WriteTrace's sort. Mirroring the optimizer's
+// postorder stats merge, callers should still pass shards in their
+// canonical order so span slices concatenate reproducibly for equal
+// timestamps. Nil shards are skipped; merging into a nil collector is a
+// no-op.
+func (c *Collector) Merge(shards ...*Collector) {
+	if c == nil {
+		return
+	}
+	for _, s := range shards {
+		if s == nil || s == c {
+			continue
+		}
+		for i := range s.counters {
+			if v := s.counters[i].v.Load(); v != 0 {
+				c.counters[i].v.Add(v)
+			}
+		}
+		for i := range s.watermarks {
+			bumpMax(&c.watermarks[i].v, s.watermarks[i].v.Load())
+		}
+		for i := range s.hists {
+			c.hists[i].merge(&s.hists[i])
+		}
+		s.mu.Lock()
+		spans := append([]Span(nil), s.spans...)
+		tracks := make(map[int]trackAccum, len(s.tracks))
+		for id, t := range s.tracks {
+			tracks[id] = *t
+		}
+		s.mu.Unlock()
+		c.mu.Lock()
+		c.spans = append(c.spans, spans...)
+		for id, t := range tracks {
+			c.track(id).add(t)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// track returns the accumulator for a track id; c.mu must be held.
+func (c *Collector) track(id int) *trackAccum {
+	t := c.tracks[id]
+	if t == nil {
+		t = &trackAccum{}
+		c.tracks[id] = t
+	}
+	return t
+}
+
+func (t *trackAccum) add(o trackAccum) {
+	t.busy += o.busy
+	t.spans += o.spans
+}

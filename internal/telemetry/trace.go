@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteTrace exports every recorded span as a Chrome trace_event JSON
+// document (loadable in chrome://tracing and Perfetto): one trace thread
+// (tid) per span track, so the optimizer's parallel postorder schedule
+// renders as the worker-pool occupancy timeline. Spans are sorted
+// canonically (start, track, name) before export, mirroring the
+// deterministic postorder fold of the stats merge. Timestamps and
+// durations are microseconds, per the trace_event format.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	spans := c.Spans()
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.Name < b.Name
+	})
+	tracks := map[int]bool{}
+	for _, s := range spans {
+		tracks[s.Track] = true
+	}
+	trackIDs := make([]int, 0, len(tracks))
+	for t := range tracks {
+		trackIDs = append(trackIDs, t)
+	}
+	sort.Ints(trackIDs)
+
+	// Metadata events carry string args while complete events carry int64
+	// args, so each event marshals independently.
+	events := make([]json.RawMessage, 0, len(trackIDs)+len(spans))
+	add := func(v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		events = append(events, raw)
+		return nil
+	}
+	for _, t := range trackIDs {
+		err := add(map[string]any{
+			"name": "thread_name", "ph": "M", "pid": 1, "tid": t,
+			"args": map[string]string{"name": fmt.Sprintf("track %d", t)},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	type completeEvent struct {
+		Name string           `json:"name"`
+		Cat  string           `json:"cat,omitempty"`
+		Ph   string           `json:"ph"`
+		Ts   float64          `json:"ts"`
+		Dur  float64          `json:"dur"`
+		Pid  int              `json:"pid"`
+		Tid  int              `json:"tid"`
+		Args map[string]int64 `json:"args,omitempty"`
+	}
+	for _, s := range spans {
+		err := add(completeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  s.Track,
+			Args: s.Args,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	doc := struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	return json.NewEncoder(w).Encode(doc)
+}

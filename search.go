@@ -21,6 +21,10 @@ type SearchOptions struct {
 	// batches in parallel with deterministic, seed-reproducible acceptance
 	// (the trajectory depends on the worker count).
 	Workers int
+	// Telemetry, when non-nil, records per-move accept/reject counters,
+	// candidate evaluation times and per-batch spans (with the annealing
+	// temperature); nil disables collection.
+	Telemetry *Collector
 }
 
 // SearchResult is the outcome of SearchTopology.
@@ -53,6 +57,7 @@ func SearchTopology(tree *Tree, lib Library, opts SearchOptions) (*SearchResult,
 		Seed:       opts.Seed,
 		Iterations: opts.Iterations,
 		Workers:    opts.Workers,
+		Telemetry:  opts.Telemetry,
 		Policy: selection.Policy{
 			K1:    opts.Selection.K1,
 			K2:    opts.Selection.K2,
