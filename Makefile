@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-report check
+.PHONY: all build test race vet bench bench-report serve-smoke check
 
 all: build
 
@@ -33,5 +33,11 @@ bench-report: build
 	mkdir -p bench-out
 	$(GO) run ./cmd/fpbench -smoke -quiet -benchjson bench-out -report bench-out/report.json
 
-check: vet race
-	$(GO) test -race ./internal/telemetry/...
+# serve-smoke boots fpserve on a random port and drives one optimize
+# round-trip through the HTTP API with `fpbench -server` (health check,
+# cache hit-rate and byte-identity verification); non-zero exit on failure.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
+
+check: vet race serve-smoke
+	$(GO) test -race ./internal/telemetry/... ./internal/cache/... ./internal/server/...

@@ -1,0 +1,116 @@
+package floorplan
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"floorplan/internal/plan"
+	"floorplan/internal/server"
+)
+
+// Client drives a running fpserve instance over its HTTP JSON API.
+// The zero value is not usable; set BaseURL (e.g. "http://localhost:8080").
+type Client struct {
+	// BaseURL is the server root, with or without a trailing slash.
+	BaseURL string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// ServeOptions are the per-request knobs of POST /v1/optimize.
+type ServeOptions = server.RequestOptions
+
+// ServeResponse is the optimize reply: the content-address Key, the
+// deterministic Result payload (byte-identical for cached and freshly
+// computed answers at any worker count) and the per-request Runtime
+// envelope. Decode the payload with DecodeResult.
+type ServeResponse = server.OptimizeResponse
+
+// ServeResult is the decoded deterministic payload.
+type ServeResult = server.Result
+
+// ServeStats is the GET /v1/stats reply.
+type ServeStats = server.StatsResponse
+
+// ServeError is a non-2xx server reply; errors.As-compatible.
+type ServeError = server.StatusError
+
+// Optimize submits one optimization to the server and returns its reply.
+func (c *Client) Optimize(ctx context.Context, tree *Tree, lib Library, opts ServeOptions) (*ServeResponse, error) {
+	body, err := json.Marshal(&server.OptimizeRequest{
+		Tree:    tree,
+		Library: plan.Library(lib),
+		Options: opts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("floorplan: encoding optimize request: %w", err)
+	}
+	var out ServeResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/optimize", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health checks GET /healthz; nil means the server is up and not draining.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*ServeStats, error) {
+	var out ServeStats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.BaseURL, "/")+path, rd)
+	if err != nil {
+		return fmt.Errorf("floorplan: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("floorplan: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("floorplan: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := strings.TrimSpace(string(raw))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &ServeError{Code: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("floorplan: decoding %s response: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package floorplan
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"floorplan/internal/cache"
+	"floorplan/internal/plan"
+	"floorplan/internal/server"
+)
+
+func clientFixture(t *testing.T) (*Client, *Tree, Library) {
+	t.Helper()
+	store, err := cache.New(cache.Config{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Workers: 2, Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	tree := plan.NewVSlice(
+		plan.NewLeaf("a"),
+		plan.NewHSlice(plan.NewLeaf("b"), plan.NewLeaf("c")),
+	)
+	lib := Library{
+		"a": {{W: 4, H: 7}, {W: 7, H: 4}},
+		"b": {{W: 3, H: 3}},
+		"c": {{W: 2, H: 5}, {W: 5, H: 2}},
+	}
+	return &Client{BaseURL: ts.URL + "/"}, tree, lib
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c, tree, lib := clientFixture(t)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	first, err := c.Optimize(ctx, tree, lib, ServeOptions{})
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if first.Runtime.Cache != "miss" {
+		t.Fatalf("first call disposition = %q, want miss", first.Runtime.Cache)
+	}
+	res, err := first.DecodeResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The client result must match a local in-process run exactly.
+	local, err := Optimize(tree, lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != local.Best || res.Area != local.Best.Area() {
+		t.Fatalf("served best %+v (area %d) != local best %+v", res.Best, res.Area, local.Best)
+	}
+
+	second, err := c.Optimize(ctx, tree, lib, ServeOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Runtime.Cache != "hit" {
+		t.Fatalf("second call disposition = %q, want hit", second.Runtime.Cache)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatal("cached result not byte-identical to fresh result")
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 2 || stats.Cache.Hits != 1 {
+		t.Fatalf("stats = requests %d hits %d, want 2 and 1", stats.Requests, stats.Cache.Hits)
+	}
+
+	// The request key matches the public fingerprint of the same inputs.
+	fp, err := Fingerprint(tree, lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Key != fp {
+		t.Fatalf("server key %s != local fingerprint %s", first.Key, fp)
+	}
+}
+
+func TestClientServerError(t *testing.T) {
+	c, tree, _ := clientFixture(t)
+	_, err := c.Optimize(context.Background(), tree, Library{"a": {{W: 1, H: 1}}}, ServeOptions{})
+	var se *ServeError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a ServeError", err)
+	}
+	if se.Code != 400 {
+		t.Fatalf("code %d, want 400", se.Code)
+	}
+}

@@ -9,6 +9,7 @@
 //	fpbench -ablation uniform # R_Selection vs uniform subsampling
 //	fpbench -ablation thetas  # θ / S sensitivity on FP4
 //	fpbench -smoke -benchjson out -report out/report.json  # CI-scale grid
+//	fpbench -server http://localhost:8080  # end-to-end check of fpserve
 package main
 
 import (
@@ -19,8 +20,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"floorplan/internal/cliutil"
 	"floorplan/internal/tables"
-	"floorplan/internal/telemetry"
 )
 
 func main() {
@@ -36,11 +37,18 @@ func main() {
 		csvOut   = flag.String("csv", "", "also write machine-readable CSV to this file")
 		jsonDir  = flag.String("benchjson", "", "write BENCH_table<N>.json files into this directory")
 		workers  = flag.Int("workers", 0, "concurrent optimizer runs (0 = all CPUs, 1 = sequential)")
-		report   = flag.String("report", "", "write the merged telemetry run report (JSON) to this file")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this file")
-		debug    = flag.String("debug-addr", "", "serve expvar and pprof on this address while the grid runs")
+		servURL  = flag.String("server", "", "drive a running fpserve at this base URL end-to-end and exit")
+		tf       cliutil.TelemetryFlags
 	)
+	tf.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *servURL != "" {
+		if err := serveCheck(*servURL); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := tables.DefaultConfig()
 	if *limit > 0 {
@@ -58,16 +66,9 @@ func main() {
 	// against its own shard (so its BENCH json embeds only its own
 	// numbers) and the shards merge back into the root for -report. The
 	// -benchjson embed implies collection even without -report.
-	var root *telemetry.Collector
-	if *report != "" || *traceOut != "" || *debug != "" || *jsonDir != "" {
-		root = telemetry.New()
-	}
-	if *debug != "" {
-		_, addr, err := telemetry.StartDebugServer(*debug, root)
-		if err != nil {
-			log.Fatalf("debug listener: %v", err)
-		}
-		log.Printf("debug listener on http://%s/debug/vars", addr)
+	root := tf.CollectorIf(*jsonDir != "")
+	if err := tf.StartDebug(root); err != nil {
+		log.Fatal(err)
 	}
 	// runTable executes fn with a per-table telemetry shard in cfg.
 	runTable := func(fn func(cfg tables.Config) (*tables.Table, error)) *tables.Table {
@@ -152,40 +153,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *report != "" {
-		if err := os.WriteFile(*report, mustReport(root), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		// Round-trip gate: a report that does not re-parse (schema drift,
-		// marshalling bug) fails the run, not a downstream consumer.
-		data, err := os.ReadFile(*report)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := telemetry.ParseReport(data); err != nil {
-			log.Fatalf("report round-trip failed: %v", err)
-		}
-	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := root.WriteTrace(f); err != nil {
-			log.Fatalf("writing trace: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-	}
-}
-
-func mustReport(c *telemetry.Collector) []byte {
-	raw, err := c.Report().JSON()
-	if err != nil {
+	if err := tf.Flush(root); err != nil {
 		log.Fatal(err)
 	}
-	return raw
 }
 
 // smokeCases is the CI-scale grid behind -smoke: two cases small enough to

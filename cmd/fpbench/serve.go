@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	floorplan "floorplan"
+	"floorplan/internal/plan"
+)
+
+// serveCheck drives a running fpserve end to end: health, two optimize
+// round-trips of the same workload (expecting the second to hit the cache
+// when one is enabled), byte-identity of the served results across worker
+// counts, agreement with a local in-process run, and a non-zero cache hit
+// count in /v1/stats. Any violation is an error (non-zero exit), which is
+// what lets `make serve-smoke` gate on it.
+func serveCheck(baseURL string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := &floorplan.Client{BaseURL: baseURL}
+
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("health check: %w", err)
+	}
+
+	tree, lib := serveWorkload()
+	opts := floorplan.Options{Selection: floorplan.Selection{K1: 12}}
+	before, err := c.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+
+	first, err := c.Optimize(ctx, tree, lib, floorplan.ServeOptions{K1: 12, Workers: 1})
+	if err != nil {
+		return fmt.Errorf("optimize #1: %w", err)
+	}
+	second, err := c.Optimize(ctx, tree, lib, floorplan.ServeOptions{K1: 12, Workers: 8})
+	if err != nil {
+		return fmt.Errorf("optimize #2: %w", err)
+	}
+
+	if first.Key != second.Key {
+		return fmt.Errorf("key changed across identical workloads: %s vs %s", first.Key, second.Key)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		return fmt.Errorf("served results are not byte-identical across worker counts (dispositions %q, %q)",
+			first.Runtime.Cache, second.Runtime.Cache)
+	}
+	if before.CacheEnabled && second.Runtime.Cache != "hit" {
+		return fmt.Errorf("second request disposition = %q, want hit (cache is enabled)",
+			second.Runtime.Cache)
+	}
+
+	// The served optimum must match this binary's own optimizer.
+	res, err := first.DecodeResult()
+	if err != nil {
+		return err
+	}
+	local, err := floorplan.Optimize(tree, lib, opts)
+	if err != nil {
+		return fmt.Errorf("local reference run: %w", err)
+	}
+	if res.Best != local.Best {
+		return fmt.Errorf("served optimum %+v differs from local optimum %+v", res.Best, local.Best)
+	}
+
+	after, err := c.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if before.CacheEnabled && after.Cache.Hits <= before.Cache.Hits {
+		return fmt.Errorf("cache hits did not advance: %d -> %d", before.Cache.Hits, after.Cache.Hits)
+	}
+
+	log.Printf("serve check OK: %s optimum %dx%d area %d, dispositions %s/%s, cache hits %d",
+		baseURL, res.Best.W, res.Best.H, res.Area,
+		first.Runtime.Cache, second.Runtime.Cache, after.Cache.Hits)
+	return nil
+}
+
+// serveWorkload is a small fixed floorplan with a wheel (so the L-shaped
+// path is exercised) that still optimizes in milliseconds.
+func serveWorkload() (*floorplan.Tree, floorplan.Library) {
+	tree := plan.NewVSlice(
+		plan.NewWheel(
+			plan.NewLeaf("nw"), plan.NewLeaf("ne"), plan.NewLeaf("se"),
+			plan.NewLeaf("sw"), plan.NewLeaf("c"),
+		),
+		plan.NewHSlice(plan.NewLeaf("x"), plan.NewLeaf("y")),
+	)
+	lib := floorplan.Library{
+		"nw": {{W: 2, H: 4}, {W: 4, H: 2}, {W: 3, H: 3}},
+		"ne": {{W: 3, H: 3}, {W: 9, H: 1}},
+		"se": {{W: 2, H: 4}, {W: 4, H: 2}},
+		"sw": {{W: 3, H: 5}, {W: 5, H: 3}},
+		"c":  {{W: 1, H: 2}, {W: 2, H: 1}},
+		"x":  {{W: 4, H: 6}, {W: 6, H: 4}},
+		"y":  {{W: 5, H: 5}},
+	}
+	return tree, lib
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	floorplan "floorplan"
+	"floorplan/internal/cliutil"
 	"floorplan/internal/gen"
 	"floorplan/internal/render"
 	"floorplan/internal/telemetry"
@@ -36,13 +37,14 @@ func main() {
 		treeOut  = flag.String("tree", "", "write the topology JSON here (default stdout)")
 		libOut   = flag.String("lib", "", "write the module library JSON here")
 		showTree = flag.Bool("print", false, "also print the topology outline")
-		report   = flag.String("report", "", "write the telemetry run report (JSON) to this file")
+		tf       cliutil.TelemetryFlags
 	)
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
-	var col *telemetry.Collector
-	if *report != "" {
-		col = telemetry.New()
+	col := tf.Collector()
+	if err := tf.StartDebug(col); err != nil {
+		log.Fatal(err)
 	}
 
 	treeStart := col.Now()
@@ -105,17 +107,8 @@ func main() {
 		}
 	}
 
-	if *report != "" {
-		f, err := os.Create(*report)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := col.WriteReport(f); err != nil {
-			log.Fatalf("writing report: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
+	if err := tf.Flush(col); err != nil {
+		log.Fatal(err)
 	}
 
 	if *showTree {

@@ -18,40 +18,8 @@ import (
 	"time"
 
 	floorplan "floorplan"
-	"floorplan/internal/telemetry"
+	"floorplan/internal/cliutil"
 )
-
-// writeTelemetry flushes the collector to the requested output files; a nil
-// collector (no telemetry flags) writes nothing.
-func writeTelemetry(col *floorplan.Collector, reportFile, traceFile string) {
-	if col == nil {
-		return
-	}
-	if reportFile != "" {
-		f, err := os.Create(reportFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := col.WriteReport(f); err != nil {
-			log.Fatalf("writing report: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if traceFile != "" {
-		f, err := os.Create(traceFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := col.WriteTrace(f); err != nil {
-			log.Fatalf("writing trace: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-	}
-}
 
 // jsonResult is the machine-readable output of -json.
 type jsonResult struct {
@@ -131,10 +99,9 @@ func main() {
 		nodes    = flag.Bool("nodes", false, "print per-block implementation counts")
 		svgOut   = flag.String("svg", "", "write the placement as SVG to this file")
 		workers  = flag.Int("workers", 0, "parallel block evaluators (0 = all CPUs, 1 = sequential)")
-		report   = flag.String("report", "", "write the telemetry run report (JSON) to this file")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this file")
-		debug    = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		tf       cliutil.TelemetryFlags
 	)
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 	if *treeFile == "" || *libFile == "" {
 		flag.Usage()
@@ -158,16 +125,9 @@ func main() {
 		log.Fatalf("decoding library: %v", err)
 	}
 
-	var col *floorplan.Collector
-	if *report != "" || *traceOut != "" || *debug != "" {
-		col = floorplan.NewCollector()
-	}
-	if *debug != "" {
-		_, addr, err := telemetry.StartDebugServer(*debug, col)
-		if err != nil {
-			log.Fatalf("debug listener: %v", err)
-		}
-		log.Printf("debug listener on http://%s/debug/vars", addr)
+	col := tf.Collector()
+	if err := tf.StartDebug(col); err != nil {
+		log.Fatal(err)
 	}
 	opts := floorplan.Options{
 		Selection:     floorplan.Selection{K1: *k1, K2: *k2, Theta: *theta, S: *s},
@@ -181,7 +141,9 @@ func main() {
 	elapsed := time.Since(start)
 	// The report and trace cover failed runs too — a memory-limit abort is
 	// exactly when the selection-error and peak numbers matter.
-	writeTelemetry(col, *report, *traceOut)
+	if ferr := tf.Flush(col); ferr != nil {
+		log.Fatal(ferr)
+	}
 	if err != nil {
 		if floorplan.IsMemoryLimit(err) && res != nil {
 			fmt.Printf("OUT OF MEMORY: > %d implementations stored (limit %d) after %s\n",

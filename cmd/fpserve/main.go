@@ -1,0 +1,107 @@
+// fpserve serves floorplan area optimization over an HTTP JSON API, with a
+// content-addressed cross-request result cache.
+//
+// Example:
+//
+//	fpserve -addr localhost:8080 -cache-mb 64 -workers 4 &
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/optimize -d '{
+//	  "tree": {"kind":"vslice","children":[
+//	    {"kind":"leaf","module":"a"},{"kind":"leaf","module":"b"}]},
+//	  "library": {"a":[{"W":4,"H":7},{"W":7,"H":4}], "b":[{"W":3,"H":3}]},
+//	  "options": {"k1": 20}
+//	}'
+//	curl -s localhost:8080/v1/stats
+//
+// The same request twice is answered from the cache the second time,
+// byte-identically (see the `runtime.cache` field flip from "miss" to
+// "hit"). `-addr :0` picks a free port; `-addr-file` publishes the bound
+// address for scripts.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"floorplan/internal/cache"
+	"floorplan/internal/cliutil"
+	"floorplan/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fpserve: ")
+	var (
+		addr       = flag.String("addr", "localhost:8080", "listen address (use :0 for a random port)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
+		workers    = flag.Int("workers", 0, "concurrent optimizations (0 = all CPUs)")
+		queue      = flag.Int("queue", 0, "requests allowed to wait for a worker before shedding (0 = 4x workers)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-request deadline")
+		maxLimit   = flag.Int64("max-limit", 0, "ceiling on per-request stored-implementation budgets (0 = none)")
+		cacheMB    = flag.Int64("cache-mb", 64, "result cache budget in MiB (0 disables the cache)")
+		cacheShard = flag.Int("cache-shards", 16, "cache shard count")
+		drain      = flag.Duration("drain", 15*time.Second, "graceful shutdown drain deadline")
+		tf         cliutil.TelemetryFlags
+	)
+	tf.Register(flag.CommandLine)
+	flag.Parse()
+
+	// The server always collects telemetry when any flag asks for it; the
+	// debug listener exposes it live, the report flushes at shutdown.
+	col := tf.Collector()
+	if err := tf.StartDebug(col); err != nil {
+		log.Fatal(err)
+	}
+
+	var store *cache.Cache
+	if *cacheMB > 0 {
+		var err error
+		store, err = cache.New(cache.Config{
+			MaxBytes:  *cacheMB << 20,
+			Shards:    *cacheShard,
+			Telemetry: col,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	srv, err := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MaxMemoryLimit: *maxLimit,
+		Cache:          store,
+		Telemetry:      col,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on http://%s (cache %d MiB, workers %d)", bound, *cacheMB, *workers)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound.String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("draining (up to %s)", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := tf.Flush(col); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"io"
 	"math/rand"
 
+	"floorplan/internal/cache"
 	"floorplan/internal/gen"
 	"floorplan/internal/optimizer"
 	"floorplan/internal/plan"
@@ -173,7 +174,7 @@ type Result struct {
 func Optimize(tree *Tree, lib Library, opts Options) (*Result, error) {
 	canonical := make(optimizer.Library, len(lib))
 	for name, impls := range lib {
-		l, err := shape.NewRList(impls)
+		l, err := plan.CanonicalModule(name, impls)
 		if err != nil {
 			return nil, err
 		}
@@ -217,6 +218,36 @@ func wrapResult(res *optimizer.Result) *Result {
 // IsMemoryLimit reports whether an Optimize error was a memory-limit abort.
 func IsMemoryLimit(err error) bool { return optimizer.IsMemoryLimit(err) }
 
+// Fingerprint returns the canonical content address (hex SHA-256) of an
+// optimization problem: the tree structure, the canonicalized shape lists
+// of the modules the tree references, and every Options field that affects
+// results. Equivalent requests — relabelled nodes, shuffled or redundant
+// implementation lists, irrelevant library entries, any Workers value —
+// fingerprint identically; this is the cache key fpserve memoizes under.
+func Fingerprint(tree *Tree, lib Library, opts Options) (string, error) {
+	if err := tree.Validate(); err != nil {
+		return "", err
+	}
+	canonical, err := plan.CanonicalLibrary(plan.Library(lib))
+	if err != nil {
+		return "", err
+	}
+	k, err := cache.KeySpec{
+		Tree:          tree,
+		Lib:           canonical,
+		K1:            opts.Selection.K1,
+		K2:            opts.Selection.K2,
+		Theta:         opts.Selection.Theta,
+		S:             opts.Selection.S,
+		MemoryLimit:   opts.MemoryLimit,
+		SkipPlacement: opts.SkipPlacement,
+	}.Key()
+	if err != nil {
+		return "", err
+	}
+	return k.String(), nil
+}
+
 // SelectImpls is the paper's R_Selection as a standalone utility: it picks
 // the k-subset of a rectangular block's implementations (canonicalized
 // first) that minimizes the lost staircase area, and returns the subset and
@@ -248,7 +279,7 @@ func Rotatable(w, h int64) []Impl {
 func OptimizeSlicing(tree *Tree, lib Library, k1 int) (*Result, error) {
 	canonical := make(map[string]shape.RList, len(lib))
 	for name, impls := range lib {
-		l, err := shape.NewRList(impls)
+		l, err := plan.CanonicalModule(name, impls)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+
+	"floorplan/internal/plan"
+)
+
+// Key is a content address: the SHA-256 of the canonical encoding of an
+// optimization problem. Equal problems — same subtree structure, same
+// canonicalized module shape lists, same selection limits — produce equal
+// keys no matter how the request was spelled (node labels, list order and
+// redundant implementations do not participate).
+type Key [sha256.Size]byte
+
+// String returns the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeySpec is everything that determines an optimization result. Workers is
+// deliberately absent: successful runs are bit-identical for every worker
+// count, so the worker setting must not fragment the cache.
+type KeySpec struct {
+	// Tree is the (sub)tree being optimized.
+	Tree *plan.Node
+	// Lib holds canonical implementation lists (as plan.CanonicalLibrary
+	// returns them) for at least the modules the tree references.
+	Lib plan.Library
+	// Selection limits and trigger (the paper's K1, K2, θ, S).
+	K1, K2, S int
+	Theta     float64
+	// MemoryLimit participates because a limited run can fail where an
+	// unlimited one succeeds.
+	MemoryLimit int64
+	// SkipPlacement participates because it changes the result payload.
+	SkipPlacement bool
+}
+
+// Key derives the content address. It fails on a nil tree or when a
+// referenced module is missing from the library — a miss there must surface
+// as a request error, not as a silently distinct cache entry.
+func (s KeySpec) Key() (Key, error) {
+	if s.Tree == nil {
+		return Key{}, errors.New("cache: nil tree in key spec")
+	}
+	buf := make([]byte, 0, 4096)
+	buf = s.Tree.AppendCanonical(buf)
+	mods := s.Tree.Modules()
+	for _, m := range mods {
+		if len(s.Lib[m]) == 0 {
+			return Key{}, fmt.Errorf("cache: module %q not in library", m)
+		}
+	}
+	buf = plan.AppendCanonicalLibrary(buf, s.Lib, mods)
+	buf = binary.AppendVarint(buf, int64(s.K1))
+	buf = binary.AppendVarint(buf, int64(s.K2))
+	buf = binary.AppendVarint(buf, int64(s.S))
+	buf = binary.AppendUvarint(buf, math.Float64bits(s.Theta))
+	buf = binary.AppendVarint(buf, s.MemoryLimit)
+	if s.SkipPlacement {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return Key(sha256.Sum256(buf)), nil
+}

@@ -1,0 +1,79 @@
+package cache
+
+import (
+	"testing"
+
+	"floorplan/internal/plan"
+)
+
+func keyLib(t *testing.T, raw plan.Library) plan.Library {
+	t.Helper()
+	c, err := plan.CanonicalLibrary(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestKeyContentAddressing(t *testing.T) {
+	tree := plan.NewVSlice(plan.NewLeaf("a"), plan.NewLeaf("b"))
+	lib := keyLib(t, plan.Library{
+		"a": {{W: 4, H: 7}, {W: 7, H: 4}},
+		"b": {{W: 3, H: 3}},
+	})
+	base := KeySpec{Tree: tree, Lib: lib, K1: 10}
+	k0, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Equivalent spellings hash identically.
+	relabelled := plan.NewVSlice(plan.NewLeaf("a"), plan.NewLeaf("b"))
+	relabelled.Name = "root"
+	shuffled := keyLib(t, plan.Library{
+		"a": {{W: 7, H: 4}, {W: 4, H: 7}, {W: 7, H: 7}},
+		"b": {{W: 3, H: 3}},
+		"z": {{W: 1, H: 1}}, // irrelevant module
+	})
+	same := KeySpec{Tree: relabelled, Lib: shuffled, K1: 10}
+	if k, err := same.Key(); err != nil || k != k0 {
+		t.Fatalf("equivalent spec hashed differently: %v (err %v)", k, err)
+	}
+
+	// Each determining field fragments the address.
+	variants := []KeySpec{
+		{Tree: plan.NewHSlice(plan.NewLeaf("a"), plan.NewLeaf("b")), Lib: lib, K1: 10},
+		{Tree: tree, Lib: keyLib(t, plan.Library{"a": {{W: 4, H: 7}}, "b": {{W: 3, H: 3}}}), K1: 10},
+		{Tree: tree, Lib: lib, K1: 11},
+		{Tree: tree, Lib: lib, K1: 10, K2: 5},
+		{Tree: tree, Lib: lib, K1: 10, S: 100},
+		{Tree: tree, Lib: lib, K1: 10, Theta: 0.5},
+		{Tree: tree, Lib: lib, K1: 10, MemoryLimit: 1000},
+		{Tree: tree, Lib: lib, K1: 10, SkipPlacement: true},
+	}
+	keys := map[Key]int{k0: -1}
+	for i, v := range variants {
+		k, err := v.Key()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if j, dup := keys[k]; dup {
+			t.Errorf("variants %d and %d collide", i, j)
+		}
+		keys[k] = i
+	}
+}
+
+func TestKeyErrors(t *testing.T) {
+	if _, err := (KeySpec{}).Key(); err == nil {
+		t.Error("nil tree accepted")
+	}
+	tree := plan.NewLeaf("missing")
+	if _, err := (KeySpec{Tree: tree, Lib: plan.Library{}}).Key(); err == nil {
+		t.Error("missing module accepted")
+	}
+	present := plan.Library{"missing": {{W: 1, H: 1}}}
+	if _, err := (KeySpec{Tree: tree, Lib: present}).Key(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+// Package cliutil holds the flag plumbing shared by the command-line tools
+// (fpopt, fpbench, fpgen, fpserve): one definition of the telemetry flags
+// -report, -trace and -debug-addr, one way to build the collector they
+// imply, and one flush path that applies the ParseReport round-trip gate to
+// every report any tool writes — so the schema check cannot drift between
+// binaries.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"floorplan/internal/telemetry"
+)
+
+// TelemetryFlags are the shared observability flags. Register wires them
+// into a FlagSet; after parsing, Collector/StartDebug/Flush consume them.
+type TelemetryFlags struct {
+	Report string
+	Trace  string
+	Debug  string
+}
+
+// Register defines the flags on fs (typically flag.CommandLine).
+func (f *TelemetryFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Report, "report", "", "write the telemetry run report (JSON) to this file")
+	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this file")
+	fs.StringVar(&f.Debug, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+}
+
+// Enabled reports whether any telemetry output was requested.
+func (f *TelemetryFlags) Enabled() bool {
+	return f.Report != "" || f.Trace != "" || f.Debug != ""
+}
+
+// Collector returns a fresh collector when any flag requests telemetry and
+// nil (the zero-overhead disabled state) otherwise.
+func (f *TelemetryFlags) Collector() *telemetry.Collector {
+	return f.CollectorIf(false)
+}
+
+// CollectorIf is Collector with an extra reason to collect — fpbench's
+// -benchjson embeds per-table reports even when no telemetry flag is set.
+func (f *TelemetryFlags) CollectorIf(force bool) *telemetry.Collector {
+	if force || f.Enabled() {
+		return telemetry.New()
+	}
+	return nil
+}
+
+// StartDebug starts the expvar/pprof listener when -debug-addr was given
+// and logs the bound address through the caller's log prefix.
+func (f *TelemetryFlags) StartDebug(col *telemetry.Collector) error {
+	if f.Debug == "" {
+		return nil
+	}
+	_, addr, err := telemetry.StartDebugServer(f.Debug, col)
+	if err != nil {
+		return fmt.Errorf("debug listener: %w", err)
+	}
+	log.Printf("debug listener on http://%s/debug/vars", addr)
+	return nil
+}
+
+// Flush writes the requested report and trace files. Every written report
+// is immediately re-read and re-parsed — a report that does not round-trip
+// (schema drift, marshalling bug) fails the invoking tool, not a
+// downstream consumer. A nil collector flushes nothing.
+func (f *TelemetryFlags) Flush(col *telemetry.Collector) error {
+	if col == nil {
+		return nil
+	}
+	if f.Report != "" {
+		raw, err := col.Report().JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(f.Report, raw, 0o644); err != nil {
+			return err
+		}
+		back, err := os.ReadFile(f.Report)
+		if err != nil {
+			return err
+		}
+		if _, err := telemetry.ParseReport(back); err != nil {
+			return fmt.Errorf("report round-trip failed: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		out, err := os.Create(f.Trace)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteTrace(out); err != nil {
+			out.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

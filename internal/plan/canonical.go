@@ -1,0 +1,80 @@
+package plan
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Canonical binary encoding for content-addressed caching.
+//
+// AppendCanonical and AppendCanonicalLibrary produce a compact, unambiguous
+// byte encoding of a subtree and of the module shape lists it references.
+// Two inputs yield the same bytes exactly when they describe the same
+// optimization problem: node Names are excluded (diagnostic labels do not
+// affect results), module names and the CCW flag are included, and every
+// length is varint-prefixed so no concatenation of fields is ambiguous.
+// The cache layer hashes these bytes to derive its content address.
+
+// AppendCanonical appends the canonical encoding of the subtree rooted at n
+// to dst and returns the extended slice. A nil node encodes as a distinct
+// sentinel so malformed trees still hash deterministically.
+func (n *Node) AppendCanonical(dst []byte) []byte {
+	if n == nil {
+		return append(dst, 0xff)
+	}
+	dst = append(dst, byte(n.Kind))
+	if n.CCW {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendString(dst, n.Module)
+	dst = binary.AppendUvarint(dst, uint64(len(n.Children)))
+	for _, c := range n.Children {
+		dst = c.AppendCanonical(dst)
+	}
+	return dst
+}
+
+// Modules returns the sorted, deduplicated module names referenced by the
+// subtree's leaves.
+func (n *Node) Modules() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, leaf := range n.Leaves() {
+		if !seen[leaf.Module] {
+			seen[leaf.Module] = true
+			out = append(out, leaf.Module)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppendCanonicalLibrary appends the canonical encoding of the named
+// modules' shape lists, in the given order (callers pass a sorted name
+// slice, typically Node.Modules, so irrelevant library entries never
+// perturb the encoding). The lists must already be canonical — irreducible
+// and staircase-ordered, as CanonicalLibrary returns them — which is what
+// makes the encoding content-addressed: equivalent libraries with redundant
+// entries or shuffled lists canonicalize to identical bytes. Modules absent
+// from the library encode as empty lists; callers that require presence
+// must check beforehand.
+func AppendCanonicalLibrary(dst []byte, lib Library, modules []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(modules)))
+	for _, name := range modules {
+		dst = appendString(dst, name)
+		impls := lib[name]
+		dst = binary.AppendUvarint(dst, uint64(len(impls)))
+		for _, im := range impls {
+			dst = binary.AppendVarint(dst, im.W)
+			dst = binary.AppendVarint(dst, im.H)
+		}
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}

@@ -1,0 +1,122 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+
+	"floorplan/internal/shape"
+)
+
+func TestAppendCanonicalDistinguishesTrees(t *testing.T) {
+	trees := []*Node{
+		NewLeaf("a"),
+		NewLeaf("b"),
+		NewVSlice(NewLeaf("a"), NewLeaf("b")),
+		NewHSlice(NewLeaf("a"), NewLeaf("b")),
+		NewVSlice(NewLeaf("b"), NewLeaf("a")),
+		NewVSlice(NewLeaf("a"), NewLeaf("b"), NewLeaf("c")),
+		NewVSlice(NewVSlice(NewLeaf("a"), NewLeaf("b")), NewLeaf("c")),
+		NewWheel(NewLeaf("a"), NewLeaf("b"), NewLeaf("c"), NewLeaf("d"), NewLeaf("e")),
+		NewCCWWheel(NewLeaf("a"), NewLeaf("b"), NewLeaf("c"), NewLeaf("d"), NewLeaf("e")),
+	}
+	seen := make(map[string]int)
+	for i, tr := range trees {
+		enc := string(tr.AppendCanonical(nil))
+		if j, dup := seen[enc]; dup {
+			t.Errorf("trees %d and %d encode identically", i, j)
+		}
+		seen[enc] = i
+	}
+}
+
+func TestAppendCanonicalIgnoresNames(t *testing.T) {
+	a := NewVSlice(NewLeaf("a"), NewLeaf("b"))
+	b := NewVSlice(NewLeaf("a"), NewLeaf("b"))
+	b.Name = "labelled"
+	b.Children[0].Name = "left"
+	if !bytes.Equal(a.AppendCanonical(nil), b.AppendCanonical(nil)) {
+		t.Fatal("node names changed the canonical encoding")
+	}
+}
+
+func TestAppendCanonicalPrefixUnambiguous(t *testing.T) {
+	// A leaf whose module embeds structural bytes must not collide with the
+	// structure it mimics.
+	a := NewLeaf("ab")
+	b := NewLeaf("a")
+	enc := a.AppendCanonical(nil)
+	if bytes.HasPrefix(enc, b.AppendCanonical(nil)) {
+		t.Fatal("encoding of a leaf is a prefix of a longer module name's encoding")
+	}
+}
+
+func TestModulesSortedDeduped(t *testing.T) {
+	tr := NewVSlice(NewLeaf("z"), NewLeaf("a"), NewLeaf("z"), NewLeaf("m"))
+	got := tr.Modules()
+	want := []string{"a", "m", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("Modules() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Modules() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAppendCanonicalLibraryEquivalence(t *testing.T) {
+	// Equivalent libraries — shuffled order, redundant entries — encode
+	// identically once canonicalized; a changed shape or an extra relevant
+	// module does not.
+	base := Library{
+		"a": {{W: 4, H: 7}, {W: 7, H: 4}},
+		"b": {{W: 3, H: 3}},
+	}
+	shuffled := Library{
+		"a": {{W: 7, H: 4}, {W: 4, H: 7}, {W: 7, H: 7}}, // (7,7) redundant
+		"b": {{W: 3, H: 3}},
+	}
+	changed := Library{
+		"a": {{W: 4, H: 7}, {W: 7, H: 4}},
+		"b": {{W: 3, H: 4}},
+	}
+	mods := []string{"a", "b"}
+	canon := func(l Library) []byte {
+		c, err := CanonicalLibrary(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return AppendCanonicalLibrary(nil, c, mods)
+	}
+	if !bytes.Equal(canon(base), canon(shuffled)) {
+		t.Fatal("equivalent libraries encode differently")
+	}
+	if bytes.Equal(canon(base), canon(changed)) {
+		t.Fatal("different libraries encode identically")
+	}
+	// Irrelevant modules (absent from the name slice) don't perturb it.
+	withExtra := Library{
+		"a": {{W: 4, H: 7}, {W: 7, H: 4}},
+		"b": {{W: 3, H: 3}},
+		"z": {{W: 9, H: 9}},
+	}
+	if !bytes.Equal(canon(base), canon(withExtra)) {
+		t.Fatal("irrelevant module changed the encoding")
+	}
+}
+
+func TestCanonicalModuleSharedRules(t *testing.T) {
+	if _, err := CanonicalModule("m", nil); err == nil {
+		t.Error("empty module accepted")
+	}
+	if _, err := CanonicalModule("m", []shape.RImpl{{W: 0, H: 1}}); err == nil {
+		t.Error("invalid implementation accepted")
+	}
+	l, err := CanonicalModule("m", []shape.RImpl{{W: 7, H: 4}, {W: 4, H: 7}, {W: 7, H: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 2 {
+		t.Fatalf("redundant implementation survived: %v", l)
+	}
+}

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"bytes"
 	"testing"
 )
 
@@ -41,6 +42,73 @@ func FuzzParseTree(f *testing.F) {
 		}
 		if back.ModuleCount() != tree.ModuleCount() || back.Depth() != tree.Depth() {
 			t.Fatal("round trip changed the tree")
+		}
+	})
+}
+
+// FuzzParseLibrary checks that arbitrary input never panics the library
+// parser and that anything it accepts is a fixed point of the shared
+// canonicalization path: parse → encode → parse yields identical bytes.
+// Seeds mirror the examples/ corpora (the quickstart wheel library) and
+// fpgen's output format.
+func FuzzParseLibrary(f *testing.F) {
+	seeds := []string{
+		// examples/quickstart's five-module wheel library.
+		`{"nw":[{"W":4,"H":7}],"ne":[{"W":6,"H":4}],"se":[{"W":3,"H":6}],
+		  "sw":[{"W":7,"H":3}],"c":[{"W":3,"H":3}]}`,
+		// fpgen-style indented output with a redundant implementation.
+		`{
+		  "cpu": [
+		    {"W": 4, "H": 7},
+		    {"W": 7, "H": 4},
+		    {"W": 7, "H": 7}
+		  ],
+		  "pll": [
+		    {"W": 3, "H": 3}
+		  ]
+		}`,
+		// examples/orientation-style rotatable module.
+		`{"m000":[{"W":40,"H":55},{"W":55,"H":40}]}`,
+		`{}`,
+		`{"m": []}`,
+		`{"m": [{"W":0,"H":1}]}`,
+		`{"m": [{"W":-3,"H":4}]}`,
+		`{"m": null}`,
+		`[1,2,3]`,
+		`not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lib, err := ParseLibrary(data)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		for name, impls := range lib {
+			if len(impls) == 0 {
+				t.Fatalf("ParseLibrary accepted empty module %q", name)
+			}
+			for _, im := range impls {
+				if !im.Valid() {
+					t.Fatalf("ParseLibrary accepted invalid implementation %v in %q", im, name)
+				}
+			}
+		}
+		enc, err := EncodeLibrary(lib)
+		if err != nil {
+			t.Fatalf("EncodeLibrary failed on accepted library: %v", err)
+		}
+		back, err := ParseLibrary(enc)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		enc2, err := EncodeLibrary(back)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("parse/encode not a fixed point")
 		}
 	})
 }

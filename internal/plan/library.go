@@ -1,0 +1,69 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"floorplan/internal/shape"
+)
+
+// Library maps module names to rectangular implementation lists — the
+// module-library JSON format shared by fpgen, fpopt and fpserve. Lists may
+// be given in any order with redundant entries; the canonicalization path
+// below prunes and sorts them.
+type Library map[string][]shape.RImpl
+
+// CanonicalModule validates and canonicalizes one module's implementation
+// list: the module must have at least one implementation and every
+// implementation positive extents; the result is the irreducible,
+// staircase-ordered R-list. This is the single validation path shared by
+// EncodeLibrary and ParseLibrary (and by the optimizer entry points), so
+// the rules cannot drift between the encode and decode directions.
+func CanonicalModule(name string, impls []shape.RImpl) (shape.RList, error) {
+	if len(impls) == 0 {
+		return nil, fmt.Errorf("plan: module %q has no implementations", name)
+	}
+	l, err := shape.NewRList(impls)
+	if err != nil {
+		return nil, fmt.Errorf("plan: module %q: %w", name, err)
+	}
+	return l, nil
+}
+
+// CanonicalLibrary canonicalizes every module list through CanonicalModule.
+func CanonicalLibrary(lib Library) (Library, error) {
+	out := make(Library, len(lib))
+	for name, impls := range lib {
+		l, err := CanonicalModule(name, impls)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = []shape.RImpl(l)
+	}
+	return out, nil
+}
+
+// EncodeLibrary canonicalizes and serializes a module library as indented
+// JSON, the format fpgen emits and fpopt/fpserve consume:
+//
+//	{"cpu": [{"W":4,"H":7},{"W":7,"H":4}], …}
+//
+// Redundant implementations are pruned and lists staircase-ordered before
+// encoding, so the file round-trips bit-exactly.
+func EncodeLibrary(lib Library) ([]byte, error) {
+	canonical, err := CanonicalLibrary(lib)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(canonical, "", "  ")
+}
+
+// ParseLibrary decodes a module library from JSON and validates it through
+// the same canonicalization path EncodeLibrary uses.
+func ParseLibrary(data []byte) (Library, error) {
+	var lib Library
+	if err := json.Unmarshal(data, &lib); err != nil {
+		return nil, fmt.Errorf("plan: decoding library: %w", err)
+	}
+	return CanonicalLibrary(lib)
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"floorplan/internal/cache"
+	"floorplan/internal/optimizer"
+	"floorplan/internal/plan"
+	"floorplan/internal/shape"
+)
+
+// Wire format of the fpserve HTTP API. The optimize response splits the way
+// the telemetry report does: Result is the deterministic payload — cached
+// verbatim, bit-identical for any worker count and for cached vs. freshly
+// computed answers — while Runtime carries what legitimately varies
+// (latency, cache disposition).
+
+// OptimizeRequest is the POST /v1/optimize body.
+type OptimizeRequest struct {
+	// Tree is the floorplan topology (the EncodeTree JSON format).
+	Tree *plan.Node `json:"tree"`
+	// Library maps module names to implementation lists (the EncodeLibrary
+	// format); lists need not be canonical.
+	Library plan.Library `json:"library"`
+	// Options tune the run; the zero value optimizes exactly.
+	Options RequestOptions `json:"options,omitempty"`
+}
+
+// RequestOptions mirrors floorplan.Options plus serving controls.
+type RequestOptions struct {
+	// K1, K2, Theta, S configure the paper's selection algorithms.
+	K1    int     `json:"k1,omitempty"`
+	K2    int     `json:"k2,omitempty"`
+	Theta float64 `json:"theta,omitempty"`
+	S     int     `json:"s,omitempty"`
+	// MemoryLimit caps stored implementations; the server clamps it to its
+	// own configured ceiling.
+	MemoryLimit int64 `json:"memory_limit,omitempty"`
+	// SkipPlacement omits the placement from the result.
+	SkipPlacement bool `json:"skip_placement,omitempty"`
+	// Workers bounds this request's evaluation goroutines (0 = 1, i.e.
+	// sequential; the server's pool already provides cross-request
+	// parallelism). Does not participate in the cache key: results are
+	// bit-identical for every worker count.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMs overrides the server's per-request deadline downwards.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the cache for this request: no lookup, no store.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// OptimizeResponse is the POST /v1/optimize reply.
+type OptimizeResponse struct {
+	// Key is the request's content address (hex), the cache key.
+	Key string `json:"key"`
+	// Result is the deterministic payload (a marshaled Result). It is the
+	// exact byte sequence the first computation of this key produced.
+	Result json.RawMessage `json:"result"`
+	// Runtime varies per request and is never cached.
+	Runtime ResponseRuntime `json:"runtime"`
+}
+
+// ResponseRuntime is the nondeterministic half of a reply.
+type ResponseRuntime struct {
+	ElapsedMs int64 `json:"elapsed_ms"`
+	// Cache is the disposition: "hit", "miss", "bypass" (NoCache set) or
+	// "off" (server cache disabled).
+	Cache string `json:"cache"`
+}
+
+// Result is the deterministic optimization payload.
+type Result struct {
+	Best     shape.RImpl   `json:"best"`
+	Area     int64         `json:"area"`
+	RootList []shape.RImpl `json:"root_list"`
+	Stats    ResultStats   `json:"stats"`
+	// NodeStats describes every evaluated block in preorder.
+	NodeStats []optimizer.NodeStat `json:"node_stats,omitempty"`
+	// Placement realizes Best, sorted by module name (omitted with
+	// SkipPlacement).
+	Placement []PlacedModule `json:"placement,omitempty"`
+}
+
+// ResultStats is optimizer.Stats minus Elapsed — wall time is runtime data
+// and must not fragment cached payloads.
+type ResultStats struct {
+	PeakStored  int64 `json:"peak_stored"`
+	FinalStored int64 `json:"final_stored"`
+	Generated   int64 `json:"generated"`
+	Nodes       int   `json:"nodes"`
+	LNodes      int   `json:"l_nodes"`
+	RSelections int   `json:"r_selections"`
+	LSelections int   `json:"l_selections"`
+	MaxRList    int   `json:"max_rlist"`
+	MaxLSet     int   `json:"max_lset"`
+}
+
+// PlacedModule is one realized module box.
+type PlacedModule struct {
+	Module string `json:"module"`
+	X      int64  `json:"x"`
+	Y      int64  `json:"y"`
+	W      int64  `json:"w"`
+	H      int64  `json:"h"`
+	ImplW  int64  `json:"impl_w"`
+	ImplH  int64  `json:"impl_h"`
+}
+
+// DecodeResult unmarshals the deterministic payload.
+func (r *OptimizeResponse) DecodeResult() (*Result, error) {
+	var out Result
+	if err := json.Unmarshal(r.Result, &out); err != nil {
+		return nil, fmt.Errorf("server: decoding result payload: %w", err)
+	}
+	return &out, nil
+}
+
+// marshalResult builds the deterministic payload bytes from an optimizer
+// result. Struct (not map) marshaling plus the name-sorted placement makes
+// the bytes a pure function of the computation.
+func marshalResult(res *optimizer.Result) ([]byte, error) {
+	out := Result{
+		Best:     res.Best,
+		Area:     res.Best.Area(),
+		RootList: []shape.RImpl(res.RootList),
+		Stats: ResultStats{
+			PeakStored:  res.Stats.PeakStored,
+			FinalStored: res.Stats.FinalStored,
+			Generated:   res.Stats.Generated,
+			Nodes:       res.Stats.Nodes,
+			LNodes:      res.Stats.LNodes,
+			RSelections: res.Stats.RSelections,
+			LSelections: res.Stats.LSelections,
+			MaxRList:    res.Stats.MaxRList,
+			MaxLSet:     res.Stats.MaxLSet,
+		},
+		NodeStats: res.NodeStats,
+	}
+	if res.Placement != nil {
+		for _, m := range res.Placement.ByModule() {
+			out.Placement = append(out.Placement, PlacedModule{
+				Module: m.Module,
+				X:      m.Box.MinX, Y: m.Box.MinY,
+				W: m.Box.Width(), H: m.Box.Height(),
+				ImplW: m.Impl.W, ImplH: m.Impl.H,
+			})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// StatsResponse is the GET /v1/stats reply.
+type StatsResponse struct {
+	UptimeMs      int64       `json:"uptime_ms"`
+	Requests      int64       `json:"requests"`
+	Shed          int64       `json:"shed"`
+	InFlight      int64       `json:"in_flight"`
+	Pending       int64       `json:"pending"`
+	Workers       int         `json:"workers"`
+	QueueCapacity int         `json:"queue_capacity"`
+	Cache         cache.Stats `json:"cache"`
+	CacheEnabled  bool        `json:"cache_enabled"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// StatusError is the client-side form of a non-2xx reply.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Code, e.Message)
+}

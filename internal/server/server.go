@@ -1,0 +1,445 @@
+// Package server is the fpserve serving subsystem: an HTTP JSON API over
+// the floorplan optimizer with cross-request memoization.
+//
+// Endpoints:
+//
+//	POST /v1/optimize  — optimize a plan tree + library (OptimizeRequest)
+//	GET  /healthz      — liveness; 503 while draining
+//	GET  /v1/stats     — cache, queue and pool statistics (StatsResponse)
+//
+// Production plumbing: a bounded worker pool (Config.Workers slots, the
+// same semantics as floorplan.Options.Workers bounds goroutines) admits at
+// most Workers concurrent evaluations with Config.QueueDepth requests
+// waiting behind them; anything beyond that is shed with 429 and a
+// Retry-After hint rather than queued without bound. Every request runs
+// under a deadline and a clamped memory budget. Shutdown drains: in-flight
+// requests finish, new ones get 503. When a Config.Cache is attached,
+// results are memoized under their content address (cache.KeySpec), so a
+// repeated request is answered byte-identically from memory — abandoned
+// (timed-out) computations still warm the cache for the retry.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"floorplan/internal/cache"
+	"floorplan/internal/optimizer"
+	"floorplan/internal/plan"
+	"floorplan/internal/selection"
+	"floorplan/internal/shape"
+	"floorplan/internal/telemetry"
+)
+
+// Config sizes a Server. The zero value serves with one worker slot per
+// CPU, a queue of four waiting requests per slot, a 60-second deadline, a
+// 32 MiB body cap, no memory-budget ceiling and no cache.
+type Config struct {
+	// Workers is the number of requests evaluated concurrently
+	// (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker slot
+	// before the server sheds load (0 = 4×Workers).
+	QueueDepth int
+	// RequestTimeout is the per-request deadline (0 = 60s). Requests may
+	// lower it via Options.TimeoutMs, never raise it.
+	RequestTimeout time.Duration
+	// MaxMemoryLimit caps every request's stored-implementation budget;
+	// requests asking for more (or for unlimited) are clamped down to it.
+	// 0 imposes no ceiling.
+	MaxMemoryLimit int64
+	// MaxBodyBytes caps the request body (0 = 32 MiB).
+	MaxBodyBytes int64
+	// Cache memoizes results across requests; nil disables.
+	Cache *cache.Cache
+	// Telemetry receives request/queue/cache counters, queue watermarks,
+	// per-request serve spans and the optimizer's scalar metrics.
+	Telemetry *telemetry.Collector
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 4 * c.workers()
+}
+
+func (c Config) timeout() time.Duration {
+	if c.RequestTimeout > 0 {
+		return c.RequestTimeout
+	}
+	return 60 * time.Second
+}
+
+func (c Config) maxBody() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 32 << 20
+}
+
+// Server serves optimization requests. Create with New.
+type Server struct {
+	cfg   Config
+	sem   chan struct{}
+	tel   *telemetry.Collector
+	start time.Time
+
+	pending  atomic.Int64 // admitted requests not yet answered
+	inflight atomic.Int64 // requests holding a worker slot
+	requests atomic.Int64
+	shed     atomic.Int64
+	draining atomic.Bool
+
+	wg   sync.WaitGroup // background computations (incl. abandoned ones)
+	http *http.Server
+}
+
+// New validates the configuration and returns a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("server: negative worker count %d", cfg.Workers)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("server: negative queue depth %d", cfg.QueueDepth)
+	}
+	if cfg.MaxMemoryLimit < 0 {
+		return nil, fmt.Errorf("server: negative memory ceiling %d", cfg.MaxMemoryLimit)
+	}
+	return &Server{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.workers()),
+		tel:   cfg.Telemetry,
+		start: time.Now(),
+	}, nil
+}
+
+// Handler returns the API routes, for tests and embedding.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background until Shutdown.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.http = &http.Server{Handler: s.Handler()}
+	go func() { _ = s.http.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Shutdown drains gracefully: health flips to 503, new optimize requests
+// are refused, in-flight HTTP requests and background computations finish
+// (or ctx expires).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.http != nil {
+		err = s.http.Shutdown(ctx)
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		UptimeMs:      time.Since(s.start).Milliseconds(),
+		Requests:      s.requests.Load(),
+		Shed:          s.shed.Load(),
+		InFlight:      s.inflight.Load(),
+		Pending:       s.pending.Load(),
+		Workers:       s.cfg.workers(),
+		QueueCapacity: s.cfg.queueDepth(),
+		Cache:         s.cfg.Cache.Stats(),
+		CacheEnabled:  s.cfg.Cache != nil,
+	})
+}
+
+// runOutcome is what a background computation hands back.
+type runOutcome struct {
+	payload []byte
+	err     error
+}
+
+// testHookComputeStart, when non-nil, runs at the start of every background
+// computation; tests use it to hold a run past its request deadline.
+var testHookComputeStart func()
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.requests.Add(1)
+	s.tel.Inc(telemetry.CtrServeRequests)
+	started := time.Now()
+	spanStart := s.tel.Now()
+
+	// Admission: at most Workers in flight plus QueueDepth waiting; beyond
+	// that, shed immediately — a bounded queue with 429 beats an unbounded
+	// one with collapse.
+	pending := s.pending.Add(1)
+	defer s.pending.Add(-1)
+	s.tel.Observe(telemetry.MaxServeQueue, pending)
+	if pending > int64(s.cfg.workers()+s.cfg.queueDepth()) {
+		s.shed.Add(1)
+		s.tel.Inc(telemetry.CtrServeShed)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "saturated: request queue full")
+		return
+	}
+
+	req, status, err := s.decodeRequest(w, r)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	lib, err := plan.CanonicalLibrary(req.Library)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	for _, m := range req.Tree.Modules() {
+		if _, ok := lib[m]; !ok {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("module %q not in library", m))
+			return
+		}
+	}
+	memLimit := req.Options.MemoryLimit
+	if memLimit < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("negative memory_limit %d", memLimit))
+		return
+	}
+	if max := s.cfg.MaxMemoryLimit; max > 0 && (memLimit == 0 || memLimit > max) {
+		memLimit = max
+	}
+
+	key, err := cache.KeySpec{
+		Tree:          req.Tree,
+		Lib:           lib,
+		K1:            req.Options.K1,
+		K2:            req.Options.K2,
+		Theta:         req.Options.Theta,
+		S:             req.Options.S,
+		MemoryLimit:   memLimit,
+		SkipPlacement: req.Options.SkipPlacement,
+	}.Key()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	mode := "off"
+	if s.cfg.Cache != nil {
+		if req.Options.NoCache {
+			mode = "bypass"
+		} else if payload, ok := s.cfg.Cache.Get(key); ok {
+			s.recordServeSpan(spanStart, "hit")
+			s.respond(w, key, payload, "hit", started)
+			return
+		} else {
+			mode = "miss"
+		}
+	}
+
+	// Acquire a worker slot under the request deadline.
+	timeout := s.cfg.timeout()
+	if ms := req.Options.TimeoutMs; ms > 0 && time.Duration(ms)*time.Millisecond < timeout {
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.shed.Add(1)
+		s.tel.Inc(telemetry.CtrServeShed)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "deadline reached while queued")
+		return
+	}
+	s.tel.Observe(telemetry.MaxServeInFlight, s.inflight.Add(1))
+
+	// The computation runs detached from the HTTP goroutine: optimization
+	// is not cancelable mid-evaluation, so on timeout we answer 503 and let
+	// the run finish in the background — it still stores its result, which
+	// warms the cache for the client's retry. Shutdown waits for these.
+	outCh := make(chan runOutcome, 1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() { <-s.sem; s.inflight.Add(-1) }()
+		if testHookComputeStart != nil {
+			testHookComputeStart()
+		}
+		payload, err := s.compute(req, lib, memLimit)
+		if err == nil && s.cfg.Cache != nil && !req.Options.NoCache {
+			s.cfg.Cache.Put(key, payload)
+		}
+		outCh <- runOutcome{payload: payload, err: err}
+	}()
+
+	select {
+	case out := <-outCh:
+		s.recordServeSpan(spanStart, mode)
+		if out.err != nil {
+			if optimizer.IsMemoryLimit(out.err) {
+				writeError(w, http.StatusUnprocessableEntity, out.err.Error())
+			} else {
+				writeError(w, http.StatusInternalServerError, out.err.Error())
+			}
+			return
+		}
+		s.respond(w, key, out.payload, mode, started)
+	case <-ctx.Done():
+		s.recordServeSpan(spanStart, "timeout")
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "deadline reached while computing")
+	}
+}
+
+// decodeRequest parses and structurally validates the body.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*OptimizeRequest, int, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
+	var req OptimizeRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooLarge.Limit)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err)
+	}
+	if req.Tree == nil {
+		return nil, http.StatusBadRequest, errors.New("missing tree")
+	}
+	if err := req.Tree.Validate(); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if len(req.Library) == 0 {
+		return nil, http.StatusBadRequest, errors.New("missing library")
+	}
+	if req.Options.Workers < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("negative workers %d", req.Options.Workers)
+	}
+	return &req, 0, nil
+}
+
+// compute runs one optimization and marshals the deterministic payload.
+// The optimizer's scalar telemetry folds into the server collector through
+// a per-request shard (MergeScalars keeps the span slice bounded).
+func (s *Server) compute(req *OptimizeRequest, lib plan.Library, memLimit int64) ([]byte, error) {
+	olib := make(optimizer.Library, len(lib))
+	for name, impls := range lib {
+		olib[name] = shape.RList(impls) // canonical by construction
+	}
+	workers := req.Options.Workers
+	if workers == 0 {
+		// Default sequential: the pool already parallelizes across
+		// requests; per-request parallelism is opt-in.
+		workers = 1
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	shard := s.tel.Shard()
+	o, err := optimizer.New(olib, optimizer.Options{
+		Policy: selection.Policy{
+			K1:    req.Options.K1,
+			K2:    req.Options.K2,
+			Theta: req.Options.Theta,
+			S:     req.Options.S,
+		},
+		MemoryLimit:   memLimit,
+		SkipPlacement: req.Options.SkipPlacement,
+		Workers:       workers,
+		Telemetry:     shard,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := o.Run(req.Tree)
+	s.tel.MergeScalars(shard)
+	if err != nil {
+		return nil, err
+	}
+	return marshalResult(res)
+}
+
+func (s *Server) respond(w http.ResponseWriter, key cache.Key, payload []byte, mode string, started time.Time) {
+	writeJSON(w, http.StatusOK, &OptimizeResponse{
+		Key:    key.String(),
+		Result: json.RawMessage(payload),
+		Runtime: ResponseRuntime{
+			ElapsedMs: time.Since(started).Milliseconds(),
+			Cache:     mode,
+		},
+	})
+}
+
+func (s *Server) recordServeSpan(start time.Duration, disposition string) {
+	if s.tel == nil {
+		return
+	}
+	s.tel.RecordSpan(telemetry.Span{
+		Name:  "optimize " + disposition,
+		Cat:   "serve",
+		Start: start,
+		Dur:   s.tel.Now() - start,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -41,6 +41,7 @@ type TrackStat struct {
 type RuntimeReport struct {
 	WallNs     int64                   `json:"wall_ns"`
 	Counters   map[string]int64        `json:"counters"`
+	Watermarks map[string]int64        `json:"watermarks,omitempty"`
 	Histograms map[string]HistSnapshot `json:"histograms"`
 	Stages     []StageSpan             `json:"stages,omitempty"`
 	Categories []CatSummary            `json:"categories,omitempty"`
@@ -91,7 +92,16 @@ func (c *Collector) Report() *Report {
 		}
 	}
 	for i := Watermark(0); i < numWatermarks; i++ {
-		if v := c.watermarks[i].v.Load(); v != 0 {
+		v := c.watermarks[i].v.Load()
+		if v == 0 {
+			continue
+		}
+		if watermarkMeta[i].runtime {
+			if r.Runtime.Watermarks == nil {
+				r.Runtime.Watermarks = map[string]int64{}
+			}
+			r.Runtime.Watermarks[watermarkMeta[i].name] = v
+		} else {
 			r.Watermarks[watermarkMeta[i].name] = v
 		}
 	}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestServingMetricsAreRuntimeOnly pins the Canonical() split for the
+// serving layer: cache and queue churn is request-order-dependent, so every
+// one of its counters and watermarks must land in the runtime section only
+// — otherwise two runs computing identical floorplans would diff as
+// different under `make bench-report`'s canonical comparison.
+func TestServingMetricsAreRuntimeOnly(t *testing.T) {
+	c := New()
+	c.Add(CtrCacheHits, 3)
+	c.Add(CtrCacheMisses, 2)
+	c.Add(CtrCacheEvictions, 1)
+	c.Add(CtrCacheRejects, 1)
+	c.Add(CtrServeRequests, 5)
+	c.Add(CtrServeShed, 4)
+	c.Observe(MaxServeQueue, 7)
+	c.Observe(MaxServeInFlight, 2)
+	c.Observe(MaxCacheBytes, 4096)
+
+	r := c.Report()
+	wantCounters := map[string]int64{
+		"cache.hits": 3, "cache.misses": 2, "cache.evictions": 1,
+		"cache.rejects": 1, "server.requests": 5, "server.shed": 4,
+	}
+	for name, want := range wantCounters {
+		if got := r.Runtime.Counters[name]; got != want {
+			t.Errorf("runtime counter %s = %d, want %d", name, got, want)
+		}
+		if _, leaked := r.Counters[name]; leaked {
+			t.Errorf("counter %s leaked into the deterministic section", name)
+		}
+	}
+	wantWatermarks := map[string]int64{
+		"server.queue_peak": 7, "server.inflight_peak": 2, "cache.bytes_peak": 4096,
+	}
+	for name, want := range wantWatermarks {
+		if got := r.Runtime.Watermarks[name]; got != want {
+			t.Errorf("runtime watermark %s = %d, want %d", name, got, want)
+		}
+		if _, leaked := r.Watermarks[name]; leaked {
+			t.Errorf("watermark %s leaked into the deterministic section", name)
+		}
+	}
+}
+
+// TestCanonicalStripsServingMetrics checks that two collectors recording the
+// same deterministic work but wildly different serving churn canonicalize to
+// identical bytes, and that a report carrying runtime watermarks still
+// round-trips through ParseReport (the bench-report schema gate).
+func TestCanonicalStripsServingMetrics(t *testing.T) {
+	a, b := New(), New()
+	for _, c := range []*Collector{a, b} {
+		c.Add(CtrNodes, 9)
+		c.Observe(MaxPeakStored, 123)
+	}
+	a.Add(CtrCacheHits, 50)
+	a.Add(CtrServeShed, 8)
+	a.Observe(MaxServeQueue, 31)
+	b.Add(CtrCacheMisses, 50)
+	b.Observe(MaxCacheBytes, 1<<20)
+
+	ja, err := a.Report().Canonical().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.Report().Canonical().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("canonical reports differ despite identical deterministic work:\n%s\nvs\n%s", ja, jb)
+	}
+
+	raw, err := a.Report().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(raw)
+	if err != nil {
+		t.Fatalf("report with runtime watermarks failed the round trip: %v", err)
+	}
+	if back.Runtime.Watermarks["server.queue_peak"] != 31 {
+		t.Fatalf("runtime watermark lost in round trip: %+v", back.Runtime)
+	}
+	if back.Runtime.Counters["cache.hits"] != 50 {
+		t.Fatalf("runtime counter lost in round trip: %+v", back.Runtime)
+	}
+}

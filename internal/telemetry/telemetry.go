@@ -61,6 +61,16 @@ const (
 	CtrCSPPPoolMiss  // DP table pool misses (fresh allocation)
 	CtrBatchWaste    // speculative anneal candidates evaluated then discarded
 
+	// Serving layer: cross-request cache and request-queue churn. All
+	// runtime-only — hit rates and shedding depend on request arrival
+	// order, never on the optimization computed.
+	CtrCacheHits      // cache lookups answered from a stored entry
+	CtrCacheMisses    // cache lookups that fell through to computation
+	CtrCacheEvictions // entries evicted to fit the byte budget
+	CtrCacheRejects   // entries too large to cache under the budget
+	CtrServeRequests  // optimize requests admitted by the server
+	CtrServeShed      // optimize requests shed with 429 (queue full)
+
 	numCounters
 )
 
@@ -73,6 +83,11 @@ const (
 	MaxLSet                        // largest L-shaped set stored
 	MaxCSPPN                       // largest CSPP instance size n
 	MaxCSPPK                       // largest CSPP path length k
+
+	// Runtime-only watermarks: high-water marks of serving-layer state.
+	MaxServeQueue    // deepest optimize-request queue observed
+	MaxServeInFlight // most requests evaluating concurrently
+	MaxCacheBytes    // largest cache byte footprint observed
 
 	numWatermarks
 )
@@ -122,14 +137,23 @@ var counterMeta = [numCounters]metricMeta{
 	CtrCSPPPoolHits:      {name: "cspp.pool_hits", runtime: true},
 	CtrCSPPPoolMiss:      {name: "cspp.pool_misses", runtime: true},
 	CtrBatchWaste:        {name: "anneal.batch_waste", runtime: true},
+	CtrCacheHits:         {name: "cache.hits", runtime: true},
+	CtrCacheMisses:       {name: "cache.misses", runtime: true},
+	CtrCacheEvictions:    {name: "cache.evictions", runtime: true},
+	CtrCacheRejects:      {name: "cache.rejects", runtime: true},
+	CtrServeRequests:     {name: "server.requests", runtime: true},
+	CtrServeShed:         {name: "server.shed", runtime: true},
 }
 
 var watermarkMeta = [numWatermarks]metricMeta{
-	MaxPeakStored: {name: "memtrack.peak"},
-	MaxRList:      {name: "optimizer.max_rlist"},
-	MaxLSet:       {name: "optimizer.max_lset"},
-	MaxCSPPN:      {name: "cspp.max_n"},
-	MaxCSPPK:      {name: "cspp.max_k"},
+	MaxPeakStored:    {name: "memtrack.peak"},
+	MaxRList:         {name: "optimizer.max_rlist"},
+	MaxLSet:          {name: "optimizer.max_lset"},
+	MaxCSPPN:         {name: "cspp.max_n"},
+	MaxCSPPK:         {name: "cspp.max_k"},
+	MaxServeQueue:    {name: "server.queue_peak", runtime: true},
+	MaxServeInFlight: {name: "server.inflight_peak", runtime: true},
+	MaxCacheBytes:    {name: "cache.bytes_peak", runtime: true},
 }
 
 var histMeta = [numHists]metricMeta{
@@ -272,6 +296,33 @@ func (c *Collector) Merge(shards ...*Collector) {
 			c.track(id).add(t)
 		}
 		c.mu.Unlock()
+	}
+}
+
+// MergeScalars folds only the shards' counters, watermarks and histograms
+// into c, discarding their spans and track accumulators. Long-lived callers
+// (the serving layer folds one shard per request) use this to accumulate
+// run metrics without growing the span slice without bound; Merge remains
+// the right fold for bounded runs that want the trace.
+func (c *Collector) MergeScalars(shards ...*Collector) {
+	if c == nil {
+		return
+	}
+	for _, s := range shards {
+		if s == nil || s == c {
+			continue
+		}
+		for i := range s.counters {
+			if v := s.counters[i].v.Load(); v != 0 {
+				c.counters[i].v.Add(v)
+			}
+		}
+		for i := range s.watermarks {
+			bumpMax(&c.watermarks[i].v, s.watermarks[i].v.Load())
+		}
+		for i := range s.hists {
+			c.hists[i].merge(&s.hists[i])
+		}
 	}
 }
 

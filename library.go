@@ -1,47 +1,29 @@
 package floorplan
 
 import (
-	"encoding/json"
-	"fmt"
-
-	"floorplan/internal/shape"
+	"floorplan/internal/plan"
 )
 
 // EncodeLibrary serializes a module library as indented JSON, the format
-// fpgen emits and fpopt consumes:
+// fpgen emits and fpopt/fpserve consume:
 //
 //	{"cpu": [{"W":4,"H":7},{"W":7,"H":4}], …}
 //
 // Each list is canonicalized (redundant implementations pruned, staircase
-// order) before encoding, so the file round-trips bit-exactly.
+// order) before encoding, so the file round-trips bit-exactly. Encoding and
+// decoding share one validation path (plan.CanonicalModule), so a library
+// that encodes always parses back and vice versa.
 func EncodeLibrary(lib Library) ([]byte, error) {
-	canonical := make(map[string][]Impl, len(lib))
-	for name, impls := range lib {
-		l, err := shape.NewRList(impls)
-		if err != nil {
-			return nil, fmt.Errorf("floorplan: module %q: %w", name, err)
-		}
-		canonical[name] = []Impl(l)
-	}
-	return json.MarshalIndent(canonical, "", "  ")
+	return plan.EncodeLibrary(plan.Library(lib))
 }
 
 // ParseLibrary decodes a module library from JSON and validates it: every
-// module must have at least one implementation with positive extents.
+// module must have at least one implementation with positive extents. The
+// returned lists are canonical.
 func ParseLibrary(data []byte) (Library, error) {
-	var lib Library
-	if err := json.Unmarshal(data, &lib); err != nil {
-		return nil, fmt.Errorf("floorplan: decoding library: %w", err)
+	l, err := plan.ParseLibrary(data)
+	if err != nil {
+		return nil, err
 	}
-	for name, impls := range lib {
-		if len(impls) == 0 {
-			return nil, fmt.Errorf("floorplan: module %q has no implementations", name)
-		}
-		l, err := shape.NewRList(impls)
-		if err != nil {
-			return nil, fmt.Errorf("floorplan: module %q: %w", name, err)
-		}
-		lib[name] = []Impl(l)
-	}
-	return lib, nil
+	return Library(l), nil
 }

@@ -1,0 +1,53 @@
+#!/bin/sh
+# serve_smoke.sh boots fpserve on a random port, drives it end to end with
+# `fpbench -server` (health check, two optimize round-trips, cache hit-rate
+# and byte-identity verification) and exits non-zero on any failure.
+# Invoked by `make serve-smoke` and, through it, `make check`.
+set -eu
+
+GO="${GO:-go}"
+workdir="$(mktemp -d)"
+server_pid=""
+
+cleanup() {
+    status=$?
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+"$GO" build -o "$workdir/fpserve" ./cmd/fpserve
+"$GO" build -o "$workdir/fpbench" ./cmd/fpbench
+
+"$workdir/fpserve" -addr localhost:0 -addr-file "$workdir/addr" \
+    -cache-mb 16 -workers 2 2>"$workdir/fpserve.log" &
+server_pid=$!
+
+# Wait for the server to publish its bound address.
+i=0
+while [ ! -s "$workdir/addr" ]; do
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "serve-smoke: fpserve died during startup:" >&2
+        cat "$workdir/fpserve.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: fpserve did not publish an address in time" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+addr="$(cat "$workdir/addr")"
+"$workdir/fpbench" -server "http://$addr"
+
+# Graceful shutdown must drain cleanly (fpserve exits 0 on SIGTERM).
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+echo "serve-smoke: OK (http://$addr)"
