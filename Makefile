@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-report serve-smoke check
+.PHONY: all build test race vet bench bench-report serve-smoke race-serve check
 
 all: build
 
@@ -33,11 +33,17 @@ bench-report: build
 	mkdir -p bench-out
 	$(GO) run ./cmd/fpbench -smoke -quiet -benchjson bench-out -report bench-out/report.json
 
-# serve-smoke boots fpserve on a random port and drives one optimize
-# round-trip through the HTTP API with `fpbench -server` (health check,
-# cache hit-rate and byte-identity verification); non-zero exit on failure.
+# serve-smoke boots fpserve on a random port and drives it through the
+# HTTP API with `fpbench -server` (health check, a concurrent burst that
+# must report the "coalesced" disposition, cache hit-rate and byte-identity
+# verification, client retry policy); non-zero exit on failure.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
-check: vet race serve-smoke
-	$(GO) test -race ./internal/telemetry/... ./internal/cache/... ./internal/server/...
+# Focused race pass over the serving hot path: the flight coalescing group
+# and the server's shared-computation plumbing.
+race-serve:
+	$(GO) test -race -count=2 ./internal/flight/... ./internal/server/...
+
+check: vet race serve-smoke race-serve
+	$(GO) test -race ./internal/telemetry/... ./internal/cache/...

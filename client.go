@@ -6,12 +6,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"floorplan/internal/plan"
 	"floorplan/internal/server"
+	"floorplan/internal/telemetry"
 )
+
+// clientMaxResponseBytes caps how much of a response body the client reads;
+// a body still flowing past it is reported as a truncation error rather
+// than a misleading JSON decode failure. Variable so tests can lower it.
+var clientMaxResponseBytes int64 = 64 << 20
 
 // Client drives a running fpserve instance over its HTTP JSON API.
 // The zero value is not usable; set BaseURL (e.g. "http://localhost:8080").
@@ -20,6 +29,62 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides the transport (nil = http.DefaultClient).
 	HTTPClient *http.Client
+	// Retry governs automatic retries of retryable failures: 429 and 503
+	// replies (the server's load-shedding and deadline answers, which ask
+	// for exactly this) and transport errors where no response arrived.
+	// Other statuses and body-read failures are never retried. The zero
+	// value disables retries.
+	Retry RetryPolicy
+	// Telemetry counts request attempts and retries under the runtime
+	// counters client.attempts and client.retries; nil disables recording.
+	Telemetry *Collector
+}
+
+// RetryPolicy configures the client's retry loop: bounded attempts with
+// exponential backoff and full jitter, honoring server Retry-After hints.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget including the first try;
+	// values below 2 disable retries.
+	MaxAttempts int
+	// BaseDelay seeds the backoff envelope (0 = 100ms). Before retry n
+	// (n = 1, 2, ...) the client sleeps a uniformly random duration in
+	// [0, min(MaxDelay, BaseDelay·2ⁿ⁻¹)] — "full jitter", so a thundering
+	// herd of shed clients spreads out instead of returning in lockstep.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff envelope (0 = 5s). A server Retry-After
+	// hint larger than the drawn delay overrides it: the server knows its
+	// queue better than the client's clock does.
+	MaxDelay time.Duration
+}
+
+// attempts returns the effective total attempt budget.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 2 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff draws the sleep before the retry following attempt (0-based),
+// honoring the server's Retry-After hint when it asks for longer.
+func (p RetryPolicy) backoff(attempt int, hint time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	envelope := base << uint(attempt)
+	if envelope > max || envelope <= 0 { // <= 0: shift overflow
+		envelope = max
+	}
+	d := time.Duration(rand.Int63n(int64(envelope) + 1))
+	if hint > d {
+		d = hint
+	}
+	return d
 }
 
 // ServeOptions are the per-request knobs of POST /v1/optimize.
@@ -37,7 +102,8 @@ type ServeResult = server.Result
 // ServeStats is the GET /v1/stats reply.
 type ServeStats = server.StatsResponse
 
-// ServeError is a non-2xx server reply; errors.As-compatible.
+// ServeError is a non-2xx server reply; errors.As-compatible. Its
+// RetryAfter field carries the server's hint on 429/503 answers.
 type ServeError = server.StatusError
 
 // Optimize submits one optimization to the server and returns its reply.
@@ -71,14 +137,42 @@ func (c *Client) Stats(ctx context.Context) (*ServeStats, error) {
 	return &out, nil
 }
 
+// do runs the retry loop around single attempts. Every optimize request is
+// idempotent on the server (content-addressed, deterministic), so the only
+// retry-safety question is whether a response was already being consumed.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	attempts := c.Retry.attempts()
+	for attempt := 0; ; attempt++ {
+		c.Telemetry.Inc(telemetry.CtrClientAttempts)
+		retryable, hint, err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable || attempt+1 >= attempts || ctx.Err() != nil {
+			return err
+		}
+		c.Telemetry.Inc(telemetry.CtrClientRetries)
+		delay := time.NewTimer(c.Retry.backoff(attempt, hint))
+		select {
+		case <-delay.C:
+		case <-ctx.Done():
+			delay.Stop()
+			return err
+		}
+	}
+}
+
+// attempt performs one HTTP round trip. retryable is true only for
+// idempotent-safe failures: a transport error before any response arrived,
+// or a 429/503 reply (whose Retry-After hint is returned alongside).
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retryable bool, hint time.Duration, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.BaseURL, "/")+path, rd)
 	if err != nil {
-		return fmt.Errorf("floorplan: building request: %w", err)
+		return false, 0, fmt.Errorf("floorplan: building request: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -89,12 +183,17 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("floorplan: %s %s: %w", method, path, err)
+		// No response was consumed; resending is safe (do's ctx check
+		// stops the loop when the failure was a context cancellation).
+		return true, 0, fmt.Errorf("floorplan: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, clientMaxResponseBytes+1))
 	if err != nil {
-		return fmt.Errorf("floorplan: reading %s response: %w", path, err)
+		return false, 0, fmt.Errorf("floorplan: reading %s response: %w", path, err)
+	}
+	if int64(len(raw)) > clientMaxResponseBytes {
+		return false, 0, fmt.Errorf("floorplan: %s response exceeds the %d-byte client limit", path, clientMaxResponseBytes)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		msg := strings.TrimSpace(string(raw))
@@ -104,13 +203,39 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return &ServeError{Code: resp.StatusCode, Message: msg}
+		se := &ServeError{
+			Code:       resp.StatusCode,
+			Message:    msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+		retryable = se.Code == http.StatusTooManyRequests || se.Code == http.StatusServiceUnavailable
+		return retryable, se.RetryAfter, se
 	}
 	if out == nil {
-		return nil
+		return false, 0, nil
 	}
 	if err := json.Unmarshal(raw, out); err != nil {
-		return fmt.Errorf("floorplan: decoding %s response: %w", path, err)
+		return false, 0, fmt.Errorf("floorplan: decoding %s response: %w", path, err)
 	}
-	return nil
+	return false, 0, nil
+}
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form —
+// delay seconds or an HTTP-date — returning 0 when absent or malformed.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseInt(h, 10, 64); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

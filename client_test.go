@@ -4,12 +4,18 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"floorplan/internal/cache"
 	"floorplan/internal/plan"
 	"floorplan/internal/server"
+	"floorplan/internal/telemetry"
 )
 
 func clientFixture(t *testing.T) (*Client, *Tree, Library) {
@@ -103,5 +109,169 @@ func TestClientServerError(t *testing.T) {
 	}
 	if se.Code != 400 {
 		t.Fatalf("code %d, want 400", se.Code)
+	}
+}
+
+// scriptedServer answers /v1/optimize from a fixed status/header script,
+// one entry per attempt, recording attempt times.
+func scriptedServer(t *testing.T, script []func(w http.ResponseWriter)) (*httptest.Server, *[]time.Time) {
+	t.Helper()
+	var mu sync.Mutex
+	times := &[]time.Time{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		n := len(*times)
+		*times = append(*times, time.Now())
+		mu.Unlock()
+		if n >= len(script) {
+			t.Errorf("unexpected attempt %d beyond script", n+1)
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		script[n](w)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, times
+}
+
+const cannedOptimizeResponse = `{"key":"abc","result":{"best":{"W":1,"H":1},"area":1,"root_list":[],` +
+	`"stats":{"peak_stored":0,"final_stored":0,"generated":0,"nodes":0,"l_nodes":0,` +
+	`"r_selections":0,"l_selections":0,"max_rlist":0,"max_lset":0}},` +
+	`"runtime":{"elapsed_ms":1,"cache":"miss"}}`
+
+// TestClientRetryHonorsRetryAfter drives the retry loop through the exact
+// sequence the server emits under load: a 429 with Retry-After, then
+// success. The client must wait at least the hinted delay before retrying.
+func TestClientRetryHonorsRetryAfter(t *testing.T) {
+	ts, times := scriptedServer(t, []func(w http.ResponseWriter){
+		func(w http.ResponseWriter) {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"saturated: request queue full"}`)
+		},
+		func(w http.ResponseWriter) { fmt.Fprint(w, cannedOptimizeResponse) },
+	})
+	col := NewCollector()
+	c := &Client{
+		BaseURL:   ts.URL,
+		Retry:     RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		Telemetry: col,
+	}
+	resp, err := c.Optimize(context.Background(), Leaf("a"), Library{"a": {{W: 1, H: 1}}}, ServeOptions{})
+	if err != nil {
+		t.Fatalf("optimize through 429→200: %v", err)
+	}
+	if resp.Key != "abc" {
+		t.Fatalf("key = %q, want abc", resp.Key)
+	}
+	if n := len(*times); n != 2 {
+		t.Fatalf("server saw %d attempts, want 2", n)
+	}
+	if gap := (*times)[1].Sub((*times)[0]); gap < 900*time.Millisecond {
+		t.Fatalf("retry after %v, want >= ~1s (the Retry-After hint)", gap)
+	}
+	if a, r := col.Counter(telemetry.CtrClientAttempts), col.Counter(telemetry.CtrClientRetries); a != 2 || r != 1 {
+		t.Fatalf("client counters attempts/retries = %d/%d, want 2/1", a, r)
+	}
+}
+
+// TestClientRetryTransportError covers the other retryable class: the
+// connection died before any response arrived.
+func TestClientRetryTransportError(t *testing.T) {
+	ts, times := scriptedServer(t, []func(w http.ResponseWriter){
+		func(w http.ResponseWriter) { panic(http.ErrAbortHandler) }, // slam the connection shut
+		func(w http.ResponseWriter) { fmt.Fprint(w, `{"status":"ok"}`) },
+	})
+	c := &Client{BaseURL: ts.URL, Retry: RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health through aborted-then-ok: %v", err)
+	}
+	if n := len(*times); n != 2 {
+		t.Fatalf("server saw %d attempts, want 2", n)
+	}
+}
+
+// TestClientNoRetryOnBadRequest: 4xx other than 429 is the client's own
+// fault; resending the same bytes cannot help and must not happen.
+func TestClientNoRetryOnBadRequest(t *testing.T) {
+	ts, times := scriptedServer(t, []func(w http.ResponseWriter){
+		func(w http.ResponseWriter) {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprint(w, `{"error":"missing tree"}`)
+		},
+	})
+	c := &Client{BaseURL: ts.URL, Retry: RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}}
+	_, err := c.Optimize(context.Background(), Leaf("a"), Library{"a": {{W: 1, H: 1}}}, ServeOptions{})
+	var se *ServeError
+	if !errors.As(err, &se) || se.Code != 400 {
+		t.Fatalf("error = %v, want ServeError 400", err)
+	}
+	if n := len(*times); n != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (400 is not retryable)", n)
+	}
+}
+
+// TestClientRetryAfterExhaustion: the policy's budget bounds the loop and
+// the final ServeError carries the hint for the caller.
+func TestClientRetryAfterExhaustion(t *testing.T) {
+	busy := func(w http.ResponseWriter) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"deadline reached while queued"}`)
+	}
+	ts, times := scriptedServer(t, []func(w http.ResponseWriter){busy, busy, busy})
+	c := &Client{BaseURL: ts.URL, Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}}
+	_, err := c.Optimize(context.Background(), Leaf("a"), Library{"a": {{W: 1, H: 1}}}, ServeOptions{})
+	var se *ServeError
+	if !errors.As(err, &se) || se.Code != 503 {
+		t.Fatalf("error = %v, want ServeError 503 after exhausting retries", err)
+	}
+	if n := len(*times); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (MaxAttempts)", n)
+	}
+}
+
+// TestClientResponseTooLarge: a body flowing past the read limit must
+// surface as a clear truncation error, not a JSON decode failure.
+func TestClientResponseTooLarge(t *testing.T) {
+	old := clientMaxResponseBytes
+	clientMaxResponseBytes = 1024
+	defer func() { clientMaxResponseBytes = old }()
+
+	ts, _ := scriptedServer(t, []func(w http.ResponseWriter){
+		func(w http.ResponseWriter) {
+			fmt.Fprintf(w, `{"pad":%q}`, strings.Repeat("x", 4096))
+		},
+	})
+	c := &Client{BaseURL: ts.URL}
+	_, err := c.Stats(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "exceeds the 1024-byte client limit") {
+		t.Fatalf("error = %v, want a response-exceeds-limit error", err)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		lax  bool // HTTP-date: accept a small range
+	}{
+		{"", 0, false},
+		{"2", 2 * time.Second, false},
+		{"0", 0, false},
+		{"-3", 0, false},
+		{"garbage", 0, false},
+		{time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat), 3 * time.Second, true},
+		{time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), 0, false},
+	}
+	for _, tc := range cases {
+		got := parseRetryAfter(tc.in)
+		if tc.lax {
+			if got <= 0 || got > tc.want {
+				t.Errorf("parseRetryAfter(%q) = %v, want in (0, %v]", tc.in, got, tc.want)
+			}
+		} else if got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
 	}
 }

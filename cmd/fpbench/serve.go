@@ -5,25 +5,40 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	floorplan "floorplan"
 	"floorplan/internal/plan"
+	"floorplan/internal/telemetry"
 )
 
-// serveCheck drives a running fpserve end to end: health, two optimize
-// round-trips of the same workload (expecting the second to hit the cache
-// when one is enabled), byte-identity of the served results across worker
-// counts, agreement with a local in-process run, and a non-zero cache hit
-// count in /v1/stats. Any violation is an error (non-zero exit), which is
-// what lets `make serve-smoke` gate on it.
+// serveCheck drives a running fpserve end to end: health, a concurrent
+// burst of identical requests that must coalesce into one computation, two
+// optimize round-trips of the same workload (expecting the second to hit
+// the cache when one is enabled), byte-identity of the served results
+// across worker counts, agreement with a local in-process run, and a
+// non-zero cache hit count in /v1/stats. The client runs under a retry
+// policy so transient 429/503 shedding does not fail the check; its
+// attempt counters are reported at the end. Any violation is an error
+// (non-zero exit), which is what lets `make serve-smoke` gate on it.
 func serveCheck(baseURL string) error {
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
-	c := &floorplan.Client{BaseURL: baseURL}
+	col := floorplan.NewCollector()
+	c := &floorplan.Client{
+		BaseURL:   baseURL,
+		Retry:     floorplan.RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond},
+		Telemetry: col,
+	}
 
 	if err := c.Health(ctx); err != nil {
 		return fmt.Errorf("health check: %w", err)
+	}
+
+	coalesced, err := coalesceCheck(ctx, c)
+	if err != nil {
+		return err
 	}
 
 	tree, lib := serveWorkload()
@@ -75,10 +90,70 @@ func serveCheck(baseURL string) error {
 		return fmt.Errorf("cache hits did not advance: %d -> %d", before.Cache.Hits, after.Cache.Hits)
 	}
 
+	total := after.Requests
+	rate := 0.0
+	if total > 0 {
+		rate = float64(after.Coalesced+after.Cache.Hits) / float64(total)
+	}
 	log.Printf("serve check OK: %s optimum %dx%d area %d, dispositions %s/%s, cache hits %d",
 		baseURL, res.Best.W, res.Best.H, res.Area,
 		first.Runtime.Cache, second.Runtime.Cache, after.Cache.Hits)
+	log.Printf("coalescing: %d/%d burst requests coalesced; server totals: coalesced %d, hits %d of %d requests (%.0f%% deduplicated)",
+		coalesced, coalesceBurst, after.Coalesced, after.Cache.Hits, total, 100*rate)
+	log.Printf("client: %d attempts, %d retries",
+		col.Counter(telemetry.CtrClientAttempts), col.Counter(telemetry.CtrClientRetries))
 	return nil
+}
+
+// coalesceBurst is how many identical concurrent requests coalesceCheck
+// fires at a cold key.
+const coalesceBurst = 6
+
+// coalesceCheck fires coalesceBurst concurrent identical requests and
+// verifies they were answered from a single computation: byte-identical
+// payloads, and — when the key was cold — at least one "coalesced"
+// disposition. Against a server that already saw this workload (a rerun of
+// fpbench -server) every response is a plain "hit", which also proves the
+// deduplication path; the assertion adapts.
+func coalesceCheck(ctx context.Context, c *floorplan.Client) (int, error) {
+	tree, lib := coalesceWorkload()
+	type reply struct {
+		resp *floorplan.ServeResponse
+		err  error
+	}
+	replies := make([]reply, coalesceBurst)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range replies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start // align the burst so the requests overlap in flight
+			resp, err := c.Optimize(ctx, tree, lib, floorplan.ServeOptions{})
+			replies[i] = reply{resp, err}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	dispositions := map[string]int{}
+	for i, r := range replies {
+		if r.err != nil {
+			return 0, fmt.Errorf("coalesce burst request %d: %w", i, r.err)
+		}
+		dispositions[r.resp.Runtime.Cache]++
+		if r.resp.Key != replies[0].resp.Key {
+			return 0, fmt.Errorf("coalesce burst: key diverged: %s vs %s", r.resp.Key, replies[0].resp.Key)
+		}
+		if !bytes.Equal(r.resp.Result, replies[0].resp.Result) {
+			return 0, fmt.Errorf("coalesce burst: results not byte-identical (dispositions %v)", dispositions)
+		}
+	}
+	if misses := dispositions["miss"] + dispositions["off"]; misses > 0 && dispositions["coalesced"] == 0 {
+		return 0, fmt.Errorf("coalesce burst: %d concurrent identical cold requests produced no coalesced response (dispositions %v)",
+			coalesceBurst, dispositions)
+	}
+	return dispositions["coalesced"], nil
 }
 
 // serveWorkload is a small fixed floorplan with a wheel (so the L-shaped
@@ -99,6 +174,44 @@ func serveWorkload() (*floorplan.Tree, floorplan.Library) {
 		"c":  {{W: 1, H: 2}, {W: 2, H: 1}},
 		"x":  {{W: 4, H: 6}, {W: 6, H: 4}},
 		"y":  {{W: 5, H: 5}},
+	}
+	return tree, lib
+}
+
+// coalesceWorkload is a deterministic heavyweight floorplan — eight wheels
+// of 24-implementation modules under a slicing spine — whose exact
+// optimization takes tens of milliseconds, long enough that a concurrent
+// burst reliably overlaps one in-flight run. Distinct from serveWorkload so
+// the burst always starts on a cold key on a fresh server.
+func coalesceWorkload() (*floorplan.Tree, floorplan.Library) {
+	const wheels, implsPerModule = 8, 24
+	lib := floorplan.Library{}
+	var tree *floorplan.Tree
+	mod := 0
+	for w := 0; w < wheels; w++ {
+		var leaves [5]*floorplan.Tree
+		for j := range leaves {
+			name := fmt.Sprintf("m%d", mod)
+			mod++
+			leaves[j] = plan.NewLeaf(name)
+			// Near-constant-area implementation curves with varied areas.
+			area := int64(36 + 7*((mod*13)%11))
+			impls := make([]floorplan.Impl, 0, implsPerModule)
+			for k := 1; k <= implsPerModule; k++ {
+				wd := int64(k + 1)
+				impls = append(impls, floorplan.Impl{W: wd, H: (area + wd - 1) / wd})
+			}
+			lib[name] = impls
+		}
+		wheel := plan.NewWheel(leaves[0], leaves[1], leaves[2], leaves[3], leaves[4])
+		switch {
+		case tree == nil:
+			tree = wheel
+		case w%2 == 0:
+			tree = plan.NewVSlice(tree, wheel)
+		default:
+			tree = plan.NewHSlice(tree, wheel)
+		}
 	}
 	return tree, lib
 }

@@ -1,0 +1,211 @@
+// Package flight implements per-key single-flight duplicate suppression
+// for the serving layer: concurrent requests for the same content address
+// share one computation instead of burning one worker slot each on
+// byte-identical work.
+//
+// The lifecycle is split into explicit steps because the serving layer's
+// computations are not plain function calls — they first wait for a worker
+// slot, may be abandoned while queued, and keep running detached after
+// every requester has timed out:
+//
+//	c, leader := g.Join(key)      // register as a waiter
+//	defer c.Leave()               // deregister (last one out may abandon)
+//	if leader {
+//	    go func() {
+//	        // wait for resources, racing c.Abandoned()
+//	        if !c.Begin() { return }   // everyone left; release and bail
+//	        v, err := compute()
+//	        c.Finish(v, err)
+//	    }()
+//	}
+//	select {
+//	case <-c.Done():   // result via c.Result()
+//	case <-ctx.Done(): // detach; the computation keeps running
+//	}
+//
+// The first Join of a key creates the Call and nominates the caller as
+// leader; later Joins attach as followers. Every waiter waits under its own
+// deadline and detaches independently with Leave. If all waiters leave
+// before the leader committed with Begin, the call is abandoned: Abandoned
+// fires so the leader can stop waiting for resources it no longer needs.
+// Once Begin succeeds the computation runs to completion even with zero
+// waiters attached — exactly the serving layer's detached-computation
+// contract, where an abandoned run still warms the cache for the retry.
+package flight
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrAbandoned is the result of a call whose waiters all left before the
+// computation began; no result was produced.
+var ErrAbandoned = errors.New("flight: abandoned before computation began")
+
+// Group coalesces concurrent computations of the same key. The zero value
+// is ready to use. All methods are safe for concurrent use.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*Call[V]
+}
+
+// Call is one shared computation. Create calls with Group.Join (shared) or
+// Solo (unshared); the zero value is not usable.
+type Call[V any] struct {
+	done      chan struct{} // closed once val/err are published
+	abandoned chan struct{} // closed when the last waiter leaves before Begin
+	detach    func()        // removes the call from its group (nil for Solo)
+
+	mu       sync.Mutex
+	waiters  int
+	begun    bool
+	finished bool
+	val      V
+	err      error
+}
+
+func newCall[V any]() *Call[V] {
+	return &Call[V]{
+		done:      make(chan struct{}),
+		abandoned: make(chan struct{}),
+		waiters:   1,
+	}
+}
+
+// Join registers the caller as a waiter on key's call, creating the call —
+// and nominating the caller as its leader — when none is in flight. The
+// leader must start exactly one computation that eventually calls Begin and
+// Finish (or observes Abandoned); followers only wait.
+func (g *Group[K, V]) Join(key K) (c *Call[V], leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok && c.addWaiter() {
+		return c, false
+	}
+	if g.calls == nil {
+		g.calls = make(map[K]*Call[V])
+	}
+	c = newCall[V]()
+	c.detach = func() {
+		g.mu.Lock()
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+	}
+	g.calls[key] = c
+	return c, true
+}
+
+// Solo returns an unshared call outside any group: the caller is both the
+// only waiter and the leader. Cache-bypassing requests use it to get the
+// same lifecycle — deadline-aware resource wait, abandon on detach,
+// detached completion — without sharing their result.
+func Solo[V any]() *Call[V] { return newCall[V]() }
+
+// Stats reports the group's active calls and attached waiters, for tests
+// and introspection.
+func (g *Group[K, V]) Stats() (calls, waiters int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, c := range g.calls {
+		c.mu.Lock()
+		calls++
+		waiters += c.waiters
+		c.mu.Unlock()
+	}
+	return calls, waiters
+}
+
+// addWaiter attaches one more waiter; it reports false when the call has
+// already completed (finished or abandoned), in which case the joiner must
+// start a fresh call instead.
+func (c *Call[V]) addWaiter() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		return false
+	}
+	c.waiters++
+	return true
+}
+
+// Leave detaches a waiter. The last waiter to leave before Begin abandons
+// the call: Abandoned fires, the call leaves its group, and Done reports
+// ErrAbandoned. Each Join (and each Solo) pairs with exactly one Leave.
+func (c *Call[V]) Leave() {
+	c.mu.Lock()
+	c.waiters--
+	abandon := c.waiters == 0 && !c.begun && !c.finished
+	if abandon {
+		c.finished = true
+		c.err = ErrAbandoned
+	}
+	c.mu.Unlock()
+	if abandon {
+		if c.detach != nil {
+			c.detach()
+		}
+		close(c.abandoned)
+		close(c.done)
+	}
+}
+
+// Begin commits the leader to computing. It reports false when the call
+// was abandoned first; the leader must then release whatever resources it
+// acquired and skip the computation. After a successful Begin the call can
+// no longer be abandoned.
+func (c *Call[V]) Begin() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		return false
+	}
+	c.begun = true
+	return true
+}
+
+// Begun reports whether the computation has started — i.e. whether a
+// waiter's deadline expired while computing rather than while queued.
+func (c *Call[V]) Begun() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.begun
+}
+
+// Finish publishes the result, removes the call from its group and wakes
+// every waiter. It returns the number of waiters still attached — zero
+// means everyone detached before the result arrived (the computation ran
+// abandoned and nobody will observe err). Finishing an already-completed
+// call is a no-op returning 0.
+func (c *Call[V]) Finish(val V, err error) int {
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		return 0
+	}
+	c.finished = true
+	c.val, c.err = val, err
+	n := c.waiters
+	c.mu.Unlock()
+	if c.detach != nil {
+		c.detach()
+	}
+	close(c.done)
+	return n
+}
+
+// Done is closed once the result is available (or the call was abandoned).
+func (c *Call[V]) Done() <-chan struct{} { return c.done }
+
+// Abandoned is closed when every waiter left before Begin; the leader's
+// resource wait selects on it.
+func (c *Call[V]) Abandoned() <-chan struct{} { return c.abandoned }
+
+// Result returns the published value and error; it must only be called
+// after Done is closed.
+func (c *Call[V]) Result() (V, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.val, c.err
+}

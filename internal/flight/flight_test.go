@@ -1,0 +1,191 @@
+package flight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLeaderFollowerShareResult(t *testing.T) {
+	var g Group[string, int]
+	c, leader := g.Join("k")
+	if !leader {
+		t.Fatal("first join is not the leader")
+	}
+	f, follower := g.Join("k")
+	if follower {
+		t.Fatal("second join unexpectedly became leader")
+	}
+	if f != c {
+		t.Fatal("follower joined a different call")
+	}
+	if calls, waiters := g.Stats(); calls != 1 || waiters != 2 {
+		t.Fatalf("stats = %d calls / %d waiters, want 1/2", calls, waiters)
+	}
+
+	go func() {
+		if !c.Begin() {
+			t.Error("Begin failed with waiters attached")
+			return
+		}
+		c.Finish(42, nil)
+	}()
+
+	for _, w := range []*Call[int]{c, f} {
+		<-w.Done()
+		v, err := w.Result()
+		if v != 42 || err != nil {
+			t.Fatalf("Result = %d, %v, want 42, nil", v, err)
+		}
+		w.Leave()
+	}
+	if calls, waiters := g.Stats(); calls != 0 || waiters != 0 {
+		t.Fatalf("stats after finish = %d calls / %d waiters, want 0/0", calls, waiters)
+	}
+}
+
+func TestAbandonBeforeBegin(t *testing.T) {
+	var g Group[string, int]
+	c, _ := g.Join("k")
+	f, _ := g.Join("k")
+
+	c.Leave()
+	select {
+	case <-c.Abandoned():
+		t.Fatal("abandoned with a waiter still attached")
+	default:
+	}
+	f.Leave()
+
+	select {
+	case <-c.Abandoned():
+	case <-time.After(time.Second):
+		t.Fatal("last Leave before Begin did not abandon the call")
+	}
+	if c.Begin() {
+		t.Fatal("Begin succeeded on an abandoned call")
+	}
+	<-c.Done()
+	if _, err := c.Result(); !errors.Is(err, ErrAbandoned) {
+		t.Fatalf("abandoned call result error = %v, want ErrAbandoned", err)
+	}
+	if calls, _ := g.Stats(); calls != 0 {
+		t.Fatalf("abandoned call still registered (%d calls)", calls)
+	}
+	// The key is free again; the next join starts a fresh call.
+	c2, leader := g.Join("k")
+	if !leader || c2 == c {
+		t.Fatal("join after abandon did not start a fresh call")
+	}
+}
+
+func TestBegunBlocksAbandon(t *testing.T) {
+	var g Group[string, int]
+	c, _ := g.Join("k")
+	if !c.Begin() {
+		t.Fatal("Begin failed")
+	}
+	c.Leave() // last waiter leaves, but the computation already started
+	select {
+	case <-c.Abandoned():
+		t.Fatal("call abandoned after Begin")
+	default:
+	}
+	if n := c.Finish(7, nil); n != 0 {
+		t.Fatalf("Finish reported %d waiters, want 0 (everyone left)", n)
+	}
+	<-c.Done()
+	if v, err := c.Result(); v != 7 || err != nil {
+		t.Fatalf("detached result = %d, %v, want 7, nil", v, err)
+	}
+}
+
+func TestFinishReportsWaiters(t *testing.T) {
+	var g Group[string, int]
+	c, _ := g.Join("k")
+	g.Join("k")
+	c.Begin()
+	if n := c.Finish(1, errors.New("boom")); n != 2 {
+		t.Fatalf("Finish reported %d waiters, want 2", n)
+	}
+	if n := c.Finish(2, nil); n != 0 {
+		t.Fatalf("second Finish reported %d waiters, want 0", n)
+	}
+	if v, err := c.Result(); v != 1 || err == nil {
+		t.Fatalf("second Finish overwrote the result: %d, %v", v, err)
+	}
+}
+
+func TestJoinAfterFinishStartsFresh(t *testing.T) {
+	var g Group[string, int]
+	c, _ := g.Join("k")
+	c.Begin()
+	c.Finish(1, nil)
+	c.Leave()
+	c2, leader := g.Join("k")
+	if !leader || c2 == c {
+		t.Fatal("join after finish did not start a fresh call")
+	}
+}
+
+func TestSoloLifecycle(t *testing.T) {
+	c := Solo[string]()
+	go func() {
+		if c.Begin() {
+			c.Finish("done", nil)
+		}
+	}()
+	<-c.Done()
+	if v, err := c.Result(); v != "done" || err != nil {
+		t.Fatalf("solo result = %q, %v", v, err)
+	}
+	c.Leave()
+
+	// A solo call whose waiter leaves first abandons like a shared one.
+	c = Solo[string]()
+	c.Leave()
+	select {
+	case <-c.Abandoned():
+	case <-time.After(time.Second):
+		t.Fatal("solo call not abandoned after its only waiter left")
+	}
+}
+
+// TestConcurrentJoins hammers one key from many goroutines under the race
+// detector: exactly one computation runs per call generation and every
+// attached waiter observes its value.
+func TestConcurrentJoins(t *testing.T) {
+	var g Group[int, int]
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, leader := g.Join(0)
+			defer c.Leave()
+			if leader {
+				go func() {
+					if !c.Begin() {
+						return
+					}
+					n := computes.Add(1)
+					c.Finish(int(n), nil)
+				}()
+			}
+			<-c.Done()
+			if _, err := c.Result(); err != nil {
+				t.Errorf("waiter got error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n < 1 || n > 64 {
+		t.Fatalf("computes = %d, want within [1, 64]", n)
+	}
+	if calls, waiters := g.Stats(); calls != 0 || waiters != 0 {
+		t.Fatalf("stats after drain = %d calls / %d waiters, want 0/0", calls, waiters)
+	}
+}

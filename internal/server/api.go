@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"floorplan/internal/cache"
 	"floorplan/internal/optimizer"
@@ -64,8 +65,9 @@ type OptimizeResponse struct {
 // ResponseRuntime is the nondeterministic half of a reply.
 type ResponseRuntime struct {
 	ElapsedMs int64 `json:"elapsed_ms"`
-	// Cache is the disposition: "hit", "miss", "bypass" (NoCache set) or
-	// "off" (server cache disabled).
+	// Cache is the disposition: "hit", "miss", "coalesced" (answered by
+	// joining another request's in-flight computation of the same key),
+	// "bypass" (NoCache set) or "off" (server cache disabled).
 	Cache string `json:"cache"`
 }
 
@@ -152,15 +154,27 @@ func marshalResult(res *optimizer.Result) ([]byte, error) {
 
 // StatsResponse is the GET /v1/stats reply.
 type StatsResponse struct {
-	UptimeMs      int64       `json:"uptime_ms"`
-	Requests      int64       `json:"requests"`
-	Shed          int64       `json:"shed"`
-	InFlight      int64       `json:"in_flight"`
-	Pending       int64       `json:"pending"`
-	Workers       int         `json:"workers"`
-	QueueCapacity int         `json:"queue_capacity"`
-	Cache         cache.Stats `json:"cache"`
-	CacheEnabled  bool        `json:"cache_enabled"`
+	UptimeMs int64 `json:"uptime_ms"`
+	Requests int64 `json:"requests"`
+	// Shed counts requests refused 429 at admission (queue full).
+	Shed int64 `json:"shed"`
+	// Coalesced counts misses answered by joining another request's
+	// in-flight computation of the same key.
+	Coalesced int64 `json:"coalesced"`
+	// TimedOutQueued / TimedOutComputing split the deadline 503s by
+	// whether the computation had begun when the deadline hit.
+	TimedOutQueued    int64 `json:"timed_out_queued"`
+	TimedOutComputing int64 `json:"timed_out_computing"`
+	// AbandonedErrors counts detached (post-timeout) computations that
+	// failed after every waiter had already been answered 503 — errors no
+	// response could carry.
+	AbandonedErrors int64       `json:"abandoned_errors"`
+	InFlight        int64       `json:"in_flight"`
+	Pending         int64       `json:"pending"`
+	Workers         int         `json:"workers"`
+	QueueCapacity   int         `json:"queue_capacity"`
+	Cache           cache.Stats `json:"cache"`
+	CacheEnabled    bool        `json:"cache_enabled"`
 }
 
 // errorResponse is every non-2xx body.
@@ -172,6 +186,9 @@ type errorResponse struct {
 type StatusError struct {
 	Code    int
 	Message string
+	// RetryAfter is the server's Retry-After hint, when the reply carried
+	// one (0 otherwise).
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {

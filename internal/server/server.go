@@ -17,6 +17,13 @@
 // results are memoized under their content address (cache.KeySpec), so a
 // repeated request is answered byte-identically from memory — abandoned
 // (timed-out) computations still warm the cache for the retry.
+//
+// Concurrent misses for the same content address are coalesced through an
+// internal/flight group: one request leads the computation (one worker
+// slot, one cache store) and the rest share its bytes, answered with the
+// "coalesced" disposition. Retry-After hints on 429/503 are derived from
+// observed queue pressure (pending depth × smoothed compute time) rather
+// than a constant.
 package server
 
 import (
@@ -27,11 +34,13 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"floorplan/internal/cache"
+	"floorplan/internal/flight"
 	"floorplan/internal/optimizer"
 	"floorplan/internal/plan"
 	"floorplan/internal/selection"
@@ -100,11 +109,18 @@ type Server struct {
 	tel   *telemetry.Collector
 	start time.Time
 
-	pending  atomic.Int64 // admitted requests not yet answered
-	inflight atomic.Int64 // requests holding a worker slot
-	requests atomic.Int64
-	shed     atomic.Int64
-	draining atomic.Bool
+	flight flight.Group[cache.Key, []byte] // coalesces concurrent misses per key
+
+	pending           atomic.Int64 // admitted requests not yet answered
+	inflight          atomic.Int64 // computations holding a worker slot
+	requests          atomic.Int64
+	shed              atomic.Int64 // 429: queue full at admission
+	coalesced         atomic.Int64 // misses that joined an in-flight computation
+	timedOutQueued    atomic.Int64 // 503: deadline before the computation began
+	timedOutComputing atomic.Int64 // 503: deadline while the computation ran
+	abandonedErrs     atomic.Int64 // detached computations that failed unobserved
+	avgComputeNs      atomic.Int64 // EWMA of computation wall time, for Retry-After
+	draining          atomic.Bool
 
 	wg   sync.WaitGroup // background computations (incl. abandoned ones)
 	http *http.Server
@@ -184,22 +200,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &StatsResponse{
-		UptimeMs:      time.Since(s.start).Milliseconds(),
-		Requests:      s.requests.Load(),
-		Shed:          s.shed.Load(),
-		InFlight:      s.inflight.Load(),
-		Pending:       s.pending.Load(),
-		Workers:       s.cfg.workers(),
-		QueueCapacity: s.cfg.queueDepth(),
-		Cache:         s.cfg.Cache.Stats(),
-		CacheEnabled:  s.cfg.Cache != nil,
+		UptimeMs:          time.Since(s.start).Milliseconds(),
+		Requests:          s.requests.Load(),
+		Shed:              s.shed.Load(),
+		Coalesced:         s.coalesced.Load(),
+		TimedOutQueued:    s.timedOutQueued.Load(),
+		TimedOutComputing: s.timedOutComputing.Load(),
+		AbandonedErrors:   s.abandonedErrs.Load(),
+		InFlight:          s.inflight.Load(),
+		Pending:           s.pending.Load(),
+		Workers:           s.cfg.workers(),
+		QueueCapacity:     s.cfg.queueDepth(),
+		Cache:             s.cfg.Cache.Stats(),
+		CacheEnabled:      s.cfg.Cache != nil,
 	})
-}
-
-// runOutcome is what a background computation hands back.
-type runOutcome struct {
-	payload []byte
-	err     error
 }
 
 // testHookComputeStart, when non-nil, runs at the start of every background
@@ -229,8 +243,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if pending > int64(s.cfg.workers()+s.cfg.queueDepth()) {
 		s.shed.Add(1)
 		s.tel.Inc(telemetry.CtrServeShed)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "saturated: request queue full")
+		s.writeRetryable(w, http.StatusTooManyRequests, "saturated: request queue full")
 		return
 	}
 
@@ -287,60 +300,145 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Acquire a worker slot under the request deadline.
 	timeout := s.cfg.timeout()
 	if ms := req.Options.TimeoutMs; ms > 0 && time.Duration(ms)*time.Millisecond < timeout {
 		timeout = time.Duration(ms) * time.Millisecond
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		s.shed.Add(1)
-		s.tel.Inc(telemetry.CtrServeShed)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "deadline reached while queued")
-		return
+
+	// Coalesce concurrent misses: every request for one content address
+	// (except cache bypasses, which demand a private run) shares a single
+	// flight call — one worker slot, one computation, one cache store. The
+	// first joiner leads; the rest wait for its bytes and answer with the
+	// "coalesced" disposition. Each waiter waits under its own deadline;
+	// if all of them give up before a worker slot was acquired, the call
+	// is abandoned and never computes.
+	var call *flight.Call[[]byte]
+	leader := true
+	if req.Options.NoCache {
+		call = flight.Solo[[]byte]()
+	} else {
+		call, leader = s.flight.Join(key)
 	}
-	s.tel.Observe(telemetry.MaxServeInFlight, s.inflight.Add(1))
-
-	// The computation runs detached from the HTTP goroutine: optimization
-	// is not cancelable mid-evaluation, so on timeout we answer 503 and let
-	// the run finish in the background — it still stores its result, which
-	// warms the cache for the client's retry. Shutdown waits for these.
-	outCh := make(chan runOutcome, 1)
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		defer func() { <-s.sem; s.inflight.Add(-1) }()
-		if testHookComputeStart != nil {
-			testHookComputeStart()
-		}
-		payload, err := s.compute(req, lib, memLimit)
-		if err == nil && s.cfg.Cache != nil && !req.Options.NoCache {
-			s.cfg.Cache.Put(key, payload)
-		}
-		outCh <- runOutcome{payload: payload, err: err}
-	}()
+	defer call.Leave()
+	if leader {
+		// The computation runs detached from the HTTP goroutine:
+		// optimization is not cancelable mid-evaluation, so on timeout we
+		// answer 503 and let the run finish in the background — it still
+		// stores its result, which warms the cache for the client's retry.
+		// Shutdown waits for these.
+		s.wg.Add(1)
+		go s.runCall(call, req, lib, memLimit, key)
+	} else {
+		s.coalesced.Add(1)
+		s.tel.Inc(telemetry.CtrServeCoalesced)
+		mode = "coalesced"
+	}
 
 	select {
-	case out := <-outCh:
+	case <-call.Done():
+		payload, err := call.Result()
 		s.recordServeSpan(spanStart, mode)
-		if out.err != nil {
-			if optimizer.IsMemoryLimit(out.err) {
-				writeError(w, http.StatusUnprocessableEntity, out.err.Error())
+		if err != nil {
+			if optimizer.IsMemoryLimit(err) {
+				writeError(w, http.StatusUnprocessableEntity, err.Error())
 			} else {
-				writeError(w, http.StatusInternalServerError, out.err.Error())
+				writeError(w, http.StatusInternalServerError, err.Error())
 			}
 			return
 		}
-		s.respond(w, key, out.payload, mode, started)
+		s.respond(w, key, payload, mode, started)
 	case <-ctx.Done():
 		s.recordServeSpan(spanStart, "timeout")
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "deadline reached while computing")
+		if call.Begun() {
+			s.timedOutComputing.Add(1)
+			s.tel.Inc(telemetry.CtrServeTimeoutComputing)
+			s.writeRetryable(w, http.StatusServiceUnavailable, "deadline reached while computing")
+		} else {
+			s.timedOutQueued.Add(1)
+			s.tel.Inc(telemetry.CtrServeTimeoutQueued)
+			s.writeRetryable(w, http.StatusServiceUnavailable, "deadline reached while queued")
+		}
 	}
+}
+
+// runCall is the leader side of one flight call: wait for a worker slot
+// (racing abandonment — if every waiter gives up first, nothing runs),
+// compute, store, publish. A computation that began always completes, even
+// with zero waiters left; if it then fails, the error would otherwise
+// vanish with them, so it is counted as an abandoned error.
+func (s *Server) runCall(call *flight.Call[[]byte], req *OptimizeRequest, lib plan.Library, memLimit int64, key cache.Key) {
+	defer s.wg.Done()
+	select {
+	case s.sem <- struct{}{}:
+	case <-call.Abandoned():
+		return
+	}
+	if !call.Begin() {
+		// Abandoned in the instant the slot arrived; hand it back.
+		<-s.sem
+		return
+	}
+	s.tel.Observe(telemetry.MaxServeInFlight, s.inflight.Add(1))
+	defer func() { <-s.sem; s.inflight.Add(-1) }()
+	if testHookComputeStart != nil {
+		testHookComputeStart()
+	}
+	computeStart := time.Now()
+	payload, err := s.compute(req, lib, memLimit)
+	s.observeComputeTime(time.Since(computeStart))
+	if err == nil && s.cfg.Cache != nil && !req.Options.NoCache {
+		s.cfg.Cache.Put(key, payload)
+	}
+	if waiters := call.Finish(payload, err); err != nil && waiters == 0 {
+		s.abandonedErrs.Add(1)
+		s.tel.Inc(telemetry.CtrServeAbandonedErrors)
+	}
+}
+
+// observeComputeTime folds one computation's wall time into the EWMA
+// behind Retry-After hints (α = 1/8). The load/store pair may lose a
+// concurrent update; the estimate tolerates that.
+func (s *Server) observeComputeTime(d time.Duration) {
+	n := d.Nanoseconds()
+	if old := s.avgComputeNs.Load(); old > 0 {
+		n = old + (n-old)/8
+	}
+	s.avgComputeNs.Store(n)
+}
+
+// retryAfterSeconds estimates how long until a retry is likely admitted:
+// the pending queue drains in ceil(pending/workers) waves of roughly one
+// smoothed computation each. Clamped to [1s, 60s] and recorded as the
+// server.retry_after_ms watermark.
+func (s *Server) retryAfterSeconds() int64 {
+	avg := s.avgComputeNs.Load()
+	if avg <= 0 {
+		avg = int64(time.Second) // no completed computation yet
+	}
+	workers := int64(s.cfg.workers())
+	pending := s.pending.Load()
+	if pending < 1 {
+		pending = 1
+	}
+	waves := (pending + workers - 1) / workers
+	secs := (waves*avg + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	s.tel.Observe(telemetry.MaxServeRetryAfter, secs*1000)
+	return secs
+}
+
+// writeRetryable answers a 429/503 with a queue-pressure-derived
+// Retry-After hint.
+func (s *Server) writeRetryable(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
+	writeError(w, status, msg)
 }
 
 // decodeRequest parses and structurally validates the body.
@@ -366,6 +464,13 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Optimiz
 	}
 	if req.Options.Workers < 0 {
 		return nil, http.StatusBadRequest, fmt.Errorf("negative workers %d", req.Options.Workers)
+	}
+	if req.Options.TimeoutMs < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("negative timeout_ms %d", req.Options.TimeoutMs)
+	}
+	if req.Options.K1 < 0 || req.Options.K2 < 0 || req.Options.S < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("negative selection limit (k1 %d, k2 %d, s %d)",
+			req.Options.K1, req.Options.K2, req.Options.S)
 	}
 	return &req, 0, nil
 }

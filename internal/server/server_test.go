@@ -10,11 +10,13 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"floorplan/internal/cache"
 	"floorplan/internal/plan"
+	"floorplan/internal/shape"
 	"floorplan/internal/telemetry"
 )
 
@@ -230,13 +232,17 @@ func TestSheddingWhenSaturated(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Distinct libraries keep the keys distinct, so this stays a
+			// pure shedding test with no coalescing in the way.
+			lib := testLibrary()
+			lib["a"] = append(lib["a"], shape.RImpl{W: 1, H: int64(20 + i)})
 			status, _, hdr := postOptimize(t, ts, &OptimizeRequest{
 				Tree:    testTree(),
-				Library: testLibrary(),
+				Library: lib,
 				Options: RequestOptions{TimeoutMs: 150},
 			})
-			if status == http.StatusTooManyRequests && hdr.Get("Retry-After") == "" {
-				t.Error("429 without Retry-After header")
+			if status != http.StatusOK && hdr.Get("Retry-After") == "" {
+				t.Errorf("%d without Retry-After header", status)
 			}
 			statuses[i] = status
 		}(i)
@@ -257,8 +263,138 @@ func TestSheddingWhenSaturated(t *testing.T) {
 	if shed429 != 1 || queued503 != 2 {
 		t.Fatalf("got %d×429 and %d×503, want 1 and 2 (all: %v)", shed429, queued503, statuses)
 	}
-	if stats := getStats(t, ts); stats.Shed != 3 {
-		t.Fatalf("stats.Shed = %d, want 3", stats.Shed)
+	// Queue-full shedding and queued-deadline timeouts land in distinct
+	// counters; nothing ever began computing, so no run was abandoned.
+	stats := getStats(t, ts)
+	if stats.Shed != 1 || stats.TimedOutQueued != 2 || stats.TimedOutComputing != 0 {
+		t.Fatalf("stats shed/timed_out_queued/timed_out_computing = %d/%d/%d, want 1/2/0",
+			stats.Shed, stats.TimedOutQueued, stats.TimedOutComputing)
+	}
+	if calls, waiters := s.flight.Stats(); calls != 0 || waiters != 0 {
+		t.Fatalf("flight group not drained: %d calls, %d waiters", calls, waiters)
+	}
+}
+
+// TestCoalescedMisses is the single-flight contract: N concurrent identical
+// requests against a cold cache run the optimizer exactly once, share one
+// worker slot, answer byte-identically, and all but the leader report the
+// "coalesced" disposition.
+func TestCoalescedMisses(t *testing.T) {
+	const n = 8
+	var runs atomic.Int64
+	release := make(chan struct{})
+	testHookComputeStart = func() {
+		runs.Add(1)
+		<-release
+	}
+	defer func() { testHookComputeStart = nil }()
+
+	col := telemetry.New()
+	s, ts := newTestServer(t, Config{Workers: 4, Cache: testCache(t, 1 << 20), Telemetry: col})
+
+	type reply struct {
+		status int
+		resp   *OptimizeResponse
+	}
+	replies := make([]reply, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, raw, _ := postOptimize(t, ts, &OptimizeRequest{Tree: testTree(), Library: testLibrary()})
+			replies[i] = reply{status, decodeOptimize(t, raw)}
+		}(i)
+	}
+
+	// Hold the computation until every request has joined the call, then
+	// let the one leader finish for everyone.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		calls, waiters := s.flight.Stats()
+		if calls == 1 && waiters == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never coalesced: %d calls, %d waiters", calls, waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("optimizer ran %d times for %d identical requests, want exactly 1", got, n)
+	}
+	dispositions := map[string]int{}
+	for i, r := range replies {
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, r.status)
+		}
+		dispositions[r.resp.Runtime.Cache]++
+		if r.resp.Key != replies[0].resp.Key {
+			t.Fatalf("request %d: key %s differs from %s", i, r.resp.Key, replies[0].resp.Key)
+		}
+		if !bytes.Equal(r.resp.Result, replies[0].resp.Result) {
+			t.Fatalf("request %d: result not byte-identical to the leader's", i)
+		}
+	}
+	if dispositions["coalesced"] < n-1 {
+		t.Fatalf("dispositions = %v, want at least %d coalesced", dispositions, n-1)
+	}
+	stats := getStats(t, ts)
+	if stats.Coalesced != int64(dispositions["coalesced"]) {
+		t.Fatalf("stats.Coalesced = %d, want %d", stats.Coalesced, dispositions["coalesced"])
+	}
+	if stats.Cache.Entries != 1 {
+		t.Fatalf("cache holds %d entries after one coalesced store, want 1", stats.Cache.Entries)
+	}
+	if got := col.Counter(telemetry.CtrServeCoalesced); got != int64(dispositions["coalesced"]) {
+		t.Fatalf("server.coalesced counter = %d, want %d", got, dispositions["coalesced"])
+	}
+
+	// The cache is warm now: a repeat is a plain hit, not a new flight.
+	status, raw, _ := postOptimize(t, ts, &OptimizeRequest{Tree: testTree(), Library: testLibrary()})
+	if status != http.StatusOK {
+		t.Fatalf("warm request: status %d", status)
+	}
+	if resp := decodeOptimize(t, raw); resp.Runtime.Cache != "hit" {
+		t.Fatalf("warm request disposition = %q, want hit", resp.Runtime.Cache)
+	}
+}
+
+// TestAbandonedFailureCounted pins satellite visibility: a computation that
+// outlives its only requester and then fails has nobody to answer, so the
+// error must land in telemetry and /v1/stats instead of vanishing.
+func TestAbandonedFailureCounted(t *testing.T) {
+	release := make(chan struct{})
+	testHookComputeStart = func() { <-release }
+	defer func() { testHookComputeStart = nil }()
+
+	col := telemetry.New()
+	s, ts := newTestServer(t, Config{Workers: 1, Cache: testCache(t, 1 << 20), Telemetry: col})
+	status, raw, _ := postOptimize(t, ts, &OptimizeRequest{
+		Tree:    testTree(),
+		Library: testLibrary(),
+		// MemoryLimit 1 makes the run fail — but only after the hook
+		// releases it, long past the 50ms deadline.
+		Options: RequestOptions{MemoryLimit: 1, TimeoutMs: 50},
+	})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (body %s), want 503", status, raw)
+	}
+	close(release)
+	s.wg.Wait()
+
+	stats := getStats(t, ts)
+	if stats.AbandonedErrors != 1 {
+		t.Fatalf("stats.AbandonedErrors = %d, want 1", stats.AbandonedErrors)
+	}
+	if stats.TimedOutComputing != 1 {
+		t.Fatalf("stats.TimedOutComputing = %d, want 1", stats.TimedOutComputing)
+	}
+	if got := col.Counter(telemetry.CtrServeAbandonedErrors); got != 1 {
+		t.Fatalf("server.abandoned_errors counter = %d, want 1", got)
 	}
 }
 
@@ -354,6 +490,10 @@ func TestRequestValidation(t *testing.T) {
 		{"empty module list", `{` + tree + `,"library":{"a":[{"W":4,"H":7}],"b":[]}}`, http.StatusBadRequest},
 		{"negative workers", `{` + tree + `,` + lib + `,"options":{"workers":-1}}`, http.StatusBadRequest},
 		{"negative memory limit", `{` + tree + `,` + lib + `,"options":{"memory_limit":-5}}`, http.StatusBadRequest},
+		{"negative timeout", `{` + tree + `,` + lib + `,"options":{"timeout_ms":-100}}`, http.StatusBadRequest},
+		{"negative k1", `{` + tree + `,` + lib + `,"options":{"k1":-3}}`, http.StatusBadRequest},
+		{"negative k2", `{` + tree + `,` + lib + `,"options":{"k2":-3}}`, http.StatusBadRequest},
+		{"negative s", `{` + tree + `,` + lib + `,"options":{"s":-1}}`, http.StatusBadRequest},
 		{"oversized body", `{` + tree + `,` + lib + `,"pad":"` + strings.Repeat("x", 600) + `"}`,
 			http.StatusRequestEntityTooLarge},
 	}

@@ -68,8 +68,16 @@ const (
 	CtrCacheMisses    // cache lookups that fell through to computation
 	CtrCacheEvictions // entries evicted to fit the byte budget
 	CtrCacheRejects   // entries too large to cache under the budget
-	CtrServeRequests  // optimize requests admitted by the server
-	CtrServeShed      // optimize requests shed with 429 (queue full)
+	CtrServeRequests         // optimize requests admitted by the server
+	CtrServeShed             // optimize requests shed with 429 (queue full)
+	CtrServeCoalesced        // misses answered by joining an in-flight computation
+	CtrServeTimeoutQueued    // requests that hit their deadline while still queued
+	CtrServeTimeoutComputing // requests that hit their deadline while computing
+	CtrServeAbandonedErrors  // abandoned computations that finished with an error
+
+	// Client: retry loop of floorplan.Client.
+	CtrClientAttempts // HTTP attempts, including first tries
+	CtrClientRetries  // attempts that were retries of a retryable failure
 
 	numCounters
 )
@@ -85,9 +93,10 @@ const (
 	MaxCSPPK                       // largest CSPP path length k
 
 	// Runtime-only watermarks: high-water marks of serving-layer state.
-	MaxServeQueue    // deepest optimize-request queue observed
-	MaxServeInFlight // most requests evaluating concurrently
-	MaxCacheBytes    // largest cache byte footprint observed
+	MaxServeQueue      // deepest optimize-request queue observed
+	MaxServeInFlight   // most requests evaluating concurrently
+	MaxCacheBytes      // largest cache byte footprint observed
+	MaxServeRetryAfter // largest Retry-After hint sent, in milliseconds
 
 	numWatermarks
 )
@@ -141,8 +150,14 @@ var counterMeta = [numCounters]metricMeta{
 	CtrCacheMisses:       {name: "cache.misses", runtime: true},
 	CtrCacheEvictions:    {name: "cache.evictions", runtime: true},
 	CtrCacheRejects:      {name: "cache.rejects", runtime: true},
-	CtrServeRequests:     {name: "server.requests", runtime: true},
-	CtrServeShed:         {name: "server.shed", runtime: true},
+	CtrServeRequests:         {name: "server.requests", runtime: true},
+	CtrServeShed:             {name: "server.shed", runtime: true},
+	CtrServeCoalesced:        {name: "server.coalesced", runtime: true},
+	CtrServeTimeoutQueued:    {name: "server.timeout_queued", runtime: true},
+	CtrServeTimeoutComputing: {name: "server.timeout_computing", runtime: true},
+	CtrServeAbandonedErrors:  {name: "server.abandoned_errors", runtime: true},
+	CtrClientAttempts:        {name: "client.attempts", runtime: true},
+	CtrClientRetries:         {name: "client.retries", runtime: true},
 }
 
 var watermarkMeta = [numWatermarks]metricMeta{
@@ -151,9 +166,10 @@ var watermarkMeta = [numWatermarks]metricMeta{
 	MaxLSet:          {name: "optimizer.max_lset"},
 	MaxCSPPN:         {name: "cspp.max_n"},
 	MaxCSPPK:         {name: "cspp.max_k"},
-	MaxServeQueue:    {name: "server.queue_peak", runtime: true},
-	MaxServeInFlight: {name: "server.inflight_peak", runtime: true},
-	MaxCacheBytes:    {name: "cache.bytes_peak", runtime: true},
+	MaxServeQueue:      {name: "server.queue_peak", runtime: true},
+	MaxServeInFlight:   {name: "server.inflight_peak", runtime: true},
+	MaxCacheBytes:      {name: "cache.bytes_peak", runtime: true},
+	MaxServeRetryAfter: {name: "server.retry_after_ms", runtime: true},
 }
 
 var histMeta = [numHists]metricMeta{
