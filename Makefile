@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-report serve-smoke race-serve check
+.PHONY: all build test race vet bench bench-report serve-smoke race-serve obs-check check
 
 all: build
 
@@ -45,5 +45,14 @@ serve-smoke:
 race-serve:
 	$(GO) test -race -count=2 ./internal/flight/... ./internal/server/...
 
-check: vet race serve-smoke race-serve
+# obs-check gates the observability surface: vet over the trace/log
+# packages, the Prometheus exposition golden + metric-metadata lint tests,
+# and the serve smoke (which scrapes /metrics and greps the access log).
+obs-check:
+	$(GO) vet ./internal/reqid/... ./internal/slogx/... ./internal/telemetry/...
+	$(GO) test -run 'TestPrometheus|TestMetricMeta' ./internal/telemetry/
+	$(GO) test ./internal/reqid/... ./internal/slogx/...
+	GO="$(GO)" sh scripts/serve_smoke.sh
+
+check: vet race obs-check race-serve
 	$(GO) test -race ./internal/telemetry/... ./internal/cache/...

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"floorplan/internal/plan"
+	"floorplan/internal/reqid"
 	"floorplan/internal/server"
 	"floorplan/internal/telemetry"
 )
@@ -38,6 +40,9 @@ type Client struct {
 	// Telemetry counts request attempts and retries under the runtime
 	// counters client.attempts and client.retries; nil disables recording.
 	Telemetry *Collector
+	// Logger receives debug records for each retry (trace ID, attempt
+	// number, drawn delay); nil disables.
+	Logger *slog.Logger
 }
 
 // RetryPolicy configures the client's retry loop: bounded attempts with
@@ -140,11 +145,24 @@ func (c *Client) Stats(ctx context.Context) (*ServeStats, error) {
 // do runs the retry loop around single attempts. Every optimize request is
 // idempotent on the server (content-addressed, deterministic), so the only
 // retry-safety question is whether a response was already being consumed.
+//
+// All attempts of one call share a single W3C trace — taken from the
+// caller's context (WithTraceparent) or minted here — with a fresh span per
+// attempt, so the server's access log strings the retries of one logical
+// request together.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	trace, ok := reqid.FromContext(ctx)
+	if !ok || !trace.Valid() {
+		trace = reqid.New()
+	}
 	attempts := c.Retry.attempts()
 	for attempt := 0; ; attempt++ {
 		c.Telemetry.Inc(telemetry.CtrClientAttempts)
-		retryable, hint, err := c.attempt(ctx, method, path, body, out)
+		span := trace
+		if attempt > 0 {
+			span = trace.Child()
+		}
+		retryable, hint, err := c.attempt(ctx, method, path, body, out, span)
 		if err == nil {
 			return nil
 		}
@@ -152,7 +170,17 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			return err
 		}
 		c.Telemetry.Inc(telemetry.CtrClientRetries)
-		delay := time.NewTimer(c.Retry.backoff(attempt, hint))
+		backoff := c.Retry.backoff(attempt, hint)
+		if c.Logger != nil {
+			c.Logger.Debug("retrying request",
+				slog.String("method", method),
+				slog.String("path", path),
+				slog.String("trace_id", trace.TraceID.String()),
+				slog.Int("attempt", attempt+1),
+				slog.Float64("delay_ms", float64(backoff.Nanoseconds())/1e6),
+				slog.String("error", err.Error()))
+		}
+		delay := time.NewTimer(backoff)
 		select {
 		case <-delay.C:
 		case <-ctx.Done():
@@ -165,7 +193,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 // attempt performs one HTTP round trip. retryable is true only for
 // idempotent-safe failures: a transport error before any response arrived,
 // or a 429/503 reply (whose Retry-After hint is returned alongside).
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retryable bool, hint time.Duration, err error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, trace reqid.Context) (retryable bool, hint time.Duration, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -173,6 +201,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.BaseURL, "/")+path, rd)
 	if err != nil {
 		return false, 0, fmt.Errorf("floorplan: building request: %w", err)
+	}
+	if trace.Valid() {
+		req.Header.Set("traceparent", trace.Traceparent())
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")

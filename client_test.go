@@ -14,6 +14,7 @@ import (
 
 	"floorplan/internal/cache"
 	"floorplan/internal/plan"
+	"floorplan/internal/reqid"
 	"floorplan/internal/server"
 	"floorplan/internal/telemetry"
 )
@@ -273,5 +274,83 @@ func TestParseRetryAfter(t *testing.T) {
 		} else if got != tc.want {
 			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
 		}
+	}
+}
+
+// TestClientTraceparentPropagation: a trace attached with WithTraceparent
+// travels to the server and comes back as the response's trace ID; each
+// retry keeps the trace and sends a fresh span.
+func TestClientTraceparentPropagation(t *testing.T) {
+	tp := NewTraceparent()
+	parsed, err := reqid.Parse(tp)
+	if err != nil {
+		t.Fatalf("NewTraceparent produced unparseable %q: %v", tp, err)
+	}
+	ctx := WithTraceparent(context.Background(), tp)
+	if got := TraceparentFromContext(ctx); got != tp {
+		t.Fatalf("TraceparentFromContext = %q, want %q", got, tp)
+	}
+	if got := TraceparentFromContext(context.Background()); got != "" {
+		t.Fatalf("TraceparentFromContext on a bare context = %q, want empty", got)
+	}
+	if got := WithTraceparent(context.Background(), "garbage"); TraceparentFromContext(got) != "" {
+		t.Fatal("WithTraceparent accepted a malformed header")
+	}
+
+	c, tree, lib := clientFixture(t)
+	resp, err := c.Optimize(ctx, tree, lib, ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Runtime.TraceID != parsed.TraceID.String() {
+		t.Fatalf("server reported trace %q, want the caller's %q",
+			resp.Runtime.TraceID, parsed.TraceID.String())
+	}
+	if resp.Runtime.SpanID == "" || resp.Runtime.SpanID == parsed.SpanID.String() {
+		t.Fatalf("server span %q should be fresh, not the client's", resp.Runtime.SpanID)
+	}
+}
+
+// TestClientRetriesShareTrace: the attempts of one logical call carry the
+// same trace ID with distinct span IDs, even without a caller-provided
+// traceparent.
+func TestClientRetriesShareTrace(t *testing.T) {
+	var mu sync.Mutex
+	var headers []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		headers = append(headers, r.Header.Get("traceparent"))
+		n := len(headers)
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"busy"}`)
+			return
+		}
+		fmt.Fprint(w, cannedOptimizeResponse)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := &Client{BaseURL: ts.URL, Retry: RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}}
+	if _, err := c.Optimize(context.Background(), Leaf("a"), Library{"a": {{W: 1, H: 1}}}, ServeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(headers) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(headers))
+	}
+	var ids [2]reqid.Context
+	for i, h := range headers {
+		tc, err := reqid.Parse(h)
+		if err != nil {
+			t.Fatalf("attempt %d sent unparseable traceparent %q: %v", i+1, h, err)
+		}
+		ids[i] = tc
+	}
+	if ids[0].TraceID != ids[1].TraceID {
+		t.Fatalf("retries changed trace ID: %s vs %s", ids[0].TraceID, ids[1].TraceID)
+	}
+	if ids[0].SpanID == ids[1].SpanID {
+		t.Fatal("retry reused the previous attempt's span ID")
 	}
 }

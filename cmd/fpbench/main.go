@@ -67,6 +67,9 @@ func main() {
 	// numbers) and the shards merge back into the root for -report. The
 	// -benchjson embed implies collection even without -report.
 	root := tf.CollectorIf(*jsonDir != "")
+	if _, err := tf.Logger(); err != nil {
+		log.Fatal(err)
+	}
 	if err := tf.StartDebug(root); err != nil {
 		log.Fatal(err)
 	}

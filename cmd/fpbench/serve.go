@@ -48,13 +48,25 @@ func serveCheck(baseURL string) error {
 		return fmt.Errorf("stats: %w", err)
 	}
 
-	first, err := c.Optimize(ctx, tree, lib, floorplan.ServeOptions{K1: 12, Workers: 1})
+	// The first round-trip runs under an explicit trace: the server must
+	// echo the caller's trace ID back in the runtime envelope.
+	tp := floorplan.NewTraceparent()
+	first, err := c.Optimize(floorplan.WithTraceparent(ctx, tp), tree, lib,
+		floorplan.ServeOptions{K1: 12, Workers: 1})
 	if err != nil {
 		return fmt.Errorf("optimize #1: %w", err)
+	}
+	if want := tp[3:35]; first.Runtime.TraceID != want {
+		return fmt.Errorf("server echoed trace ID %q, want the caller's %q (traceparent %s)",
+			first.Runtime.TraceID, want, tp)
 	}
 	second, err := c.Optimize(ctx, tree, lib, floorplan.ServeOptions{K1: 12, Workers: 8})
 	if err != nil {
 		return fmt.Errorf("optimize #2: %w", err)
+	}
+	if second.Runtime.TraceID == "" || second.Runtime.SpanID == "" {
+		return fmt.Errorf("server minted no trace identity (trace %q span %q)",
+			second.Runtime.TraceID, second.Runtime.SpanID)
 	}
 
 	if first.Key != second.Key {

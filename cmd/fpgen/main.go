@@ -42,6 +42,9 @@ func main() {
 	tf.Register(flag.CommandLine)
 	flag.Parse()
 
+	if _, err := tf.Logger(); err != nil {
+		log.Fatal(err)
+	}
 	col := tf.Collector()
 	if err := tf.StartDebug(col); err != nil {
 		log.Fatal(err)

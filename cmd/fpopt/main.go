@@ -125,6 +125,9 @@ func main() {
 		log.Fatalf("decoding library: %v", err)
 	}
 
+	if _, err := tf.Logger(); err != nil {
+		log.Fatal(err)
+	}
 	col := tf.Collector()
 	if err := tf.StartDebug(col); err != nil {
 		log.Fatal(err)

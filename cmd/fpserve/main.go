@@ -17,6 +17,11 @@
 // byte-identically (see the `runtime.cache` field flip from "miss" to
 // "hit"). `-addr :0` picks a free port; `-addr-file` publishes the bound
 // address for scripts.
+//
+// Observability: GET /metrics serves a Prometheus text exposition, every
+// request emits one structured access-log record on stderr (tune with
+// -log-level and -log-format), and responses carry the request's W3C trace
+// ID — propagated from a client traceparent header when one was sent.
 package main
 
 import (
@@ -51,9 +56,14 @@ func main() {
 	tf.Register(flag.CommandLine)
 	flag.Parse()
 
-	// The server always collects telemetry when any flag asks for it; the
-	// debug listener exposes it live, the report flushes at shutdown.
-	col := tf.Collector()
+	// The server always collects telemetry — GET /metrics must be populated
+	// for every instance, not only the ones started with a telemetry flag.
+	// The debug listener exposes it live, the report flushes at shutdown.
+	col := tf.CollectorIf(true)
+	logger, err := tf.Logger()
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := tf.StartDebug(col); err != nil {
 		log.Fatal(err)
 	}
@@ -77,6 +87,10 @@ func main() {
 		MaxMemoryLimit: *maxLimit,
 		Cache:          store,
 		Telemetry:      col,
+		Logger:         logger,
+		// Span retention grows without bound on a long-lived server, so
+		// only a run that will export a trace keeps them.
+		KeepSpans: tf.Trace != "",
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -34,6 +34,7 @@
 package floorplan
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -42,6 +43,7 @@ import (
 	"floorplan/internal/optimizer"
 	"floorplan/internal/plan"
 	"floorplan/internal/render"
+	"floorplan/internal/reqid"
 	"floorplan/internal/selection"
 	"floorplan/internal/shape"
 	"floorplan/internal/stockmeyer"
@@ -142,6 +144,35 @@ func NewCollector() *Collector { return telemetry.New() }
 // (load in Perfetto or chrome://tracing): one logical thread per worker,
 // with per-block evaluation spans placed on the timeline.
 func WriteTrace(w io.Writer, c *Collector) error { return c.WriteTrace(w) }
+
+// WithTraceparent attaches a W3C traceparent header value (as produced by
+// NewTraceparent, or received from an upstream system) to the context.
+// Client.Optimize and friends propagate it to the server, which joins the
+// same trace: its access log, telemetry spans and ResponseRuntime all carry
+// the caller's trace ID. Malformed values are ignored and the client mints
+// its own trace instead.
+func WithTraceparent(ctx context.Context, traceparent string) context.Context {
+	tc, err := reqid.Parse(traceparent)
+	if err != nil {
+		return ctx
+	}
+	return reqid.NewContext(ctx, tc)
+}
+
+// TraceparentFromContext returns the context's traceparent header value, or
+// "" when none is attached.
+func TraceparentFromContext(ctx context.Context) string {
+	tc, ok := reqid.FromContext(ctx)
+	if !ok || !tc.Valid() {
+		return ""
+	}
+	return tc.Traceparent()
+}
+
+// NewTraceparent mints a fresh W3C traceparent header value (random trace
+// and span IDs, sampled flag set), for callers that want to know their
+// request's trace ID before sending it.
+func NewTraceparent() string { return reqid.New().Traceparent() }
 
 // Stats are the run's cost metrics; see the paper's M and CPU columns.
 type Stats = optimizer.Stats

@@ -1,26 +1,31 @@
 // Package cliutil holds the flag plumbing shared by the command-line tools
 // (fpopt, fpbench, fpgen, fpserve): one definition of the telemetry flags
-// -report, -trace and -debug-addr, one way to build the collector they
-// imply, and one flush path that applies the ParseReport round-trip gate to
-// every report any tool writes — so the schema check cannot drift between
-// binaries.
+// -report, -trace, -debug-addr, -log-level and -log-format, one way to
+// build the collector and structured logger they imply, and one flush path
+// that applies the ParseReport round-trip gate to every report any tool
+// writes — so the schema check cannot drift between binaries.
 package cliutil
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 
+	"floorplan/internal/slogx"
 	"floorplan/internal/telemetry"
 )
 
 // TelemetryFlags are the shared observability flags. Register wires them
-// into a FlagSet; after parsing, Collector/StartDebug/Flush consume them.
+// into a FlagSet; after parsing, Collector/Logger/StartDebug/Flush consume
+// them.
 type TelemetryFlags struct {
-	Report string
-	Trace  string
-	Debug  string
+	Report    string
+	Trace     string
+	Debug     string
+	LogLevel  string
+	LogFormat string
 }
 
 // Register defines the flags on fs (typically flag.CommandLine).
@@ -28,6 +33,20 @@ func (f *TelemetryFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Report, "report", "", "write the telemetry run report (JSON) to this file")
 	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this file")
 	fs.StringVar(&f.Debug, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.LogLevel, "log-level", "info", "structured log level: debug, info, warn or error")
+	fs.StringVar(&f.LogFormat, "log-format", "json", "structured log format: json or text")
+}
+
+// Logger builds the tool's structured logger on stderr from -log-level and
+// -log-format and installs it as the slog default, so library code logging
+// through slog.Default lands in the same stream.
+func (f *TelemetryFlags) Logger() (*slog.Logger, error) {
+	logger, err := slogx.New(os.Stderr, f.LogLevel, f.LogFormat)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(logger)
+	return logger, nil
 }
 
 // Enabled reports whether any telemetry output was requested.

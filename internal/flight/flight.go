@@ -60,6 +60,7 @@ type Call[V any] struct {
 	waiters  int
 	begun    bool
 	finished bool
+	tag      any
 	val      V
 	err      error
 }
@@ -163,6 +164,26 @@ func (c *Call[V]) Begin() bool {
 	}
 	c.begun = true
 	return true
+}
+
+// SetTag attaches an arbitrary annotation to the call. The serving layer's
+// leader stamps its request identity (trace context, timing slots) here
+// immediately after Join, so followers coalescing onto the call can report
+// which computation answered them. Later SetTag calls overwrite.
+func (c *Call[V]) SetTag(tag any) {
+	c.mu.Lock()
+	c.tag = tag
+	c.mu.Unlock()
+}
+
+// Tag returns the annotation set by SetTag (nil before any). A follower
+// that joined between the leader's Join and SetTag may observe nil until
+// the call finishes; reads after Done are ordered after the leader's
+// SetTag.
+func (c *Call[V]) Tag() any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tag
 }
 
 // Begun reports whether the computation has started — i.e. whether a

@@ -189,3 +189,47 @@ func TestConcurrentJoins(t *testing.T) {
 		t.Fatalf("stats after drain = %d calls / %d waiters, want 0/0", calls, waiters)
 	}
 }
+
+func TestTagSharedWithFollowers(t *testing.T) {
+	var g Group[string, int]
+	c, leader := g.Join("k")
+	if !leader {
+		t.Fatal("first join is not the leader")
+	}
+	if c.Tag() != nil {
+		t.Fatalf("Tag before SetTag = %v, want nil", c.Tag())
+	}
+	type meta struct{ id string }
+	c.SetTag(&meta{id: "leader"})
+
+	f, _ := g.Join("k")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-f.Done()
+		m, ok := f.Tag().(*meta)
+		if !ok || m.id != "leader" {
+			t.Errorf("follower Tag after Done = %v, want the leader's meta", f.Tag())
+		}
+		f.Leave()
+	}()
+
+	if !c.Begin() {
+		t.Fatal("Begin failed")
+	}
+	c.Finish(1, nil)
+	<-done
+	c.Leave()
+}
+
+func TestSetTagOverwrites(t *testing.T) {
+	c := Solo[int]()
+	c.SetTag(1)
+	c.SetTag(2)
+	if got := c.Tag(); got != 2 {
+		t.Fatalf("Tag = %v, want 2", got)
+	}
+	c.Begin()
+	c.Finish(0, nil)
+	c.Leave()
+}

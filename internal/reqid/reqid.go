@@ -1,0 +1,153 @@
+// Package reqid generates and propagates W3C trace-context compatible
+// request identities for the serving stack: a 16-byte trace ID naming one
+// end-to-end request (shared by a client, its retries, and every server
+// span the request touches) and an 8-byte span ID naming one hop's work
+// within it. The wire form is the traceparent header of
+// https://www.w3.org/TR/trace-context/:
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// floorplan.Client injects the header on every attempt (minting a trace ID
+// when the caller's context carries none), fpserve extracts it, and the
+// telemetry layer stamps it on spans so one request's client attempt,
+// server handling and optimizer evaluation all correlate under a single ID
+// in logs and trace exports.
+package reqid
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// TraceID names one end-to-end request across processes.
+type TraceID [16]byte
+
+// SpanID names one hop's work within a trace.
+type SpanID [8]byte
+
+// String returns the ID as lowercase hex (32 characters).
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the ID is all-zero, which the W3C spec forbids on
+// the wire.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String returns the ID as lowercase hex (16 characters).
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is all-zero.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// Context is one hop's trace identity: which request (TraceID) and which
+// piece of work within it (SpanID).
+type Context struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// New mints a fresh trace: random trace and span IDs.
+func New() Context {
+	var c Context
+	fill(c.TraceID[:])
+	fill(c.SpanID[:])
+	return c
+}
+
+// Child returns a context in the same trace with a fresh span ID — the
+// identity of a new hop (a retry attempt, a server handler) working on the
+// same request.
+func (c Context) Child() Context {
+	out := Context{TraceID: c.TraceID}
+	fill(out.SpanID[:])
+	return out
+}
+
+// Valid reports whether both IDs are non-zero, the W3C requirement for a
+// propagatable context.
+func (c Context) Valid() bool { return !c.TraceID.IsZero() && !c.SpanID.IsZero() }
+
+// Traceparent renders the context as a version-00 traceparent header value
+// with the sampled flag set.
+func (c Context) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-01", c.TraceID, c.SpanID)
+}
+
+// Parse decodes a traceparent header value. Per the W3C spec it accepts
+// any version except the reserved ff, requires lowercase hex fields of
+// exact width, and rejects all-zero trace or span IDs.
+func Parse(h string) (Context, error) {
+	var c Context
+	// version(2) - trace-id(32) - parent-id(16) - flags(2)
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return c, fmt.Errorf("reqid: malformed traceparent %q", h)
+	}
+	var version [1]byte
+	if _, err := decodeLowerHex(version[:], h[0:2]); err != nil {
+		return c, fmt.Errorf("reqid: traceparent version: %w", err)
+	}
+	if version[0] == 0xff {
+		return c, fmt.Errorf("reqid: reserved traceparent version ff")
+	}
+	if version[0] == 0 && len(h) != 55 {
+		return c, fmt.Errorf("reqid: version-00 traceparent has trailing data %q", h)
+	}
+	if _, err := decodeLowerHex(c.TraceID[:], h[3:35]); err != nil {
+		return Context{}, fmt.Errorf("reqid: trace ID: %w", err)
+	}
+	if _, err := decodeLowerHex(c.SpanID[:], h[36:52]); err != nil {
+		return Context{}, fmt.Errorf("reqid: span ID: %w", err)
+	}
+	var flags [1]byte
+	if _, err := decodeLowerHex(flags[:], h[53:55]); err != nil {
+		return Context{}, fmt.Errorf("reqid: trace flags: %w", err)
+	}
+	if c.TraceID.IsZero() {
+		return Context{}, fmt.Errorf("reqid: all-zero trace ID")
+	}
+	if c.SpanID.IsZero() {
+		return Context{}, fmt.Errorf("reqid: all-zero span ID")
+	}
+	return c, nil
+}
+
+// decodeLowerHex is hex.Decode restricted to lowercase input, which is
+// what the traceparent grammar demands (uppercase hex must be rejected).
+func decodeLowerHex(dst []byte, src string) (int, error) {
+	for i := 0; i < len(src); i++ {
+		if src[i] >= 'A' && src[i] <= 'F' {
+			return 0, fmt.Errorf("uppercase hex %q", src)
+		}
+	}
+	return hex.Decode(dst, []byte(src))
+}
+
+// fill writes cryptographically random bytes, retrying the (vanishingly
+// unlikely) all-zero draw because zero IDs are invalid on the wire.
+func fill(b []byte) {
+	for {
+		// crypto/rand.Read never fails on supported platforms (Go 1.21+
+		// panics internally instead of returning an error).
+		_, _ = rand.Read(b)
+		for _, x := range b {
+			if x != 0 {
+				return
+			}
+		}
+	}
+}
+
+// ctxKey keys the trace context in a context.Context.
+type ctxKey struct{}
+
+// NewContext returns a copy of ctx carrying c.
+func NewContext(ctx context.Context, c Context) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext extracts the trace context placed by NewContext.
+func FromContext(ctx context.Context) (Context, bool) {
+	c, ok := ctx.Value(ctxKey{}).(Context)
+	return c, ok
+}

@@ -1,0 +1,107 @@
+package reqid
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewIsValidAndUnique(t *testing.T) {
+	a, b := New(), New()
+	if !a.Valid() || !b.Valid() {
+		t.Fatalf("New produced invalid contexts: %+v %+v", a, b)
+	}
+	if a.TraceID == b.TraceID {
+		t.Fatalf("two fresh trace IDs collided: %s", a.TraceID)
+	}
+	if a.SpanID == b.SpanID {
+		t.Fatalf("two fresh span IDs collided: %s", a.SpanID)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	c := New()
+	h := c.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("malformed traceparent %q", h)
+	}
+	back, err := Parse(h)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", h, err)
+	}
+	if back != c {
+		t.Fatalf("round trip changed the context: %+v -> %+v", c, back)
+	}
+}
+
+func TestParseW3CExample(t *testing.T) {
+	h := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	c, err := Parse(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace ID = %s", got)
+	}
+	if got := c.SpanID.String(); got != "00f067aa0ba902b7" {
+		t.Fatalf("span ID = %s", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",     // missing flags
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // reserved version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  // zero span
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",  // uppercase
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", // version-00 trailing data
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",  // non-hex
+		"0g-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // non-hex version
+	}
+	for _, h := range bad {
+		if _, err := Parse(h); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", h)
+		}
+	}
+}
+
+func TestParseFutureVersionWithExtraData(t *testing.T) {
+	// A future version may append fields; the known prefix must still parse.
+	h := "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"
+	c, err := Parse(h)
+	if err != nil {
+		t.Fatalf("future-version traceparent rejected: %v", err)
+	}
+	if !c.Valid() {
+		t.Fatalf("parsed invalid context %+v", c)
+	}
+}
+
+func TestChildKeepsTrace(t *testing.T) {
+	c := New()
+	kid := c.Child()
+	if kid.TraceID != c.TraceID {
+		t.Fatalf("Child changed the trace ID: %s -> %s", c.TraceID, kid.TraceID)
+	}
+	if kid.SpanID == c.SpanID {
+		t.Fatalf("Child kept the span ID %s", c.SpanID)
+	}
+	if !kid.Valid() {
+		t.Fatalf("Child produced invalid context %+v", kid)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if _, ok := FromContext(context.Background()); ok {
+		t.Fatal("empty context reported a trace")
+	}
+	c := New()
+	ctx := NewContext(context.Background(), c)
+	back, ok := FromContext(ctx)
+	if !ok || back != c {
+		t.Fatalf("FromContext = %+v, %v; want %+v, true", back, ok, c)
+	}
+}

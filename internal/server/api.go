@@ -9,6 +9,7 @@ import (
 	"floorplan/internal/optimizer"
 	"floorplan/internal/plan"
 	"floorplan/internal/shape"
+	"floorplan/internal/telemetry"
 )
 
 // Wire format of the fpserve HTTP API. The optimize response splits the way
@@ -69,6 +70,14 @@ type ResponseRuntime struct {
 	// joining another request's in-flight computation of the same key),
 	// "bypass" (NoCache set) or "off" (server cache disabled).
 	Cache string `json:"cache"`
+	// TraceID is the W3C trace ID the answer was produced under: the
+	// caller's own trace (propagated from its traceparent header, or minted
+	// by the server), except for coalesced answers, which report the trace
+	// of the leading request whose computation they shared.
+	TraceID string `json:"trace_id,omitempty"`
+	// SpanID is the server-side span for this specific request, always the
+	// request's own even when TraceID names the coalesced leader's trace.
+	SpanID string `json:"span_id,omitempty"`
 }
 
 // Result is the deterministic optimization payload.
@@ -175,6 +184,11 @@ type StatsResponse struct {
 	QueueCapacity   int         `json:"queue_capacity"`
 	Cache           cache.Stats `json:"cache"`
 	CacheEnabled    bool        `json:"cache_enabled"`
+	// Histograms exports the server's populated latency/size histograms
+	// keyed by metric name (the same data GET /metrics renders); empty
+	// histograms are omitted, and the whole field is absent when telemetry
+	// is disabled or nothing has been recorded yet.
+	Histograms map[string]telemetry.HistSnapshot `json:"histograms,omitempty"`
 }
 
 // errorResponse is every non-2xx body.

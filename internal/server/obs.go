@@ -1,0 +1,212 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"floorplan/internal/reqid"
+	"floorplan/internal/slogx"
+	"floorplan/internal/telemetry"
+)
+
+// This file is the server's request-scoped observability plumbing: every
+// endpoint runs inside withObservability, which extracts (or mints) the
+// request's W3C trace context, exposes it to handlers through the request
+// context, captures the response status and byte count, records the
+// per-disposition latency histogram and emits one structured access-log
+// record per request.
+
+// accessInfo accumulates one request's access-log record while the
+// handler runs. The handler goroutine owns the plain fields; flight is
+// shared with the (possibly detached) computation goroutine, which is why
+// its timing slots are atomics.
+type accessInfo struct {
+	// trace is this request's identity: the trace ID propagated from the
+	// client (or minted here) and a fresh server-side span ID.
+	trace reqid.Context
+	// parentSpan is the client's span ID when the request carried a
+	// traceparent header.
+	parentSpan string
+	// disposition classifies how the request was answered: hit, miss,
+	// coalesced, bypass, off, shed, draining, timeout_queued,
+	// timeout_computing, invalid or error. Empty for non-optimize
+	// endpoints.
+	disposition string
+	// flightTraceID is the leader's trace ID when this request coalesced
+	// onto another request's computation.
+	flightTraceID string
+	// flight carries the answering computation's timing (leader's slot
+	// wait and compute wall time); nil for cache hits and early exits.
+	flight *flightMeta
+}
+
+// flightMeta is the annotation the leader stamps on its flight call
+// (flight.Call.SetTag): the identity of the computation every coalesced
+// follower shares, plus its timing. The timing slots are written by the
+// detached computation goroutine and read by each waiter's handler
+// goroutine, hence atomics.
+type flightMeta struct {
+	trace       reqid.Context
+	queueWaitNs atomic.Int64 // wait for a worker slot before Begin
+	computeNs   atomic.Int64 // optimization wall time
+}
+
+// accessKey keys the accessInfo in the request context.
+type accessKey struct{}
+
+// accessInfoFrom returns the request's accessInfo record. Handlers invoked
+// outside withObservability (direct tests) get a discardable record so the
+// code path never branches.
+func accessInfoFrom(ctx context.Context) *accessInfo {
+	if rec, ok := ctx.Value(accessKey{}).(*accessInfo); ok {
+		return rec
+	}
+	return &accessInfo{trace: reqid.New()}
+}
+
+// statusWriter captures the status code and body size flowing through a
+// ResponseWriter for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// withObservability wraps one endpoint with trace extraction, response
+// capture, latency recording and access logging.
+func (s *Server) withObservability(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		rec := &accessInfo{}
+		if tc, err := reqid.Parse(r.Header.Get("traceparent")); err == nil {
+			// Same trace as the caller, fresh span for the server's work.
+			rec.trace = tc.Child()
+			rec.parentSpan = tc.SpanID.String()
+		} else {
+			rec.trace = reqid.New()
+		}
+		ctx := reqid.NewContext(r.Context(), rec.trace)
+		ctx = context.WithValue(ctx, accessKey{}, rec)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(started)
+		if hist, ok := dispositionHist(rec.disposition); ok {
+			s.tel.Record(hist, elapsed.Nanoseconds())
+		}
+		s.logAccess(r, sw, rec, elapsed)
+	}
+}
+
+// dispositionHist maps an optimize disposition onto its end-to-end
+// latency histogram. Unknown (including empty) dispositions record
+// nothing.
+func dispositionHist(d string) (telemetry.Hist, bool) {
+	switch d {
+	case "hit":
+		return telemetry.HistServeHitNs, true
+	case "miss":
+		return telemetry.HistServeMissNs, true
+	case "coalesced":
+		return telemetry.HistServeCoalescedNs, true
+	case "bypass", "off":
+		return telemetry.HistServeBypassNs, true
+	case "shed", "draining", "timeout_queued", "timeout_computing":
+		return telemetry.HistServeShedNs, true
+	case "invalid", "error":
+		return telemetry.HistServeErrorNs, true
+	}
+	return 0, false
+}
+
+// durMs renders a duration as fractional milliseconds for log records.
+func durMs(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// logAccess emits the per-request access-log record. Scrape traffic
+// (/metrics) logs at debug so a 15-second Prometheus interval does not
+// drown the request log.
+func (s *Server) logAccess(r *http.Request, sw *statusWriter, rec *accessInfo, elapsed time.Duration) {
+	if s.logger == nil {
+		return
+	}
+	level := slog.LevelInfo
+	if r.URL.Path == "/metrics" {
+		level = slog.LevelDebug
+	}
+	if !s.logger.Enabled(r.Context(), level) {
+		return
+	}
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	attrs := []any{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Int64("bytes", sw.bytes),
+		slog.String("trace_id", rec.trace.TraceID.String()),
+		slog.String("span_id", rec.trace.SpanID.String()),
+		slog.Float64("elapsed_ms", durMs(elapsed)),
+	}
+	if rec.parentSpan != "" {
+		attrs = append(attrs, slog.String("parent_span_id", rec.parentSpan))
+	}
+	if rec.disposition != "" {
+		attrs = append(attrs, slog.String("disposition", rec.disposition))
+		if m := rec.flight; m != nil {
+			attrs = append(attrs,
+				slog.Float64("queue_wait_ms", durMs(time.Duration(m.queueWaitNs.Load()))),
+				slog.Float64("compute_ms", durMs(time.Duration(m.computeNs.Load()))))
+		}
+	}
+	if rec.flightTraceID != "" {
+		attrs = append(attrs, slog.String("flight_trace_id", rec.flightTraceID))
+	}
+	s.logger.Log(r.Context(), level, "request", attrs...)
+}
+
+// debugSampled emits a sampled debug record for a high-volume event path;
+// the record carries the running event count so rates survive sampling.
+func (s *Server) debugSampled(sampler *slogx.Sampler, msg string, rec *accessInfo, attrs ...any) {
+	if s.logger == nil || !s.logger.Enabled(context.Background(), slog.LevelDebug) {
+		return
+	}
+	if !sampler.Allow() {
+		return
+	}
+	attrs = append(attrs,
+		slog.String("trace_id", rec.trace.TraceID.String()),
+		slog.Uint64("event_count", sampler.Count()))
+	s.logger.Debug(msg, attrs...)
+}
+
+// handleMetrics serves GET /metrics: the telemetry collector in Prometheus
+// text exposition format. A server without a collector still renders every
+// family at zero, so scrape configs never see a 404.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	_ = s.tel.WritePrometheus(w)
+}

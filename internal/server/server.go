@@ -6,6 +6,15 @@
 //	POST /v1/optimize  — optimize a plan tree + library (OptimizeRequest)
 //	GET  /healthz      — liveness; 503 while draining
 //	GET  /v1/stats     — cache, queue and pool statistics (StatsResponse)
+//	GET  /metrics      — Prometheus text exposition of the telemetry
+//	                     collector (counters, gauges, latency histograms)
+//
+// Observability: every request runs under a W3C trace context — extracted
+// from the caller's traceparent header or minted on arrival — that is
+// returned in ResponseRuntime, stamped on the serve/flight/optimizer
+// telemetry spans, and logged in one structured access record per request
+// (Config.Logger). Coalesced followers report the leader's trace ID, so a
+// client retry correlates with the server-side flight it joined.
 //
 // Production plumbing: a bounded worker pool (Config.Workers slots, the
 // same semantics as floorplan.Options.Workers bounds goroutines) admits at
@@ -31,6 +40,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -45,6 +55,7 @@ import (
 	"floorplan/internal/plan"
 	"floorplan/internal/selection"
 	"floorplan/internal/shape"
+	"floorplan/internal/slogx"
 	"floorplan/internal/telemetry"
 )
 
@@ -70,8 +81,20 @@ type Config struct {
 	// Cache memoizes results across requests; nil disables.
 	Cache *cache.Cache
 	// Telemetry receives request/queue/cache counters, queue watermarks,
-	// per-request serve spans and the optimizer's scalar metrics.
+	// per-disposition latency histograms, per-request serve spans and the
+	// optimizer's scalar metrics; GET /metrics renders it.
 	Telemetry *telemetry.Collector
+	// Logger receives one structured access-log record per request plus
+	// sampled debug records on the shed/timeout/abandon paths; nil
+	// disables logging.
+	Logger *slog.Logger
+	// KeepSpans retains each request's optimizer spans in the collector
+	// (full Merge instead of MergeScalars), so a shutdown WriteTrace holds
+	// every request's cross-layer trace. Off by default: span retention
+	// grows without bound on a long-lived server, so only enable it for
+	// bounded runs that export a trace (fpserve sets it when -trace is
+	// given).
+	KeepSpans bool
 }
 
 func (c Config) workers() int {
@@ -104,10 +127,17 @@ func (c Config) maxBody() int64 {
 
 // Server serves optimization requests. Create with New.
 type Server struct {
-	cfg   Config
-	sem   chan struct{}
-	tel   *telemetry.Collector
-	start time.Time
+	cfg    Config
+	sem    chan struct{}
+	tel    *telemetry.Collector
+	logger *slog.Logger
+	start  time.Time
+
+	// Samplers bound the debug-log volume of the hot failure paths; shed
+	// storms are exactly when per-event logging would melt the server.
+	shedSampler    *slogx.Sampler
+	timeoutSampler *slogx.Sampler
+	abandonSampler *slogx.Sampler
 
 	flight flight.Group[cache.Key, []byte] // coalesces concurrent misses per key
 
@@ -138,19 +168,26 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: negative memory ceiling %d", cfg.MaxMemoryLimit)
 	}
 	return &Server{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.workers()),
-		tel:   cfg.Telemetry,
-		start: time.Now(),
+		cfg:            cfg,
+		sem:            make(chan struct{}, cfg.workers()),
+		tel:            cfg.Telemetry,
+		logger:         cfg.Logger,
+		start:          time.Now(),
+		shedSampler:    slogx.NewSampler(16),
+		timeoutSampler: slogx.NewSampler(16),
+		abandonSampler: slogx.NewSampler(1),
 	}, nil
 }
 
-// Handler returns the API routes, for tests and embedding.
+// Handler returns the API routes, for tests and embedding. Every route
+// runs inside the observability middleware (trace extraction, access log,
+// latency histograms).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	mux.HandleFunc("/healthz", s.withObservability(s.handleHealth))
+	mux.HandleFunc("/v1/stats", s.withObservability(s.handleStats))
+	mux.HandleFunc("/v1/optimize", s.withObservability(s.handleOptimize))
+	mux.HandleFunc("/metrics", s.withObservability(s.handleMetrics))
 	return mux
 }
 
@@ -213,6 +250,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueCapacity:     s.cfg.queueDepth(),
 		Cache:             s.cfg.Cache.Stats(),
 		CacheEnabled:      s.cfg.Cache != nil,
+		Histograms:        s.tel.HistSnapshots(),
 	})
 }
 
@@ -221,11 +259,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 var testHookComputeStart func()
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	rec := accessInfoFrom(r.Context())
 	if r.Method != http.MethodPost {
+		rec.disposition = "invalid"
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	if s.draining.Load() {
+		rec.disposition = "draining"
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -243,10 +284,14 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if pending > int64(s.cfg.workers()+s.cfg.queueDepth()) {
 		s.shed.Add(1)
 		s.tel.Inc(telemetry.CtrServeShed)
+		rec.disposition = "shed"
+		s.debugSampled(s.shedSampler, "request shed", rec,
+			slog.Int64("pending", pending))
 		s.writeRetryable(w, http.StatusTooManyRequests, "saturated: request queue full")
 		return
 	}
 
+	rec.disposition = "invalid"
 	req, status, err := s.decodeRequest(w, r)
 	if err != nil {
 		writeError(w, status, err.Error())
@@ -292,8 +337,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		if req.Options.NoCache {
 			mode = "bypass"
 		} else if payload, ok := s.cfg.Cache.Get(key); ok {
-			s.recordServeSpan(spanStart, "hit")
-			s.respond(w, key, payload, "hit", started)
+			rec.disposition = "hit"
+			s.recordServeSpan(spanStart, "hit", rec)
+			s.respond(w, key, payload, "hit", started, rec)
 			return
 		} else {
 			mode = "miss"
@@ -323,13 +369,19 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	defer call.Leave()
 	if leader {
+		// The leader's request identity names the shared computation: its
+		// trace ID is stamped on the flight tag (so followers can report
+		// it), on the flight span and on the optimizer's spans.
+		meta := &flightMeta{trace: rec.trace}
+		rec.flight = meta
+		call.SetTag(meta)
 		// The computation runs detached from the HTTP goroutine:
 		// optimization is not cancelable mid-evaluation, so on timeout we
 		// answer 503 and let the run finish in the background — it still
 		// stores its result, which warms the cache for the client's retry.
 		// Shutdown waits for these.
 		s.wg.Add(1)
-		go s.runCall(call, req, lib, memLimit, key)
+		go s.runCall(call, meta, req, lib, memLimit, key)
 	} else {
 		s.coalesced.Add(1)
 		s.tel.Inc(telemetry.CtrServeCoalesced)
@@ -339,8 +391,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-call.Done():
 		payload, err := call.Result()
-		s.recordServeSpan(spanStart, mode)
+		rec.disposition = mode
+		s.noteFlight(rec, call, leader)
+		s.recordServeSpan(spanStart, mode, rec)
 		if err != nil {
+			rec.disposition = "error"
 			if optimizer.IsMemoryLimit(err) {
 				writeError(w, http.StatusUnprocessableEntity, err.Error())
 			} else {
@@ -348,19 +403,39 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
-		s.respond(w, key, payload, mode, started)
+		s.respond(w, key, payload, mode, started, rec)
 	case <-ctx.Done():
-		s.recordServeSpan(spanStart, "timeout")
+		s.noteFlight(rec, call, leader)
+		s.recordServeSpan(spanStart, "timeout", rec)
 		if call.Begun() {
 			s.timedOutComputing.Add(1)
 			s.tel.Inc(telemetry.CtrServeTimeoutComputing)
+			rec.disposition = "timeout_computing"
+			s.debugSampled(s.timeoutSampler, "request deadline while computing", rec)
 			s.writeRetryable(w, http.StatusServiceUnavailable, "deadline reached while computing")
 		} else {
 			s.timedOutQueued.Add(1)
 			s.tel.Inc(telemetry.CtrServeTimeoutQueued)
+			rec.disposition = "timeout_queued"
+			s.debugSampled(s.timeoutSampler, "request deadline while queued", rec)
 			s.writeRetryable(w, http.StatusServiceUnavailable, "deadline reached while queued")
 		}
 	}
+}
+
+// noteFlight copies the answering computation's identity onto a waiter's
+// access record: followers report the leader's trace ID (and share its
+// timing), the leader already carries its own.
+func (s *Server) noteFlight(rec *accessInfo, call *flight.Call[[]byte], leader bool) {
+	if leader {
+		return
+	}
+	meta, ok := call.Tag().(*flightMeta)
+	if !ok {
+		return
+	}
+	rec.flight = meta
+	rec.flightTraceID = meta.trace.TraceID.String()
 }
 
 // runCall is the leader side of one flight call: wait for a worker slot
@@ -368,13 +443,15 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 // compute, store, publish. A computation that began always completes, even
 // with zero waiters left; if it then fails, the error would otherwise
 // vanish with them, so it is counted as an abandoned error.
-func (s *Server) runCall(call *flight.Call[[]byte], req *OptimizeRequest, lib plan.Library, memLimit int64, key cache.Key) {
+func (s *Server) runCall(call *flight.Call[[]byte], meta *flightMeta, req *OptimizeRequest, lib plan.Library, memLimit int64, key cache.Key) {
 	defer s.wg.Done()
+	queued := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 	case <-call.Abandoned():
 		return
 	}
+	meta.queueWaitNs.Store(time.Since(queued).Nanoseconds())
 	if !call.Begin() {
 		// Abandoned in the instant the slot arrived; hand it back.
 		<-s.sem
@@ -386,14 +463,33 @@ func (s *Server) runCall(call *flight.Call[[]byte], req *OptimizeRequest, lib pl
 		testHookComputeStart()
 	}
 	computeStart := time.Now()
-	payload, err := s.compute(req, lib, memLimit)
-	s.observeComputeTime(time.Since(computeStart))
+	spanStart := s.tel.Now()
+	payload, err := s.compute(req, lib, memLimit, meta.trace.TraceID.String())
+	elapsed := time.Since(computeStart)
+	meta.computeNs.Store(elapsed.Nanoseconds())
+	s.observeComputeTime(elapsed)
+	if s.tel != nil {
+		s.tel.RecordSpan(telemetry.Span{
+			Name:    "flight compute",
+			Cat:     "flight",
+			Start:   spanStart,
+			Dur:     s.tel.Now() - spanStart,
+			TraceID: meta.trace.TraceID.String(),
+		})
+	}
 	if err == nil && s.cfg.Cache != nil && !req.Options.NoCache {
 		s.cfg.Cache.Put(key, payload)
 	}
 	if waiters := call.Finish(payload, err); err != nil && waiters == 0 {
 		s.abandonedErrs.Add(1)
 		s.tel.Inc(telemetry.CtrServeAbandonedErrors)
+		if s.logger != nil && s.logger.Enabled(context.Background(), slog.LevelDebug) &&
+			s.abandonSampler.Allow() {
+			s.logger.Debug("abandoned computation failed",
+				slog.String("trace_id", meta.trace.TraceID.String()),
+				slog.String("error", err.Error()),
+				slog.Uint64("event_count", s.abandonSampler.Count()))
+		}
 	}
 }
 
@@ -477,8 +573,10 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Optimiz
 
 // compute runs one optimization and marshals the deterministic payload.
 // The optimizer's scalar telemetry folds into the server collector through
-// a per-request shard (MergeScalars keeps the span slice bounded).
-func (s *Server) compute(req *OptimizeRequest, lib plan.Library, memLimit int64) ([]byte, error) {
+// a per-request shard; spans are tagged with the leading request's trace ID
+// and kept only under Config.KeepSpans (MergeScalars otherwise keeps the
+// span slice bounded).
+func (s *Server) compute(req *OptimizeRequest, lib plan.Library, memLimit int64, traceID string) ([]byte, error) {
 	olib := make(optimizer.Library, len(lib))
 	for name, impls := range lib {
 		olib[name] = shape.RList(impls) // canonical by construction
@@ -493,6 +591,7 @@ func (s *Server) compute(req *OptimizeRequest, lib plan.Library, memLimit int64)
 		workers = max
 	}
 	shard := s.tel.Shard()
+	shard.SetTraceID(traceID)
 	o, err := optimizer.New(olib, optimizer.Options{
 		Policy: selection.Policy{
 			K1:    req.Options.K1,
@@ -509,33 +608,46 @@ func (s *Server) compute(req *OptimizeRequest, lib plan.Library, memLimit int64)
 		return nil, err
 	}
 	res, err := o.Run(req.Tree)
-	s.tel.MergeScalars(shard)
+	if s.cfg.KeepSpans {
+		s.tel.Merge(shard)
+	} else {
+		s.tel.MergeScalars(shard)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return marshalResult(res)
 }
 
-func (s *Server) respond(w http.ResponseWriter, key cache.Key, payload []byte, mode string, started time.Time) {
+func (s *Server) respond(w http.ResponseWriter, key cache.Key, payload []byte, mode string, started time.Time, rec *accessInfo) {
+	// A coalesced follower reports the leader's trace ID — the trace the
+	// answering computation actually ran under — with its own span ID.
+	traceID := rec.trace.TraceID.String()
+	if rec.flightTraceID != "" {
+		traceID = rec.flightTraceID
+	}
 	writeJSON(w, http.StatusOK, &OptimizeResponse{
 		Key:    key.String(),
 		Result: json.RawMessage(payload),
 		Runtime: ResponseRuntime{
 			ElapsedMs: time.Since(started).Milliseconds(),
 			Cache:     mode,
+			TraceID:   traceID,
+			SpanID:    rec.trace.SpanID.String(),
 		},
 	})
 }
 
-func (s *Server) recordServeSpan(start time.Duration, disposition string) {
+func (s *Server) recordServeSpan(start time.Duration, disposition string, rec *accessInfo) {
 	if s.tel == nil {
 		return
 	}
 	s.tel.RecordSpan(telemetry.Span{
-		Name:  "optimize " + disposition,
-		Cat:   "serve",
-		Start: start,
-		Dur:   s.tel.Now() - start,
+		Name:    "optimize " + disposition,
+		Cat:     "serve",
+		Start:   start,
+		Dur:     s.tel.Now() - start,
+		TraceID: rec.trace.TraceID.String(),
 	})
 }
 

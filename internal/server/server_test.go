@@ -218,7 +218,7 @@ func TestResultDeterminism(t *testing.T) {
 }
 
 func TestSheddingWhenSaturated(t *testing.T) {
-	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Cache: testCache(t, 1 << 20)})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Cache: testCache(t, 1<<20)})
 
 	// Occupy the only worker slot so every request queues; with
 	// QueueDepth=1 the admission bound is workers+queue = 2 pending.
@@ -290,7 +290,7 @@ func TestCoalescedMisses(t *testing.T) {
 	defer func() { testHookComputeStart = nil }()
 
 	col := telemetry.New()
-	s, ts := newTestServer(t, Config{Workers: 4, Cache: testCache(t, 1 << 20), Telemetry: col})
+	s, ts := newTestServer(t, Config{Workers: 4, Cache: testCache(t, 1<<20), Telemetry: col})
 
 	type reply struct {
 		status int
@@ -372,7 +372,7 @@ func TestAbandonedFailureCounted(t *testing.T) {
 	defer func() { testHookComputeStart = nil }()
 
 	col := telemetry.New()
-	s, ts := newTestServer(t, Config{Workers: 1, Cache: testCache(t, 1 << 20), Telemetry: col})
+	s, ts := newTestServer(t, Config{Workers: 1, Cache: testCache(t, 1<<20), Telemetry: col})
 	status, raw, _ := postOptimize(t, ts, &OptimizeRequest{
 		Tree:    testTree(),
 		Library: testLibrary(),
@@ -406,7 +406,7 @@ func TestAbandonedRunWarmsCache(t *testing.T) {
 	testHookComputeStart = func() { <-release }
 	defer func() { testHookComputeStart = nil }()
 
-	s, ts := newTestServer(t, Config{Workers: 1, Cache: testCache(t, 1 << 20)})
+	s, ts := newTestServer(t, Config{Workers: 1, Cache: testCache(t, 1<<20)})
 	req := &OptimizeRequest{
 		Tree:    testTree(),
 		Library: testLibrary(),
@@ -547,7 +547,7 @@ func TestHealthAndDrain(t *testing.T) {
 
 // TestStartShutdown exercises the real listener path end to end.
 func TestStartShutdown(t *testing.T) {
-	s, err := New(Config{Workers: 1, Cache: testCache(t, 1 << 20)})
+	s, err := New(Config{Workers: 1, Cache: testCache(t, 1<<20)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,9 +20,10 @@ var (
 	debugCollector *Collector
 )
 
-// StartDebugServer serves expvar (/debug/vars), pprof (/debug/pprof/) and
-// a live telemetry report (/debug/report) on addr, for profiling long
-// anneals and table grids while they run. It returns the server (for
+// StartDebugServer serves expvar (/debug/vars), pprof (/debug/pprof/), a
+// live telemetry report (/debug/report) and a Prometheus text exposition
+// of the collector (/metrics) on addr, for profiling long anneals and
+// table grids while they run. It returns the server (for
 // Close) and the bound address (useful with ":0"). The server runs until
 // closed; serving errors after Close are ignored.
 func StartDebugServer(addr string, c *Collector) (*http.Server, net.Addr, error) {
@@ -48,6 +49,15 @@ func StartDebugServer(addr string, c *Collector) (*http.Server, net.Addr, error)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		debugMu.Lock()
+		cur := debugCollector
+		debugMu.Unlock()
+		if err := cur.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/debug/report", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		debugMu.Lock()

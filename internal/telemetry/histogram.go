@@ -119,6 +119,25 @@ type HistSnapshot struct {
 	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
+// HistSnapshots returns a snapshot of every non-empty histogram keyed by
+// its metric name — the additive form /v1/stats exposes. A nil collector
+// returns nil.
+func (c *Collector) HistSnapshots() map[string]HistSnapshot {
+	if c == nil {
+		return nil
+	}
+	out := make(map[string]HistSnapshot)
+	for i := Hist(0); i < numHists; i++ {
+		if s := c.hists[i].snapshot(); s.Count > 0 {
+			out[histMeta[i].name] = s
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 func (h *Histogram) snapshot() HistSnapshot {
 	s := HistSnapshot{
 		Count: h.count.Load(),

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// This file renders a Collector in the Prometheus text exposition format
+// (version 0.0.4), the lingua franca of metrics scrapers. The enum-indexed
+// registry maps onto it directly: counters become counter families with a
+// _total suffix, watermarks become gauges, and the power-of-two histograms
+// become cumulative histogram families with exact integer bucket bounds —
+// bucket i of the internal histogram holds values in [2^(i-1), 2^i), so
+// its inclusive Prometheus upper bound is le="2^i - 1", which loses
+// nothing because every observation is an integer.
+//
+// Metric names derive mechanically from the registry names: "server.shed"
+// → "floorplan_server_shed_total". Every family is emitted on every
+// scrape, including zero-valued ones, so dashboards and alerts see series
+// appear at process start rather than at first increment.
+
+// promNamespace prefixes every exposed metric family.
+const promNamespace = "floorplan"
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName converts a registry name ("server.latency_hit_ns") to a
+// Prometheus family name ("floorplan_server_latency_hit_ns"), without any
+// type suffix.
+func promName(name string) string {
+	return promNamespace + "_" + strings.ReplaceAll(name, ".", "_")
+}
+
+// writeFamily emits the HELP/TYPE header of one metric family.
+func writeFamily(w io.Writer, name, help, typ string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}
+
+// WritePrometheus renders the collector's counters, watermarks and
+// histograms in the Prometheus text exposition format. Families appear in
+// enum order, so the output for a given collector state is deterministic
+// (the golden-file test relies on it). A nil collector renders every
+// family at zero.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	for i := Counter(0); i < numCounters; i++ {
+		m := counterMeta[i]
+		name := promName(m.name) + "_total"
+		if err := writeFamily(w, name, m.help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, c.Counter(i)); err != nil {
+			return err
+		}
+	}
+	for i := Watermark(0); i < numWatermarks; i++ {
+		m := watermarkMeta[i]
+		name := promName(m.name)
+		if err := writeFamily(w, name, m.help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, c.Watermark(i)); err != nil {
+			return err
+		}
+	}
+	for i := Hist(0); i < numHists; i++ {
+		m := histMeta[i]
+		name := promName(m.name)
+		if err := writeFamily(w, name, m.help, "histogram"); err != nil {
+			return err
+		}
+		var h *Histogram
+		if c != nil {
+			h = &c.hists[i]
+		}
+		if err := writePromHistogram(w, name, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram family body: cumulative _bucket
+// series up to the highest populated bucket, the mandatory +Inf bucket,
+// then _sum and _count. A nil histogram (disabled collector) emits the
+// empty family.
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	var cum, sum, count int64
+	if h != nil {
+		count = h.count.Load()
+		sum = h.sum.Load()
+		top := -1
+		var counts [histBuckets]int64
+		for i := 0; i < histBuckets; i++ {
+			if counts[i] = h.buckets[i].Load(); counts[i] != 0 {
+				top = i
+			}
+		}
+		for i := 0; i <= top; i++ {
+			cum += counts[i]
+			// Bucket i holds integer values in [2^(i-1), 2^i); its
+			// inclusive upper bound is 2^i - 1 (0 for bucket 0). The top
+			// bucket's hi is already clamped to MaxInt64, the true bound.
+			_, hi := bucketBounds(i)
+			le := hi - 1
+			if i >= 63 {
+				le = hi
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, sum, name, count)
+	return err
+}
+
+// PromHandler serves the collector in the text exposition format — the
+// handler behind GET /metrics on fpserve and the debug listener.
+func PromHandler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		_ = c.WritePrometheus(w)
+	})
+}

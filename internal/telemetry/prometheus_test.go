@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// seededCollector builds a collector with a fixed, representative state:
+// counters, watermarks and histogram observations spanning several
+// power-of-two buckets, including the zero bucket.
+func seededCollector() *Collector {
+	c := New()
+	c.Add(CtrNodes, 11)
+	c.Add(CtrLNodes, 2)
+	c.Add(CtrServeRequests, 7)
+	c.Add(CtrServeShed, 1)
+	c.Add(CtrCacheHits, 3)
+	c.Observe(MaxPeakStored, 4096)
+	c.Observe(MaxServeQueue, 9)
+	for _, v := range []int64{0, 1, 2, 3, 900, 1024, 70000} {
+		c.Record(HistServeMissNs, v)
+	}
+	c.Record(HistServeHitNs, 512)
+	c.Record(HistListBefore, 33)
+	return c
+}
+
+// TestPrometheusGolden pins the full exposition output for a seeded
+// collector. Regenerate with `go test ./internal/telemetry -run
+// TestPrometheusGolden -update` after intentional format changes.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := seededCollector().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// promFamily and promSample are the grammar of the text exposition format
+// this repo emits: family names, optional single le label, integer values.
+var (
+	promFamily = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+	promSample = regexp.MustCompile(`^([a-z_][a-z0-9_]*)(\{le="(\+Inf|[0-9]+)"\})? (-?[0-9]+)$`)
+)
+
+// TestPrometheusWellFormed parses every emitted line: HELP/TYPE comments
+// pair up, every sample matches the grammar, histogram buckets are
+// cumulative and end in +Inf matching _count.
+func TestPrometheusWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := seededCollector().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	var lastCum int64 = -1
+	var curHist string
+	for i, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || !promFamily.MatchString(name) || strings.TrimSpace(help) == "" {
+				t.Fatalf("line %d: malformed HELP %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE %q", i+1, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", i+1, line)
+			}
+			if fields[1] == "histogram" {
+				curHist, lastCum = fields[0], -1
+			} else {
+				curHist = ""
+			}
+		default:
+			m := promSample.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample %q", i+1, line)
+			}
+			if curHist != "" && m[1] == curHist+"_bucket" {
+				var v int64
+				fmt.Sscanf(m[4], "%d", &v)
+				if v < lastCum {
+					t.Fatalf("line %d: bucket counts not cumulative (%d after %d): %q",
+						i+1, v, lastCum, line)
+				}
+				lastCum = v
+			}
+		}
+	}
+	out := buf.String()
+	for _, must := range []string{
+		"floorplan_server_requests_total 7",
+		"floorplan_server_queue_peak 9",
+		`floorplan_server_latency_miss_ns_bucket{le="0"} 1`,
+		`floorplan_server_latency_miss_ns_bucket{le="1"} 2`,
+		`floorplan_server_latency_miss_ns_bucket{le="3"} 4`,
+		`floorplan_server_latency_miss_ns_bucket{le="1023"} 5`,
+		`floorplan_server_latency_miss_ns_bucket{le="+Inf"} 7`,
+		"floorplan_server_latency_miss_ns_count 7",
+	} {
+		if !strings.Contains(out, must+"\n") {
+			t.Errorf("exposition output missing %q", must)
+		}
+	}
+}
+
+// TestPrometheusNilCollector: the disabled state still renders every
+// family (at zero) so scrape targets never 404 or emit partial families.
+func TestPrometheusNilCollector(t *testing.T) {
+	var c *Collector
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, must := range []string{
+		"floorplan_optimizer_nodes_total 0",
+		`floorplan_server_latency_hit_ns_bucket{le="+Inf"} 0`,
+		"floorplan_server_latency_hit_ns_count 0",
+	} {
+		if !strings.Contains(out, must+"\n") {
+			t.Errorf("nil-collector exposition missing %q", must)
+		}
+	}
+}
+
+// TestMetricMetaComplete is the enum/name-table drift lint: every Counter,
+// Watermark and Hist enum value must carry a non-empty registry name and
+// help string, names must be unique, and each must convert to a valid
+// Prometheus family name.
+func TestMetricMetaComplete(t *testing.T) {
+	seen := map[string]string{}
+	check := func(kind string, idx int, m metricMeta) {
+		id := fmt.Sprintf("%s[%d]", kind, idx)
+		if m.name == "" {
+			t.Errorf("%s has no metric name", id)
+			return
+		}
+		if m.help == "" {
+			t.Errorf("%s (%s) has no help string", id, m.name)
+		}
+		if prev, dup := seen[m.name]; dup {
+			t.Errorf("%s and %s share the metric name %q", id, prev, m.name)
+		}
+		seen[m.name] = id
+		if p := promName(m.name); !promFamily.MatchString(p) {
+			t.Errorf("%s: %q converts to invalid Prometheus name %q", id, m.name, p)
+		}
+	}
+	for i := Counter(0); i < numCounters; i++ {
+		check("Counter", int(i), counterMeta[i])
+	}
+	for i := Watermark(0); i < numWatermarks; i++ {
+		check("Watermark", int(i), watermarkMeta[i])
+	}
+	for i := Hist(0); i < numHists; i++ {
+		check("Hist", int(i), histMeta[i])
+	}
+}

@@ -15,6 +15,11 @@ type Span struct {
 	Dur   time.Duration `json:"dur_ns"`
 	// Args carry small structured payloads into the trace viewer.
 	Args map[string]int64 `json:"args,omitempty"`
+	// TraceID correlates the span with one end-to-end request (the hex
+	// W3C trace ID the serving stack propagates). Empty outside the
+	// serving path; RecordSpan fills it from the collector's default
+	// (SetTraceID) when unset.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // RecordSpan appends a span and credits its duration to the span's track.
@@ -26,6 +31,9 @@ func (c *Collector) RecordSpan(s Span) {
 		return
 	}
 	c.mu.Lock()
+	if s.TraceID == "" {
+		s.TraceID = c.traceID
+	}
 	c.spans = append(c.spans, s)
 	t := c.track(s.Track)
 	t.busy += s.Dur

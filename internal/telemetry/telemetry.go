@@ -114,70 +114,90 @@ const (
 	HistCellNs     // per-table-cell wall time
 	HistAnnealNs   // per-candidate annealer evaluation wall time
 
+	// Serving layer: end-to-end /v1/optimize latency split by disposition,
+	// so a scrape distinguishes cheap cache hits from computations and from
+	// the shed/timeout tail. All runtime-only.
+	HistServeHitNs       // answered from the cache
+	HistServeMissNs      // led a fresh computation
+	HistServeCoalescedNs // joined another request's in-flight computation
+	HistServeBypassNs    // cache bypassed (NoCache) or disabled
+	HistServeShedNs      // shed at admission or timed out (429/503)
+	HistServeErrorNs     // invalid requests and failed computations
+
 	numHists
 )
 
-// metricMeta names an instrument and classifies it as deterministic or
-// runtime-only for report placement.
+// metricMeta names an instrument, carries its scrape-facing help string
+// (the HELP line of the Prometheus exposition) and classifies it as
+// deterministic or runtime-only for report placement. Every enum value
+// must have a name and a help string; a lint test enforces it so the enum
+// and this table cannot drift apart.
 type metricMeta struct {
 	name    string
+	help    string
 	runtime bool
 }
 
 var counterMeta = [numCounters]metricMeta{
-	CtrNodes:             {name: "optimizer.nodes"},
-	CtrLNodes:            {name: "optimizer.l_nodes"},
-	CtrGenerated:         {name: "optimizer.generated"},
-	CtrStored:            {name: "optimizer.stored"},
-	CtrCombineCandidates: {name: "optimizer.combine_candidates"},
-	CtrRSelections:       {name: "optimizer.r_selections"},
-	CtrLSelections:       {name: "optimizer.l_selections"},
-	CtrRSelectionError:   {name: "optimizer.r_selection_error"},
-	CtrLSelectionError:   {name: "optimizer.l_selection_error"},
-	CtrMemDenials:        {name: "memtrack.denials"},
-	CtrMovesProposed:     {name: "anneal.proposed"},
-	CtrMovesAccepted:     {name: "anneal.accepted"},
-	CtrMovesImproved:     {name: "anneal.improved"},
-	CtrCells:             {name: "tables.cells"},
-	CtrGenModules:        {name: "gen.modules"},
-	CtrGenImpls:          {name: "gen.impls"},
-	CtrMemCASRetries:     {name: "memtrack.cas_retries", runtime: true},
-	CtrCSPPSolves:        {name: "cspp.solves", runtime: true},
-	CtrCSPPPoolHits:      {name: "cspp.pool_hits", runtime: true},
-	CtrCSPPPoolMiss:      {name: "cspp.pool_misses", runtime: true},
-	CtrBatchWaste:        {name: "anneal.batch_waste", runtime: true},
-	CtrCacheHits:         {name: "cache.hits", runtime: true},
-	CtrCacheMisses:       {name: "cache.misses", runtime: true},
-	CtrCacheEvictions:    {name: "cache.evictions", runtime: true},
-	CtrCacheRejects:      {name: "cache.rejects", runtime: true},
-	CtrServeRequests:         {name: "server.requests", runtime: true},
-	CtrServeShed:             {name: "server.shed", runtime: true},
-	CtrServeCoalesced:        {name: "server.coalesced", runtime: true},
-	CtrServeTimeoutQueued:    {name: "server.timeout_queued", runtime: true},
-	CtrServeTimeoutComputing: {name: "server.timeout_computing", runtime: true},
-	CtrServeAbandonedErrors:  {name: "server.abandoned_errors", runtime: true},
-	CtrClientAttempts:        {name: "client.attempts", runtime: true},
-	CtrClientRetries:         {name: "client.retries", runtime: true},
+	CtrNodes:             {name: "optimizer.nodes", help: "Floorplan blocks evaluated bottom-up."},
+	CtrLNodes:            {name: "optimizer.l_nodes", help: "L-shaped blocks evaluated."},
+	CtrGenerated:         {name: "optimizer.generated", help: "Implementations generated before selection."},
+	CtrStored:            {name: "optimizer.stored", help: "Implementations retained after selection."},
+	CtrCombineCandidates: {name: "optimizer.combine_candidates", help: "Candidate pairs considered by combine operators."},
+	CtrRSelections:       {name: "optimizer.r_selections", help: "R_Selection invocations."},
+	CtrLSelections:       {name: "optimizer.l_selections", help: "L_Selection invocations."},
+	CtrRSelectionError:   {name: "optimizer.r_selection_error", help: "Total staircase area admitted by R_Selection."},
+	CtrLSelectionError:   {name: "optimizer.l_selection_error", help: "Total distance error admitted by L_Selection."},
+	CtrMemDenials:        {name: "memtrack.denials", help: "Memory-tracker admissions rejected at the limit."},
+	CtrMovesProposed:     {name: "anneal.proposed", help: "Topology moves proposed by the annealer."},
+	CtrMovesAccepted:     {name: "anneal.accepted", help: "Topology moves accepted by the annealer."},
+	CtrMovesImproved:     {name: "anneal.improved", help: "Accepted moves that improved the best area."},
+	CtrCells:             {name: "tables.cells", help: "Paper-table grid cells run (one optimization each)."},
+	CtrGenModules:        {name: "gen.modules", help: "Modules synthesized by the workload generator."},
+	CtrGenImpls:          {name: "gen.impls", help: "Implementations synthesized by the workload generator."},
+	CtrMemCASRetries:     {name: "memtrack.cas_retries", help: "Failed CAS attempts in the memory tracker.", runtime: true},
+	CtrCSPPSolves:        {name: "cspp.solves", help: "Constrained-shortest-path DP solves.", runtime: true},
+	CtrCSPPPoolHits:      {name: "cspp.pool_hits", help: "CSPP DP table pool reuses.", runtime: true},
+	CtrCSPPPoolMiss:      {name: "cspp.pool_misses", help: "CSPP DP table pool misses (fresh allocations).", runtime: true},
+	CtrBatchWaste:        {name: "anneal.batch_waste", help: "Speculative anneal candidates evaluated then discarded.", runtime: true},
+	CtrCacheHits:         {name: "cache.hits", help: "Result-cache lookups answered from a stored entry.", runtime: true},
+	CtrCacheMisses:       {name: "cache.misses", help: "Result-cache lookups that fell through to computation.", runtime: true},
+	CtrCacheEvictions:    {name: "cache.evictions", help: "Result-cache entries evicted to fit the byte budget.", runtime: true},
+	CtrCacheRejects:      {name: "cache.rejects", help: "Result-cache entries too large to admit under the budget.", runtime: true},
+	CtrServeRequests:         {name: "server.requests", help: "Optimize requests admitted by the server.", runtime: true},
+	CtrServeShed:             {name: "server.shed", help: "Optimize requests shed with 429 (queue full).", runtime: true},
+	CtrServeCoalesced:        {name: "server.coalesced", help: "Cache misses answered by joining an in-flight computation.", runtime: true},
+	CtrServeTimeoutQueued:    {name: "server.timeout_queued", help: "Requests that hit their deadline while still queued.", runtime: true},
+	CtrServeTimeoutComputing: {name: "server.timeout_computing", help: "Requests that hit their deadline while computing.", runtime: true},
+	CtrServeAbandonedErrors:  {name: "server.abandoned_errors", help: "Abandoned computations that finished with an error.", runtime: true},
+	CtrClientAttempts:        {name: "client.attempts", help: "Client HTTP attempts, including first tries.", runtime: true},
+	CtrClientRetries:         {name: "client.retries", help: "Client attempts that were retries of a retryable failure.", runtime: true},
 }
 
 var watermarkMeta = [numWatermarks]metricMeta{
-	MaxPeakStored:    {name: "memtrack.peak"},
-	MaxRList:         {name: "optimizer.max_rlist"},
-	MaxLSet:          {name: "optimizer.max_lset"},
-	MaxCSPPN:         {name: "cspp.max_n"},
-	MaxCSPPK:         {name: "cspp.max_k"},
-	MaxServeQueue:      {name: "server.queue_peak", runtime: true},
-	MaxServeInFlight:   {name: "server.inflight_peak", runtime: true},
-	MaxCacheBytes:      {name: "cache.bytes_peak", runtime: true},
-	MaxServeRetryAfter: {name: "server.retry_after_ms", runtime: true},
+	MaxPeakStored: {name: "memtrack.peak", help: "Peak implementations stored (the paper's M)."},
+	MaxRList:      {name: "optimizer.max_rlist", help: "Largest rectangular implementation list stored."},
+	MaxLSet:       {name: "optimizer.max_lset", help: "Largest L-shaped implementation set stored."},
+	MaxCSPPN:      {name: "cspp.max_n", help: "Largest CSPP instance size n."},
+	MaxCSPPK:      {name: "cspp.max_k", help: "Largest CSPP path length k."},
+	MaxServeQueue:      {name: "server.queue_peak", help: "Deepest optimize-request queue observed.", runtime: true},
+	MaxServeInFlight:   {name: "server.inflight_peak", help: "Most requests evaluating concurrently.", runtime: true},
+	MaxCacheBytes:      {name: "cache.bytes_peak", help: "Largest result-cache byte footprint observed.", runtime: true},
+	MaxServeRetryAfter: {name: "server.retry_after_ms", help: "Largest Retry-After hint sent, in milliseconds.", runtime: true},
 }
 
 var histMeta = [numHists]metricMeta{
-	HistListBefore: {name: "optimizer.list_before"},
-	HistListAfter:  {name: "optimizer.list_after"},
-	HistNodeEvalNs: {name: "optimizer.node_eval_ns", runtime: true},
-	HistCellNs:     {name: "tables.cell_ns", runtime: true},
-	HistAnnealNs:   {name: "anneal.eval_ns", runtime: true},
+	HistListBefore: {name: "optimizer.list_before", help: "Per-node implementation count before selection."},
+	HistListAfter:  {name: "optimizer.list_after", help: "Per-node implementation count after selection."},
+	HistNodeEvalNs: {name: "optimizer.node_eval_ns", help: "Per-node evaluation wall time in nanoseconds.", runtime: true},
+	HistCellNs:     {name: "tables.cell_ns", help: "Per-table-cell wall time in nanoseconds.", runtime: true},
+	HistAnnealNs:   {name: "anneal.eval_ns", help: "Per-candidate annealer evaluation wall time in nanoseconds.", runtime: true},
+	HistServeHitNs:       {name: "server.latency_hit_ns", help: "End-to-end latency of optimize requests answered from the cache, in nanoseconds.", runtime: true},
+	HistServeMissNs:      {name: "server.latency_miss_ns", help: "End-to-end latency of optimize requests that led a fresh computation, in nanoseconds.", runtime: true},
+	HistServeCoalescedNs: {name: "server.latency_coalesced_ns", help: "End-to-end latency of optimize requests that joined an in-flight computation, in nanoseconds.", runtime: true},
+	HistServeBypassNs:    {name: "server.latency_bypass_ns", help: "End-to-end latency of optimize requests that bypassed the cache or ran with it disabled, in nanoseconds.", runtime: true},
+	HistServeShedNs:      {name: "server.latency_shed_ns", help: "End-to-end latency of optimize requests shed or timed out (429/503), in nanoseconds.", runtime: true},
+	HistServeErrorNs:     {name: "server.latency_error_ns", help: "End-to-end latency of invalid or failed optimize requests, in nanoseconds.", runtime: true},
 }
 
 // Collector accumulates one run's telemetry. The zero value is not used;
@@ -189,9 +209,10 @@ type Collector struct {
 	watermarks [numWatermarks]paddedInt64
 	hists      [numHists]Histogram
 
-	mu     sync.Mutex
-	spans  []Span
-	tracks map[int]*trackAccum
+	mu      sync.Mutex
+	spans   []Span
+	tracks  map[int]*trackAccum
+	traceID string // default TraceID stamped on recorded spans
 }
 
 // trackAccum aggregates per-track (per-worker) busy time for the report.
@@ -218,6 +239,20 @@ func (c *Collector) Shard() *Collector {
 
 // Enabled reports whether the collector records anything.
 func (c *Collector) Enabled() bool { return c != nil }
+
+// SetTraceID sets the default trace identity stamped on every span
+// subsequently recorded on this collector (spans carrying their own
+// TraceID keep it). The serving layer sets it on per-request shards so the
+// optimizer's spans — recorded deep below the HTTP layer, which never sees
+// the request — still land in the request's trace.
+func (c *Collector) SetTraceID(id string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.traceID = id
+	c.mu.Unlock()
+}
 
 // Add adds n to a counter.
 func (c *Collector) Add(ctr Counter, n int64) {

@@ -57,16 +57,28 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 		}
 	}
 	type completeEvent struct {
-		Name string           `json:"name"`
-		Cat  string           `json:"cat,omitempty"`
-		Ph   string           `json:"ph"`
-		Ts   float64          `json:"ts"`
-		Dur  float64          `json:"dur"`
-		Pid  int              `json:"pid"`
-		Tid  int              `json:"tid"`
-		Args map[string]int64 `json:"args,omitempty"`
+		Name string         `json:"name"`
+		Cat  string         `json:"cat,omitempty"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
 	}
 	for _, s := range spans {
+		// The request trace ID rides in args so the trace viewer can filter
+		// one request's spans across the serving and optimizer layers.
+		var args map[string]any
+		if len(s.Args) > 0 || s.TraceID != "" {
+			args = make(map[string]any, len(s.Args)+1)
+			for k, v := range s.Args {
+				args[k] = v
+			}
+			if s.TraceID != "" {
+				args["trace_id"] = s.TraceID
+			}
+		}
 		err := add(completeEvent{
 			Name: s.Name,
 			Cat:  s.Cat,
@@ -75,7 +87,7 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
 			Pid:  1,
 			Tid:  s.Track,
-			Args: s.Args,
+			Args: args,
 		})
 		if err != nil {
 			return err

@@ -1,8 +1,10 @@
 #!/bin/sh
 # serve_smoke.sh boots fpserve on a random port, drives it end to end with
-# `fpbench -server` (health check, two optimize round-trips, cache hit-rate
-# and byte-identity verification) and exits non-zero on any failure.
-# Invoked by `make serve-smoke` and, through it, `make check`.
+# `fpbench -server` (health check, trace-ID round-trip, two optimize
+# round-trips, cache hit-rate and byte-identity verification), scrapes
+# GET /metrics for the Prometheus exposition and checks the structured
+# access log, exiting non-zero on any failure.
+# Invoked by `make obs-check` and, through it, `make check`.
 set -eu
 
 GO="${GO:-go}"
@@ -45,6 +47,27 @@ done
 
 addr="$(cat "$workdir/addr")"
 "$workdir/fpbench" -server "http://$addr"
+
+# The Prometheus exposition must be scrapeable and populated: the request
+# counter family reflects the traffic fpbench just drove, and the latency
+# histograms emit cumulative buckets.
+curl -sf "http://$addr/metrics" >"$workdir/metrics"
+grep -q '^floorplan_server_requests_total [1-9]' "$workdir/metrics" || {
+    echo "serve-smoke: /metrics missing a populated floorplan_server_requests_total" >&2
+    cat "$workdir/metrics" >&2
+    exit 1
+}
+grep -q '_bucket{le="' "$workdir/metrics" || {
+    echo "serve-smoke: /metrics has no histogram bucket samples" >&2
+    exit 1
+}
+
+# The structured access log must carry per-request records with trace IDs.
+grep -q '"msg":"request".*"path":"/v1/optimize".*"trace_id":' "$workdir/fpserve.log" || {
+    echo "serve-smoke: no structured access-log record for /v1/optimize:" >&2
+    cat "$workdir/fpserve.log" >&2
+    exit 1
+}
 
 # Graceful shutdown must drain cleanly (fpserve exits 0 on SIGTERM).
 kill -TERM "$server_pid"
