@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-report serve-smoke race-serve obs-check check
+.PHONY: all build test race vet bench bench-report bench-snapshot bench-diff race-arena serve-smoke race-serve obs-check check
 
 all: build
 
@@ -33,6 +33,24 @@ bench-report: build
 	mkdir -p bench-out
 	$(GO) run ./cmd/fpbench -smoke -quiet -benchjson bench-out -report bench-out/report.json
 
+# bench-snapshot re-measures the pinned perf grid and rewrites the
+# committed BENCH snapshot, carrying the previous trajectory forward as the
+# embedded baseline. Run on an idle machine; commit the result.
+bench-snapshot: build
+	$(GO) run ./cmd/fpbench -snapshot BENCH_0006.json
+
+# bench-diff is the offline perf gate: the newest committed BENCH snapshot
+# must not regress (>10% ns/op or any allocs/op) against its predecessor
+# (or its embedded baseline). No benchmarks are run.
+bench-diff:
+	GO="$(GO)" sh scripts/bench_diff.sh
+
+# Focused race pass over the arena-backed evaluation hot path: the slab
+# arenas themselves plus the parallel optimizer that resets them per node.
+race-arena:
+	$(GO) test -race -count=2 ./internal/arena/...
+	$(GO) test -race -run 'TestWorkersBitIdentical|TestParallelMemoryLimit' ./internal/optimizer/
+
 # serve-smoke boots fpserve on a random port and drives it through the
 # HTTP API with `fpbench -server` (health check, a concurrent burst that
 # must report the "coalesced" disposition, cache hit-rate and byte-identity
@@ -54,5 +72,5 @@ obs-check:
 	$(GO) test ./internal/reqid/... ./internal/slogx/...
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
-check: vet race obs-check race-serve
+check: vet race obs-check race-serve race-arena bench-diff
 	$(GO) test -race ./internal/telemetry/... ./internal/cache/...

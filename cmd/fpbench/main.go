@@ -38,6 +38,11 @@ func main() {
 		jsonDir  = flag.String("benchjson", "", "write BENCH_table<N>.json files into this directory")
 		workers  = flag.Int("workers", 0, "concurrent optimizer runs (0 = all CPUs, 1 = sequential)")
 		servURL  = flag.String("server", "", "drive a running fpserve at this base URL end-to-end and exit")
+		snapshot = flag.String("snapshot", "", "measure the pinned perf grid, write a BENCH snapshot to this file and exit")
+		baseFile = flag.String("baseline", "", "with -snapshot: embed this snapshot file as the diff baseline")
+		snapPR   = flag.Int("snapshot-pr", 6, "with -snapshot: PR number stamped into the snapshot")
+		diffFile = flag.String("diff", "", "diff this BENCH snapshot against its baseline and exit non-zero on regression")
+		diffBase = flag.String("diff-base", "", "with -diff: diff against this snapshot file instead of the embedded baseline")
 		tf       cliutil.TelemetryFlags
 	)
 	tf.Register(flag.CommandLine)
@@ -45,6 +50,18 @@ func main() {
 
 	if *servURL != "" {
 		if err := serveCheck(*servURL); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *snapshot != "" {
+		if err := runSnapshot(*snapshot, *baseFile, *snapPR); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *diffFile != "" {
+		if err := runDiff(*diffFile, *diffBase); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -190,13 +190,14 @@ func serveWorkload() (*floorplan.Tree, floorplan.Library) {
 	return tree, lib
 }
 
-// coalesceWorkload is a deterministic heavyweight floorplan — eight wheels
-// of 24-implementation modules under a slicing spine — whose exact
+// coalesceWorkload is a deterministic heavyweight floorplan — a dozen
+// wheels of 48-implementation modules under a slicing spine — whose exact
 // optimization takes tens of milliseconds, long enough that a concurrent
-// burst reliably overlaps one in-flight run. Distinct from serveWorkload so
-// the burst always starts on a cold key on a fresh server.
+// burst reliably overlaps one in-flight run (sized with margin over the
+// PR-6 kernel speedups). Distinct from serveWorkload so the burst always
+// starts on a cold key on a fresh server.
 func coalesceWorkload() (*floorplan.Tree, floorplan.Library) {
-	const wheels, implsPerModule = 8, 24
+	const wheels, implsPerModule = 12, 48
 	lib := floorplan.Library{}
 	var tree *floorplan.Tree
 	mod := 0

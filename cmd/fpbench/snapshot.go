@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"floorplan/internal/benchsnap"
+)
+
+// runSnapshot measures the pinned perf grid (internal/benchsnap) and writes
+// the committed BENCH snapshot. An existing snapshot at path contributes its
+// baseline (or becomes it), so the perf trajectory is preserved across
+// refreshes; -baseline overrides it explicitly.
+func runSnapshot(path, baselinePath string, pr int) error {
+	var baseline *benchsnap.Snapshot
+	if baselinePath != "" {
+		b, err := benchsnap.Read(baselinePath)
+		if err != nil {
+			return err
+		}
+		baseline = b
+	}
+	log.Printf("measuring pinned grid (this takes a minute)...")
+	s, err := benchsnap.Run(pr)
+	if err != nil {
+		return err
+	}
+	if err := benchsnap.Write(s, path, baseline); err != nil {
+		return err
+	}
+	printSnapshot(s)
+	log.Printf("wrote %s", path)
+	return nil
+}
+
+// runDiff gates a committed BENCH snapshot: its cells are compared against
+// basePath (or, when empty, the snapshot's embedded baseline), failing on
+// any allocs/op increase or a ns/op regression beyond the allowed slack.
+// This is an offline check over committed files — nothing is re-measured —
+// so it is cheap enough for `make check`.
+func runDiff(path, basePath string) error {
+	s, err := benchsnap.Read(path)
+	if err != nil {
+		return err
+	}
+	base := s.Baseline
+	if basePath != "" {
+		base, err = benchsnap.Read(basePath)
+		if err != nil {
+			return err
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("%s has no embedded baseline; pass -diff-base", path)
+	}
+	report, err := benchsnap.Diff(base, s)
+	fmt.Fprint(os.Stderr, report)
+	if err != nil {
+		return err
+	}
+	log.Printf("%s: no regression vs baseline", path)
+	return nil
+}
+
+func printSnapshot(s *benchsnap.Snapshot) {
+	fmt.Fprintf(os.Stderr, "%-24s %14s %12s %14s %10s\n", "cell", "ns/op", "allocs/op", "bytes/op", "vs base")
+	for _, c := range s.Cells {
+		ratio := "-"
+		if s.Baseline != nil {
+			if b, ok := s.Baseline.Lookup(c.Name); ok && c.NsPerOp > 0 {
+				ratio = fmt.Sprintf("%.2fx", float64(b.NsPerOp)/float64(c.NsPerOp))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-24s %14d %12d %14d %10s\n",
+			c.Name, c.NsPerOp, c.AllocsPerOp, c.BytesPerOp, ratio)
+	}
+}

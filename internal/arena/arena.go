@@ -1,0 +1,125 @@
+// Package arena provides typed slab allocators for the optimizer hot path.
+//
+// The combine stage builds one large transient candidate buffer per node —
+// pruned in place, partitioned into retained lists, then dead. Allocating
+// those buffers individually makes the garbage collector walk and reclaim
+// megabytes of short-lived backing arrays per node. An Arena instead carves
+// them out of a small number of large slabs: Reset makes every slab
+// reusable at node retirement without returning memory to the runtime (and
+// without re-zeroing it — the buffers are append targets, fully overwritten
+// before they are read), and Free releases the slabs at the end of a run.
+//
+// Each Arena charges its slab bytes to a memtrack.Tracker ledger at slab
+// creation (reservation-style, like the optimizer's implementation-count
+// ledger) and releases them in bulk on Free, so telemetry can report a
+// byte-accurate slab watermark. The ledger is accounting, not admission
+// control: pass an unlimited Tracker. An Arena with a limited ledger panics
+// when the limit is hit — callers that want enforcement check the ledger
+// themselves before allocating.
+//
+// An Arena is not safe for concurrent use; the optimizer gives each worker
+// its own.
+package arena
+
+import (
+	"fmt"
+	"unsafe"
+
+	"floorplan/internal/memtrack"
+)
+
+// Arena is a slab allocator for elements of type T. The zero value is not
+// usable; construct with New.
+type Arena[T any] struct {
+	ledger   *memtrack.Tracker // byte ledger; nil disables accounting
+	elemSize int64
+	slabCap  int     // elements per regular slab
+	slabs    [][]T   // every slab ever created, retained across Resets
+	active   int     // slab currently being filled
+	used     int     // elements handed out from the active slab
+	charged  int64   // bytes currently charged to the ledger
+}
+
+// New returns an arena cutting regular slabs of slabCap elements, charging
+// slab bytes to ledger (which may be nil).
+func New[T any](ledger *memtrack.Tracker, slabCap int) *Arena[T] {
+	if slabCap <= 0 {
+		panic("arena: non-positive slab capacity")
+	}
+	var zero T
+	return &Arena[T]{
+		ledger:   ledger,
+		elemSize: int64(unsafe.Sizeof(zero)),
+		slabCap:  slabCap,
+	}
+}
+
+// Alloc returns a slice of n elements with cap == n (a full slice
+// expression, so appends past n can never bleed into a neighbouring
+// allocation). The contents are unspecified: slabs are recycled by Reset
+// without re-zeroing. The slice is valid until Reset or Free.
+func (a *Arena[T]) Alloc(n int) []T {
+	if n < 0 {
+		panic("arena: negative allocation")
+	}
+	for {
+		if a.active < len(a.slabs) {
+			s := a.slabs[a.active]
+			if len(s)-a.used >= n {
+				out := s[a.used : a.used+n : a.used+n]
+				a.used += n
+				return out
+			}
+			// The tail of this slab is too small (it stays wasted until the
+			// next Reset); move on.
+			a.active++
+			a.used = 0
+			continue
+		}
+		c := a.slabCap
+		if n > c {
+			c = n // oversize request gets a dedicated slab
+		}
+		a.charge(int64(c) * a.elemSize)
+		a.slabs = append(a.slabs, make([]T, c))
+	}
+}
+
+// Buf is Alloc returning a zero-length slice with capacity n, the shape an
+// append-built candidate buffer wants.
+func (a *Arena[T]) Buf(n int) []T {
+	return a.Alloc(n)[:0]
+}
+
+// Reset makes every slab reusable without releasing memory or ledger
+// charge. All previously returned slices become invalid.
+func (a *Arena[T]) Reset() {
+	a.active = 0
+	a.used = 0
+}
+
+// Free drops the slabs and releases the ledger charge. The arena remains
+// usable; subsequent Allocs start fresh slabs.
+func (a *Arena[T]) Free() {
+	a.slabs = nil
+	a.active = 0
+	a.used = 0
+	if a.ledger != nil && a.charged > 0 {
+		if err := a.ledger.Release(a.charged); err != nil {
+			panic(fmt.Sprintf("arena: slab ledger release: %v", err))
+		}
+	}
+	a.charged = 0
+}
+
+// Bytes returns the bytes currently held in slabs (== the ledger charge).
+func (a *Arena[T]) Bytes() int64 { return a.charged }
+
+func (a *Arena[T]) charge(bytes int64) {
+	if a.ledger != nil {
+		if err := a.ledger.Add(bytes); err != nil {
+			panic(fmt.Sprintf("arena: slab ledger rejected %d bytes: %v", bytes, err))
+		}
+	}
+	a.charged += bytes
+}

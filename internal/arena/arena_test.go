@@ -1,0 +1,89 @@
+package arena
+
+import (
+	"testing"
+
+	"floorplan/internal/memtrack"
+)
+
+func TestAllocFullSliceExpression(t *testing.T) {
+	a := New[int64](nil, 16)
+	x := a.Alloc(4)
+	y := a.Alloc(4)
+	for i := range y {
+		y[i] = int64(100 + i)
+	}
+	// Appending past x's capacity must reallocate, never bleed into y.
+	x = append(x[:4], -1, -2)
+	_ = x
+	for i := range y {
+		if y[i] != int64(100+i) {
+			t.Fatalf("append through x corrupted y[%d] = %d", i, y[i])
+		}
+	}
+}
+
+func TestOversizeAndTailSkip(t *testing.T) {
+	a := New[int64](nil, 8)
+	a.Alloc(5) // slab 0, 3 elements left
+	big := a.Alloc(20)
+	if len(big) != 20 || cap(big) != 20 {
+		t.Fatalf("oversize alloc len=%d cap=%d", len(big), cap(big))
+	}
+	if got := a.Bytes(); got != (8+20)*8 {
+		t.Fatalf("Bytes() = %d, want %d", got, (8+20)*8)
+	}
+}
+
+func TestResetReusesSlabs(t *testing.T) {
+	a := New[int64](nil, 64)
+	first := a.Alloc(10)
+	before := a.Bytes()
+	for cycle := 0; cycle < 5; cycle++ {
+		a.Reset()
+		again := a.Alloc(10)
+		if &again[0] != &first[0] {
+			t.Fatal("Reset did not recycle the first slab")
+		}
+		if a.Bytes() != before {
+			t.Fatalf("cycle %d grew slabs: %d -> %d bytes", cycle, before, a.Bytes())
+		}
+	}
+}
+
+func TestLedgerChargeAndRelease(t *testing.T) {
+	ledger := memtrack.NewTracker(0) // unlimited
+	a := New[int32](ledger, 100)
+	a.Alloc(1)
+	if got := ledger.Current(); got != 400 {
+		t.Fatalf("ledger after one slab = %d, want 400", got)
+	}
+	a.Alloc(100) // doesn't fit the 99-element tail: second slab
+	if got := ledger.Current(); got != 800 {
+		t.Fatalf("ledger after two slabs = %d, want 800", got)
+	}
+	a.Reset()
+	if got := ledger.Current(); got != 800 {
+		t.Fatalf("Reset must keep the charge, got %d", got)
+	}
+	a.Free()
+	if got := ledger.Current(); got != 0 {
+		t.Fatalf("Free must release the charge, got %d", got)
+	}
+	if got := ledger.Peak(); got != 800 {
+		t.Fatalf("peak = %d, want 800", got)
+	}
+	// The arena stays usable after Free.
+	a.Alloc(3)
+	if got := ledger.Current(); got != 400 {
+		t.Fatalf("ledger after post-Free alloc = %d, want 400", got)
+	}
+}
+
+func TestBufIsEmptyWithCapacity(t *testing.T) {
+	a := New[byte](nil, 32)
+	b := a.Buf(10)
+	if len(b) != 0 || cap(b) != 10 {
+		t.Fatalf("Buf(10): len=%d cap=%d", len(b), cap(b))
+	}
+}

@@ -1,0 +1,359 @@
+// Package benchsnap measures the repository's pinned performance grid and
+// serializes it as a committed BENCH_*.json snapshot — the recorded perf
+// trajectory every scaling claim builds on.
+//
+// The grid has two tiers:
+//
+//   - grid/* cells run the full optimizer on fixed (floorplan, module-set,
+//     policy) workloads spanning small to large, the same substrate as the
+//     paper tables (package tables). ns/op is the end-to-end run, and
+//     peak_impls pins the paper's M so a snapshot also guards against
+//     algorithmic drift, not just speed.
+//   - micro/* cells isolate the hot kernels: Pareto pruning (MinimaL /
+//     MinimaR), the staircase merge, and the selection DPs.
+//
+// Every cell reports ns/op, allocs/op and bytes/op via testing.Benchmark
+// with allocation reporting forced on, so allocation regressions fail the
+// snapshot diff (scripts/bench_diff.sh) loudly.
+//
+// Snapshots embed the previous baseline: Write preserves the baseline of an
+// existing snapshot file (or adopts an explicit one), and the diff script
+// compares current-vs-baseline entirely offline, keeping `make check` fast
+// and deterministic.
+package benchsnap
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"floorplan/internal/combine"
+	"floorplan/internal/gen"
+	"floorplan/internal/optimizer"
+	"floorplan/internal/selection"
+	"floorplan/internal/shape"
+)
+
+// Schema identifies the snapshot file layout.
+const Schema = "floorplan/bench-snapshot/v1"
+
+// Cell is one measured grid entry.
+type Cell struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// PeakImpls is the optimizer's M for grid cells (0 for micro cells); it
+	// pins the computation itself, so a snapshot diff also catches silent
+	// algorithmic changes.
+	PeakImpls int64 `json:"peak_impls,omitempty"`
+	// Iters is the benchmark iteration count behind the averages.
+	Iters int `json:"iters"`
+	// Large marks the cells the committed improvement trajectory is judged
+	// on (the fpbench grid's large cells).
+	Large bool `json:"large,omitempty"`
+}
+
+// Snapshot is one measured pass over the pinned grid.
+type Snapshot struct {
+	Schema     string `json:"schema"`
+	PR         int    `json:"pr"`
+	GoVersion  string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Cells      []Cell `json:"cells"`
+	// Baseline is the previous snapshot this one is diffed against; nil in
+	// a fresh file (the first snapshot is its own baseline).
+	Baseline *Snapshot `json:"baseline,omitempty"`
+}
+
+// Lookup returns the named cell.
+func (s *Snapshot) Lookup(name string) (Cell, bool) {
+	for _, c := range s.Cells {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// gridCell describes one full-optimizer workload.
+type gridCell struct {
+	name      string
+	fp        string // floorplan name (gen.ByName)
+	n         int    // implementations per module
+	aspect    float64
+	seed      int64
+	policy    selection.Policy
+	memLimit  int64
+	large     bool
+}
+
+// grid is the pinned workload set. Names are stable across PRs — the diff
+// script matches cells by name — so entries may be added but not renamed.
+func grid() []gridCell {
+	return []gridCell{
+		{name: "grid/fp1_n8", fp: "FP1", n: 8, aspect: 4, seed: 1,
+			policy: selection.Policy{K1: 6}, memLimit: 300000},
+		{name: "grid/fp2_n12", fp: "FP2", n: 12, aspect: 5, seed: 2,
+			policy: selection.Policy{K1: 20, K2: 800, Theta: 0.5, S: 500}, memLimit: 300000},
+		{name: "grid/fp2_n20", fp: "FP2", n: 20, aspect: 6, seed: 3,
+			policy: selection.Policy{K1: 30, K2: 1000, Theta: 0.5, S: 500}, memLimit: 300000, large: true},
+		{name: "grid/fp3_n20", fp: "FP3", n: 20, aspect: 5, seed: 1,
+			policy: selection.Policy{K1: 40, K2: 1500, Theta: 0.5, S: 500}, memLimit: 300000, large: true},
+	}
+}
+
+// Run measures the pinned grid and returns a fresh snapshot (no baseline).
+func Run(pr int) (*Snapshot, error) {
+	s := &Snapshot{
+		Schema:     Schema,
+		PR:         pr,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, g := range grid() {
+		cell, err := runGrid(g)
+		if err != nil {
+			return nil, err
+		}
+		s.Cells = append(s.Cells, cell)
+	}
+	s.Cells = append(s.Cells,
+		microCell("micro/minima_l_8k", benchMinimaL),
+		microCell("micro/minima_r_64k", benchMinimaR),
+		microCell("micro/combine_merge_4k", benchCombineMerge),
+		microCell("micro/rselect_2k_k64", benchRSelect),
+		microCell("micro/lselect_1k_k48", benchLSelect),
+	)
+	return s, nil
+}
+
+func runGrid(g gridCell) (Cell, error) {
+	tree, err := gen.ByName(g.fp)
+	if err != nil {
+		return Cell{}, err
+	}
+	rng := rand.New(rand.NewSource(g.seed))
+	rawLib, err := gen.Library(rng, tree, gen.ModuleParams{
+		N: g.n, MinArea: 2000000, MaxArea: 20000000, MaxAspect: g.aspect,
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+	lib := optimizer.Library(rawLib)
+	opt, err := optimizer.New(lib, optimizer.Options{
+		Policy:        g.policy,
+		MemoryLimit:   g.memLimit,
+		SkipPlacement: true,
+		Workers:       1,
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+	var peak int64
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := opt.Run(tree)
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			peak = res.Stats.PeakStored
+		}
+	})
+	if runErr != nil {
+		return Cell{}, fmt.Errorf("benchsnap: %s: %w", g.name, runErr)
+	}
+	if r.N == 0 {
+		return Cell{}, fmt.Errorf("benchsnap: %s: benchmark did not run", g.name)
+	}
+	return Cell{
+		Name:        g.name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		PeakImpls:   peak,
+		Iters:       r.N,
+		Large:       g.large,
+	}, nil
+}
+
+func microCell(name string, fn func(b *testing.B)) Cell {
+	r := testing.Benchmark(fn)
+	return Cell{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iters:       r.N,
+	}
+}
+
+// LCandidates generates a deterministic, tie-heavy L-implementation
+// candidate set of the kind the combine cross products emit: many shared
+// coordinate values so dominance pruning's tie handling is on the hot path.
+// Exported for reuse by the package benchmarks of internal/shape.
+func LCandidates(n int, seed int64) []shape.LImpl {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]shape.LImpl, 0, n)
+	for len(out) < n {
+		w2 := int64(rng.Intn(64) + 1)
+		h2 := int64(rng.Intn(64) + 1)
+		out = append(out, shape.LImpl{
+			W1: w2 + int64(rng.Intn(64)),
+			W2: w2,
+			H1: h2 + int64(rng.Intn(64)),
+			H2: h2,
+		})
+	}
+	return out
+}
+
+// RCandidates generates a deterministic rectangular candidate set with
+// heavy width/height ties.
+func RCandidates(n int, seed int64) []shape.RImpl {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]shape.RImpl, 0, n)
+	for len(out) < n {
+		out = append(out, shape.RImpl{
+			W: int64(rng.Intn(512) + 1),
+			H: int64(rng.Intn(512) + 1),
+		})
+	}
+	return out
+}
+
+// Staircase generates a canonical n-corner R-list.
+func Staircase(n int, seed int64) shape.RList {
+	rng := rand.New(rand.NewSource(seed))
+	impls := make([]shape.RImpl, n)
+	w := int64(n) * 8
+	h := int64(16)
+	for i := range impls {
+		impls[i] = shape.RImpl{W: w, H: h}
+		w -= int64(rng.Intn(7) + 1)
+		h += int64(rng.Intn(7) + 1)
+	}
+	return shape.MustRList(impls)
+}
+
+// MonotoneLList generates a canonical n-entry L-list (constant W2, W1
+// nonincreasing, H1/H2 nondecreasing, no dominance).
+func MonotoneLList(n int, seed int64) shape.LList {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(shape.LList, n)
+	w1 := int64(n)*6 + 100
+	h1 := int64(50)
+	h2 := int64(20)
+	for i := range out {
+		out[i] = shape.LImpl{W1: w1, W2: 90, H1: h1, H2: h2}
+		w1 -= int64(rng.Intn(5) + 1)
+		h1 += int64(rng.Intn(5) + 1)
+		h2 += int64(rng.Intn(5))
+	}
+	if out[0].W1 < 90 {
+		panic("benchsnap: list too long for base width")
+	}
+	return out
+}
+
+func benchMinimaL(b *testing.B) {
+	cands := LCandidates(8192, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shape.MinimaL(cands)
+	}
+}
+
+func benchMinimaR(b *testing.B) {
+	cands := RCandidates(65536, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shape.MinimaR(cands)
+	}
+}
+
+func benchCombineMerge(b *testing.B) {
+	x := Staircase(4096, 11)
+	y := Staircase(4096, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(combine.VCut(x, y)) == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+func benchRSelect(b *testing.B) {
+	l := Staircase(2048, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := selection.RSelect(l, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLSelect(b *testing.B) {
+	l := MonotoneLList(1024, 10)
+	if err := l.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := selection.LSelect(l, 48); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Write serializes s to path. When the file already holds a snapshot with a
+// baseline — or holds a snapshot that should itself become the baseline —
+// the baseline is carried forward: a snapshot is always diffed against the
+// oldest recorded predecessor until the baseline is explicitly reset by
+// deleting the file.
+func Write(s *Snapshot, path string, baseline *Snapshot) error {
+	if baseline != nil {
+		b := *baseline
+		b.Baseline = nil
+		s.Baseline = &b
+	} else if prev, err := Read(path); err == nil {
+		if prev.Baseline != nil {
+			s.Baseline = prev.Baseline
+		} else {
+			prev.Baseline = nil
+			s.Baseline = prev
+		}
+	}
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Read parses a snapshot file.
+func Read(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("benchsnap: %s: %w", path, err)
+	}
+	if s.Schema != Schema {
+		return nil, fmt.Errorf("benchsnap: %s: unknown schema %q", path, s.Schema)
+	}
+	return &s, nil
+}

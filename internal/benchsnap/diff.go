@@ -1,0 +1,57 @@
+package benchsnap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NsRegressionPct is the allowed ns/op slack between two snapshots before
+// the diff gate fails: wall time above old * (100+NsRegressionPct)/100 on
+// any pinned cell is a regression. Allocation counts get no slack — they
+// are deterministic for a pinned workload, so any increase is a real
+// behavior change.
+const NsRegressionPct = 10
+
+// Diff compares every cell present in both snapshots and returns a
+// human-readable report plus an error when the gate fails: a pinned cell
+// regressed by more than NsRegressionPct in ns/op, or at all in allocs/op.
+// Cells present in only one snapshot are reported but never fail the gate
+// (the pinned set may legitimately grow between PRs).
+func Diff(old, new *Snapshot) (string, error) {
+	var b strings.Builder
+	var failures []string
+	matched := 0
+	for _, nc := range new.Cells {
+		oc, ok := old.Lookup(nc.Name)
+		if !ok {
+			fmt.Fprintf(&b, "  %-24s new cell (no baseline)\n", nc.Name)
+			continue
+		}
+		matched++
+		nsRatio := float64(nc.NsPerOp) / float64(oc.NsPerOp)
+		fmt.Fprintf(&b, "  %-24s ns/op %12d -> %12d (%.2fx)  allocs/op %8d -> %8d\n",
+			nc.Name, oc.NsPerOp, nc.NsPerOp, nsRatio, oc.AllocsPerOp, nc.AllocsPerOp)
+		if nc.NsPerOp*100 > oc.NsPerOp*(100+NsRegressionPct) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: ns/op regressed %d -> %d (> %d%% slack)",
+				nc.Name, oc.NsPerOp, nc.NsPerOp, NsRegressionPct))
+		}
+		if nc.AllocsPerOp > oc.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op regressed %d -> %d",
+				nc.Name, oc.AllocsPerOp, nc.AllocsPerOp))
+		}
+	}
+	for _, oc := range old.Cells {
+		if _, ok := new.Lookup(oc.Name); !ok {
+			failures = append(failures, fmt.Sprintf("%s: cell disappeared from the pinned set", oc.Name))
+		}
+	}
+	if matched == 0 {
+		failures = append(failures, "no common cells between the snapshots")
+	}
+	if len(failures) > 0 {
+		return b.String(), fmt.Errorf("benchsnap: diff gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,53 @@
+package benchsnap
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(cells ...Cell) *Snapshot {
+	return &Snapshot{Schema: Schema, Cells: cells}
+}
+
+func TestDiffPasses(t *testing.T) {
+	old := snap(
+		Cell{Name: "grid/a", NsPerOp: 1000, AllocsPerOp: 50},
+		Cell{Name: "micro/b", NsPerOp: 200, AllocsPerOp: 8},
+	)
+	new := snap(
+		Cell{Name: "grid/a", NsPerOp: 1099, AllocsPerOp: 50}, // within 10% slack
+		Cell{Name: "micro/b", NsPerOp: 100, AllocsPerOp: 2},  // improved
+		Cell{Name: "micro/c", NsPerOp: 5, AllocsPerOp: 1},    // new cell: no gate
+	)
+	report, err := Diff(old, new)
+	if err != nil {
+		t.Fatalf("diff failed: %v\n%s", err, report)
+	}
+	if !strings.Contains(report, "grid/a") || !strings.Contains(report, "no baseline") {
+		t.Fatalf("report missing expected lines:\n%s", report)
+	}
+}
+
+func TestDiffNsRegressionFails(t *testing.T) {
+	old := snap(Cell{Name: "grid/a", NsPerOp: 1000, AllocsPerOp: 50})
+	new := snap(Cell{Name: "grid/a", NsPerOp: 1101, AllocsPerOp: 50})
+	if _, err := Diff(old, new); err == nil {
+		t.Fatal("expected ns/op regression failure")
+	}
+}
+
+func TestDiffAllocRegressionFails(t *testing.T) {
+	old := snap(Cell{Name: "grid/a", NsPerOp: 1000, AllocsPerOp: 50})
+	new := snap(Cell{Name: "grid/a", NsPerOp: 900, AllocsPerOp: 51})
+	if _, err := Diff(old, new); err == nil {
+		t.Fatal("expected allocs/op regression failure")
+	}
+}
+
+func TestDiffMissingCellFails(t *testing.T) {
+	old := snap(Cell{Name: "grid/a", NsPerOp: 1000, AllocsPerOp: 50})
+	new := snap(Cell{Name: "grid/b", NsPerOp: 1000, AllocsPerOp: 50})
+	if _, err := Diff(old, new); err == nil {
+		t.Fatal("expected missing-cell failure")
+	}
+}

@@ -28,9 +28,22 @@
 // candidates yields exactly the union's non-redundant set. DAC'90 generates
 // a narrower candidate set as a constant-factor speedup; the resulting
 // lists are identical.
+//
+// # Allocation
+//
+// The L-block cross products build one large transient candidate buffer per
+// call, pruned in place (shape.MinimaLInPlace / MinimaRInPlace) and
+// partitioned into the retained result at the end. Callers on the optimizer
+// hot path pass an Alloc so those buffers come from per-worker arena slabs
+// (package arena) instead of the heap; the zero Alloc falls back to plain
+// makes. Results never alias the buffers, so the caller may reset its arena
+// as soon as the call returns.
 package combine
 
 import (
+	"sort"
+
+	"floorplan/internal/arena"
 	"floorplan/internal/shape"
 )
 
@@ -91,30 +104,32 @@ func CloseCand(l shape.LImpl, c shape.RImpl) shape.RImpl {
 // is the classic Stockmeyer two-pointer walk over the union of height
 // breakpoints, O(len(a)+len(b)); the result is canonical and irreducible.
 func VCut(a, b shape.RList) shape.RList {
-	return sliceMerge(a, b, true)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	return mergeV(a, b)
 }
 
 // HCut merges the R-lists of two blocks joined by a horizontal cut.
 func HCut(a, b shape.RList) shape.RList {
-	return sliceMerge(a, b, false)
-}
-
-// sliceMerge enumerates the non-redundant results of a slicing cut.
-// For a vertical cut, the minimal width at height budget h is
-// minW_a(h) + minW_b(h), and the staircase can only break at heights
-// present in a or b. A horizontal cut is the transpose.
-func sliceMerge(a, b shape.RList, vertical bool) shape.RList {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
 	}
-	if !vertical {
-		a, b = transpose(a), transpose(b)
-	}
+	return mergeH(a, b)
+}
+
+// mergeV enumerates the non-redundant results of a vertical cut: the
+// minimal width at height budget h is minW_a(h) + minW_b(h), and the
+// staircase can only break at heights present in a or b. Each emitted
+// candidate strictly grows H and — because at least one pointer advances
+// per step on a canonical operand — strictly shrinks W, so the output is
+// canonical by construction and needs no sort or prune.
+func mergeV(a, b shape.RList) shape.RList {
+	out := make(shape.RList, 0, len(a)+len(b))
 	// Both lists are sorted with H ascending; walk their height values in
 	// ascending merged order. Pointers ia/ib track the widest (last) entry
 	// with H <= current h; widths shrink as h grows.
-	candidates := make([]shape.RImpl, 0, len(a)+len(b))
-	ia, ib := 0, 0 // indices of current minimal-width entries
+	ia, ib := 0, 0
 	h := max64(a[0].H, b[0].H)
 	for {
 		for ia+1 < len(a) && a[ia+1].H <= h {
@@ -123,7 +138,7 @@ func sliceMerge(a, b shape.RList, vertical bool) shape.RList {
 		for ib+1 < len(b) && b[ib+1].H <= h {
 			ib++
 		}
-		candidates = append(candidates, shape.RImpl{W: a[ia].W + b[ib].W, H: h})
+		out = append(out, shape.RImpl{W: a[ia].W + b[ib].W, H: h})
 		// Next height breakpoint above h.
 		next := int64(-1)
 		if ia+1 < len(a) {
@@ -137,22 +152,126 @@ func sliceMerge(a, b shape.RList, vertical bool) shape.RList {
 		}
 		h = next
 	}
-	out := shape.MustRList(candidates)
-	if !vertical {
-		out = transpose(out)
+	return out
+}
+
+// mergeH is mergeV in the transposed domain: walk width breakpoints
+// ascending (lists are W-descending, so from the back), summing minimal
+// heights. Emission order is W ascending; one in-place reversal restores
+// the canonical W-descending order.
+func mergeH(a, b shape.RList) shape.RList {
+	out := make(shape.RList, 0, len(a)+len(b))
+	ia, ib := len(a)-1, len(b)-1
+	w := max64(a[ia].W, b[ib].W)
+	for {
+		for ia > 0 && a[ia-1].W <= w {
+			ia--
+		}
+		for ib > 0 && b[ib-1].W <= w {
+			ib--
+		}
+		out = append(out, shape.RImpl{W: w, H: a[ia].H + b[ib].H})
+		next := int64(-1)
+		if ia > 0 {
+			next = a[ia-1].W
+		}
+		if ib > 0 && (next < 0 || b[ib-1].W < next) {
+			next = b[ib-1].W
+		}
+		if next < 0 {
+			break
+		}
+		w = next
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
 	}
 	return out
 }
 
-// transpose swaps W and H of every entry, reversing to keep canonical
-// order (W descending becomes H descending, so the reversed list has W
-// descending again).
-func transpose(l shape.RList) shape.RList {
-	out := make(shape.RList, len(l))
-	for i, r := range l {
-		out[len(l)-1-i] = shape.RImpl{W: r.H, H: r.W}
+// MergeCols is the structure-of-arrays form of VCut/HCut: it merges two
+// canonical RCols views into dst (reset first), streaming over the
+// contiguous width/height columns. The Stockmeyer evaluator folds whole
+// slice lists through persistent RCols accumulators with it, so the inner
+// breakpoint scan touches only the relevant int64 column.
+func MergeCols(dst, a, b *shape.RCols, vertical bool) {
+	dst.Reset()
+	if a.Len() == 0 || b.Len() == 0 {
+		return
 	}
-	return out
+	if vertical {
+		ia, ib := 0, 0
+		h := max64(a.Hs[0], b.Hs[0])
+		for {
+			for ia+1 < len(a.Hs) && a.Hs[ia+1] <= h {
+				ia++
+			}
+			for ib+1 < len(b.Hs) && b.Hs[ib+1] <= h {
+				ib++
+			}
+			dst.Append(a.Ws[ia]+b.Ws[ib], h)
+			next := int64(-1)
+			if ia+1 < len(a.Hs) {
+				next = a.Hs[ia+1]
+			}
+			if ib+1 < len(b.Hs) && (next < 0 || b.Hs[ib+1] < next) {
+				next = b.Hs[ib+1]
+			}
+			if next < 0 {
+				return
+			}
+			h = next
+		}
+	}
+	ia, ib := a.Len()-1, b.Len()-1
+	w := max64(a.Ws[ia], b.Ws[ib])
+	for {
+		for ia > 0 && a.Ws[ia-1] <= w {
+			ia--
+		}
+		for ib > 0 && b.Ws[ib-1] <= w {
+			ib--
+		}
+		dst.Append(w, a.Hs[ia]+b.Hs[ib])
+		next := int64(-1)
+		if ia > 0 {
+			next = a.Ws[ia-1]
+		}
+		if ib > 0 && (next < 0 || b.Ws[ib-1] < next) {
+			next = b.Ws[ib-1]
+		}
+		if next < 0 {
+			break
+		}
+		w = next
+	}
+	for i, j := 0, dst.Len()-1; i < j; i, j = i+1, j-1 {
+		dst.Ws[i], dst.Ws[j] = dst.Ws[j], dst.Ws[i]
+		dst.Hs[i], dst.Hs[j] = dst.Hs[j], dst.Hs[i]
+	}
+}
+
+// Alloc carries optional arena allocators for the transient candidate
+// buffers of the L-block operations. The zero value allocates from the
+// heap. Results returned by the operations never alias arena storage, so
+// the owner may Reset the arenas as soon as a call returns.
+type Alloc struct {
+	L *arena.Arena[shape.LImpl]
+	R *arena.Arena[shape.RImpl]
+}
+
+func (al Alloc) lBuf(n int) []shape.LImpl {
+	if al.L != nil {
+		return al.L.Buf(n)
+	}
+	return make([]shape.LImpl, 0, n)
+}
+
+func (al Alloc) rBuf(n int) []shape.RImpl {
+	if al.R != nil {
+		return al.R.Buf(n)
+	}
+	return make([]shape.RImpl, 0, n)
 }
 
 // candidateChunk bounds the transient candidate buffer during L-block cross
@@ -192,23 +311,26 @@ func newBudgeter(budget int) *budgeter {
 
 // lCap sizes a candidate buffer for a cross product of the given operand
 // cardinalities: the exact product when it is small, else the prune
-// threshold (the buffer is Pareto-pruned whenever it reaches chunk, so it
-// never needs to grow much beyond it).
+// threshold plus one inner row of margin (the buffer is pruned back below
+// chunk after each inner row, so it can overshoot by at most one row —
+// sizing for that keeps arena-backed buffers from spilling to the heap).
 func (bg *budgeter) lCap(a, b int) int {
 	if a <= 0 || b <= 0 {
 		return 0
 	}
 	if a > bg.chunk/b {
-		return bg.chunk
+		return bg.chunk + b
 	}
 	return a * b
 }
 
+// pruneL prunes buf in place (the returned slice shares its backing array)
+// whenever it crosses the chunk threshold, or unconditionally under force.
 func (bg *budgeter) pruneL(buf []shape.LImpl, force bool) []shape.LImpl {
 	if !force && len(buf) < bg.chunk {
 		return buf
 	}
-	buf = shape.MinimaL(buf)
+	buf = shape.MinimaLInPlace(buf)
 	if bg.budget > 0 && len(buf) > bg.budget {
 		bg.truncated = true
 	}
@@ -219,7 +341,7 @@ func (bg *budgeter) pruneR(buf []shape.RImpl, force bool) []shape.RImpl {
 	if !force && len(buf) < bg.chunk {
 		return buf
 	}
-	buf = shape.MinimaR(buf)
+	buf = []shape.RImpl(shape.MinimaRInPlace(buf))
 	if bg.budget > 0 && len(buf) > bg.budget {
 		bg.truncated = true
 	}
@@ -231,85 +353,134 @@ func (bg *budgeter) pruneR(buf []shape.RImpl, force bool) []shape.RImpl {
 // non-redundant set provably exceeds it, generation stops and truncated is
 // true (the partial set is returned for accounting).
 func LStack(bottom, top shape.RList, budget int) (result shape.LSet, truncated bool) {
+	return LStackA(Alloc{}, bottom, top, budget)
+}
+
+// LStackA is LStack drawing its transient buffer from al.
+func LStackA(al Alloc, bottom, top shape.RList, budget int) (result shape.LSet, truncated bool) {
 	bg := newBudgeter(budget)
 	if bg.truncated {
 		return shape.LSet{}, true
 	}
-	buf := make([]shape.LImpl, 0, bg.lCap(len(bottom), len(top)))
+	buf := al.lBuf(bg.lCap(len(bottom), len(top)))
 	for _, a := range bottom {
 		for _, b := range top {
 			buf = append(buf, StackCand(a, b))
 		}
 		if buf = bg.pruneL(buf, false); bg.truncated {
-			return shape.MustLSet(buf), true
+			return shape.LSetFromMinimal(buf), true
 		}
 	}
 	buf = bg.pruneL(buf, true)
-	return shape.MustLSet(buf), bg.truncated
+	return shape.LSetFromMinimal(buf), bg.truncated
 }
 
 // LNotch grows an L-shaped block by the center block.
 func LNotch(l shape.LSet, c shape.RList, budget int) (result shape.LSet, truncated bool) {
+	return LNotchA(Alloc{}, l, c, budget)
+}
+
+// LNotchA is LNotch drawing its transient buffer from al.
+func LNotchA(al Alloc, l shape.LSet, c shape.RList, budget int) (result shape.LSet, truncated bool) {
 	bg := newBudgeter(budget)
 	if bg.truncated {
 		return shape.LSet{}, true
 	}
-	buf := make([]shape.LImpl, 0, bg.lCap(l.Size(), len(c)))
+	buf := al.lBuf(bg.lCap(l.Size(), len(c)))
 	for _, list := range l.Lists {
 		for _, li := range list {
 			for _, ci := range c {
 				buf = append(buf, NotchCand(li, ci))
+				// Once the notch column fits under the bottom slab
+				// (W2+c.W <= W1), W1 stays clamped while H2 = H2+c.H keeps
+				// growing down the canonical list: this candidate
+				// dominates the rest of the row.
+				if li.W2+ci.W <= li.W1 {
+					break
+				}
 			}
 			if buf = bg.pruneL(buf, false); bg.truncated {
-				return shape.MustLSet(buf), true
+				return shape.LSetFromMinimal(buf), true
 			}
 		}
 	}
 	buf = bg.pruneL(buf, true)
-	return shape.MustLSet(buf), bg.truncated
+	return shape.LSetFromMinimal(buf), bg.truncated
 }
 
 // LBottom grows an L-shaped block by the SE block.
 func LBottom(l shape.LSet, c shape.RList, budget int) (result shape.LSet, truncated bool) {
+	return LBottomA(Alloc{}, l, c, budget)
+}
+
+// LBottomA is LBottom drawing its transient buffer from al.
+func LBottomA(al Alloc, l shape.LSet, c shape.RList, budget int) (result shape.LSet, truncated bool) {
 	bg := newBudgeter(budget)
 	if bg.truncated {
 		return shape.LSet{}, true
 	}
-	buf := make([]shape.LImpl, 0, bg.lCap(l.Size(), len(c)))
+	buf := al.lBuf(bg.lCap(l.Size(), len(c)))
 	for _, list := range l.Lists {
 		for _, li := range list {
-			for _, ci := range c {
+			// SE blocks shorter than the bottom slab (c.H <= H2) disappear
+			// behind it: those candidates share (H1, H2) and differ only in
+			// W1 = W1+c.W, so the last of the run (smallest c.W) dominates
+			// the others. Skip straight to it.
+			idx := sort.Search(len(c), func(i int) bool { return c[i].H > li.H2 })
+			if idx > 0 {
+				buf = append(buf, BottomCand(li, c[idx-1]))
+			}
+			for _, ci := range c[idx:] {
 				buf = append(buf, BottomCand(li, ci))
 			}
 			if buf = bg.pruneL(buf, false); bg.truncated {
-				return shape.MustLSet(buf), true
+				return shape.LSetFromMinimal(buf), true
 			}
 		}
 	}
 	buf = bg.pruneL(buf, true)
-	return shape.MustLSet(buf), bg.truncated
+	return shape.LSetFromMinimal(buf), bg.truncated
 }
 
 // Close completes the pinwheel with the NE block, yielding a rectangular
 // block's R-list.
 func Close(l shape.LSet, c shape.RList, budget int) (result shape.RList, truncated bool) {
+	return CloseA(Alloc{}, l, c, budget)
+}
+
+// CloseA is Close drawing its transient buffer from al. The returned list
+// is a fresh exact-size copy (it is retained by the optimizer, so it must
+// not alias recyclable arena storage).
+func CloseA(al Alloc, l shape.LSet, c shape.RList, budget int) (result shape.RList, truncated bool) {
 	bg := newBudgeter(budget)
 	if bg.truncated {
 		return nil, true
 	}
-	buf := make([]shape.RImpl, 0, bg.lCap(l.Size(), len(c)))
+	buf := al.rBuf(bg.lCap(l.Size(), len(c)))
 	for _, list := range l.Lists {
 		for _, li := range list {
-			for _, ci := range c {
+			// NE blocks shorter than the notch (H2+c.H <= H1) all close to
+			// height H1 and differ only in width, so the last of that run
+			// dominates the others; and once the block fits the notch
+			// horizontally (W2+c.W <= W1) the width clamps at W1 while the
+			// height keeps growing — that candidate dominates the rest.
+			idx := sort.Search(len(c), func(i int) bool { return li.H2+c[i].H > li.H1 })
+			if idx > 0 {
+				buf = append(buf, CloseCand(li, c[idx-1]))
+			}
+			for _, ci := range c[idx:] {
 				buf = append(buf, CloseCand(li, ci))
+				if li.W2+ci.W <= li.W1 {
+					break
+				}
 			}
 			if buf = bg.pruneR(buf, false); bg.truncated {
-				return shape.MustRList(buf), true
+				return shape.RList(buf).Clone(), true
 			}
 		}
 	}
 	buf = bg.pruneR(buf, true)
-	return shape.MustRList(buf), bg.truncated
+	return shape.RList(buf).Clone(), bg.truncated
 }
 
 func max64(a, b int64) int64 {

@@ -1,0 +1,76 @@
+package combine
+
+import (
+	"math/rand"
+	"testing"
+
+	"floorplan/internal/shape"
+)
+
+// TestMergeColsMatchesCuts pins the structure-of-arrays merge to the
+// list-based cuts in both orientations, including empty operands.
+func TestMergeColsMatchesCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	var dst, ca, cb shape.RCols
+	for trial := 0; trial < 200; trial++ {
+		a := randomRList(rng, rng.Intn(20))
+		b := randomRList(rng, rng.Intn(20))
+		ca.SetList(a)
+		cb.SetList(b)
+		for _, vertical := range []bool{true, false} {
+			var want shape.RList
+			if vertical {
+				want = VCut(a, b)
+			} else {
+				want = HCut(a, b)
+			}
+			MergeCols(&dst, &ca, &cb, vertical)
+			got := dst.RList()
+			if err := got.Validate(); len(got) > 0 && err != nil {
+				t.Fatalf("trial %d vertical=%v: non-canonical merge: %v", trial, vertical, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d vertical=%v:\n got %v\nwant %v", trial, vertical, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkCombineMerge measures the canonical two-pointer merge on two
+// large staircases — the inner loop of every slicing cut.
+func BenchmarkCombineMerge(b *testing.B) {
+	a := staircase(4096, 3)
+	c := staircase(4096, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := VCut(a, c); len(got) == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+// BenchmarkMergeCols measures the same merge on the structure-of-arrays
+// accumulators the Stockmeyer evaluator folds through.
+func BenchmarkMergeCols(b *testing.B) {
+	var dst, ca, cb shape.RCols
+	ca.SetList(staircase(4096, 3))
+	cb.SetList(staircase(4096, 5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeCols(&dst, &ca, &cb, true)
+		if dst.Len() == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+// staircase builds a canonical n-step R-list with the given step size.
+func staircase(n int, step int64) shape.RList {
+	impls := make([]shape.RImpl, n)
+	for i := range impls {
+		impls[i] = shape.RImpl{W: int64(n-i) * step, H: int64(i+1) * step}
+	}
+	return shape.MustRList(impls)
+}

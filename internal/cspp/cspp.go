@@ -134,6 +134,10 @@ func (g *Graph) acyclic() bool {
 type dpState struct {
 	prev, cur []int64
 	pred      [][]int32
+	// wt and col serve SolveDenseColumns: the full (k+1)×n weight table its
+	// j-major order needs, and the reusable edge-weight column buffer.
+	wt  [][]int64
+	col []int64
 }
 
 var dpPool = sync.Pool{New: func() any { return new(dpState) }}
@@ -191,6 +195,37 @@ func (d *dpState) row(l, n int) []int32 {
 	}
 	d.pred[l] = d.pred[l][:n]
 	return d.pred[l]
+}
+
+// wrow returns the weight row for layer l, sized for n vertices and filled
+// with Inf.
+func (d *dpState) wrow(l, n int) []int64 {
+	if cap(d.wt) < l+1 {
+		wt := make([][]int64, l+1)
+		copy(wt, d.wt)
+		d.wt = wt
+	}
+	if len(d.wt) < l+1 {
+		d.wt = d.wt[:l+1]
+	}
+	if cap(d.wt[l]) < n {
+		d.wt[l] = make([]int64, n)
+	}
+	d.wt[l] = d.wt[l][:n]
+	for v := range d.wt[l] {
+		d.wt[l][v] = Inf
+	}
+	return d.wt[l]
+}
+
+// colRun returns the column buffer sized for n vertices (not cleared; the
+// column callback assigns every entry the DP reads).
+func (d *dpState) colRun(n int) []int64 {
+	if cap(d.col) < n {
+		d.col = make([]int64, n)
+	}
+	d.col = d.col[:n]
+	return d.col
 }
 
 func (d *dpState) release() { dpPool.Put(d) }
@@ -325,4 +360,87 @@ func SolveDense(n, k int, weight WeightFunc) ([]int, int64, error) {
 		path[l-2] = v
 	}
 	return path, prev[n-1], nil
+}
+
+// ColumnFunc fills col[u] = w(u, v) for every 0 <= u < v, the incoming edge
+// weights of dense-DAG vertex v. len(col) == v.
+type ColumnFunc func(v int, col []int64)
+
+// SolveDenseColumns is SolveDense in j-major order: the DP visits each
+// vertex v once, asks the callback for v's full incoming weight column, and
+// relaxes every feasible layer against it. Callers whose edge weights come
+// from a per-column recurrence (the selection error tables of Sections
+// 4.2–4.3) generate each column exactly once instead of once per layer —
+// cutting the column work by a factor of k — and never materialize the
+// O(n²) error table at all. Results are identical to SolveDense on the same
+// weights: the layer scan order, u-ascending tie-break and feasible ranges
+// are preserved exactly.
+//
+// Memory is O(kn) for the weight table — the same order as the predecessor
+// table both solvers already keep.
+func SolveDenseColumns(n, k int, column ColumnFunc) ([]int, int64, error) {
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("cspp: dense graph needs n >= 1, got %d", n)
+	}
+	if k < 1 || k > n {
+		return nil, 0, fmt.Errorf("cspp: k=%d out of range [1,%d]", k, n)
+	}
+	if k == 1 {
+		if n != 1 {
+			return nil, 0, ErrNoPath
+		}
+		return []int{0}, 0, nil
+	}
+	d := getDP(n, k)
+	defer d.release()
+	col := d.colRun(n)
+	for l := 1; l <= k; l++ {
+		d.wrow(l, n)
+	}
+	wt := d.wt
+	wt[1][0] = 0
+	for l := 2; l <= k; l++ {
+		pred := d.row(l, n)
+		for v := range pred {
+			pred[v] = -1
+		}
+	}
+	for v := 1; v < n; v++ {
+		column(v, col[:v])
+		// v can sit at layer l only with l-1 predecessors before it and
+		// k-l successors after it — the same feasible band SolveDense walks.
+		lmin := k - (n - 1 - v)
+		if lmin < 2 {
+			lmin = 2
+		}
+		lmax := v + 1
+		if lmax > k {
+			lmax = k
+		}
+		for l := lmin; l <= lmax; l++ {
+			prevRow := wt[l-1]
+			best, bestAt := Inf, int32(-1)
+			for u := l - 2; u < v; u++ {
+				if prevRow[u] == Inf {
+					continue
+				}
+				if w := prevRow[u] + col[u]; w < best {
+					best, bestAt = w, int32(u)
+				}
+			}
+			wt[l][v] = best
+			d.pred[l][v] = bestAt
+		}
+	}
+	if wt[k][n-1] == Inf {
+		return nil, 0, ErrNoPath
+	}
+	path := make([]int, k)
+	path[k-1] = n - 1
+	v := n - 1
+	for l := k; l >= 2; l-- {
+		v = int(d.pred[l][v])
+		path[l-2] = v
+	}
+	return path, wt[k][n-1], nil
 }

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"time"
 
+	"floorplan/internal/arena"
 	"floorplan/internal/combine"
 	"floorplan/internal/cspp"
 	"floorplan/internal/memtrack"
@@ -72,6 +73,13 @@ type Options struct {
 	// postorder, like Stats); nil disables collection at the cost of one
 	// branch per instrumentation site.
 	Telemetry *telemetry.Collector
+	// DisableArena turns off the per-worker slab arenas that back the
+	// transient candidate buffers of the combine operations, falling back
+	// to plain heap allocation. Results are bit-identical either way (the
+	// arenas only change where scratch memory lives, never what is
+	// computed — pinned by tests); the knob exists for debugging and for
+	// those equality tests.
+	DisableArena bool
 }
 
 // workers resolves the effective worker count for a schedule of n nodes.
@@ -220,6 +228,50 @@ type runState struct {
 	// hand-off orders the accesses).
 	evals    []*nodeEval
 	outcomes []*nodeOutcome
+	// allocs are the per-worker combine allocators, indexed by worker.
+	// Each worker owns its arenas exclusively, so no synchronization is
+	// needed; combine results never alias arena storage, which lets the
+	// worker Reset its arenas after every node (slabs stay warm for the
+	// next node on that worker). Zero-valued entries (heap fallback) when
+	// Options.DisableArena is set.
+	allocs []combine.Alloc
+	// arenaLedger accounts slab bytes across all workers' arenas; its Peak
+	// feeds the arena.slab_bytes_peak watermark. Nil when arenas are off.
+	arenaLedger *memtrack.Tracker
+}
+
+// arenaSlabImpls is the slab capacity, in implementations, of each combine
+// arena. Deliberately modest (4Ki LImpls = 128KiB): a fresh slab is zeroed
+// by the runtime, so oversizing it taxes short runs that never fill it.
+// Buffers larger than one slab get exact-size dedicated slabs
+// transparently — no dearer than the heap allocation they replace — and
+// are reused by later nodes on the worker after Reset.
+const arenaSlabImpls = 1 << 12
+
+// newAllocs builds one combine.Alloc per worker, all charging the shared
+// byte ledger.
+func newAllocs(workers int, ledger *memtrack.Tracker) []combine.Alloc {
+	allocs := make([]combine.Alloc, workers)
+	for i := range allocs {
+		allocs[i] = combine.Alloc{
+			L: arena.New[shape.LImpl](ledger, arenaSlabImpls),
+			R: arena.New[shape.RImpl](ledger, arenaSlabImpls),
+		}
+	}
+	return allocs
+}
+
+// freeArenas returns every worker's slab bytes to the ledger. The arenas
+// stay usable (a later Alloc re-charges), but runs never reuse a runState.
+func (st *runState) freeArenas() {
+	for i := range st.allocs {
+		if st.allocs[i].L != nil {
+			st.allocs[i].L.Free()
+		}
+		if st.allocs[i].R != nil {
+			st.allocs[i].R.Free()
+		}
+	}
 }
 
 // Run optimizes the floorplan tree. On memory exhaustion it returns an
@@ -267,10 +319,18 @@ func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 		outcomes: make([]*nodeOutcome, len(schedule)),
 	}
 	workers := o.opts.workers(len(schedule))
+	if o.opts.DisableArena {
+		st.allocs = make([]combine.Alloc, workers)
+	} else {
+		st.arenaLedger = memtrack.NewTracker(0)
+		st.allocs = newAllocs(workers, st.arenaLedger)
+	}
 	var poolSolves0, poolHits0, poolMisses0 int64
+	var fusedR0, fusedL0, tableL0 int64
 	evalSpanStart := st.tel.Now()
 	if st.tel != nil {
 		poolSolves0, poolHits0, poolMisses0 = cspp.PoolCounters()
+		fusedR0, fusedL0, tableL0 = selection.FusedCounters()
 	}
 	start := time.Now()
 	var evalErr error
@@ -281,6 +341,7 @@ func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 	}
 	stats, nodeStats := st.mergeOutcomes(schedule)
 	stats.Elapsed = time.Since(start)
+	st.freeArenas()
 	if evalErr != nil {
 		// A failed run reports the tracker's view: the peak includes the
 		// would-be count of the rejected admission, the paper's "> M".
@@ -297,6 +358,13 @@ func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 		st.tel.Add(telemetry.CtrCSPPSolves, solves-poolSolves0)
 		st.tel.Add(telemetry.CtrCSPPPoolHits, hits-poolHits0)
 		st.tel.Add(telemetry.CtrCSPPPoolMiss, misses-poolMisses0)
+		fusedR, fusedL, tableL := selection.FusedCounters()
+		st.tel.Add(telemetry.CtrFusedRSelect, fusedR-fusedR0)
+		st.tel.Add(telemetry.CtrFusedLSelect, fusedL-fusedL0)
+		st.tel.Add(telemetry.CtrTableLSelect, tableL-tableL0)
+		if st.arenaLedger != nil {
+			st.tel.Observe(telemetry.MaxArenaBytes, st.arenaLedger.Peak())
+		}
 		st.emitTelemetry(schedule, stats)
 	}
 	if evalErr != nil {
@@ -417,10 +485,10 @@ func (st *runState) mergeOutcomes(schedule []*plan.BinNode) (Stats, []NodeStat) 
 // branch.
 func (st *runState) evalNode(b *plan.BinNode, worker int) error {
 	if st.tel == nil {
-		return st.evalNodeInner(b)
+		return st.evalNodeInner(b, worker)
 	}
 	start := st.tel.Now()
-	err := st.evalNodeInner(b)
+	err := st.evalNodeInner(b, worker)
 	if out := st.outcomes[b.ID]; out != nil {
 		out.start = start
 		out.dur = st.tel.Now() - start
@@ -429,7 +497,7 @@ func (st *runState) evalNode(b *plan.BinNode, worker int) error {
 	return err
 }
 
-func (st *runState) evalNodeInner(b *plan.BinNode) error {
+func (st *runState) evalNodeInner(b *plan.BinNode, worker int) error {
 	out := &nodeOutcome{}
 	st.outcomes[b.ID] = out
 	if b.Kind == plan.BinLeaf {
@@ -461,27 +529,38 @@ func (st *runState) evalNodeInner(b *plan.BinNode) error {
 		out.failed = true
 		return err
 	}
+	// al is this worker's private allocator; combine results never alias
+	// its arenas (see combine.Alloc), so resetting them after the node is
+	// safe and keeps the slabs warm for the worker's next node.
+	al := st.allocs[worker]
 	switch b.Kind {
 	case plan.BinVCut:
-		return st.finishR(b, out, combine.VCut(left.rl, right.rl), false)
+		err = st.finishR(b, out, combine.VCut(left.rl, right.rl), false)
 	case plan.BinHCut:
-		return st.finishR(b, out, combine.HCut(left.rl, right.rl), false)
+		err = st.finishR(b, out, combine.HCut(left.rl, right.rl), false)
 	case plan.BinLStack:
-		set, truncated := combine.LStack(left.rl, right.rl, budget)
-		return st.finishL(b, out, set, truncated)
+		set, truncated := combine.LStackA(al, left.rl, right.rl, budget)
+		err = st.finishL(b, out, set, truncated)
 	case plan.BinLNotch:
-		set, truncated := combine.LNotch(left.ls, right.rl, budget)
-		return st.finishL(b, out, set, truncated)
+		set, truncated := combine.LNotchA(al, left.ls, right.rl, budget)
+		err = st.finishL(b, out, set, truncated)
 	case plan.BinLBottom:
-		set, truncated := combine.LBottom(left.ls, right.rl, budget)
-		return st.finishL(b, out, set, truncated)
+		set, truncated := combine.LBottomA(al, left.ls, right.rl, budget)
+		err = st.finishL(b, out, set, truncated)
 	case plan.BinClose:
-		list, truncated := combine.Close(left.ls, right.rl, budget)
-		return st.finishR(b, out, list, truncated)
+		list, truncated := combine.CloseA(al, left.ls, right.rl, budget)
+		err = st.finishR(b, out, list, truncated)
 	default:
 		out.failed = true
 		return fmt.Errorf("optimizer: unexpected node kind %v", b.Kind)
 	}
+	if al.L != nil {
+		al.L.Reset()
+	}
+	if al.R != nil {
+		al.R.Reset()
+	}
+	return err
 }
 
 // remainingBudget returns how many more implementations may be stored

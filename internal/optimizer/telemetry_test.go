@@ -30,9 +30,12 @@ func TestTelemetryReportBitIdentical(t *testing.T) {
 		lib := Library(rawLib)
 		policy := selection.Policy{K1: 4, K2: 40, S: 30}
 
-		canonical := func(workers int) []byte {
+		canonical := func(workers int, disableArena bool) []byte {
 			col := telemetry.New()
-			res := mustRun(t, lib, Options{Policy: policy, Workers: workers, Telemetry: col}, tree)
+			res := mustRun(t, lib, Options{
+				Policy: policy, Workers: workers, Telemetry: col,
+				DisableArena: disableArena,
+			}, tree)
 			if res == nil {
 				t.Fatal("nil result")
 			}
@@ -43,15 +46,17 @@ func TestTelemetryReportBitIdentical(t *testing.T) {
 			return data
 		}
 
-		ref := canonical(1)
+		ref := canonical(1, false)
 		if len(ref) == 0 {
 			t.Fatal("empty canonical report")
 		}
 		for _, w := range []int{2, 8} {
-			got := canonical(w)
-			if !bytes.Equal(got, ref) {
-				t.Fatalf("trial %d: canonical report differs between Workers=1 and Workers=%d:\n--- w=1 ---\n%s\n--- w=%d ---\n%s",
-					trial, w, ref, w, got)
+			for _, disableArena := range []bool{false, true} {
+				got := canonical(w, disableArena)
+				if !bytes.Equal(got, ref) {
+					t.Fatalf("trial %d: canonical report differs between Workers=1 and Workers=%d (arena=%v):\n--- w=1 ---\n%s\n--- got ---\n%s",
+						trial, w, !disableArena, ref, got)
+				}
 			}
 		}
 	}

@@ -46,6 +46,12 @@ func LSelectMetric(l shape.LList, k int, m Metric) (LResult, error) {
 	if k < 2 {
 		return LResult{}, fmt.Errorf("selection: LSelect needs k >= 2 to keep both endpoints, got k=%d for n=%d", k, n)
 	}
+	if m == Manhattan && lListTelescopes(l) {
+		// Fused pass: error columns from prefix sums, no O(n³) table. The
+		// selection is bit-identical to the table path (see fused.go).
+		return lSelectFused(l, k)
+	}
+	tableLPasses.Add(1)
 	table := ComputeLErrorMetric(l, m)
 	indices, weight, err := cspp.SolveDense(n, k, table.At)
 	if err != nil {

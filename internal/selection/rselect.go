@@ -28,8 +28,10 @@ type RResult struct {
 // rejected for lists of length >= 2, since both endpoints must survive.
 //
 // Complexity: O(k n^2) time — the CSPP bound of Theorem 2 with |E| = O(n^2)
-// — and O(k n) memory; the error table of Compute_R_Error is streamed
-// column by column rather than materialized.
+// — and O(k n) memory; the error table of Compute_R_Error is never
+// materialized. The fused pass (cspp.SolveDenseColumns, j-major order)
+// generates each error column exactly once with the column recurrence while
+// the DP consumes it, instead of regenerating it per layer.
 func RSelect(l shape.RList, k int) (RResult, error) {
 	n := len(l)
 	if n == 0 {
@@ -41,60 +43,20 @@ func RSelect(l shape.RList, k int) (RResult, error) {
 	if k < 2 {
 		return RResult{}, fmt.Errorf("selection: RSelect needs k >= 2 to keep both endpoints, got k=%d for n=%d", k, n)
 	}
-
-	// CSPP on the implicit complete DAG over list positions, solved with a
-	// specialized DP so that edge weights error(i, j) are generated on the
-	// fly with the column recurrence.
-	const inf = cspp.Inf
-	prev := make([]int64, n)
-	cur := make([]int64, n)
-	for i := range prev {
-		prev[i] = inf
-	}
-	prev[0] = 0
-	pred := make([][]int32, k+1)
-	col := make([]int64, n)
-	for level := 2; level <= k; level++ {
-		pred[level] = make([]int32, n)
-		for j := 0; j < n; j++ {
-			cur[j] = inf
-			pred[level][j] = -1
-		}
-		lo := level - 1
-		hi := n - 1 - (k - level)
-		for j := lo; j <= hi; j++ {
-			rErrorColumn(l, j, col)
-			best, bestAt := inf, int32(-1)
-			for i := level - 2; i < j; i++ {
-				if prev[i] == inf {
-					continue
-				}
-				if w := prev[i] + col[i]; w < best {
-					best, bestAt = w, int32(i)
-				}
-			}
-			cur[j], pred[level][j] = best, bestAt
-		}
-		prev, cur = cur, prev
-	}
-	if prev[n-1] == inf {
+	indices, weight, err := cspp.SolveDenseColumns(n, k, func(v int, col []int64) {
+		rErrorColumn(l, v, col)
+	})
+	if err != nil {
 		// Unreachable for a complete interval DAG with 2 <= k < n; guard
 		// against silent miscomputation.
-		return RResult{}, fmt.Errorf("selection: RSelect DP found no path (n=%d, k=%d)", n, k)
+		return RResult{}, fmt.Errorf("selection: RSelect CSPP (n=%d, k=%d): %w", n, k, err)
 	}
-
-	indices := make([]int, k)
-	indices[k-1] = n - 1
-	v := n - 1
-	for level := k; level >= 2; level-- {
-		v = int(pred[level][v])
-		indices[level-2] = v
-	}
+	fusedRPasses.Add(1)
 	sub, err := l.Subset(indices)
 	if err != nil {
 		return RResult{}, fmt.Errorf("selection: RSelect traceback: %w", err)
 	}
-	return RResult{Selected: sub, Indices: indices, Error: prev[n-1]}, nil
+	return RResult{Selected: sub, Indices: indices, Error: weight}, nil
 }
 
 func identityR(l shape.RList) RResult {

@@ -1,0 +1,63 @@
+package shape
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchRCandidates builds n unsorted rectangular candidates with heavy
+// duplication — the raw output shape of a combine cross product.
+func benchRCandidates(rng *rand.Rand, n int) []RImpl {
+	out := make([]RImpl, n)
+	for i := range out {
+		out[i] = RImpl{W: 1 + rng.Int63n(int64(n)/2+1), H: 1 + rng.Int63n(int64(n)/2+1)}
+	}
+	return out
+}
+
+// benchLCandidates builds n unsorted L-shaped candidates spread over a few
+// W2 groups, the raw output shape of an L-block cross product.
+func benchLCandidates(rng *rand.Rand, n int) []LImpl {
+	out := make([]LImpl, n)
+	for i := range out {
+		w2 := 1 + rng.Int63n(8)
+		w1 := w2 + rng.Int63n(int64(n)/4+1)
+		h2 := 1 + rng.Int63n(int64(n)/4+1)
+		h1 := h2 + rng.Int63n(int64(n)/4+1)
+		out[i] = LImpl{W1: w1, W2: w2, H1: h1, H2: h2}
+	}
+	return out
+}
+
+// BenchmarkMinimaR measures rectangular dominance pruning end to end:
+// sort, dedup, Pareto sweep, canonical reversal.
+func BenchmarkMinimaR(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	cand := benchRCandidates(rng, 1<<16)
+	buf := make([]RImpl, len(cand))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, cand)
+		if got := MinimaRInPlace(buf); len(got) == 0 {
+			b.Fatal("empty minima")
+		}
+	}
+}
+
+// BenchmarkMinimaL measures 4-coordinate dominance pruning — the
+// divide-and-conquer Kung–Luccio–Preparata kernel with the Fenwick
+// cross-half filter.
+func BenchmarkMinimaL(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	cand := benchLCandidates(rng, 1<<13)
+	buf := make([]LImpl, len(cand))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, cand)
+		if got := MinimaLInPlace(buf); len(got) == 0 {
+			b.Fatal("empty minima")
+		}
+	}
+}

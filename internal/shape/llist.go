@@ -2,7 +2,7 @@ package shape
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // LList is an irreducible L-list (Definitions 3 and 5): implementations with
@@ -87,23 +87,41 @@ func MustLSet(candidates []LImpl) LSet {
 }
 
 func newLSetUnchecked(candidates []LImpl) LSet {
-	minimal := MinimaL(candidates)
+	return lsetFromOwned(MinimaL(candidates))
+}
+
+// LSetFromMinimal partitions an already Pareto-minimal, deduplicated
+// candidate set (as produced by MinimaL or MinimaLInPlace) into irreducible
+// L-lists without re-pruning it. The input is reordered in place and
+// overwritten as scratch; the result does not retain it. The combine stage
+// uses this on its arena-backed buffers so the re-prune inside MustLSet —
+// and the copy out of the arena — both disappear from the hot path.
+func LSetFromMinimal(minimal []LImpl) LSet {
+	return lsetFromOwned(minimal)
+}
+
+// cmpLGroup orders implementations by (W2, W1 desc, H1, H2): W2 groups stay
+// contiguous and each group is in the greedy chain-partition order.
+func cmpLGroup(p, q LImpl) int {
+	switch {
+	case p.W2 != q.W2:
+		return cmpInt64(p.W2, q.W2)
+	case p.W1 != q.W1:
+		return cmpInt64(q.W1, p.W1)
+	case p.H1 != q.H1:
+		return cmpInt64(p.H1, q.H1)
+	default:
+		return cmpInt64(p.H2, q.H2)
+	}
+}
+
+// lsetFromOwned builds the set from a minimal candidate slice it owns (and
+// consumes as scratch).
+func lsetFromOwned(minimal []LImpl) LSet {
 	if len(minimal) == 0 {
 		return LSet{}
 	}
-	// Group by W2.
-	sort.Slice(minimal, func(i, j int) bool {
-		if minimal[i].W2 != minimal[j].W2 {
-			return minimal[i].W2 < minimal[j].W2
-		}
-		if minimal[i].W1 != minimal[j].W1 {
-			return minimal[i].W1 > minimal[j].W1
-		}
-		if minimal[i].H1 != minimal[j].H1 {
-			return minimal[i].H1 < minimal[j].H1
-		}
-		return minimal[i].H2 < minimal[j].H2
-	})
+	slices.SortFunc(minimal, cmpLGroup)
 	var set LSet
 	for lo := 0; lo < len(minimal); {
 		hi := lo
@@ -119,21 +137,33 @@ func newLSetUnchecked(candidates []LImpl) LSet {
 // partitionChains splits one W2 group — already sorted by (W1 desc, H1 asc,
 // H2 asc) — into monotone chains by repeated greedy passes. Each pass takes
 // the longest prefix-greedy chain from the remaining points; the number of
-// passes equals the number of lists produced.
+// passes equals the number of lists produced. The group slice is consumed as
+// scratch (compacted in place between passes); each chain is a fresh
+// exact-capacity allocation, since chains are retained for the rest of the
+// optimizer run and over-capacity here is resident waste.
 func partitionChains(group []LImpl) []LList {
-	remaining := make([]LImpl, len(group))
-	copy(remaining, group)
 	var lists []LList
+	remaining := group
 	for len(remaining) > 0 {
-		var chain LList
+		// First pass: size the greedy chain so it can be allocated exactly.
+		last := remaining[0]
+		n := 1
+		for _, p := range remaining[1:] {
+			if p.W1 <= last.W1 && p.H1 >= last.H1 && p.H2 >= last.H2 {
+				last = p
+				n++
+			}
+		}
+		// Second pass: collect the chain, compacting the leftovers in place.
+		chain := make(LList, 0, n)
 		rest := remaining[:0]
-		for _, p := range remaining {
-			if len(chain) == 0 {
+		for i, p := range remaining {
+			if i == 0 {
 				chain = append(chain, p)
 				continue
 			}
-			last := chain[len(chain)-1]
-			if p.W1 <= last.W1 && p.H1 >= last.H1 && p.H2 >= last.H2 {
+			lastC := chain[len(chain)-1]
+			if p.W1 <= lastC.W1 && p.H1 >= lastC.H1 && p.H2 >= lastC.H2 {
 				chain = append(chain, p)
 			} else {
 				rest = append(rest, p)

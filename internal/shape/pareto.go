@@ -1,6 +1,6 @@
 package shape
 
-import "sort"
+import "slices"
 
 // This file implements Pareto-minima pruning: from a candidate set, keep
 // exactly the implementations not dominated by (componentwise >=) another.
@@ -9,22 +9,21 @@ import "sort"
 // the classic divide-and-conquer of Kung/Luccio/Preparata with a Fenwick
 // prefix-min sweep for the cross-half filter, giving O(n log^2 n) instead of
 // the quadratic pairwise scan (which remains as the test oracle).
+//
+// The kernels are written against the structure-of-arrays scratch in soa.go:
+// the sweeps sort (key, index) pairs and rank plain int64 columns with
+// slices.SortFunc / slices.Sort — direct comparisons, no reflection — and
+// every intermediate buffer comes from a pooled pruneScratch, so a prune is
+// allocation-free in steady state.
 
 // minFenwick is a Fenwick tree over 1-based ranks supporting prefix minima.
-// Values only ever decrease, which is all the dominance sweep needs.
+// Values only ever decrease, which is all the dominance sweep needs. The
+// backing storage comes from the caller's pruneScratch.
 type minFenwick struct {
 	tree []int64
 }
 
 const fenwickInf = int64(1) << 62
-
-func newMinFenwick(n int) *minFenwick {
-	t := make([]int64, n+1)
-	for i := range t {
-		t[i] = fenwickInf
-	}
-	return &minFenwick{tree: t}
-}
 
 // update lowers the value at rank i (1-based) to at most v.
 func (f *minFenwick) update(i int, v int64) {
@@ -50,29 +49,55 @@ func (f *minFenwick) prefixMin(i int) int64 {
 // carrying it back to the caller's slice.
 type point3 struct {
 	a, b, c int64
-	idx     int
+	idx     int32
+}
+
+func cmpPoint3(p, q point3) int {
+	switch {
+	case p.a != q.a:
+		return cmpInt64(p.a, q.a)
+	case p.b != q.b:
+		return cmpInt64(p.b, q.b)
+	case p.c != q.c:
+		return cmpInt64(p.c, q.c)
+	default:
+		return int(p.idx) - int(q.idx)
+	}
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpKeyIdx(a, b keyIdx) int {
+	if a.key != b.key {
+		return cmpInt64(a.key, b.key)
+	}
+	return int(a.idx) - int(b.idx)
 }
 
 // minima3 marks, in keep, the indices of the Pareto-minimal points: those
 // with no other point <= them componentwise (exact duplicates keep their
 // first occurrence). pts may be in any order and is reordered in place.
-func minima3(pts []point3, keep []bool) {
-	sort.Slice(pts, func(i, j int) bool {
-		if pts[i].a != pts[j].a {
-			return pts[i].a < pts[j].a
-		}
-		if pts[i].b != pts[j].b {
-			return pts[i].b < pts[j].b
-		}
-		if pts[i].c != pts[j].c {
-			return pts[i].c < pts[j].c
-		}
-		return pts[i].idx < pts[j].idx
-	})
-	ranks := rankOfB3(pts)
-	fw := newMinFenwick(len(ranks))
-	for i, p := range pts {
-		r := ranks[i]
+func minima3(pts []point3, keep []bool, s *pruneScratch) {
+	slices.SortFunc(pts, cmpPoint3)
+	// Rank the b coordinates over the distinct values present.
+	vals := s.valRun(len(pts))
+	for _, p := range pts {
+		vals = append(vals, p.b)
+	}
+	slices.Sort(vals)
+	uniq := dedupSorted(vals)
+	fw := minFenwick{tree: s.fenwickRun(len(uniq))}
+	for _, p := range pts {
+		r := rankOf(uniq, p.b)
 		// Every point inserted so far sorts lexicographically before p, so
 		// it has a <= p.a (ties broken consistently); p is redundant iff one
 		// of them also has b <= p.b and c <= p.c.
@@ -82,27 +107,6 @@ func minima3(pts []point3, keep []bool) {
 		keep[p.idx] = true
 		fw.update(r, p.c)
 	}
-}
-
-// rankOfB3 returns, for each point, the 1-based rank of its b coordinate
-// among the distinct b values present.
-func rankOfB3(pts []point3) []int {
-	bs := make([]int64, len(pts))
-	for i, p := range pts {
-		bs[i] = p.b
-	}
-	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
-	uniq := bs[:0]
-	for i, b := range bs {
-		if i == 0 || b != uniq[len(uniq)-1] {
-			uniq = append(uniq, b)
-		}
-	}
-	ranks := make([]int, len(pts))
-	for i, p := range pts {
-		ranks[i] = sort.Search(len(uniq), func(k int) bool { return uniq[k] >= p.b }) + 1
-	}
-	return ranks
 }
 
 // MinimaR returns the Pareto-minimal subset of 2-d rectangular candidates.
@@ -117,19 +121,48 @@ func MinimaL(candidates []LImpl) []LImpl {
 	if len(candidates) == 0 {
 		return nil
 	}
-	pts := make([]LImpl, len(candidates))
-	copy(pts, candidates)
-	sortLImpls(pts)
+	s := getPruneScratch()
+	if cap(s.impls) < len(candidates) {
+		s.impls = make([]LImpl, len(candidates))
+	}
+	buf := s.impls[:len(candidates)]
+	copy(buf, candidates)
+	minimal := minimaLSorted(buf, s)
+	out := make([]LImpl, len(minimal))
+	copy(out, minimal)
+	putPruneScratch(s)
+	return out
+}
+
+// MinimaLInPlace is MinimaL taking ownership of buf: it sorts and compacts
+// buf, returning the minimal, deduplicated, lexicographically ordered prefix
+// (sharing buf's backing array). The combine stage uses it to prune its
+// arena-backed candidate buffers without copying them out.
+func MinimaLInPlace(buf []LImpl) []LImpl {
+	if len(buf) == 0 {
+		return buf[:0]
+	}
+	s := getPruneScratch()
+	out := minimaLSorted(buf, s)
+	putPruneScratch(s)
+	return out
+}
+
+// minimaLSorted sorts buf lexicographically, deduplicates it, prunes
+// dominated entries, and compacts the survivors into buf's prefix, which it
+// returns.
+func minimaLSorted(buf []LImpl, s *pruneScratch) []LImpl {
+	sortLImpls(buf)
 	// Deduplicate exact copies so mutual domination cannot erase both.
-	uniq := pts[:0]
-	for i, p := range pts {
+	uniq := buf[:0]
+	for i, p := range buf {
 		if i == 0 || p != uniq[len(uniq)-1] {
 			uniq = append(uniq, p)
 		}
 	}
-	keep := make([]bool, len(uniq))
-	minima4(uniq, indexRange(len(uniq)), keep)
-	out := make([]LImpl, 0, len(uniq))
+	keep := s.boolRun(len(uniq))
+	minima4(uniq, s.indexRun(len(uniq)), keep, s)
+	out := uniq[:0]
 	for i, p := range uniq {
 		if keep[i] {
 			out = append(out, p)
@@ -138,37 +171,33 @@ func MinimaL(candidates []LImpl) []LImpl {
 	return out
 }
 
-func sortLImpls(pts []LImpl) {
-	sort.Slice(pts, func(i, j int) bool {
-		if pts[i].W1 != pts[j].W1 {
-			return pts[i].W1 < pts[j].W1
-		}
-		if pts[i].W2 != pts[j].W2 {
-			return pts[i].W2 < pts[j].W2
-		}
-		if pts[i].H1 != pts[j].H1 {
-			return pts[i].H1 < pts[j].H1
-		}
-		return pts[i].H2 < pts[j].H2
-	})
+func cmpLImpl(p, q LImpl) int {
+	switch {
+	case p.W1 != q.W1:
+		return cmpInt64(p.W1, q.W1)
+	case p.W2 != q.W2:
+		return cmpInt64(p.W2, q.W2)
+	case p.H1 != q.H1:
+		return cmpInt64(p.H1, q.H1)
+	default:
+		return cmpInt64(p.H2, q.H2)
+	}
 }
 
-func indexRange(n int) []int {
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	return idx
+func sortLImpls(pts []LImpl) {
+	slices.SortFunc(pts, cmpLImpl)
 }
 
 // minima4SmallCutoff is the subproblem size below which the quadratic scan
-// beats the divide-and-conquer bookkeeping.
+// beats the divide-and-conquer bookkeeping. The brute kernel deliberately
+// stays on the array-of-structs layout: it compares all four coordinates of
+// element pairs, the one access pattern AoS serves better than columns.
 const minima4SmallCutoff = 48
 
 // minima4 marks the Pareto-minimal points among all[i] for i in idx.
 // all must be sorted lexicographically with no duplicates; idx is a sorted
 // (hence W1-nondecreasing) index subset.
-func minima4(all []LImpl, idx []int, keep []bool) {
+func minima4(all []LImpl, idx []int32, keep []bool, s *pruneScratch) {
 	if len(idx) == 0 {
 		return
 	}
@@ -181,40 +210,58 @@ func minima4(all []LImpl, idx []int, keep []bool) {
 	midVal := all[idx[len(idx)/2]].W1
 	if all[idx[0]].W1 == all[idx[len(idx)-1]].W1 {
 		// One W1 value: dominance degenerates to 3-d on (W2, H1, H2).
-		pts := make([]point3, len(idx))
-		for i, id := range idx {
+		pts := s.ptsRun(len(idx))
+		for _, id := range idx {
 			p := all[id]
-			pts[i] = point3{a: p.W2, b: p.H1, c: p.H2, idx: id}
+			pts = append(pts, point3{a: p.W2, b: p.H1, c: p.H2, idx: id})
 		}
-		minima3(pts, keep)
+		minima3(pts, keep, s)
 		return
 	}
-	split := sort.Search(len(idx), func(i int) bool { return all[idx[i]].W1 > midVal })
+	split := searchW1(all, idx, midVal, false)
 	if split == len(idx) {
 		// midVal is the maximum W1; split just below it instead.
-		split = sort.Search(len(idx), func(i int) bool { return all[idx[i]].W1 >= midVal })
+		split = searchW1(all, idx, midVal, true)
 	}
 	lo, hi := idx[:split], idx[split:]
-	minima4(all, lo, keep)
-	minima4(all, hi, keep)
+	minima4(all, lo, keep, s)
+	minima4(all, hi, keep, s)
 	// A high survivor is still redundant if some low survivor is <= it in
-	// the remaining three dimensions (its W1 is <= automatically).
-	var loKept, hiKept []int
+	// the remaining three dimensions (its W1 is <= automatically). Collect
+	// the survivors as (W2, index) sort pairs for the cross-half filter.
+	pairs := s.pairRun(len(idx))
 	for _, id := range lo {
 		if keep[id] {
-			loKept = append(loKept, id)
+			pairs = append(pairs, keyIdx{key: all[id].W2, idx: id})
 		}
 	}
+	nLo := len(pairs)
 	for _, id := range hi {
 		if keep[id] {
-			hiKept = append(hiKept, id)
+			pairs = append(pairs, keyIdx{key: all[id].W2, idx: id})
 		}
 	}
-	filterDominated3(all, loKept, hiKept, keep)
+	filterDominated3(all, pairs[:nLo], pairs[nLo:], keep, s)
+}
+
+// searchW1 returns the first position i in idx with all[idx[i]].W1 > v
+// (orEq false) or >= v (orEq true).
+func searchW1(all []LImpl, idx []int32, v int64, orEq bool) int {
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		w := all[idx[mid]].W1
+		if w > v || (orEq && w == v) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // minima4Brute is the quadratic reference used for small subproblems.
-func minima4Brute(all []LImpl, idx []int, keep []bool) {
+func minima4Brute(all []LImpl, idx []int32, keep []bool) {
 	for i, id := range idx {
 		p := all[id]
 		redundant := false
@@ -234,48 +281,37 @@ func minima4Brute(all []LImpl, idx []int, keep []bool) {
 }
 
 // filterDominated3 clears keep for high points dominated in (W2, H1, H2) by
-// some low point. Low points all have W1 <= every high point's W1.
-func filterDominated3(all []LImpl, lo, hi []int, keep []bool) {
+// some low point. Low points all have W1 <= every high point's W1. lo and hi
+// carry each point's W2 as the sort key and are reordered in place.
+func filterDominated3(all []LImpl, lo, hi []keyIdx, keep []bool, s *pruneScratch) {
 	if len(lo) == 0 || len(hi) == 0 {
 		return
 	}
-	loSorted := make([]int, len(lo))
-	copy(loSorted, lo)
-	sort.Slice(loSorted, func(i, j int) bool { return all[loSorted[i]].W2 < all[loSorted[j]].W2 })
-	hiSorted := make([]int, len(hi))
-	copy(hiSorted, hi)
-	sort.Slice(hiSorted, func(i, j int) bool { return all[hiSorted[i]].W2 < all[hiSorted[j]].W2 })
+	slices.SortFunc(lo, cmpKeyIdx)
+	slices.SortFunc(hi, cmpKeyIdx)
 
 	// Rank H1 values across both sets.
-	h1s := make([]int64, 0, len(lo)+len(hi))
-	for _, id := range lo {
-		h1s = append(h1s, all[id].H1)
+	vals := s.valRun(len(lo) + len(hi))
+	for _, p := range lo {
+		vals = append(vals, all[p.idx].H1)
 	}
-	for _, id := range hi {
-		h1s = append(h1s, all[id].H1)
+	for _, p := range hi {
+		vals = append(vals, all[p.idx].H1)
 	}
-	sort.Slice(h1s, func(i, j int) bool { return h1s[i] < h1s[j] })
-	uniq := h1s[:0]
-	for i, v := range h1s {
-		if i == 0 || v != uniq[len(uniq)-1] {
-			uniq = append(uniq, v)
-		}
-	}
-	rank := func(v int64) int {
-		return sort.Search(len(uniq), func(k int) bool { return uniq[k] >= v }) + 1
-	}
+	slices.Sort(vals)
+	uniq := dedupSorted(vals)
 
-	fw := newMinFenwick(len(uniq))
+	fw := minFenwick{tree: s.fenwickRun(len(uniq))}
 	li := 0
-	for _, hid := range hiSorted {
-		h := all[hid]
-		for li < len(loSorted) && all[loSorted[li]].W2 <= h.W2 {
-			p := all[loSorted[li]]
-			fw.update(rank(p.H1), p.H2)
+	for _, hp := range hi {
+		h := all[hp.idx]
+		for li < len(lo) && lo[li].key <= hp.key {
+			p := all[lo[li].idx]
+			fw.update(rankOf(uniq, p.H1), p.H2)
 			li++
 		}
-		if fw.prefixMin(rank(h.H1)) <= h.H2 {
-			keep[hid] = false
+		if fw.prefixMin(rankOf(uniq, h.H1)) <= h.H2 {
+			keep[hp.idx] = false
 		}
 	}
 }

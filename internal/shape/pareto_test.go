@@ -108,7 +108,8 @@ func TestMinimaLEmpty(t *testing.T) {
 }
 
 func TestMinFenwick(t *testing.T) {
-	f := newMinFenwick(8)
+	var s pruneScratch
+	f := minFenwick{tree: s.fenwickRun(8)}
 	if f.prefixMin(8) != fenwickInf {
 		t.Fatal("fresh fenwick should report +inf")
 	}
@@ -141,7 +142,7 @@ func TestMinima3Direct(t *testing.T) {
 	}
 	keep := make([]bool, 5)
 	// Dedup contract: minima3 assumes no duplicates; drop idx 4 for the test.
-	minima3(pts[:4], keep)
+	minima3(pts[:4], keep, new(pruneScratch))
 	if !keep[0] || !keep[1] || keep[2] || !keep[3] {
 		t.Fatalf("keep = %v", keep)
 	}

@@ -2,6 +2,7 @@ package shape
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -37,24 +38,41 @@ func MustRList(candidates []RImpl) RList {
 
 // newRListUnchecked prunes and sorts without validating extents. It is the
 // hot path used by the combine package, whose candidates are valid by
-// construction.
+// construction. One exact-size allocation: the sweep compacts survivors into
+// the sorted copy in place instead of growing a second slice.
 func newRListUnchecked(candidates []RImpl) RList {
 	if len(candidates) == 0 {
 		return nil
 	}
 	pts := make([]RImpl, len(candidates))
 	copy(pts, candidates)
-	// Sort by width ascending, height ascending; a left-to-right sweep then
-	// keeps exactly the minimal staircase: an implementation survives only
-	// if it is strictly shorter than everything narrower than it.
-	sort.Slice(pts, func(i, j int) bool {
-		if pts[i].W != pts[j].W {
-			return pts[i].W < pts[j].W
+	return minimaRSorted(pts)
+}
+
+// MinimaRInPlace is R-list construction taking ownership of buf: it sorts
+// and compacts buf, returning the canonical list as a prefix sharing buf's
+// backing array. The combine stage uses it to prune arena-backed candidate
+// buffers without copying them out.
+func MinimaRInPlace(buf []RImpl) RList {
+	if len(buf) == 0 {
+		return nil
+	}
+	return minimaRSorted(buf)
+}
+
+// minimaRSorted prunes buf in place: sort by width ascending, height
+// ascending; a left-to-right sweep then keeps exactly the minimal staircase
+// (an implementation survives only if it is strictly shorter than everything
+// narrower than it).
+func minimaRSorted(buf []RImpl) RList {
+	slices.SortFunc(buf, func(a, b RImpl) int {
+		if a.W != b.W {
+			return cmpInt64(a.W, b.W)
 		}
-		return pts[i].H < pts[j].H
+		return cmpInt64(a.H, b.H)
 	})
-	kept := make([]RImpl, 0, len(pts))
-	for _, p := range pts {
+	kept := buf[:0]
+	for _, p := range buf {
 		if len(kept) > 0 && kept[len(kept)-1].W == p.W {
 			// same width: the earlier (shorter) one dominates-from-above;
 			// p is redundant (p.H >= previous H by sort order).

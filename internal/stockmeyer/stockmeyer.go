@@ -112,22 +112,29 @@ func (r *Result) eval(n *plan.Node, lib map[string]shape.RList, opts Options) (s
 		}
 		list = l
 	case plan.HSlice, plan.VSlice:
-		acc, err := r.eval(n.Children[0], lib, opts)
+		// Fold the children through structure-of-arrays accumulators: the
+		// ping-pong pair is reused across the whole fold, so an m-way slice
+		// costs two growing column buffers instead of m-1 exact-size list
+		// allocations, and the merge loop streams over int64 columns. The
+		// buffers are per-node locals because the recursive child
+		// evaluations below would otherwise clobber a shared scratch.
+		first, err := r.eval(n.Children[0], lib, opts)
 		if err != nil {
 			return nil, err
 		}
+		vertical := n.Kind == plan.VSlice
+		var acc, dst, operand shape.RCols
+		acc.SetList(first)
 		for _, c := range n.Children[1:] {
 			next, err := r.eval(c, lib, opts)
 			if err != nil {
 				return nil, err
 			}
-			if n.Kind == plan.VSlice {
-				acc = combine.VCut(acc, next)
-			} else {
-				acc = combine.HCut(acc, next)
-			}
+			operand.SetList(next)
+			combine.MergeCols(&dst, &acc, &operand, vertical)
+			acc, dst = dst, acc
 		}
-		list = acc
+		list = acc.RList()
 	default:
 		return nil, fmt.Errorf("stockmeyer: unsupported node kind %v", n.Kind)
 	}

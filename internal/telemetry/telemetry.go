@@ -60,14 +60,17 @@ const (
 	CtrCSPPPoolHits  // DP table pool reuses (capacity already sufficient)
 	CtrCSPPPoolMiss  // DP table pool misses (fresh allocation)
 	CtrBatchWaste    // speculative anneal candidates evaluated then discarded
+	CtrFusedRSelect  // R_Selections solved by the fused column DP
+	CtrFusedLSelect  // Manhattan L_Selections solved by the fused prefix-sum pass
+	CtrTableLSelect  // L_Selections that fell back to the error table
 
 	// Serving layer: cross-request cache and request-queue churn. All
 	// runtime-only — hit rates and shedding depend on request arrival
 	// order, never on the optimization computed.
-	CtrCacheHits      // cache lookups answered from a stored entry
-	CtrCacheMisses    // cache lookups that fell through to computation
-	CtrCacheEvictions // entries evicted to fit the byte budget
-	CtrCacheRejects   // entries too large to cache under the budget
+	CtrCacheHits             // cache lookups answered from a stored entry
+	CtrCacheMisses           // cache lookups that fell through to computation
+	CtrCacheEvictions        // entries evicted to fit the byte budget
+	CtrCacheRejects          // entries too large to cache under the budget
 	CtrServeRequests         // optimize requests admitted by the server
 	CtrServeShed             // optimize requests shed with 429 (queue full)
 	CtrServeCoalesced        // misses answered by joining an in-flight computation
@@ -91,6 +94,7 @@ const (
 	MaxLSet                        // largest L-shaped set stored
 	MaxCSPPN                       // largest CSPP instance size n
 	MaxCSPPK                       // largest CSPP path length k
+	MaxArenaBytes                  // peak combine-arena slab bytes charged
 
 	// Runtime-only watermarks: high-water marks of serving-layer state.
 	MaxServeQueue      // deepest optimize-request queue observed
@@ -139,31 +143,34 @@ type metricMeta struct {
 }
 
 var counterMeta = [numCounters]metricMeta{
-	CtrNodes:             {name: "optimizer.nodes", help: "Floorplan blocks evaluated bottom-up."},
-	CtrLNodes:            {name: "optimizer.l_nodes", help: "L-shaped blocks evaluated."},
-	CtrGenerated:         {name: "optimizer.generated", help: "Implementations generated before selection."},
-	CtrStored:            {name: "optimizer.stored", help: "Implementations retained after selection."},
-	CtrCombineCandidates: {name: "optimizer.combine_candidates", help: "Candidate pairs considered by combine operators."},
-	CtrRSelections:       {name: "optimizer.r_selections", help: "R_Selection invocations."},
-	CtrLSelections:       {name: "optimizer.l_selections", help: "L_Selection invocations."},
-	CtrRSelectionError:   {name: "optimizer.r_selection_error", help: "Total staircase area admitted by R_Selection."},
-	CtrLSelectionError:   {name: "optimizer.l_selection_error", help: "Total distance error admitted by L_Selection."},
-	CtrMemDenials:        {name: "memtrack.denials", help: "Memory-tracker admissions rejected at the limit."},
-	CtrMovesProposed:     {name: "anneal.proposed", help: "Topology moves proposed by the annealer."},
-	CtrMovesAccepted:     {name: "anneal.accepted", help: "Topology moves accepted by the annealer."},
-	CtrMovesImproved:     {name: "anneal.improved", help: "Accepted moves that improved the best area."},
-	CtrCells:             {name: "tables.cells", help: "Paper-table grid cells run (one optimization each)."},
-	CtrGenModules:        {name: "gen.modules", help: "Modules synthesized by the workload generator."},
-	CtrGenImpls:          {name: "gen.impls", help: "Implementations synthesized by the workload generator."},
-	CtrMemCASRetries:     {name: "memtrack.cas_retries", help: "Failed CAS attempts in the memory tracker.", runtime: true},
-	CtrCSPPSolves:        {name: "cspp.solves", help: "Constrained-shortest-path DP solves.", runtime: true},
-	CtrCSPPPoolHits:      {name: "cspp.pool_hits", help: "CSPP DP table pool reuses.", runtime: true},
-	CtrCSPPPoolMiss:      {name: "cspp.pool_misses", help: "CSPP DP table pool misses (fresh allocations).", runtime: true},
-	CtrBatchWaste:        {name: "anneal.batch_waste", help: "Speculative anneal candidates evaluated then discarded.", runtime: true},
-	CtrCacheHits:         {name: "cache.hits", help: "Result-cache lookups answered from a stored entry.", runtime: true},
-	CtrCacheMisses:       {name: "cache.misses", help: "Result-cache lookups that fell through to computation.", runtime: true},
-	CtrCacheEvictions:    {name: "cache.evictions", help: "Result-cache entries evicted to fit the byte budget.", runtime: true},
-	CtrCacheRejects:      {name: "cache.rejects", help: "Result-cache entries too large to admit under the budget.", runtime: true},
+	CtrNodes:                 {name: "optimizer.nodes", help: "Floorplan blocks evaluated bottom-up."},
+	CtrLNodes:                {name: "optimizer.l_nodes", help: "L-shaped blocks evaluated."},
+	CtrGenerated:             {name: "optimizer.generated", help: "Implementations generated before selection."},
+	CtrStored:                {name: "optimizer.stored", help: "Implementations retained after selection."},
+	CtrCombineCandidates:     {name: "optimizer.combine_candidates", help: "Candidate pairs considered by combine operators."},
+	CtrRSelections:           {name: "optimizer.r_selections", help: "R_Selection invocations."},
+	CtrLSelections:           {name: "optimizer.l_selections", help: "L_Selection invocations."},
+	CtrRSelectionError:       {name: "optimizer.r_selection_error", help: "Total staircase area admitted by R_Selection."},
+	CtrLSelectionError:       {name: "optimizer.l_selection_error", help: "Total distance error admitted by L_Selection."},
+	CtrMemDenials:            {name: "memtrack.denials", help: "Memory-tracker admissions rejected at the limit."},
+	CtrMovesProposed:         {name: "anneal.proposed", help: "Topology moves proposed by the annealer."},
+	CtrMovesAccepted:         {name: "anneal.accepted", help: "Topology moves accepted by the annealer."},
+	CtrMovesImproved:         {name: "anneal.improved", help: "Accepted moves that improved the best area."},
+	CtrCells:                 {name: "tables.cells", help: "Paper-table grid cells run (one optimization each)."},
+	CtrGenModules:            {name: "gen.modules", help: "Modules synthesized by the workload generator."},
+	CtrGenImpls:              {name: "gen.impls", help: "Implementations synthesized by the workload generator."},
+	CtrMemCASRetries:         {name: "memtrack.cas_retries", help: "Failed CAS attempts in the memory tracker.", runtime: true},
+	CtrCSPPSolves:            {name: "cspp.solves", help: "Constrained-shortest-path DP solves.", runtime: true},
+	CtrCSPPPoolHits:          {name: "cspp.pool_hits", help: "CSPP DP table pool reuses.", runtime: true},
+	CtrCSPPPoolMiss:          {name: "cspp.pool_misses", help: "CSPP DP table pool misses (fresh allocations).", runtime: true},
+	CtrBatchWaste:            {name: "anneal.batch_waste", help: "Speculative anneal candidates evaluated then discarded.", runtime: true},
+	CtrFusedRSelect:          {name: "selection.fused_r", help: "R_Selections solved by the fused column DP.", runtime: true},
+	CtrFusedLSelect:          {name: "selection.fused_l", help: "Manhattan L_Selections solved by the fused prefix-sum pass.", runtime: true},
+	CtrTableLSelect:          {name: "selection.table_l", help: "L_Selections that fell back to the materialized error table.", runtime: true},
+	CtrCacheHits:             {name: "cache.hits", help: "Result-cache lookups answered from a stored entry.", runtime: true},
+	CtrCacheMisses:           {name: "cache.misses", help: "Result-cache lookups that fell through to computation.", runtime: true},
+	CtrCacheEvictions:        {name: "cache.evictions", help: "Result-cache entries evicted to fit the byte budget.", runtime: true},
+	CtrCacheRejects:          {name: "cache.rejects", help: "Result-cache entries too large to admit under the budget.", runtime: true},
 	CtrServeRequests:         {name: "server.requests", help: "Optimize requests admitted by the server.", runtime: true},
 	CtrServeShed:             {name: "server.shed", help: "Optimize requests shed with 429 (queue full).", runtime: true},
 	CtrServeCoalesced:        {name: "server.coalesced", help: "Cache misses answered by joining an in-flight computation.", runtime: true},
@@ -175,11 +182,12 @@ var counterMeta = [numCounters]metricMeta{
 }
 
 var watermarkMeta = [numWatermarks]metricMeta{
-	MaxPeakStored: {name: "memtrack.peak", help: "Peak implementations stored (the paper's M)."},
-	MaxRList:      {name: "optimizer.max_rlist", help: "Largest rectangular implementation list stored."},
-	MaxLSet:       {name: "optimizer.max_lset", help: "Largest L-shaped implementation set stored."},
-	MaxCSPPN:      {name: "cspp.max_n", help: "Largest CSPP instance size n."},
-	MaxCSPPK:      {name: "cspp.max_k", help: "Largest CSPP path length k."},
+	MaxPeakStored:      {name: "memtrack.peak", help: "Peak implementations stored (the paper's M)."},
+	MaxRList:           {name: "optimizer.max_rlist", help: "Largest rectangular implementation list stored."},
+	MaxLSet:            {name: "optimizer.max_lset", help: "Largest L-shaped implementation set stored."},
+	MaxCSPPN:           {name: "cspp.max_n", help: "Largest CSPP instance size n."},
+	MaxCSPPK:           {name: "cspp.max_k", help: "Largest CSPP path length k."},
+	MaxArenaBytes:      {name: "arena.slab_bytes_peak", help: "Peak combine-arena slab bytes charged across all workers.", runtime: true},
 	MaxServeQueue:      {name: "server.queue_peak", help: "Deepest optimize-request queue observed.", runtime: true},
 	MaxServeInFlight:   {name: "server.inflight_peak", help: "Most requests evaluating concurrently.", runtime: true},
 	MaxCacheBytes:      {name: "cache.bytes_peak", help: "Largest result-cache byte footprint observed.", runtime: true},
@@ -187,11 +195,11 @@ var watermarkMeta = [numWatermarks]metricMeta{
 }
 
 var histMeta = [numHists]metricMeta{
-	HistListBefore: {name: "optimizer.list_before", help: "Per-node implementation count before selection."},
-	HistListAfter:  {name: "optimizer.list_after", help: "Per-node implementation count after selection."},
-	HistNodeEvalNs: {name: "optimizer.node_eval_ns", help: "Per-node evaluation wall time in nanoseconds.", runtime: true},
-	HistCellNs:     {name: "tables.cell_ns", help: "Per-table-cell wall time in nanoseconds.", runtime: true},
-	HistAnnealNs:   {name: "anneal.eval_ns", help: "Per-candidate annealer evaluation wall time in nanoseconds.", runtime: true},
+	HistListBefore:       {name: "optimizer.list_before", help: "Per-node implementation count before selection."},
+	HistListAfter:        {name: "optimizer.list_after", help: "Per-node implementation count after selection."},
+	HistNodeEvalNs:       {name: "optimizer.node_eval_ns", help: "Per-node evaluation wall time in nanoseconds.", runtime: true},
+	HistCellNs:           {name: "tables.cell_ns", help: "Per-table-cell wall time in nanoseconds.", runtime: true},
+	HistAnnealNs:         {name: "anneal.eval_ns", help: "Per-candidate annealer evaluation wall time in nanoseconds.", runtime: true},
 	HistServeHitNs:       {name: "server.latency_hit_ns", help: "End-to-end latency of optimize requests answered from the cache, in nanoseconds.", runtime: true},
 	HistServeMissNs:      {name: "server.latency_miss_ns", help: "End-to-end latency of optimize requests that led a fresh computation, in nanoseconds.", runtime: true},
 	HistServeCoalescedNs: {name: "server.latency_coalesced_ns", help: "End-to-end latency of optimize requests that joined an in-flight computation, in nanoseconds.", runtime: true},

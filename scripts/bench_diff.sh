@@ -1,0 +1,32 @@
+#!/bin/sh
+# bench_diff.sh — offline perf-regression gate over the committed BENCH
+# snapshots. With two or more BENCH_*.json files the newest is diffed
+# against the one before it; with exactly one, against its embedded
+# baseline. Fails (non-zero) on any allocs/op increase or a >10% ns/op
+# regression on any pinned cell. Nothing is re-measured, so this is cheap
+# enough to run from `make check`.
+set -eu
+
+GO="${GO:-go}"
+cd "$(dirname "$0")/.."
+
+set -- BENCH_*.json
+if [ ! -e "$1" ]; then
+    echo "bench_diff: no BENCH_*.json snapshots committed; nothing to gate" >&2
+    exit 0
+fi
+
+# Lexicographic order is chronological for zero-padded BENCH_NNNN names.
+latest=""
+prev=""
+for f in "$@"; do
+    prev="$latest"
+    latest="$f"
+done
+
+if [ -n "$prev" ]; then
+    echo "bench_diff: $prev -> $latest" >&2
+    exec "$GO" run ./cmd/fpbench -diff "$latest" -diff-base "$prev"
+fi
+echo "bench_diff: $latest vs embedded baseline" >&2
+exec "$GO" run ./cmd/fpbench -diff "$latest"
