@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-report bench-snapshot bench-diff race-arena serve-smoke race-serve obs-check check
+.PHONY: all build test race vet bench bench-report bench-snapshot bench-diff race-arena serve-smoke load-smoke race-serve obs-check check
 
 all: build
 
@@ -15,8 +15,14 @@ build:
 test:
 	$(GO) test ./...
 
+# vet also enforces gofmt: a formatting drift fails the gate with the list
+# of offending files rather than surfacing as diff noise in review.
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 # Short-mode suite under the race detector; must stay race-clean.
 race:
@@ -58,6 +64,13 @@ race-arena:
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
+# load-smoke boots fpserve and runs the open-loop load harness against it:
+# a constant/ramp/burst schedule whose SLO assertions must pass, then a
+# deliberately impossible SLO that must fail the run (the gate's negative
+# control); non-zero exit on either going wrong.
+load-smoke:
+	GO="$(GO)" sh scripts/load_smoke.sh
+
 # Focused race pass over the serving hot path: the flight coalescing group
 # and the server's shared-computation plumbing.
 race-serve:
@@ -72,5 +85,5 @@ obs-check:
 	$(GO) test ./internal/reqid/... ./internal/slogx/...
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
-check: vet race obs-check race-serve race-arena bench-diff
+check: vet race obs-check race-serve race-arena bench-diff load-smoke
 	$(GO) test -race ./internal/telemetry/... ./internal/cache/...

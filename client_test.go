@@ -176,6 +176,55 @@ func TestClientRetryHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// TestClientRetryHonorsHTTPDateRetryAfter drives the retry loop through the
+// RFC 9110 HTTP-date form of Retry-After: a future date must hold the retry
+// back until roughly that instant, and a date already in the past must clamp
+// to zero extra delay — the retry fires immediately on the backoff schedule
+// instead of waiting on a stale hint (or, worse, a negative duration).
+func TestClientRetryHonorsHTTPDateRetryAfter(t *testing.T) {
+	busyAt := func(when time.Time) func(w http.ResponseWriter) {
+		return func(w http.ResponseWriter) {
+			w.Header().Set("Retry-After", when.UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"saturated: request queue full"}`)
+		}
+	}
+	run := func(t *testing.T, when time.Time) time.Duration {
+		t.Helper()
+		ts, times := scriptedServer(t, []func(w http.ResponseWriter){
+			busyAt(when),
+			func(w http.ResponseWriter) { fmt.Fprint(w, cannedOptimizeResponse) },
+		})
+		c := &Client{
+			BaseURL: ts.URL,
+			Retry:   RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		}
+		resp, err := c.Optimize(context.Background(), Leaf("a"), Library{"a": {{W: 1, H: 1}}}, ServeOptions{})
+		if err != nil {
+			t.Fatalf("optimize through 429→200: %v", err)
+		}
+		if resp.Key != "abc" {
+			t.Fatalf("key = %q, want abc", resp.Key)
+		}
+		if n := len(*times); n != 2 {
+			t.Fatalf("server saw %d attempts, want 2", n)
+		}
+		return (*times)[1].Sub((*times)[0])
+	}
+	t.Run("future date delays the retry", func(t *testing.T) {
+		// http.TimeFormat has one-second resolution, so a +2s date leaves at
+		// least ~1s of hint after truncation.
+		if gap := run(t, time.Now().Add(2*time.Second)); gap < 900*time.Millisecond {
+			t.Fatalf("retry after %v, want >= ~1s (the HTTP-date hint)", gap)
+		}
+	})
+	t.Run("past date clamps to zero backoff", func(t *testing.T) {
+		if gap := run(t, time.Now().Add(-time.Hour)); gap > 500*time.Millisecond {
+			t.Fatalf("retry after %v: a stale HTTP-date hint must not delay the retry", gap)
+		}
+	})
+}
+
 // TestClientRetryTransportError covers the other retryable class: the
 // connection died before any response arrived.
 func TestClientRetryTransportError(t *testing.T) {

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	floorplan "floorplan"
+	"floorplan/internal/loadgen"
+)
+
+// runLoad drives a running fpserve with the open-loop load harness: it
+// reads the spec (or uses the built-in default schedule), generates the
+// workload corpus, runs the arrival schedule against the server, folds the
+// /v1/stats delta into the report, evaluates the SLO assertions and writes
+// the JSON load report. A failed SLO (or a server restart mid-run) is an
+// error, which is what lets `make load-smoke` gate on the exit code.
+func runLoad(baseURL, specPath, outPath string) error {
+	spec := loadgen.DefaultSpec()
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return err
+		}
+		if spec, err = loadgen.ParseSpec(data); err != nil {
+			return err
+		}
+	}
+
+	// No retry policy: the harness measures the server as offered, and a
+	// client-side retry would both re-anchor the request's latency and
+	// inflate offered load beyond the spec. Shed (429) and timeout replies
+	// are results, not conditions to paper over.
+	client := &floorplan.Client{BaseURL: baseURL}
+	ctx := context.Background()
+	if err := client.Health(ctx); err != nil {
+		return fmt.Errorf("health check: %w", err)
+	}
+	before, err := client.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats before run: %w", err)
+	}
+
+	log.Printf("load: %d phases, %d keys, %d connections against %s",
+		len(spec.Phases), spec.Corpus.Keys, spec.Connections, baseURL)
+	report, err := loadgen.Run(ctx, spec, func(ctx context.Context, w loadgen.Workload) (string, error) {
+		resp, err := client.Optimize(ctx, w.Tree, floorplan.Library(w.Library),
+			floorplan.ServeOptions{K1: spec.K1})
+		if err != nil {
+			return classifySendError(err), err
+		}
+		return resp.Runtime.Cache, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	after, err := client.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats after run: %w", err)
+	}
+	report.Server = statsDelta(before, after)
+	report.Evaluate()
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if outPath != "" {
+		// Round-trip gate: never leave a report on disk that the schema
+		// check would reject when a script reads it back.
+		if _, err := loadgen.ParseReport(raw); err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, raw, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(raw)
+	}
+
+	printLoadSummary(report)
+	if !report.Pass {
+		return errors.New("load run violated its SLOs")
+	}
+	return nil
+}
+
+// classifySendError names the failure bucket for a request error, keeping
+// server-imposed refusals distinguishable from transport problems.
+func classifySendError(err error) string {
+	var se *floorplan.ServeError
+	if errors.As(err, &se) {
+		switch se.Code {
+		case 429:
+			return "shed"
+		case 503:
+			return "timeout"
+		default:
+			return fmt.Sprintf("http_%d", se.Code)
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "client_timeout"
+	}
+	return ""
+}
+
+// statsDelta computes the server-side counter movement across the run and
+// flags a restart (start time moved), which zeroes counters and would make
+// the deltas lie.
+func statsDelta(before, after *floorplan.ServeStats) *loadgen.StatsDelta {
+	return &loadgen.StatsDelta{
+		Requests:    after.Requests - before.Requests,
+		Shed:        after.Shed - before.Shed,
+		Coalesced:   after.Coalesced - before.Coalesced,
+		CacheHits:   after.Cache.Hits - before.Cache.Hits,
+		CacheMisses: after.Cache.Misses - before.Cache.Misses,
+		TimedOut: (after.TimedOutQueued + after.TimedOutComputing) -
+			(before.TimedOutQueued + before.TimedOutComputing),
+		Restarted:     after.StartTimeUnixMs != before.StartTimeUnixMs,
+		UptimeSeconds: after.UptimeSeconds,
+	}
+}
+
+// printLoadSummary renders the human-readable digest of a finished run on
+// stderr (the JSON report owns stdout when no -load-out is given).
+func printLoadSummary(r *loadgen.Report) {
+	for _, p := range r.Phases {
+		log.Printf("phase %-8s %6.1f rps  p50 %7.2fms  p99 %7.2fms  p999 %7.2fms  max %7.2fms  sent %d done %d err %d drop %d",
+			p.Name, p.ThroughputRPS, p.Latency.P50Ms, p.Latency.P99Ms,
+			p.Latency.P999Ms, p.Latency.MaxMs, p.Sent, p.Done, p.Errors, p.Dropped)
+	}
+	if s := r.Server; s != nil {
+		log.Printf("server:  +%d requests (%d shed, %d coalesced, %d cache hits, %d misses, %d timed out), uptime %.0fs, restarted=%v",
+			s.Requests, s.Shed, s.Coalesced, s.CacheHits, s.CacheMisses,
+			s.TimedOut, s.UptimeSeconds, s.Restarted)
+	}
+	for _, res := range r.SLOResults {
+		verdict := "ok"
+		if !res.OK {
+			verdict = "VIOLATED: " + res.Detail
+		}
+		log.Printf("slo %-28s value %.4g  %s", res.SLO.String(), res.Value, verdict)
+	}
+	log.Printf("wall %s  pass=%v", time.Duration(r.WallMs)*time.Millisecond, r.Pass)
+}

@@ -10,6 +10,8 @@
 //	fpbench -ablation thetas  # θ / S sensitivity on FP4
 //	fpbench -smoke -benchjson out -report out/report.json  # CI-scale grid
 //	fpbench -server http://localhost:8080  # end-to-end check of fpserve
+//	fpbench -load -server http://localhost:8080 -load-spec spec.json \
+//	    -load-out report.json  # open-loop load run with SLO gating
 package main
 
 import (
@@ -38,6 +40,9 @@ func main() {
 		jsonDir  = flag.String("benchjson", "", "write BENCH_table<N>.json files into this directory")
 		workers  = flag.Int("workers", 0, "concurrent optimizer runs (0 = all CPUs, 1 = sequential)")
 		servURL  = flag.String("server", "", "drive a running fpserve at this base URL end-to-end and exit")
+		load     = flag.Bool("load", false, "with -server: run the open-loop load harness instead of the functional check")
+		loadSpec = flag.String("load-spec", "", "with -load: JSON load spec file (default: built-in schedule)")
+		loadOut  = flag.String("load-out", "", "with -load: write the JSON load report here (default: stdout)")
 		snapshot = flag.String("snapshot", "", "measure the pinned perf grid, write a BENCH snapshot to this file and exit")
 		baseFile = flag.String("baseline", "", "with -snapshot: embed this snapshot file as the diff baseline")
 		snapPR   = flag.Int("snapshot-pr", 6, "with -snapshot: PR number stamped into the snapshot")
@@ -48,7 +53,16 @@ func main() {
 	tf.Register(flag.CommandLine)
 	flag.Parse()
 
+	if *load && *servURL == "" {
+		log.Fatal("-load needs -server pointing at a running fpserve")
+	}
 	if *servURL != "" {
+		if *load {
+			if err := runLoad(*servURL, *loadSpec, *loadOut); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
 		if err := serveCheck(*servURL); err != nil {
 			log.Fatal(err)
 		}

@@ -121,14 +121,44 @@ func serveCheck(baseURL string) error {
 // fires at a cold key.
 const coalesceBurst = 6
 
+// coalesceAttempts bounds the cold-key retries in coalesceCheck. Whether a
+// burst actually overlaps the leader's computation is a race against the
+// optimizer's speed; losing it occasionally (1 miss + N-1 hits, nothing
+// coalesced) is not a correctness failure, so the check re-rolls on a fresh
+// key rather than flaking.
+const coalesceAttempts = 3
+
 // coalesceCheck fires coalesceBurst concurrent identical requests and
 // verifies they were answered from a single computation: byte-identical
 // payloads, and — when the key was cold — at least one "coalesced"
 // disposition. Against a server that already saw this workload (a rerun of
 // fpbench -server) every response is a plain "hit", which also proves the
-// deduplication path; the assertion adapts.
+// deduplication path; the assertion adapts. A cold burst that resolves with
+// no coalesced disposition lost the timing race; it retries on a salted
+// (fresh) key up to coalesceAttempts times before failing.
 func coalesceCheck(ctx context.Context, c *floorplan.Client) (int, error) {
-	tree, lib := coalesceWorkload()
+	var dispositions map[string]int
+	for attempt := 0; attempt < coalesceAttempts; attempt++ {
+		var err error
+		dispositions, err = coalesceBurstOnce(ctx, c, attempt)
+		if err != nil {
+			return 0, err
+		}
+		misses := dispositions["miss"] + dispositions["off"]
+		if misses == 0 || dispositions["coalesced"] > 0 {
+			return dispositions["coalesced"], nil
+		}
+	}
+	return 0, fmt.Errorf("coalesce burst: %d cold bursts of %d identical requests produced no coalesced response (last dispositions %v)",
+		coalesceAttempts, coalesceBurst, dispositions)
+}
+
+// coalesceBurstOnce fires one aligned burst at the salt-keyed workload and
+// returns the disposition tally, enforcing the invariants that must hold
+// regardless of timing: every reply succeeds, shares one cache key, and is
+// byte-identical.
+func coalesceBurstOnce(ctx context.Context, c *floorplan.Client, salt int) (map[string]int, error) {
+	tree, lib := coalesceWorkload(salt)
 	type reply struct {
 		resp *floorplan.ServeResponse
 		err  error
@@ -151,21 +181,17 @@ func coalesceCheck(ctx context.Context, c *floorplan.Client) (int, error) {
 	dispositions := map[string]int{}
 	for i, r := range replies {
 		if r.err != nil {
-			return 0, fmt.Errorf("coalesce burst request %d: %w", i, r.err)
+			return nil, fmt.Errorf("coalesce burst request %d: %w", i, r.err)
 		}
 		dispositions[r.resp.Runtime.Cache]++
 		if r.resp.Key != replies[0].resp.Key {
-			return 0, fmt.Errorf("coalesce burst: key diverged: %s vs %s", r.resp.Key, replies[0].resp.Key)
+			return nil, fmt.Errorf("coalesce burst: key diverged: %s vs %s", r.resp.Key, replies[0].resp.Key)
 		}
 		if !bytes.Equal(r.resp.Result, replies[0].resp.Result) {
-			return 0, fmt.Errorf("coalesce burst: results not byte-identical (dispositions %v)", dispositions)
+			return nil, fmt.Errorf("coalesce burst: results not byte-identical (dispositions %v)", dispositions)
 		}
 	}
-	if misses := dispositions["miss"] + dispositions["off"]; misses > 0 && dispositions["coalesced"] == 0 {
-		return 0, fmt.Errorf("coalesce burst: %d concurrent identical cold requests produced no coalesced response (dispositions %v)",
-			coalesceBurst, dispositions)
-	}
-	return dispositions["coalesced"], nil
+	return dispositions, nil
 }
 
 // serveWorkload is a small fixed floorplan with a wheel (so the L-shaped
@@ -195,8 +221,10 @@ func serveWorkload() (*floorplan.Tree, floorplan.Library) {
 // optimization takes tens of milliseconds, long enough that a concurrent
 // burst reliably overlaps one in-flight run (sized with margin over the
 // PR-6 kernel speedups). Distinct from serveWorkload so the burst always
-// starts on a cold key on a fresh server.
-func coalesceWorkload() (*floorplan.Tree, floorplan.Library) {
+// starts on a cold key on a fresh server; salt perturbs the implementation
+// areas so each value yields a distinct cache key, letting coalesceCheck
+// retry on a fresh cold key.
+func coalesceWorkload(salt int) (*floorplan.Tree, floorplan.Library) {
 	const wheels, implsPerModule = 12, 48
 	lib := floorplan.Library{}
 	var tree *floorplan.Tree
@@ -208,7 +236,7 @@ func coalesceWorkload() (*floorplan.Tree, floorplan.Library) {
 			mod++
 			leaves[j] = plan.NewLeaf(name)
 			// Near-constant-area implementation curves with varied areas.
-			area := int64(36 + 7*((mod*13)%11))
+			area := int64(36 + 7*((mod*13)%11) + salt)
 			impls := make([]floorplan.Impl, 0, implsPerModule)
 			for k := 1; k <= implsPerModule; k++ {
 				wd := int64(k + 1)

@@ -51,6 +51,8 @@ func main() {
 		cacheMB    = flag.Int64("cache-mb", 64, "result cache budget in MiB (0 disables the cache)")
 		cacheShard = flag.Int("cache-shards", 16, "cache shard count")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful shutdown drain deadline")
+		slowThresh = flag.Duration("slow-threshold", 0, "capture requests at least this slow into GET /debug/slow (0 disables)")
+		slowCap    = flag.Int("slow-capacity", 0, "slow-request capture ring size (0 = 64)")
 		tf         cliutil.TelemetryFlags
 	)
 	tf.Register(flag.CommandLine)
@@ -88,6 +90,8 @@ func main() {
 		Cache:          store,
 		Telemetry:      col,
 		Logger:         logger,
+		SlowThreshold:  *slowThresh,
+		SlowCapacity:   *slowCap,
 		// Span retention grows without bound on a long-lived server, so
 		// only a run that will export a trace keeps them.
 		KeepSpans: tf.Trace != "",

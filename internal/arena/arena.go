@@ -33,11 +33,11 @@ import (
 type Arena[T any] struct {
 	ledger   *memtrack.Tracker // byte ledger; nil disables accounting
 	elemSize int64
-	slabCap  int     // elements per regular slab
-	slabs    [][]T   // every slab ever created, retained across Resets
-	active   int     // slab currently being filled
-	used     int     // elements handed out from the active slab
-	charged  int64   // bytes currently charged to the ledger
+	slabCap  int   // elements per regular slab
+	slabs    [][]T // every slab ever created, retained across Resets
+	active   int   // slab currently being filled
+	used     int   // elements handed out from the active slab
+	charged  int64 // bytes currently charged to the ledger
 }
 
 // New returns an arena cutting regular slabs of slabCap elements, charging

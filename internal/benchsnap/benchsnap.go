@@ -81,14 +81,14 @@ func (s *Snapshot) Lookup(name string) (Cell, bool) {
 
 // gridCell describes one full-optimizer workload.
 type gridCell struct {
-	name      string
-	fp        string // floorplan name (gen.ByName)
-	n         int    // implementations per module
-	aspect    float64
-	seed      int64
-	policy    selection.Policy
-	memLimit  int64
-	large     bool
+	name     string
+	fp       string // floorplan name (gen.ByName)
+	n        int    // implementations per module
+	aspect   float64
+	seed     int64
+	policy   selection.Policy
+	memLimit int64
+	large    bool
 }
 
 // grid is the pinned workload set. Names are stable across PRs — the diff

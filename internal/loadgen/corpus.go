@@ -1,0 +1,52 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"floorplan/internal/gen"
+	"floorplan/internal/plan"
+)
+
+// Workload is one distinct request body the harness can send: a floorplan
+// tree plus its implementation library. Key is the workload's index in the
+// corpus (also its zipf popularity rank: key 0 is the hottest).
+type Workload struct {
+	Key     int
+	Modules int
+	Tree    *plan.Node
+	Library plan.Library
+}
+
+// BuildCorpus generates the workload corpus for a spec deterministically
+// from its seed: c.Keys floorplans whose module counts are drawn uniformly
+// from [MinModules, MaxModules], each with an N=c.Impls implementation
+// library. The same (spec, seed) always yields byte-identical workloads,
+// so cache-hit behavior is reproducible across runs and across a server
+// restart.
+func BuildCorpus(c CorpusSpec, seed int64) ([]Workload, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	corpus := make([]Workload, 0, c.Keys)
+	for key := 0; key < c.Keys; key++ {
+		modules := c.MinModules + rng.Intn(c.MaxModules-c.MinModules+1)
+		// pWheel 0.25 mixes slicing and wheel (L-shaped) structure so the
+		// served corpus exercises both optimizer paths.
+		tree, err := gen.RandomTree(rng, modules, 0.25)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: corpus key %d: %w", key, err)
+		}
+		rlists, err := gen.Library(rng, tree, gen.DefaultModuleParams(c.Impls))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: corpus key %d: %w", key, err)
+		}
+		lib := make(plan.Library, len(rlists))
+		for name, rl := range rlists {
+			lib[name] = rl
+		}
+		corpus = append(corpus, Workload{Key: key, Modules: modules, Tree: tree, Library: lib})
+	}
+	return corpus, nil
+}

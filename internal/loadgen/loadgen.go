@@ -1,0 +1,325 @@
+// Package loadgen is the open-loop load harness behind `fpbench -load`:
+// arrival-rate-scheduled request generation against a live fpserve, with
+// zipfian key popularity over a generated workload corpus, coordinated-
+// omission-safe latency capture and a JSON load report gated by
+// declarative SLO assertions.
+//
+// Open-loop means the arrival schedule is fixed in advance and never waits
+// for responses: each request has an *intended* send time derived from the
+// phase's rate function, and its recorded latency runs from that intended
+// time to completion. A server that stalls therefore accumulates latency
+// in the report even while it accepts no work — the exact tail behavior a
+// closed-loop (send-after-response) driver hides by silently slowing its
+// own offered load (coordinated omission). The Wang–Wong evaluation
+// pipeline has highly non-uniform per-request cost, so the corpus draws
+// workloads of varying size and the zipf distribution skews popularity the
+// way a shared serving tier sees it.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Shape names a phase's rate schedule.
+const (
+	ShapeConstant = "constant"
+	ShapeRamp     = "ramp"
+	ShapeBurst    = "burst"
+)
+
+// PhaseSpec is one segment of the arrival schedule.
+type PhaseSpec struct {
+	// Name labels the phase in the report and in SLO assertions.
+	Name string `json:"name"`
+	// DurationMs is the phase length on the intended timeline.
+	DurationMs int64 `json:"duration_ms"`
+	// Shape is "constant" (Rate throughout), "ramp" (Rate to EndRate
+	// linearly) or "burst" (Rate, with BurstRate for the first BurstMs of
+	// every PeriodMs). Empty defaults to "constant", or to "ramp" when
+	// EndRate is set.
+	Shape string `json:"shape,omitempty"`
+	// Rate is the arrival rate in requests/second (the baseline rate for
+	// burst phases).
+	Rate float64 `json:"rate"`
+	// EndRate is the final rate of a ramp phase.
+	EndRate float64 `json:"end_rate,omitempty"`
+	// BurstRate/BurstMs/PeriodMs define a burst phase: every PeriodMs the
+	// rate jumps to BurstRate for BurstMs, then falls back to Rate.
+	BurstRate float64 `json:"burst_rate,omitempty"`
+	BurstMs   int64   `json:"burst_ms,omitempty"`
+	PeriodMs  int64   `json:"period_ms,omitempty"`
+}
+
+// shape resolves the effective shape.
+func (p PhaseSpec) shape() string {
+	if p.Shape != "" {
+		return p.Shape
+	}
+	if p.EndRate > 0 {
+		return ShapeRamp
+	}
+	return ShapeConstant
+}
+
+// duration returns the phase length.
+func (p PhaseSpec) duration() time.Duration {
+	return time.Duration(p.DurationMs) * time.Millisecond
+}
+
+// rateAt returns the scheduled arrival rate at offset off into the phase.
+func (p PhaseSpec) rateAt(off time.Duration) float64 {
+	switch p.shape() {
+	case ShapeRamp:
+		frac := float64(off) / float64(p.duration())
+		return p.Rate + (p.EndRate-p.Rate)*frac
+	case ShapeBurst:
+		period := time.Duration(p.PeriodMs) * time.Millisecond
+		if off%period < time.Duration(p.BurstMs)*time.Millisecond {
+			return p.BurstRate
+		}
+		return p.Rate
+	default:
+		return p.Rate
+	}
+}
+
+// validate rejects schedules the engine cannot run.
+func (p PhaseSpec) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("loadgen: phase without a name")
+	}
+	if p.DurationMs <= 0 {
+		return fmt.Errorf("loadgen: phase %q: duration_ms must be > 0, got %d", p.Name, p.DurationMs)
+	}
+	if p.Rate <= 0 {
+		return fmt.Errorf("loadgen: phase %q: rate must be > 0, got %v", p.Name, p.Rate)
+	}
+	switch p.shape() {
+	case ShapeConstant:
+	case ShapeRamp:
+		if p.EndRate <= 0 {
+			return fmt.Errorf("loadgen: phase %q: ramp needs end_rate > 0", p.Name)
+		}
+	case ShapeBurst:
+		if p.BurstRate <= p.Rate {
+			return fmt.Errorf("loadgen: phase %q: burst_rate %v must exceed the baseline rate %v",
+				p.Name, p.BurstRate, p.Rate)
+		}
+		if p.BurstMs <= 0 || p.PeriodMs <= p.BurstMs {
+			return fmt.Errorf("loadgen: phase %q: need 0 < burst_ms < period_ms, got %d/%d",
+				p.Name, p.BurstMs, p.PeriodMs)
+		}
+	default:
+		return fmt.Errorf("loadgen: phase %q: unknown shape %q", p.Name, p.Shape)
+	}
+	return nil
+}
+
+// CorpusSpec sizes the generated workload corpus. Workload sizes vary
+// across keys (uniformly in [MinModules, MaxModules]) because the
+// optimizer's per-request cost is superlinear in them — uniform-cost load
+// tests would miss exactly the tail the harness exists to measure.
+type CorpusSpec struct {
+	// Keys is the number of distinct workloads.
+	Keys int `json:"keys"`
+	// MinModules/MaxModules bound each workload's floorplan size.
+	MinModules int `json:"min_modules"`
+	MaxModules int `json:"max_modules"`
+	// Impls is the implementation-list length per module.
+	Impls int `json:"impls"`
+	// ZipfS/ZipfV shape the popularity distribution: key k (by rank) is
+	// drawn with probability proportional to (ZipfV + k)^-ZipfS. ZipfS must
+	// be > 1; larger values skew harder. Defaults: 1.2 / 1.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	ZipfV float64 `json:"zipf_v,omitempty"`
+}
+
+func (c CorpusSpec) zipfS() float64 {
+	if c.ZipfS > 1 {
+		return c.ZipfS
+	}
+	return 1.2
+}
+
+func (c CorpusSpec) zipfV() float64 {
+	if c.ZipfV >= 1 {
+		return c.ZipfV
+	}
+	return 1
+}
+
+func (c CorpusSpec) validate() error {
+	if c.Keys < 1 {
+		return fmt.Errorf("loadgen: corpus needs >= 1 key, got %d", c.Keys)
+	}
+	if c.MinModules < 1 || c.MaxModules < c.MinModules {
+		return fmt.Errorf("loadgen: bad module range [%d, %d]", c.MinModules, c.MaxModules)
+	}
+	if c.Impls < 1 {
+		return fmt.Errorf("loadgen: impls must be >= 1, got %d", c.Impls)
+	}
+	if c.ZipfS != 0 && c.ZipfS <= 1 {
+		return fmt.Errorf("loadgen: zipf_s must be > 1, got %v", c.ZipfS)
+	}
+	return nil
+}
+
+// SLO is one declarative assertion over the finished run. Metric names:
+// p50_ms, p90_ms, p99_ms, p999_ms, max_ms, mean_ms, error_rate,
+// throughput_rps. Phase names address one phase's numbers; empty or
+// "total" addresses the whole run. Max bounds the metric from above, Min
+// from below; either may be omitted.
+type SLO struct {
+	Phase  string   `json:"phase,omitempty"`
+	Metric string   `json:"metric"`
+	Max    *float64 `json:"max,omitempty"`
+	Min    *float64 `json:"min,omitempty"`
+}
+
+func (s SLO) String() string {
+	scope := s.Phase
+	if scope == "" {
+		scope = "total"
+	}
+	out := scope + "." + s.Metric
+	if s.Max != nil {
+		out += fmt.Sprintf(" <= %v", *s.Max)
+	}
+	if s.Min != nil {
+		out += fmt.Sprintf(" >= %v", *s.Min)
+	}
+	return out
+}
+
+func (s SLO) validate() error {
+	if s.Metric == "" {
+		return fmt.Errorf("loadgen: SLO without a metric")
+	}
+	if s.Max == nil && s.Min == nil {
+		return fmt.Errorf("loadgen: SLO %s bounds nothing (need max and/or min)", s)
+	}
+	return nil
+}
+
+// Spec is the complete declarative description of one load run — the
+// document `fpbench -load-spec` reads.
+type Spec struct {
+	// Seed makes the corpus and the key-popularity draw reproducible.
+	Seed int64 `json:"seed"`
+	// Connections bounds concurrently outstanding requests (default 64).
+	// The schedule never waits for a free connection: when all are busy,
+	// jobs queue with their intended times intact, so sender starvation
+	// shows up as latency, not as reduced offered load.
+	Connections int `json:"connections,omitempty"`
+	// QueueDepth bounds jobs waiting for a sender (default 16384); jobs
+	// past it are dropped and counted as errors rather than queued without
+	// bound against a wedged server.
+	QueueDepth int         `json:"queue_depth,omitempty"`
+	Corpus     CorpusSpec  `json:"corpus"`
+	Phases     []PhaseSpec `json:"phases"`
+	SLOs       []SLO       `json:"slos,omitempty"`
+	// RequestTimeoutMs caps each request (default 10000).
+	RequestTimeoutMs int64 `json:"request_timeout_ms,omitempty"`
+	// K1 is the selection limit sent with every request (0 = exact
+	// optimization; the paper's K1 bounds per-node R-list size).
+	K1 int `json:"k1,omitempty"`
+}
+
+func (s Spec) connections() int {
+	if s.Connections > 0 {
+		return s.Connections
+	}
+	return 64
+}
+
+func (s Spec) queueDepth() int {
+	if s.QueueDepth > 0 {
+		return s.QueueDepth
+	}
+	return 16384
+}
+
+// RequestTimeout returns the per-request deadline.
+func (s Spec) RequestTimeout() time.Duration {
+	if s.RequestTimeoutMs > 0 {
+		return time.Duration(s.RequestTimeoutMs) * time.Millisecond
+	}
+	return 10 * time.Second
+}
+
+// Validate rejects unusable specs with the first offending field.
+func (s Spec) Validate() error {
+	if err := s.Corpus.validate(); err != nil {
+		return err
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("loadgen: spec has no phases")
+	}
+	seen := map[string]bool{}
+	for _, p := range s.Phases {
+		if err := p.validate(); err != nil {
+			return err
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("loadgen: duplicate phase name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	for _, a := range s.SLOs {
+		if err := a.validate(); err != nil {
+			return err
+		}
+		if a.Phase != "" && a.Phase != TotalPhase && !seen[a.Phase] {
+			return fmt.Errorf("loadgen: SLO %s names unknown phase %q", a, a.Phase)
+		}
+	}
+	if s.Connections < 0 || s.QueueDepth < 0 || s.RequestTimeoutMs < 0 {
+		return fmt.Errorf("loadgen: negative connections/queue_depth/request_timeout_ms")
+	}
+	return nil
+}
+
+// ParseSpec decodes and validates a JSON spec document.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("loadgen: decoding spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// f64 builds the *float64 SLO bounds inline.
+func f64(v float64) *float64 { return &v }
+
+// DefaultSpec is the built-in schedule `fpbench -load` runs when no
+// -load-spec file is given: a cache-warming constant phase, a ramp, and a
+// burst phase, under deliberately generous SLOs — the default run should
+// tell you your numbers, not fail your laptop.
+func DefaultSpec() Spec {
+	return Spec{
+		Seed: 1,
+		K1:   12,
+		Corpus: CorpusSpec{
+			Keys:       24,
+			MinModules: 6,
+			MaxModules: 16,
+			Impls:      6,
+		},
+		Phases: []PhaseSpec{
+			{Name: "warmup", DurationMs: 2000, Rate: 20},
+			{Name: "ramp", DurationMs: 4000, Shape: ShapeRamp, Rate: 20, EndRate: 150},
+			{Name: "burst", DurationMs: 4000, Shape: ShapeBurst, Rate: 40,
+				BurstRate: 300, BurstMs: 100, PeriodMs: 500},
+		},
+		SLOs: []SLO{
+			{Metric: "error_rate", Max: f64(0.01)},
+			{Phase: "ramp", Metric: "p99_ms", Max: f64(2000)},
+			{Phase: "burst", Metric: "p999_ms", Max: f64(5000)},
+		},
+	}
+}

@@ -1,0 +1,365 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"floorplan/internal/plan"
+)
+
+// fastSpec is a sub-second schedule for unit tests: one constant phase.
+func fastSpec() Spec {
+	return Spec{
+		Seed: 3,
+		Corpus: CorpusSpec{
+			Keys: 8, MinModules: 2, MaxModules: 4, Impls: 2, ZipfS: 1.5,
+		},
+		Phases: []PhaseSpec{
+			{Name: "steady", DurationMs: 200, Rate: 200},
+		},
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	base := fastSpec()
+	cases := []struct {
+		name string
+		warp func(*Spec)
+		want string
+	}{
+		{"no phases", func(s *Spec) { s.Phases = nil }, "no phases"},
+		{"unnamed phase", func(s *Spec) { s.Phases[0].Name = "" }, "without a name"},
+		{"zero rate", func(s *Spec) { s.Phases[0].Rate = 0 }, "rate must be > 0"},
+		{"zero duration", func(s *Spec) { s.Phases[0].DurationMs = 0 }, "duration_ms"},
+		{"bad shape", func(s *Spec) { s.Phases[0].Shape = "sawtooth" }, "unknown shape"},
+		{"ramp without end", func(s *Spec) { s.Phases[0].Shape = ShapeRamp }, "end_rate"},
+		{"burst below base", func(s *Spec) {
+			s.Phases[0].Shape = ShapeBurst
+			s.Phases[0].BurstRate = 100
+			s.Phases[0].BurstMs, s.Phases[0].PeriodMs = 10, 100
+		}, "must exceed"},
+		{"burst period", func(s *Spec) {
+			s.Phases[0].Shape = ShapeBurst
+			s.Phases[0].BurstRate = 500
+			s.Phases[0].BurstMs, s.Phases[0].PeriodMs = 100, 50
+		}, "burst_ms < period_ms"},
+		{"duplicate phase", func(s *Spec) {
+			s.Phases = append(s.Phases, s.Phases[0])
+		}, "duplicate phase"},
+		{"no keys", func(s *Spec) { s.Corpus.Keys = 0 }, ">= 1 key"},
+		{"module range", func(s *Spec) { s.Corpus.MaxModules = 1 }, "module range"},
+		{"shallow zipf", func(s *Spec) { s.Corpus.ZipfS = 0.9 }, "zipf_s"},
+		{"SLO without bounds", func(s *Spec) {
+			s.SLOs = []SLO{{Metric: "p99_ms"}}
+		}, "bounds nothing"},
+		{"SLO unknown phase", func(s *Spec) {
+			s.SLOs = []SLO{{Phase: "missing", Metric: "p99_ms", Max: f64(1)}}
+		}, "unknown phase"},
+	}
+	for _, tc := range cases {
+		s := base
+		s.Phases = append([]PhaseSpec(nil), base.Phases...)
+		tc.warp(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base spec invalid: %v", err)
+	}
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatalf("DefaultSpec invalid: %v", err)
+	}
+}
+
+// TestRateSchedule pins the three rate shapes at chosen offsets.
+func TestRateSchedule(t *testing.T) {
+	constant := PhaseSpec{Name: "c", DurationMs: 1000, Rate: 50}
+	for _, off := range []time.Duration{0, 500 * time.Millisecond, 999 * time.Millisecond} {
+		if got := constant.rateAt(off); got != 50 {
+			t.Errorf("constant rateAt(%v) = %v, want 50", off, got)
+		}
+	}
+	ramp := PhaseSpec{Name: "r", DurationMs: 1000, Rate: 100, EndRate: 300}
+	if got := ramp.rateAt(0); got != 100 {
+		t.Errorf("ramp rateAt(0) = %v, want 100", got)
+	}
+	if got := ramp.rateAt(500 * time.Millisecond); got != 200 {
+		t.Errorf("ramp rateAt(mid) = %v, want 200", got)
+	}
+	burst := PhaseSpec{Name: "b", DurationMs: 1000, Rate: 10,
+		Shape: ShapeBurst, BurstRate: 500, BurstMs: 100, PeriodMs: 500}
+	for off, want := range map[time.Duration]float64{
+		0:                      500, // inside first burst window
+		50 * time.Millisecond:  500,
+		200 * time.Millisecond: 10, // between bursts
+		499 * time.Millisecond: 10,
+		500 * time.Millisecond: 500, // second burst window
+		649 * time.Millisecond: 10,
+	} {
+		if got := burst.rateAt(off); got != want {
+			t.Errorf("burst rateAt(%v) = %v, want %v", off, got, want)
+		}
+	}
+}
+
+// TestRunOpenLoop drives the engine with an instant stub: the offered load
+// must match the schedule, every arrival must complete exactly once, and
+// the key popularity must be zipf-skewed toward key 0.
+func TestRunOpenLoop(t *testing.T) {
+	spec := fastSpec()
+	var mu sync.Mutex
+	keyCounts := map[int]int64{}
+	report, err := Run(context.Background(), spec, func(ctx context.Context, w Workload) (string, error) {
+		if w.Tree == nil || len(w.Library) == 0 {
+			t.Error("workload arrived without tree/library")
+		}
+		mu.Lock()
+		keyCounts[w.Key]++
+		mu.Unlock()
+		return "miss", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 200ms at 200 rps = 40 scheduled arrivals, exactly: the timeline is
+	// computed, not measured, so the count is deterministic.
+	steady := report.phase("steady")
+	if steady == nil {
+		t.Fatal("report has no steady phase")
+	}
+	if steady.Sent != 40 {
+		t.Fatalf("sent = %d, want exactly 40 (deterministic schedule)", steady.Sent)
+	}
+	if steady.Done != steady.Sent || steady.Errors != 0 || steady.Dropped != 0 {
+		t.Fatalf("done/errors/dropped = %d/%d/%d, want %d/0/0",
+			steady.Done, steady.Errors, steady.Dropped, steady.Sent)
+	}
+	if steady.Dispositions["miss"] != steady.Done {
+		t.Fatalf("dispositions = %v, want all miss", steady.Dispositions)
+	}
+	if got := steady.ThroughputRPS; got != 200 {
+		t.Fatalf("throughput = %v rps, want 200 (40 done / 0.2s)", got)
+	}
+	total := report.phase(TotalPhase)
+	if total == nil || total.Sent != steady.Sent || total.Latency.Hist.Count != steady.Done {
+		t.Fatalf("total rollup inconsistent: %+v", total)
+	}
+
+	// Key draws are seeded: the zipf skew toward rank 0 is reproducible.
+	var maxOther int64
+	for k, n := range keyCounts {
+		if k != 0 && n > maxOther {
+			maxOther = n
+		}
+	}
+	if keyCounts[0] <= maxOther {
+		t.Fatalf("zipf skew missing: key 0 drawn %d times, another key %d (counts %v)",
+			keyCounts[0], maxOther, keyCounts)
+	}
+}
+
+// TestCoordinatedOmission is the harness's core guarantee: with a single
+// slow connection, queued arrivals record latency from their *intended*
+// send time, so the report shows the latency a real open-loop client
+// population would suffer — not the per-request service time a
+// closed-loop driver would report.
+func TestCoordinatedOmission(t *testing.T) {
+	spec := fastSpec()
+	spec.Connections = 1
+	spec.Phases = []PhaseSpec{{Name: "steady", DurationMs: 200, Rate: 100}} // 20 arrivals
+	const service = 20 * time.Millisecond
+	report, err := Run(context.Background(), spec, func(ctx context.Context, w Workload) (string, error) {
+		time.Sleep(service)
+		return "miss", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := report.phase("steady")
+	if p.Done != 20 {
+		t.Fatalf("done = %d, want 20", p.Done)
+	}
+	// Arrivals come every 10ms but drain at 20ms each through one
+	// connection, so the backlog grows ~10ms per arrival; the last arrival
+	// waits ~200ms beyond its intended time. A closed-loop measurement
+	// would report ~20ms for every request.
+	if p.Latency.MaxMs < 3*float64(service/time.Millisecond) {
+		t.Fatalf("max latency %.1fms does not include schedule backlog (service %.0fms): "+
+			"latency is not measured from intended send time", p.Latency.MaxMs,
+			float64(service/time.Millisecond))
+	}
+	if p.Latency.P50Ms >= p.Latency.P999Ms {
+		t.Fatalf("latency distribution not spread by backlog: p50 %.1f >= p999 %.1f",
+			p.Latency.P50Ms, p.Latency.P999Ms)
+	}
+}
+
+// TestRunCancellation: cancelling mid-run stops scheduling, drains
+// in-flight work, and returns the partial report with the context error.
+func TestRunCancellation(t *testing.T) {
+	spec := fastSpec()
+	spec.Phases = []PhaseSpec{{Name: "steady", DurationMs: 10_000, Rate: 100}}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	report, err := Run(ctx, spec, func(ctx context.Context, w Workload) (string, error) {
+		return "hit", nil
+	})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled run took %v, schedule did not stop", elapsed)
+	}
+	p := report.phase("steady")
+	if p.Sent == 0 || p.Sent >= 1000 {
+		t.Fatalf("partial run sent %d arrivals, want a small non-zero prefix", p.Sent)
+	}
+}
+
+func TestEvaluateSLOs(t *testing.T) {
+	spec := fastSpec()
+	report, err := Run(context.Background(), spec, func(ctx context.Context, w Workload) (string, error) {
+		return "hit", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pass := []SLO{
+		{Metric: "error_rate", Max: f64(0)},
+		{Phase: "steady", Metric: "throughput_rps", Min: f64(100)},
+		{Phase: "total", Metric: "p999_ms", Max: f64(60_000)},
+	}
+	report.Spec.SLOs = pass
+	report.Evaluate()
+	if !report.Pass {
+		t.Fatalf("generous SLOs failed: %+v", report.SLOResults)
+	}
+	if len(report.SLOResults) != len(pass) {
+		t.Fatalf("got %d SLO results, want %d", len(report.SLOResults), len(pass))
+	}
+
+	for _, tc := range []struct {
+		name string
+		slo  SLO
+		want string
+	}{
+		{"max violated", SLO{Metric: "throughput_rps", Max: f64(0.001)}, "> max"},
+		{"min violated", SLO{Phase: "steady", Metric: "p50_ms", Min: f64(1e9)}, "< min"},
+		{"unknown metric", SLO{Metric: "p42_ms", Max: f64(1)}, "unknown metric"},
+		{"unknown phase", SLO{Phase: "ghost", Metric: "p50_ms", Max: f64(1)}, "unknown phase"},
+	} {
+		report.Spec.SLOs = []SLO{tc.slo}
+		report.Evaluate()
+		if report.Pass {
+			t.Errorf("%s: run passed, want failure", tc.name)
+			continue
+		}
+		if d := report.SLOResults[0].Detail; !strings.Contains(d, tc.want) {
+			t.Errorf("%s: detail %q, want %q", tc.name, d, tc.want)
+		}
+	}
+
+	// A detected server restart fails the gate even with no SLOs at all.
+	report.Spec.SLOs = nil
+	report.Server = &StatsDelta{Restarted: true}
+	report.Evaluate()
+	if report.Pass {
+		t.Fatal("run with a mid-run server restart passed")
+	}
+}
+
+// TestReportRoundTrip: the JSON document survives encode/decode with
+// schema checking, and quantiles are still answerable from the decoded
+// histogram snapshot.
+func TestReportRoundTrip(t *testing.T) {
+	spec := fastSpec()
+	report, err := Run(context.Background(), spec, func(ctx context.Context, w Workload) (string, error) {
+		return "hit", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Evaluate()
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := report.phase(TotalPhase)
+	got := back.phase(TotalPhase)
+	if got.Latency.Hist.Quantile(0.99) != orig.Latency.Hist.Quantile(0.99) {
+		t.Fatal("decoded snapshot answers a different p99")
+	}
+	if _, err := ParseReport([]byte(`{"schema":"floorplan/other/v9"}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+// TestBuildCorpusDeterministic: same spec and seed yield byte-identical
+// workloads; module counts respect the configured range.
+func TestBuildCorpusDeterministic(t *testing.T) {
+	c := CorpusSpec{Keys: 6, MinModules: 3, MaxModules: 9, Impls: 3}
+	a, err := BuildCorpus(c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCorpus(c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		ta, err := plan.EncodeTree(a[i].Tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := plan.EncodeTree(b[i].Tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ta, tb) {
+			t.Fatalf("key %d: trees differ across identically-seeded builds", i)
+		}
+		if a[i].Modules < c.MinModules || a[i].Modules > c.MaxModules {
+			t.Fatalf("key %d: %d modules outside [%d, %d]",
+				i, a[i].Modules, c.MinModules, c.MaxModules)
+		}
+		if len(a[i].Library) != a[i].Modules {
+			t.Fatalf("key %d: library has %d modules, tree %d",
+				i, len(a[i].Library), a[i].Modules)
+		}
+		for name, impls := range a[i].Library {
+			if len(impls) < 1 || len(impls) > c.Impls {
+				t.Fatalf("key %d module %s: %d impls, want 1..%d", i, name, len(impls), c.Impls)
+			}
+		}
+	}
+	other, err := BuildCorpus(c, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		ta, _ := plan.EncodeTree(a[i].Tree)
+		tb, _ := plan.EncodeTree(other[i].Tree)
+		if !bytes.Equal(ta, tb) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical corpus")
+	}
+}

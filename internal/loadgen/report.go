@@ -1,0 +1,254 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"floorplan/internal/telemetry"
+)
+
+// ReportSchema identifies the load-report JSON document.
+const ReportSchema = "floorplan/load-report/v1"
+
+// TotalPhase is the phase name addressing the whole run in SLOs and in
+// the report's phase list.
+const TotalPhase = "total"
+
+// Latency summarizes one latency distribution in milliseconds, derived
+// from the underlying log-linear histogram snapshot (which rides along so
+// downstream tooling can re-derive any quantile or merge runs).
+type Latency struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+
+	Hist telemetry.HistSnapshot `json:"hist"`
+}
+
+// latencyFrom converts a nanosecond histogram snapshot to the report form.
+func latencyFrom(s telemetry.HistSnapshot) Latency {
+	toMs := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
+	l := Latency{
+		P50Ms:  toMs(s.Quantile(0.50)),
+		P90Ms:  toMs(s.Quantile(0.90)),
+		P99Ms:  toMs(s.Quantile(0.99)),
+		P999Ms: toMs(s.Quantile(0.999)),
+		MaxMs:  toMs(s.Max),
+		Hist:   s,
+	}
+	if s.Count > 0 {
+		l.MeanMs = toMs(s.Sum / s.Count)
+	}
+	return l
+}
+
+// PhaseReport is one phase's (or the whole run's) measured outcome.
+type PhaseReport struct {
+	Name       string `json:"name"`
+	DurationMs int64  `json:"duration_ms"`
+	// Sent counts scheduled arrivals (offered load); Done counts completed
+	// requests; Errors counts completions that failed; Dropped counts
+	// arrivals discarded because the sender queue was full. In a healthy
+	// run Sent == Done and Errors == Dropped == 0.
+	Sent    int64 `json:"sent"`
+	Done    int64 `json:"done"`
+	Errors  int64 `json:"errors"`
+	Dropped int64 `json:"dropped"`
+	// ThroughputRPS is completed requests per second of scheduled phase
+	// time.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Dispositions counts completions by server disposition ("hit",
+	// "miss", "coalesced", ..., "error").
+	Dispositions map[string]int64 `json:"dispositions,omitempty"`
+	Latency      Latency          `json:"latency"`
+}
+
+// metric resolves an SLO metric name against this phase's numbers.
+func (p PhaseReport) metric(name string) (float64, error) {
+	switch name {
+	case "p50_ms":
+		return p.Latency.P50Ms, nil
+	case "p90_ms":
+		return p.Latency.P90Ms, nil
+	case "p99_ms":
+		return p.Latency.P99Ms, nil
+	case "p999_ms":
+		return p.Latency.P999Ms, nil
+	case "max_ms":
+		return p.Latency.MaxMs, nil
+	case "mean_ms":
+		return p.Latency.MeanMs, nil
+	case "error_rate":
+		if p.Sent == 0 {
+			return 0, nil
+		}
+		// Dropped arrivals never completed; they are failures of the run
+		// just as much as explicit errors.
+		return float64(p.Errors+p.Dropped) / float64(p.Sent), nil
+	case "throughput_rps":
+		return p.ThroughputRPS, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q", name)
+	}
+}
+
+// SLOResult is one evaluated assertion.
+type SLOResult struct {
+	SLO
+	// Value is the measured metric (absent when the SLO itself was
+	// unresolvable).
+	Value float64 `json:"value"`
+	OK    bool    `json:"ok"`
+	// Detail explains a failure ("p99_ms 812.5 > max 500").
+	Detail string `json:"detail,omitempty"`
+}
+
+// StatsDelta carries the server-side counter movement across the run,
+// computed by the driver from /v1/stats before and after. It attributes
+// the load to dispositions as the *server* counted them — the
+// cross-check against the client-observed disposition counts — and
+// detects a server restart mid-run (which would silently zero counters
+// and invalidate the deltas).
+type StatsDelta struct {
+	Requests      int64   `json:"requests"`
+	Shed          int64   `json:"shed"`
+	Coalesced     int64   `json:"coalesced"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	TimedOut      int64   `json:"timed_out"`
+	Restarted     bool    `json:"restarted"`
+	UptimeSeconds float64 `json:"uptime_s"`
+}
+
+// Report is the load run's full JSON output.
+type Report struct {
+	Schema string `json:"schema"`
+	Spec   Spec   `json:"spec"`
+	// WallMs is the actual wall-clock duration of the run (scheduled
+	// duration plus however long the tail of in-flight requests took).
+	WallMs int64 `json:"wall_ms"`
+	// Phases lists each scheduled phase followed by the "total" rollup.
+	Phases []PhaseReport `json:"phases"`
+	// Server is the /v1/stats delta, when the driver captured one.
+	Server *StatsDelta `json:"server,omitempty"`
+	// SLOResults and Pass are filled by Evaluate.
+	SLOResults []SLOResult `json:"slo_results,omitempty"`
+	Pass       bool        `json:"pass"`
+}
+
+// buildReport rolls the per-phase accumulators into the report, including
+// the "total" rollup phase whose histogram is the merge of every phase's
+// (exactly equal to one histogram observing the union stream, by the
+// telemetry merge guarantee).
+func buildReport(spec Spec, accums []*phaseAccum, wall time.Duration) *Report {
+	r := &Report{Schema: ReportSchema, Spec: spec, WallMs: wall.Milliseconds()}
+	var total PhaseReport
+	total.Name = TotalPhase
+	total.Dispositions = map[string]int64{}
+	var totalHist telemetry.HistSnapshot
+	for _, acc := range accums {
+		snap := acc.hist.Snapshot()
+		p := PhaseReport{
+			Name:         acc.spec.Name,
+			DurationMs:   acc.spec.DurationMs,
+			Sent:         acc.sent.Load(),
+			Done:         acc.done.Load(),
+			Errors:       acc.errs.Load(),
+			Dropped:      acc.dropped.Load(),
+			Dispositions: acc.dispositions,
+			Latency:      latencyFrom(snap),
+		}
+		if p.DurationMs > 0 {
+			p.ThroughputRPS = float64(p.Done) / (float64(p.DurationMs) / 1000)
+		}
+		total.DurationMs += p.DurationMs
+		total.Sent += p.Sent
+		total.Done += p.Done
+		total.Errors += p.Errors
+		total.Dropped += p.Dropped
+		for k, v := range p.Dispositions {
+			total.Dispositions[k] += v
+		}
+		totalHist.Merge(snap)
+		r.Phases = append(r.Phases, p)
+	}
+	if total.DurationMs > 0 {
+		total.ThroughputRPS = float64(total.Done) / (float64(total.DurationMs) / 1000)
+	}
+	total.Latency = latencyFrom(totalHist)
+	r.Phases = append(r.Phases, total)
+	return r
+}
+
+// phase finds a phase report by SLO scope name ("" and "total" address
+// the rollup).
+func (r *Report) phase(name string) *PhaseReport {
+	if name == "" {
+		name = TotalPhase
+	}
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// Evaluate checks every SLO in the spec against the measured numbers and
+// fills SLOResults and Pass. Unresolvable assertions (unknown phase or
+// metric) fail closed, as does a detected server restart: a gate that
+// cannot measure what it promised to gate on must not report green.
+func (r *Report) Evaluate() {
+	r.Pass = true
+	r.SLOResults = r.SLOResults[:0]
+	for _, s := range r.Spec.SLOs {
+		res := SLOResult{SLO: s, OK: true}
+		p := r.phase(s.Phase)
+		if p == nil {
+			res.OK = false
+			res.Detail = fmt.Sprintf("unknown phase %q", s.Phase)
+		} else if v, err := p.metric(s.Metric); err != nil {
+			res.OK = false
+			res.Detail = err.Error()
+		} else {
+			res.Value = v
+			if s.Max != nil && v > *s.Max {
+				res.OK = false
+				res.Detail = fmt.Sprintf("%s %.4g > max %.4g", s.Metric, v, *s.Max)
+			}
+			if s.Min != nil && v < *s.Min {
+				res.OK = false
+				res.Detail = fmt.Sprintf("%s %.4g < min %.4g", s.Metric, v, *s.Min)
+			}
+		}
+		if !res.OK {
+			r.Pass = false
+		}
+		r.SLOResults = append(r.SLOResults, res)
+	}
+	if r.Server != nil && r.Server.Restarted {
+		r.Pass = false
+		r.SLOResults = append(r.SLOResults, SLOResult{
+			SLO:    SLO{Metric: "server_stable"},
+			OK:     false,
+			Detail: "server restarted mid-run; /v1/stats deltas are invalid",
+		})
+	}
+}
+
+// ParseReport decodes a load report and checks its schema tag, the gate
+// scripts use to reject stale or foreign documents.
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("loadgen: report schema %q, want %q", r.Schema, ReportSchema)
+	}
+	return &r, nil
+}

@@ -1,0 +1,150 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"floorplan/internal/telemetry"
+)
+
+// SendFunc executes one request for the workload with the given corpus
+// key and reports the server's disposition label (e.g. "hit", "miss",
+// "coalesced"; "" is recorded as "unknown"). A non-nil error counts as a
+// failed request; the returned disposition still labels it ("shed",
+// "timeout"), falling back to "error" when empty.
+//
+// The callback keeps the engine transport-agnostic: fpbench wires it to a
+// floorplan.Client, tests wire it to a stub.
+type SendFunc func(ctx context.Context, w Workload) (disposition string, err error)
+
+// job is one scheduled arrival: which phase it belongs to, when the
+// schedule intended it to leave, and which workload it carries.
+type job struct {
+	acc      *phaseAccum
+	intended time.Time
+	workload Workload
+}
+
+// phaseAccum accumulates one phase's results. The latency histogram and
+// the counters are updated concurrently by the sender pool; the
+// disposition map takes the one mutex on the completion path (cheap next
+// to a network round-trip).
+type phaseAccum struct {
+	spec PhaseSpec
+
+	hist    telemetry.Histogram // latency from intended send time, ns
+	sent    atomic.Int64
+	done    atomic.Int64
+	errs    atomic.Int64
+	dropped atomic.Int64
+
+	mu           sync.Mutex
+	dispositions map[string]int64
+}
+
+// finish records one completed request.
+func (p *phaseAccum) finish(disposition string, err error, latency time.Duration) {
+	p.hist.Observe(int64(latency))
+	p.done.Add(1)
+	if err != nil {
+		p.errs.Add(1)
+		// Keep the callback's classification when it supplied one ("shed",
+		// "timeout"), so failure modes stay distinguishable in the report.
+		if disposition == "" {
+			disposition = "error"
+		}
+	} else if disposition == "" {
+		disposition = "unknown"
+	}
+	p.mu.Lock()
+	p.dispositions[disposition]++
+	p.mu.Unlock()
+}
+
+// Run executes the spec's schedule against send and returns the report.
+//
+// The scheduler walks the intended timeline phase by phase: each arrival's
+// intended time is start + phase offset, computed purely from the rate
+// function and never re-anchored to "now". When the process falls behind
+// (senders all busy, GC pause, slow server), subsequent arrivals fire
+// immediately but keep their original intended times, so their recorded
+// latency includes the time they spent waiting to be sent. That is the
+// coordinated-omission guarantee: offered load is what the spec says, and
+// queueing delay anywhere — client or server — lands in the histogram.
+//
+// Cancelling ctx stops scheduling new arrivals, lets in-flight requests
+// finish, and returns the partial report with ctx's error.
+func Run(ctx context.Context, spec Spec, send SendFunc) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	corpus, err := BuildCorpus(spec.Corpus, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	zipf := rand.NewZipf(rng, spec.Corpus.zipfS(), spec.Corpus.zipfV(), uint64(len(corpus)-1))
+
+	accums := make([]*phaseAccum, len(spec.Phases))
+	for i, p := range spec.Phases {
+		accums[i] = &phaseAccum{spec: p, dispositions: map[string]int64{}}
+	}
+
+	jobs := make(chan job, spec.queueDepth())
+	var senders sync.WaitGroup
+	for i := 0; i < spec.connections(); i++ {
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			for j := range jobs {
+				reqCtx, cancel := context.WithTimeout(ctx, spec.RequestTimeout())
+				disposition, err := send(reqCtx, j.workload)
+				cancel()
+				j.acc.finish(disposition, err, time.Since(j.intended))
+			}
+		}()
+	}
+
+	start := time.Now()
+	phaseStart := start
+schedule:
+	for _, acc := range accums {
+		dur := acc.spec.duration()
+		for off := time.Duration(0); off < dur; {
+			intended := phaseStart.Add(off)
+			if wait := time.Until(intended); wait > 0 {
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					break schedule
+				}
+			} else if ctx.Err() != nil {
+				break schedule
+			}
+			acc.sent.Add(1)
+			j := job{acc: acc, intended: intended, workload: corpus[int(zipf.Uint64())]}
+			select {
+			case jobs <- j:
+			default:
+				// The bounded queue is full: the run is hopelessly behind
+				// schedule. Count the drop instead of queueing without bound;
+				// dropped arrivals fail the error_rate SLO.
+				acc.dropped.Add(1)
+			}
+			// Advance the intended timeline by the instantaneous interval.
+			off += time.Duration(float64(time.Second) / acc.spec.rateAt(off))
+		}
+		phaseStart = phaseStart.Add(dur)
+	}
+	close(jobs)
+	senders.Wait()
+	wall := time.Since(start)
+
+	report := buildReport(spec, accums, wall)
+	return report, ctx.Err()
+}

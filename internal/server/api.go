@@ -163,8 +163,15 @@ func marshalResult(res *optimizer.Result) ([]byte, error) {
 
 // StatsResponse is the GET /v1/stats reply.
 type StatsResponse struct {
-	UptimeMs int64 `json:"uptime_ms"`
-	Requests int64 `json:"requests"`
+	// StartTimeUnixMs is the wall-clock instant the server process started
+	// serving. A poller that sees it change between two scrapes knows the
+	// server restarted — and that every counter below reset with it, so
+	// deltas across the two scrapes are meaningless. The load harness uses
+	// exactly this to invalidate a run whose server died mid-way.
+	StartTimeUnixMs int64   `json:"start_time_unix_ms"`
+	UptimeMs        int64   `json:"uptime_ms"`
+	UptimeSeconds   float64 `json:"uptime_s"`
+	Requests        int64   `json:"requests"`
 	// Shed counts requests refused 429 at admission (queue full).
 	Shed int64 `json:"shed"`
 	// Coalesced counts misses answered by joining another request's

@@ -52,6 +52,9 @@ type flightMeta struct {
 	trace       reqid.Context
 	queueWaitNs atomic.Int64 // wait for a worker slot before Begin
 	computeNs   atomic.Int64 // optimization wall time
+	// spans is the computation's span tree, stashed by compute when slow
+	// capture is on (nil otherwise); shared by every coalesced waiter.
+	spans atomic.Pointer[[]telemetry.Span]
 }
 
 // accessKey keys the accessInfo in the request context.
@@ -112,6 +115,7 @@ func (s *Server) withObservability(h http.HandlerFunc) http.HandlerFunc {
 		if hist, ok := dispositionHist(rec.disposition); ok {
 			s.tel.Record(hist, elapsed.Nanoseconds())
 		}
+		s.maybeCaptureSlow(r, sw, rec, elapsed)
 		s.logAccess(r, sw, rec, elapsed)
 	}
 }

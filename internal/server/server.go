@@ -88,6 +88,15 @@ type Config struct {
 	// sampled debug records on the shed/timeout/abandon paths; nil
 	// disables logging.
 	Logger *slog.Logger
+	// SlowThreshold enables server-side tail capture: any request whose
+	// end-to-end latency reaches it is recorded — with its queue/compute/
+	// coalesce decomposition and the computation's span tree — into a
+	// bounded ring served (and scrubbed) by GET /debug/slow. 0 disables
+	// capture and the endpoint.
+	SlowThreshold time.Duration
+	// SlowCapacity bounds the capture ring (0 = 64); when full, the oldest
+	// capture is evicted.
+	SlowCapacity int
 	// KeepSpans retains each request's optimizer spans in the collector
 	// (full Merge instead of MergeScalars), so a shutdown WriteTrace holds
 	// every request's cross-layer trace. Off by default: span retention
@@ -118,6 +127,13 @@ func (c Config) timeout() time.Duration {
 	return 60 * time.Second
 }
 
+func (c Config) slowCapacity() int {
+	if c.SlowCapacity > 0 {
+		return c.SlowCapacity
+	}
+	return 64
+}
+
 func (c Config) maxBody() int64 {
 	if c.MaxBodyBytes > 0 {
 		return c.MaxBodyBytes
@@ -140,6 +156,7 @@ type Server struct {
 	abandonSampler *slogx.Sampler
 
 	flight flight.Group[cache.Key, []byte] // coalesces concurrent misses per key
+	slow   *slowRing                       // tail captures; nil when disabled
 
 	pending           atomic.Int64 // admitted requests not yet answered
 	inflight          atomic.Int64 // computations holding a worker slot
@@ -167,9 +184,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxMemoryLimit < 0 {
 		return nil, fmt.Errorf("server: negative memory ceiling %d", cfg.MaxMemoryLimit)
 	}
+	if cfg.SlowThreshold < 0 || cfg.SlowCapacity < 0 {
+		return nil, fmt.Errorf("server: negative slow-capture threshold/capacity (%v, %d)",
+			cfg.SlowThreshold, cfg.SlowCapacity)
+	}
+	var slow *slowRing
+	if cfg.SlowThreshold > 0 {
+		slow = newSlowRing(cfg.slowCapacity())
+	}
 	return &Server{
 		cfg:            cfg,
 		sem:            make(chan struct{}, cfg.workers()),
+		slow:           slow,
 		tel:            cfg.Telemetry,
 		logger:         cfg.Logger,
 		start:          time.Now(),
@@ -188,6 +214,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.withObservability(s.handleStats))
 	mux.HandleFunc("/v1/optimize", s.withObservability(s.handleOptimize))
 	mux.HandleFunc("/metrics", s.withObservability(s.handleMetrics))
+	mux.HandleFunc("/debug/slow", s.withObservability(s.handleSlow))
 	return mux
 }
 
@@ -237,7 +264,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &StatsResponse{
+		StartTimeUnixMs:   s.start.UnixMilli(),
 		UptimeMs:          time.Since(s.start).Milliseconds(),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
 		Requests:          s.requests.Load(),
 		Shed:              s.shed.Load(),
 		Coalesced:         s.coalesced.Load(),
@@ -464,7 +493,7 @@ func (s *Server) runCall(call *flight.Call[[]byte], meta *flightMeta, req *Optim
 	}
 	computeStart := time.Now()
 	spanStart := s.tel.Now()
-	payload, err := s.compute(req, lib, memLimit, meta.trace.TraceID.String())
+	payload, err := s.compute(req, lib, memLimit, meta)
 	elapsed := time.Since(computeStart)
 	meta.computeNs.Store(elapsed.Nanoseconds())
 	s.observeComputeTime(elapsed)
@@ -575,8 +604,10 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Optimiz
 // The optimizer's scalar telemetry folds into the server collector through
 // a per-request shard; spans are tagged with the leading request's trace ID
 // and kept only under Config.KeepSpans (MergeScalars otherwise keeps the
-// span slice bounded).
-func (s *Server) compute(req *OptimizeRequest, lib plan.Library, memLimit int64, traceID string) ([]byte, error) {
+// span slice bounded). With slow capture enabled, the shard's span tree is
+// stashed on the flight meta before the shard is discarded, so a request
+// that turns out slow can still attribute its compute time node by node.
+func (s *Server) compute(req *OptimizeRequest, lib plan.Library, memLimit int64, meta *flightMeta) ([]byte, error) {
 	olib := make(optimizer.Library, len(lib))
 	for name, impls := range lib {
 		olib[name] = shape.RList(impls) // canonical by construction
@@ -591,7 +622,7 @@ func (s *Server) compute(req *OptimizeRequest, lib plan.Library, memLimit int64,
 		workers = max
 	}
 	shard := s.tel.Shard()
-	shard.SetTraceID(traceID)
+	shard.SetTraceID(meta.trace.TraceID.String())
 	o, err := optimizer.New(olib, optimizer.Options{
 		Policy: selection.Policy{
 			K1:    req.Options.K1,
@@ -608,6 +639,10 @@ func (s *Server) compute(req *OptimizeRequest, lib plan.Library, memLimit int64,
 		return nil, err
 	}
 	res, err := o.Run(req.Tree)
+	if s.slow != nil {
+		sp := shard.Spans()
+		meta.spans.Store(&sp)
+	}
 	if s.cfg.KeepSpans {
 		s.tel.Merge(shard)
 	} else {

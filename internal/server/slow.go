@@ -1,0 +1,166 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"floorplan/internal/telemetry"
+)
+
+// Server-side tail attribution: when Config.SlowThreshold is set, every
+// request whose end-to-end latency reaches it is captured into a bounded
+// ring — identity (trace/span), response envelope, the queue/compute/
+// coalesce decomposition from its flight, and the optimizer span tree the
+// computation recorded. GET /debug/slow returns and drains the ring, so an
+// operator chasing a tail spike gets the *attribution* for the slowest
+// requests (where the time went, node by node) without grepping logs or
+// correlating a trace export after the fact.
+
+// SlowRequest is one captured tail request — the GET /debug/slow element.
+type SlowRequest struct {
+	// TraceID/SpanID are the identity the client observed in its response
+	// runtime (and in its own traceparent, if it sent one).
+	TraceID      string `json:"trace_id"`
+	SpanID       string `json:"span_id"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
+	Method       string `json:"method"`
+	Path         string `json:"path"`
+	Status       int    `json:"status"`
+	// Disposition is the optimize outcome (hit, miss, coalesced, ...);
+	// empty for non-optimize endpoints.
+	Disposition string `json:"disposition,omitempty"`
+	// FlightTraceID names the leader's trace when this request coalesced
+	// onto another request's computation — the spans below belong to it.
+	FlightTraceID string `json:"flight_trace_id,omitempty"`
+	// CapturedUnixMs is the capture wall-clock time.
+	CapturedUnixMs int64 `json:"captured_unix_ms"`
+
+	// The latency decomposition: ElapsedMs is end-to-end; QueueWaitMs is
+	// the computation's wait for a worker slot; ComputeMs is optimization
+	// wall time; UnattributedMs is the remainder (decode, marshal, response
+	// write, and — for followers — waiting on a flight that started before
+	// this request arrived). All zero except ElapsedMs when the request
+	// never reached a computation (hits, shed, invalid).
+	ElapsedMs      float64 `json:"elapsed_ms"`
+	QueueWaitMs    float64 `json:"queue_wait_ms,omitempty"`
+	ComputeMs      float64 `json:"compute_ms,omitempty"`
+	UnattributedMs float64 `json:"unattributed_ms,omitempty"`
+
+	// Spans is the span tree the answering computation recorded (flight and
+	// optimizer layers), retained even when the server's collector discards
+	// per-request spans (Config.KeepSpans off).
+	Spans []telemetry.Span `json:"spans,omitempty"`
+}
+
+// slowRing is the bounded capture buffer. Captures are rare by definition
+// (tail requests only), so a mutex-guarded slice beats cleverness; when
+// full, the oldest capture is evicted — the ring always holds the newest
+// evidence.
+type slowRing struct {
+	mu       sync.Mutex
+	capacity int
+	buf      []SlowRequest
+	captured int64 // total captures ever
+	evicted  int64 // captures displaced before being read
+}
+
+func newSlowRing(capacity int) *slowRing {
+	return &slowRing{capacity: capacity}
+}
+
+func (r *slowRing) add(req SlowRequest) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.captured++
+	if len(r.buf) >= r.capacity {
+		n := copy(r.buf, r.buf[1:])
+		r.buf = r.buf[:n]
+		r.evicted++
+	}
+	r.buf = append(r.buf, req)
+}
+
+// drain returns the captured requests (oldest first) and scrubs the ring,
+// so each capture is reported exactly once and the buffer never serves
+// stale evidence twice.
+func (r *slowRing) drain() (reqs []SlowRequest, captured, evicted int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	reqs = r.buf
+	r.buf = nil
+	return reqs, r.captured, r.evicted
+}
+
+// maybeCaptureSlow records the finished request into the slow ring when
+// tail capture is enabled and the request crossed the threshold.
+func (s *Server) maybeCaptureSlow(r *http.Request, sw *statusWriter, rec *accessInfo, elapsed time.Duration) {
+	if s.slow == nil || elapsed < s.cfg.SlowThreshold {
+		return
+	}
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	cap := SlowRequest{
+		TraceID:        rec.trace.TraceID.String(),
+		SpanID:         rec.trace.SpanID.String(),
+		ParentSpanID:   rec.parentSpan,
+		Method:         r.Method,
+		Path:           r.URL.Path,
+		Status:         status,
+		Disposition:    rec.disposition,
+		FlightTraceID:  rec.flightTraceID,
+		CapturedUnixMs: time.Now().UnixMilli(),
+		ElapsedMs:      durMs(elapsed),
+	}
+	if m := rec.flight; m != nil {
+		cap.QueueWaitMs = durMs(time.Duration(m.queueWaitNs.Load()))
+		cap.ComputeMs = durMs(time.Duration(m.computeNs.Load()))
+		if rest := cap.ElapsedMs - cap.QueueWaitMs - cap.ComputeMs; rest > 0 {
+			cap.UnattributedMs = rest
+		}
+		if sp := m.spans.Load(); sp != nil {
+			cap.Spans = *sp
+		}
+	} else if cap.ElapsedMs > 0 {
+		cap.UnattributedMs = cap.ElapsedMs
+	}
+	s.slow.add(cap)
+}
+
+// slowResponse is the GET /debug/slow reply.
+type slowResponse struct {
+	ThresholdMs float64 `json:"threshold_ms"`
+	Capacity    int     `json:"capacity"`
+	// Captured counts every capture since start; Evicted counts captures
+	// displaced unread by newer ones. Requests holds (and scrubs) the
+	// currently buffered captures, oldest first.
+	Captured int64         `json:"captured"`
+	Evicted  int64         `json:"evicted"`
+	Requests []SlowRequest `json:"requests"`
+}
+
+// handleSlow serves GET /debug/slow: the buffered tail captures, scrubbed
+// on read.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.slow == nil {
+		writeError(w, http.StatusNotFound, "slow-request capture disabled (set SlowThreshold)")
+		return
+	}
+	reqs, captured, evicted := s.slow.drain()
+	if reqs == nil {
+		reqs = []SlowRequest{}
+	}
+	writeJSON(w, http.StatusOK, &slowResponse{
+		ThresholdMs: durMs(s.cfg.SlowThreshold),
+		Capacity:    s.slow.capacity,
+		Captured:    captured,
+		Evicted:     evicted,
+		Requests:    reqs,
+	})
+}

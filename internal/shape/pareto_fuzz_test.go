@@ -33,10 +33,10 @@ func tieHeavyLImpls(rng *rand.Rand, n int, span int64) []LImpl {
 func FuzzMinimaLAgainstBrute(f *testing.F) {
 	f.Add(int64(1), uint16(8), uint8(1))
 	f.Add(int64(2), uint16(64), uint8(2))
-	f.Add(int64(3), uint16(200), uint8(3))   // > minima4SmallCutoff, dense ties
-	f.Add(int64(4), uint16(500), uint8(1))   // deep recursion, one W1 value likely
-	f.Add(int64(5), uint16(300), uint8(40))  // sparse: mostly antichain
-	f.Add(int64(6), uint16(1000), uint8(5))  // large, several recursion levels
+	f.Add(int64(3), uint16(200), uint8(3))  // > minima4SmallCutoff, dense ties
+	f.Add(int64(4), uint16(500), uint8(1))  // deep recursion, one W1 value likely
+	f.Add(int64(5), uint16(300), uint8(40)) // sparse: mostly antichain
+	f.Add(int64(6), uint16(1000), uint8(5)) // large, several recursion levels
 	f.Fuzz(func(t *testing.T, seed int64, n uint16, span uint8) {
 		if n == 0 || n > 2000 {
 			return

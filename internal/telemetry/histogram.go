@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math"
 	"math/bits"
+	"sort"
 	"sync/atomic"
 )
 
@@ -23,15 +24,32 @@ func bumpMax(v *atomic.Int64, x int64) {
 	}
 }
 
-// histBuckets is the bucket count of the power-of-two histogram: bucket 0
-// holds the value 0 and bucket i (1 <= i <= 63) holds [2^(i-1), 2^i).
-// Observations are non-negative int64s, so bits.Len64 never exceeds 63.
-const histBuckets = 64
+// Bucket layout: log-linear (HDR-style). Each power-of-two octave is split
+// into histSubCount = 2^histSubBits linear sub-buckets, so the relative
+// bucket width is bounded by 2^-histSubBits everywhere: values below
+// histSubCount land in exact single-value buckets (idx = v), and a value v
+// with 2^(histSubBits+o-1) <= v < 2^(histSubBits+o) lands in octave o >= 1
+// at idx = o*histSubCount + (v>>(o-1) - histSubCount), a bucket of width
+// 2^(o-1). Reporting a bucket's midpoint therefore carries at most
+// 2^-(histSubBits+1) ≈ 3.1% relative error — the resolution p999 needs,
+// where the old pure power-of-two layout was off by up to 2×.
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits // linear sub-buckets per octave
 
-// Histogram is a lock-free power-of-two histogram over non-negative int64
+	// histBuckets covers all of [0, MaxInt64]: bits.Len64 of a non-negative
+	// int64 never exceeds 63, so the top octave is 63-histSubBits and the
+	// last index is (63-histSubBits+1)*histSubCount - 1.
+	histBuckets = (63 - histSubBits + 1) * histSubCount
+)
+
+// Histogram is a lock-free log-linear histogram over non-negative int64
 // observations. All fields are atomics, so Observe never locks or
 // allocates; bucket counts, count and sum fold commutatively, which keeps
 // merged histograms deterministic regardless of recording order.
+//
+// The zero value is ready to use: the load harness records straight into
+// standalone Histograms, the Collector embeds one per Hist enum value.
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
@@ -40,23 +58,34 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Int64
 }
 
-// bucketIndex maps a non-negative value to its bucket.
-func bucketIndex(v int64) int { return bits.Len64(uint64(v)) }
+// bucketIndex maps a non-negative value to its log-linear bucket.
+func bucketIndex(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	o := bits.Len64(uint64(v)) - histSubBits // octave, >= 1
+	return o*histSubCount + int(v>>(o-1)) - histSubCount
+}
 
 // bucketBounds returns the half-open [lo, hi) range of bucket i, with hi
 // clamped to MaxInt64 for the top bucket (whose true bound 2^63 overflows).
 func bucketBounds(i int) (lo, hi int64) {
-	if i == 0 {
-		return 0, 1
+	if i < histSubCount {
+		return int64(i), int64(i) + 1
 	}
-	lo = int64(1) << (i - 1)
-	if i >= 63 {
-		return lo, math.MaxInt64
+	o := i >> histSubBits // octave, >= 1
+	sub := i & (histSubCount - 1)
+	width := int64(1) << (o - 1)
+	lo = int64(histSubCount+sub) << (o - 1)
+	if hi = lo + width; hi < lo {
+		hi = math.MaxInt64
 	}
-	return lo, int64(1) << i
+	return lo, hi
 }
 
-func (h *Histogram) observe(v int64) {
+// Observe adds one observation. Negative values clamp to 0. Safe for
+// concurrent use; never locks or allocates.
+func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
@@ -77,8 +106,11 @@ func (h *Histogram) observe(v int64) {
 	}
 }
 
-func (h *Histogram) merge(o *Histogram) {
-	if o.count.Load() == 0 {
+// Merge folds o's observations into h bucketwise. Because every fold is
+// commutative, a merged histogram is indistinguishable from one that
+// observed the union stream directly.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count.Load() == 0 {
 		return
 	}
 	for i := range o.buckets {
@@ -102,6 +134,17 @@ func (h *Histogram) merge(o *Histogram) {
 	}
 }
 
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile returns the value at quantile q (0 <= q <= 1): the midpoint of
+// the bucket holding the ⌈q·count⌉-th smallest observation, clamped to the
+// observed [min, max]. With the log-linear layout the answer is within
+// ~3.1% of the exact order statistic. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	return h.Snapshot().Quantile(q)
+}
+
 // BucketCount is one populated histogram bucket in a snapshot: observations
 // v with Lo <= v < Hi.
 type BucketCount struct {
@@ -110,13 +153,95 @@ type BucketCount struct {
 	N  int64 `json:"n"`
 }
 
-// HistSnapshot is a histogram's point-in-time state for the JSON report.
+// HistSnapshot is a histogram's point-in-time state for the JSON report,
+// /v1/stats and the load report. Buckets carry their bounds explicitly, so
+// a snapshot that crossed a JSON round-trip still answers Quantile.
 type HistSnapshot struct {
 	Count   int64         `json:"count"`
 	Sum     int64         `json:"sum"`
 	Min     int64         `json:"min"`
 	Max     int64         `json:"max"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Quantile returns the value at quantile q (0 <= q <= 1) from the
+// snapshot's buckets: the midpoint of the bucket holding the ⌈q·count⌉-th
+// smallest observation, clamped to [Min, Max] so the extremes are exact.
+// Returns 0 on an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	// The extreme order statistics are tracked exactly; answering them
+	// from min/max instead of a bucket midpoint keeps Quantile(0) and
+	// Quantile(1) error-free.
+	if rank <= 1 {
+		return s.Min
+	}
+	if rank >= s.Count {
+		return s.Max
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.N
+		if cum >= rank {
+			v := b.Lo + (b.Hi-b.Lo-1)/2
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+	}
+	return s.Max
+}
+
+// Merge folds o's buckets into s, producing the snapshot the union stream
+// would have yielded. The receiver's bucket slice is rebuilt sorted by Lo.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		s.Min = o.Min
+		s.Max = o.Max
+	} else {
+		if o.Min < s.Min {
+			s.Min = o.Min
+		}
+		if o.Max > s.Max {
+			s.Max = o.Max
+		}
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	byLo := make(map[int64]BucketCount, len(s.Buckets)+len(o.Buckets))
+	for _, b := range s.Buckets {
+		byLo[b.Lo] = b
+	}
+	for _, b := range o.Buckets {
+		if have, ok := byLo[b.Lo]; ok {
+			have.N += b.N
+			byLo[b.Lo] = have
+		} else {
+			byLo[b.Lo] = b
+		}
+	}
+	merged := make([]BucketCount, 0, len(byLo))
+	for _, b := range byLo {
+		merged = append(merged, b)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Lo < merged[j].Lo })
+	s.Buckets = merged
 }
 
 // HistSnapshots returns a snapshot of every non-empty histogram keyed by
@@ -128,7 +253,7 @@ func (c *Collector) HistSnapshots() map[string]HistSnapshot {
 	}
 	out := make(map[string]HistSnapshot)
 	for i := Hist(0); i < numHists; i++ {
-		if s := c.hists[i].snapshot(); s.Count > 0 {
+		if s := c.hists[i].Snapshot(); s.Count > 0 {
 			out[histMeta[i].name] = s
 		}
 	}
@@ -138,7 +263,9 @@ func (c *Collector) HistSnapshots() map[string]HistSnapshot {
 	return out
 }
 
-func (h *Histogram) snapshot() HistSnapshot {
+// Snapshot captures the histogram's current state: totals plus every
+// populated bucket with its bounds, in ascending value order.
+func (h *Histogram) Snapshot() HistSnapshot {
 	s := HistSnapshot{
 		Count: h.count.Load(),
 		Sum:   h.sum.Load(),

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strings"
 )
@@ -10,11 +11,11 @@ import (
 // This file renders a Collector in the Prometheus text exposition format
 // (version 0.0.4), the lingua franca of metrics scrapers. The enum-indexed
 // registry maps onto it directly: counters become counter families with a
-// _total suffix, watermarks become gauges, and the power-of-two histograms
+// _total suffix, watermarks become gauges, and the log-linear histograms
 // become cumulative histogram families with exact integer bucket bounds —
-// bucket i of the internal histogram holds values in [2^(i-1), 2^i), so
-// its inclusive Prometheus upper bound is le="2^i - 1", which loses
-// nothing because every observation is an integer.
+// a bucket holding values in [lo, hi) gets the inclusive Prometheus upper
+// bound le="hi - 1", which loses nothing because every observation is an
+// integer.
 //
 // Metric names derive mechanically from the registry names: "server.shed"
 // → "floorplan_server_shed_total". Every family is emitted on every
@@ -83,30 +84,28 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-// writePromHistogram emits one histogram family body: cumulative _bucket
-// series up to the highest populated bucket, the mandatory +Inf bucket,
-// then _sum and _count. A nil histogram (disabled collector) emits the
-// empty family.
+// writePromHistogram emits one histogram family body: a cumulative
+// _bucket series for every populated bucket (empty buckets add no
+// information to a cumulative exposition and would bloat the scrape ~16×
+// at log-linear resolution), the mandatory +Inf bucket, then _sum and
+// _count. A nil histogram (disabled collector) emits the empty family.
 func writePromHistogram(w io.Writer, name string, h *Histogram) error {
 	var cum, sum, count int64
 	if h != nil {
 		count = h.count.Load()
 		sum = h.sum.Load()
-		top := -1
-		var counts [histBuckets]int64
 		for i := 0; i < histBuckets; i++ {
-			if counts[i] = h.buckets[i].Load(); counts[i] != 0 {
-				top = i
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
 			}
-		}
-		for i := 0; i <= top; i++ {
-			cum += counts[i]
-			// Bucket i holds integer values in [2^(i-1), 2^i); its
-			// inclusive upper bound is 2^i - 1 (0 for bucket 0). The top
-			// bucket's hi is already clamped to MaxInt64, the true bound.
+			cum += n
+			// Bucket i holds integer values in [lo, hi); its inclusive
+			// upper bound is hi - 1. The top bucket's hi is already clamped
+			// to MaxInt64, the true inclusive bound.
 			_, hi := bucketBounds(i)
 			le := hi - 1
-			if i >= 63 {
+			if hi == math.MaxInt64 {
 				le = hi
 			}
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum); err != nil {

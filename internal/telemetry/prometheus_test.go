@@ -124,7 +124,9 @@ func TestPrometheusWellFormed(t *testing.T) {
 		`floorplan_server_latency_miss_ns_bucket{le="0"} 1`,
 		`floorplan_server_latency_miss_ns_bucket{le="1"} 2`,
 		`floorplan_server_latency_miss_ns_bucket{le="3"} 4`,
-		`floorplan_server_latency_miss_ns_bucket{le="1023"} 5`,
+		`floorplan_server_latency_miss_ns_bucket{le="927"} 5`,
+		`floorplan_server_latency_miss_ns_bucket{le="1087"} 6`,
+		`floorplan_server_latency_miss_ns_bucket{le="73727"} 7`,
 		`floorplan_server_latency_miss_ns_bucket{le="+Inf"} 7`,
 		"floorplan_server_latency_miss_ns_count 7",
 	} {

@@ -9,7 +9,10 @@ import (
 
 // Schema identifies the report document format. Bump on incompatible
 // changes so downstream diff tooling can refuse mixed comparisons.
-const Schema = "floorplan/telemetry/v1"
+// v2: histogram buckets switched from power-of-two to log-linear
+// (16 sub-buckets per octave); quantiles from a v2 report are accurate to
+// ~3%, and v1/v2 bucket lists must never be diffed against each other.
+const Schema = "floorplan/telemetry/v2"
 
 // StageSpan is one coarse pipeline phase (restructure, evaluate,
 // traceback, ...) in the report, in start order.
@@ -106,7 +109,7 @@ func (c *Collector) Report() *Report {
 		}
 	}
 	for i := Hist(0); i < numHists; i++ {
-		s := c.hists[i].snapshot()
+		s := c.hists[i].Snapshot()
 		if s.Count == 0 {
 			continue
 		}

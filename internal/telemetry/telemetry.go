@@ -286,7 +286,7 @@ func (c *Collector) Record(h Hist, v int64) {
 	if c == nil {
 		return
 	}
-	c.hists[h].observe(v)
+	c.hists[h].Observe(v)
 }
 
 // Counter returns a counter's current value (0 on a nil collector).
@@ -340,7 +340,7 @@ func (c *Collector) Merge(shards ...*Collector) {
 			bumpMax(&c.watermarks[i].v, s.watermarks[i].v.Load())
 		}
 		for i := range s.hists {
-			c.hists[i].merge(&s.hists[i])
+			c.hists[i].Merge(&s.hists[i])
 		}
 		s.mu.Lock()
 		spans := append([]Span(nil), s.spans...)
@@ -380,7 +380,7 @@ func (c *Collector) MergeScalars(shards ...*Collector) {
 			bumpMax(&c.watermarks[i].v, s.watermarks[i].v.Load())
 		}
 		for i := range s.hists {
-			c.hists[i].merge(&s.hists[i])
+			c.hists[i].Merge(&s.hists[i])
 		}
 	}
 }

@@ -75,7 +75,7 @@ func TestConcurrentRecordingIsExact(t *testing.T) {
 	if got := c.Watermark(MaxRList); got != goroutines*per-1 {
 		t.Fatalf("watermark = %d, want %d", got, goroutines*per-1)
 	}
-	s := c.hists[HistListBefore].snapshot()
+	s := c.hists[HistListBefore].Snapshot()
 	if s.Count != goroutines*per {
 		t.Fatalf("hist count = %d, want %d", s.Count, goroutines*per)
 	}

@@ -1,0 +1,106 @@
+#!/bin/sh
+# load_smoke.sh boots fpserve on a random port and runs the open-loop load
+# harness (`fpbench -load`) against it twice:
+#
+#   1. a short constant/ramp/burst schedule under generous SLOs, which must
+#      pass and leave a well-formed JSON load report, and
+#   2. the same schedule under a deliberately impossible SLO, which must
+#      make fpbench exit non-zero — proving the gate actually gates.
+#
+# Invoked by `make load-smoke` and, through it, `make check`.
+set -eu
+
+GO="${GO:-go}"
+workdir="$(mktemp -d)"
+server_pid=""
+
+cleanup() {
+    status=$?
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+"$GO" build -o "$workdir/fpserve" ./cmd/fpserve
+"$GO" build -o "$workdir/fpbench" ./cmd/fpbench
+
+"$workdir/fpserve" -addr localhost:0 -addr-file "$workdir/addr" \
+    -cache-mb 16 -workers 4 -queue 64 2>"$workdir/fpserve.log" &
+server_pid=$!
+
+i=0
+while [ ! -s "$workdir/addr" ]; do
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "load-smoke: fpserve died during startup:" >&2
+        cat "$workdir/fpserve.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "load-smoke: fpserve did not publish an address in time" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="$(cat "$workdir/addr")"
+
+# A sub-three-second schedule exercising all three rate shapes. The SLOs
+# are deliberately loose — this gate proves the machinery, not the
+# hardware it happens to run on.
+cat >"$workdir/spec.json" <<'EOF'
+{
+  "seed": 7,
+  "k1": 8,
+  "connections": 32,
+  "request_timeout_ms": 5000,
+  "corpus": {"keys": 8, "min_modules": 4, "max_modules": 8, "impls": 4, "zipf_s": 1.3},
+  "phases": [
+    {"name": "warmup", "duration_ms": 600, "rate": 30},
+    {"name": "ramp", "duration_ms": 800, "shape": "ramp", "rate": 30, "end_rate": 120},
+    {"name": "burst", "duration_ms": 800, "shape": "burst", "rate": 30,
+     "burst_rate": 200, "burst_ms": 100, "period_ms": 400}
+  ],
+  "slos": [
+    {"metric": "error_rate", "max": 0.1},
+    {"metric": "p999_ms", "max": 60000},
+    {"phase": "warmup", "metric": "throughput_rps", "min": 10}
+  ]
+}
+EOF
+
+"$workdir/fpbench" -load -server "http://$addr" \
+    -load-spec "$workdir/spec.json" -load-out "$workdir/report.json"
+
+# The report must be on disk, schema-tagged, passing, and carrying the
+# per-phase quantiles and the server-side stats delta.
+for needle in '"schema": "floorplan/load-report/v1"' '"pass": true' \
+    '"name": "burst"' '"name": "total"' '"p999_ms"' '"server"' '"requests"'; do
+    grep -q "$needle" "$workdir/report.json" || {
+        echo "load-smoke: report.json missing $needle" >&2
+        cat "$workdir/report.json" >&2
+        exit 1
+    }
+done
+
+# Negative control: an impossible SLO must flip the exit code. A gate that
+# cannot fail is not a gate.
+sed 's/"max": 60000/"max": 0.0001/' "$workdir/spec.json" >"$workdir/spec_bad.json"
+if "$workdir/fpbench" -load -server "http://$addr" \
+    -load-spec "$workdir/spec_bad.json" -load-out "$workdir/report_bad.json" \
+    2>"$workdir/bad.log"; then
+    echo "load-smoke: deliberately violated SLO did not fail the run" >&2
+    exit 1
+fi
+grep -q '"pass": false' "$workdir/report_bad.json" || {
+    echo "load-smoke: violated run's report does not say pass: false" >&2
+    exit 1
+}
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+echo "load-smoke: OK (http://$addr)"

@@ -2,8 +2,10 @@
 # serve_smoke.sh boots fpserve on a random port, drives it end to end with
 # `fpbench -server` (health check, trace-ID round-trip, two optimize
 # round-trips, cache hit-rate and byte-identity verification), scrapes
-# GET /metrics for the Prometheus exposition and checks the structured
-# access log, exiting non-zero on any failure.
+# GET /metrics for the Prometheus exposition, fetches the slow-request
+# capture from GET /debug/slow (the threshold is set artificially low so
+# every request qualifies) and checks the structured access log, exiting
+# non-zero on any failure.
 # Invoked by `make obs-check` and, through it, `make check`.
 set -eu
 
@@ -26,7 +28,7 @@ trap cleanup EXIT INT TERM
 "$GO" build -o "$workdir/fpbench" ./cmd/fpbench
 
 "$workdir/fpserve" -addr localhost:0 -addr-file "$workdir/addr" \
-    -cache-mb 16 -workers 2 2>"$workdir/fpserve.log" &
+    -cache-mb 16 -workers 2 -slow-threshold 1ns 2>"$workdir/fpserve.log" &
 server_pid=$!
 
 # Wait for the server to publish its bound address.
@@ -59,6 +61,25 @@ grep -q '^floorplan_server_requests_total [1-9]' "$workdir/metrics" || {
 }
 grep -q '_bucket{le="' "$workdir/metrics" || {
     echo "serve-smoke: /metrics has no histogram bucket samples" >&2
+    exit 1
+}
+
+# Tail attribution: with the capture threshold at 1ns every request
+# fpbench drove is "slow", so GET /debug/slow must return at least one
+# captured optimize request with its trace identity and latency
+# decomposition.
+curl -sf "http://$addr/debug/slow" >"$workdir/slow"
+grep -q '"path":"/v1/optimize"' "$workdir/slow" || {
+    echo "serve-smoke: /debug/slow captured no optimize request" >&2
+    cat "$workdir/slow" >&2
+    exit 1
+}
+grep -q '"trace_id":"' "$workdir/slow" || {
+    echo "serve-smoke: /debug/slow capture carries no trace_id" >&2
+    exit 1
+}
+grep -q '"elapsed_ms":' "$workdir/slow" || {
+    echo "serve-smoke: /debug/slow capture carries no latency decomposition" >&2
     exit 1
 }
 
