@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-report bench-snapshot bench-diff race-arena serve-smoke load-smoke race-serve obs-check check
+.PHONY: all build test race vet bench bench-report bench-snapshot bench-diff race-arena serve-smoke load-smoke cluster-smoke race-serve obs-check check
 
 all: build
 
@@ -71,10 +71,20 @@ serve-smoke:
 load-smoke:
 	GO="$(GO)" sh scripts/load_smoke.sh
 
-# Focused race pass over the serving hot path: the flight coalescing group
-# and the server's shared-computation plumbing.
+# cluster-smoke boots a 3-node fpserve ring plus a single-node reference
+# and asserts the multi-node tier end to end: cluster-wide dedup (one
+# optimizer run for a burst of identical fingerprints across all nodes,
+# byte-identical to the reference), a passing skewed load run spread over
+# all three nodes, and graceful degradation (peer_fallback, zero failures)
+# when one node is killed mid-run.
+cluster-smoke:
+	GO="$(GO)" sh scripts/cluster_smoke.sh
+
+# Focused race pass over the serving hot path: the flight coalescing group,
+# the cluster ring/forwarding layer and the server's shared-computation
+# plumbing.
 race-serve:
-	$(GO) test -race -count=2 ./internal/flight/... ./internal/server/...
+	$(GO) test -race -count=2 ./internal/flight/... ./internal/cluster/... ./internal/server/...
 
 # obs-check gates the observability surface: vet over the trace/log
 # packages, the Prometheus exposition golden + metric-metadata lint tests,
@@ -85,5 +95,5 @@ obs-check:
 	$(GO) test ./internal/reqid/... ./internal/slogx/...
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
-check: vet race obs-check race-serve race-arena bench-diff load-smoke
+check: vet race obs-check race-serve race-arena bench-diff load-smoke cluster-smoke
 	$(GO) test -race ./internal/telemetry/... ./internal/cache/...

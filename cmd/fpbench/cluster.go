@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	floorplan "floorplan"
+)
+
+// clusterCheck drives a running fpserve cluster end to end: health on every
+// node, one aligned burst of identical heavyweight requests spread across
+// all nodes — which must produce exactly one optimizer run cluster-wide
+// (summed computed deltas from /v1/stats), at least one peer forward, zero
+// peer fallbacks and byte-identical results from every node — then a second
+// wave that must be answered entirely from caches (zero further runs).
+// With a reference single-node server (-single), the cluster's bytes must
+// also equal the single node's for the same workload. Any violation is an
+// error (non-zero exit), which is what lets `make cluster-smoke` gate on it.
+func clusterCheck(servers, singleURL string) error {
+	targets := splitTargets(servers)
+	if len(targets) < 2 {
+		return errors.New("-cluster-check needs at least two comma-separated URLs in -server")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	clients := make([]*floorplan.Client, len(targets))
+	for i, t := range targets {
+		clients[i] = &floorplan.Client{
+			BaseURL: t,
+			Retry:   floorplan.RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond},
+		}
+		if err := clients[i].Health(ctx); err != nil {
+			return fmt.Errorf("health check %s: %w", t, err)
+		}
+	}
+	before, err := statsAll(ctx, targets, clients)
+	if err != nil {
+		return fmt.Errorf("stats before burst: %w", err)
+	}
+
+	// A salt derived from the wall clock keeps the fingerprint cold even
+	// when the same cluster is checked twice; the dedup assertion below is
+	// about the *first* cluster-wide computation of a key.
+	salt := 100_000 + int(time.Now().UnixNano()%100_000)
+	tree, lib := coalesceWorkload(salt)
+
+	// One aligned burst, round-robin across every node: the viral-key
+	// scenario. Non-owner nodes each coalesce their share onto one forward,
+	// the owner coalesces the forwards with its own share, and exactly one
+	// optimizer run serves the whole cluster.
+	const perNode = 4
+	replies, err := burstAcross(ctx, clients, tree, lib, perNode)
+	if err != nil {
+		return err
+	}
+	for i, r := range replies[1:] {
+		if r.Key != replies[0].Key {
+			return fmt.Errorf("burst reply %d: key diverged: %s vs %s", i+1, r.Key, replies[0].Key)
+		}
+		if !bytes.Equal(r.Result, replies[0].Result) {
+			return fmt.Errorf("burst reply %d (node %q, disposition %q): result not byte-identical to reply 0 (node %q)",
+				i+1, r.Runtime.NodeID, r.Runtime.Cache, replies[0].Runtime.NodeID)
+		}
+	}
+
+	mid, err := statsAll(ctx, targets, clients)
+	if err != nil {
+		return fmt.Errorf("stats after burst: %w", err)
+	}
+	delta := statsDeltaAll(targets, before, mid)
+	if delta.Restarted {
+		return errors.New("a node restarted mid-check; deltas are invalid")
+	}
+	if delta.Computed != 1 {
+		return fmt.Errorf("burst of %d identical requests across %d nodes ran the optimizer %d times cluster-wide, want exactly 1 (per node: %+v)",
+			len(replies), len(targets), delta.Computed, delta.Nodes)
+	}
+	if delta.Forwarded < 1 {
+		return fmt.Errorf("burst produced %d peer forwards, want at least 1 (is -peers configured on every node?)", delta.Forwarded)
+	}
+	if delta.PeerFallback != 0 {
+		return fmt.Errorf("burst tripped %d peer fallbacks, want 0 with every node up", delta.PeerFallback)
+	}
+
+	// Second wave: the key is warm (and hot) now, so every node answers
+	// without another optimizer run anywhere.
+	replies2, err := burstAcross(ctx, clients, tree, lib, 1)
+	if err != nil {
+		return err
+	}
+	for i, r := range replies2 {
+		if !bytes.Equal(r.Result, replies[0].Result) {
+			return fmt.Errorf("warm reply %d not byte-identical to the burst result", i)
+		}
+	}
+	after, err := statsAll(ctx, targets, clients)
+	if err != nil {
+		return fmt.Errorf("stats after warm wave: %w", err)
+	}
+	warm := statsDeltaAll(targets, mid, after)
+	if warm.Computed != 0 {
+		return fmt.Errorf("warm wave ran the optimizer %d more times, want 0", warm.Computed)
+	}
+
+	// Cross-check against a single-node reference: sharded and unsharded
+	// serving must produce the same bytes for the same fingerprint.
+	if singleURL != "" {
+		ref := &floorplan.Client{
+			BaseURL: singleURL,
+			Retry:   floorplan.RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond},
+		}
+		resp, err := ref.Optimize(ctx, tree, lib, floorplan.ServeOptions{})
+		if err != nil {
+			return fmt.Errorf("single-node reference %s: %w", singleURL, err)
+		}
+		if resp.Key != replies[0].Key {
+			return fmt.Errorf("single-node key %s differs from cluster key %s", resp.Key, replies[0].Key)
+		}
+		if !bytes.Equal(resp.Result, replies[0].Result) {
+			return fmt.Errorf("single-node result is not byte-identical to the cluster result")
+		}
+	}
+
+	dispositions := map[string]int{}
+	for _, r := range append(replies, replies2...) {
+		dispositions[r.Runtime.Cache]++
+	}
+	log.Printf("cluster check OK: %d nodes, 1 optimizer run for %d requests (forwarded %d, fallback %d), dispositions %v",
+		len(targets), len(replies)+len(replies2), delta.Forwarded, delta.PeerFallback, dispositions)
+	return nil
+}
+
+// burstAcross fires perNode aligned identical requests at every client and
+// returns the successful replies; any request error fails the burst.
+func burstAcross(ctx context.Context, clients []*floorplan.Client, tree *floorplan.Tree, lib floorplan.Library, perNode int) ([]*floorplan.ServeResponse, error) {
+	replies := make([]*floorplan.ServeResponse, len(clients)*perNode)
+	errs := make([]error, len(replies))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range replies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start // align the burst so the requests overlap in flight
+			replies[i], errs[i] = clients[i%len(clients)].Optimize(ctx, tree, lib, floorplan.ServeOptions{})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("burst request %d (node %d): %w", i, i%len(clients), err)
+		}
+	}
+	return replies, nil
+}

@@ -7,19 +7,25 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	floorplan "floorplan"
 	"floorplan/internal/loadgen"
 )
 
-// runLoad drives a running fpserve with the open-loop load harness: it
-// reads the spec (or uses the built-in default schedule), generates the
-// workload corpus, runs the arrival schedule against the server, folds the
-// /v1/stats delta into the report, evaluates the SLO assertions and writes
-// the JSON load report. A failed SLO (or a server restart mid-run) is an
-// error, which is what lets `make load-smoke` gate on the exit code.
-func runLoad(baseURL, specPath, outPath string) error {
+// runLoad drives one or more running fpserve nodes with the open-loop load
+// harness: it reads the spec (or uses the built-in default schedule),
+// generates the workload corpus, runs the arrival schedule — spread
+// round-robin by intended send time over every target — folds the summed
+// (and per-node) /v1/stats deltas into the report, evaluates the SLO
+// assertions and writes the JSON load report. A failed SLO (or a server
+// restart mid-run) is an error, which is what lets `make load-smoke` and
+// `make cluster-smoke` gate on the exit code.
+//
+// servers is the -server value: one base URL, or a comma-separated list to
+// drive a cluster through every node at once.
+func runLoad(servers, specPath, outPath string) error {
 	spec := loadgen.DefaultSpec()
 	if specPath != "" {
 		data, err := os.ReadFile(specPath)
@@ -31,39 +37,47 @@ func runLoad(baseURL, specPath, outPath string) error {
 		}
 	}
 
-	// No retry policy: the harness measures the server as offered, and a
+	targets := splitTargets(servers)
+	if len(targets) == 0 {
+		return errors.New("no target URLs in -server")
+	}
+	// No retry policy: the harness measures the servers as offered, and a
 	// client-side retry would both re-anchor the request's latency and
 	// inflate offered load beyond the spec. Shed (429) and timeout replies
 	// are results, not conditions to paper over.
-	client := &floorplan.Client{BaseURL: baseURL}
+	clients := make([]*floorplan.Client, len(targets))
 	ctx := context.Background()
-	if err := client.Health(ctx); err != nil {
-		return fmt.Errorf("health check: %w", err)
+	for i, t := range targets {
+		clients[i] = &floorplan.Client{BaseURL: t}
+		if err := clients[i].Health(ctx); err != nil {
+			return fmt.Errorf("health check %s: %w", t, err)
+		}
 	}
-	before, err := client.Stats(ctx)
+	before, err := statsAll(ctx, targets, clients)
 	if err != nil {
 		return fmt.Errorf("stats before run: %w", err)
 	}
 
 	log.Printf("load: %d phases, %d keys, %d connections against %s",
-		len(spec.Phases), spec.Corpus.Keys, spec.Connections, baseURL)
-	report, err := loadgen.Run(ctx, spec, func(ctx context.Context, w loadgen.Workload) (string, error) {
-		resp, err := client.Optimize(ctx, w.Tree, floorplan.Library(w.Library),
-			floorplan.ServeOptions{K1: spec.K1})
-		if err != nil {
-			return classifySendError(err), err
-		}
-		return resp.Runtime.Cache, nil
-	})
+		len(spec.Phases), spec.Corpus.Keys, spec.Connections, strings.Join(targets, ", "))
+	report, err := loadgen.Run(ctx, spec, targets,
+		func(ctx context.Context, w loadgen.Workload, target int) (string, error) {
+			resp, err := clients[target].Optimize(ctx, w.Tree, floorplan.Library(w.Library),
+				floorplan.ServeOptions{K1: spec.K1})
+			if err != nil {
+				return classifySendError(err), err
+			}
+			return resp.Runtime.Cache, nil
+		})
 	if err != nil {
 		return err
 	}
 
-	after, err := client.Stats(ctx)
+	after, err := statsAll(ctx, targets, clients)
 	if err != nil {
 		return fmt.Errorf("stats after run: %w", err)
 	}
-	report.Server = statsDelta(before, after)
+	report.Server = statsDeltaAll(targets, before, after)
 	report.Evaluate()
 
 	raw, err := json.MarshalIndent(report, "", "  ")
@@ -111,21 +125,89 @@ func classifySendError(err error) string {
 	return ""
 }
 
-// statsDelta computes the server-side counter movement across the run and
+// splitTargets parses a comma-separated -server value into base URLs.
+func splitTargets(servers string) []string {
+	var out []string
+	for _, t := range strings.Split(servers, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// statsAll polls /v1/stats on every target.
+func statsAll(ctx context.Context, targets []string, clients []*floorplan.Client) ([]*floorplan.ServeStats, error) {
+	out := make([]*floorplan.ServeStats, len(clients))
+	for i, c := range clients {
+		s, err := c.Stats(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", targets[i], err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// statsDelta computes one server's counter movement across the run and
 // flags a restart (start time moved), which zeroes counters and would make
 // the deltas lie.
 func statsDelta(before, after *floorplan.ServeStats) *loadgen.StatsDelta {
-	return &loadgen.StatsDelta{
+	d := &loadgen.StatsDelta{
 		Requests:    after.Requests - before.Requests,
 		Shed:        after.Shed - before.Shed,
 		Coalesced:   after.Coalesced - before.Coalesced,
 		CacheHits:   after.Cache.Hits - before.Cache.Hits,
 		CacheMisses: after.Cache.Misses - before.Cache.Misses,
+		Computed:    after.Computed - before.Computed,
 		TimedOut: (after.TimedOutQueued + after.TimedOutComputing) -
 			(before.TimedOutQueued + before.TimedOutComputing),
 		Restarted:     after.StartTimeUnixMs != before.StartTimeUnixMs,
 		UptimeSeconds: after.UptimeSeconds,
 	}
+	if after.Cluster != nil && before.Cluster != nil {
+		d.Forwarded = after.Cluster.Forwarded - before.Cluster.Forwarded
+		d.PeerFallback = after.Cluster.PeerFallbacks - before.Cluster.PeerFallbacks
+	}
+	return d
+}
+
+// statsDeltaAll sums the per-node deltas into the run's server delta and
+// keeps the per-node breakdown; any node restarting mid-run poisons the
+// whole delta (Restarted), exactly as single-node.
+func statsDeltaAll(targets []string, before, after []*floorplan.ServeStats) *loadgen.StatsDelta {
+	if len(targets) == 1 {
+		return statsDelta(before[0], after[0])
+	}
+	sum := &loadgen.StatsDelta{}
+	for i := range targets {
+		d := statsDelta(before[i], after[i])
+		sum.Requests += d.Requests
+		sum.Shed += d.Shed
+		sum.Coalesced += d.Coalesced
+		sum.CacheHits += d.CacheHits
+		sum.CacheMisses += d.CacheMisses
+		sum.Computed += d.Computed
+		sum.TimedOut += d.TimedOut
+		sum.Forwarded += d.Forwarded
+		sum.PeerFallback += d.PeerFallback
+		sum.Restarted = sum.Restarted || d.Restarted
+		if d.UptimeSeconds > sum.UptimeSeconds {
+			sum.UptimeSeconds = d.UptimeSeconds
+		}
+		sum.Nodes = append(sum.Nodes, loadgen.NodeStatsDelta{
+			Target:       targets[i],
+			NodeID:       after[i].NodeID,
+			Requests:     d.Requests,
+			Computed:     d.Computed,
+			Coalesced:    d.Coalesced,
+			CacheHits:    d.CacheHits,
+			Forwarded:    d.Forwarded,
+			PeerFallback: d.PeerFallback,
+			Restarted:    d.Restarted,
+		})
+	}
+	return sum
 }
 
 // printLoadSummary renders the human-readable digest of a finished run on
@@ -136,10 +218,17 @@ func printLoadSummary(r *loadgen.Report) {
 			p.Name, p.ThroughputRPS, p.Latency.P50Ms, p.Latency.P99Ms,
 			p.Latency.P999Ms, p.Latency.MaxMs, p.Sent, p.Done, p.Errors, p.Dropped)
 	}
+	for _, t := range r.Targets {
+		log.Printf("target %-28s sent %d done %d err %d drop %d", t.Target, t.Sent, t.Done, t.Errors, t.Dropped)
+	}
 	if s := r.Server; s != nil {
-		log.Printf("server:  +%d requests (%d shed, %d coalesced, %d cache hits, %d misses, %d timed out), uptime %.0fs, restarted=%v",
+		log.Printf("server:  +%d requests (%d shed, %d coalesced, %d cache hits, %d misses, %d timed out, %d computed, %d forwarded, %d peer fallback), uptime %.0fs, restarted=%v",
 			s.Requests, s.Shed, s.Coalesced, s.CacheHits, s.CacheMisses,
-			s.TimedOut, s.UptimeSeconds, s.Restarted)
+			s.TimedOut, s.Computed, s.Forwarded, s.PeerFallback, s.UptimeSeconds, s.Restarted)
+		for _, n := range s.Nodes {
+			log.Printf("node %-30s +%d requests, %d computed, %d forwarded, %d peer fallback, restarted=%v",
+				n.Target, n.Requests, n.Computed, n.Forwarded, n.PeerFallback, n.Restarted)
+		}
 	}
 	for _, res := range r.SLOResults {
 		verdict := "ok"

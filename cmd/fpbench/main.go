@@ -12,6 +12,10 @@
 //	fpbench -server http://localhost:8080  # end-to-end check of fpserve
 //	fpbench -load -server http://localhost:8080 -load-spec spec.json \
 //	    -load-out report.json  # open-loop load run with SLO gating
+//	fpbench -load -server http://n1:8081,http://n2:8082,http://n3:8083
+//	    # same, spread round-robin over a cluster's nodes
+//	fpbench -cluster-check -server http://n1:8081,http://n2:8082 \
+//	    -single http://ref:8080  # cluster-wide dedup + byte-identity check
 package main
 
 import (
@@ -39,10 +43,12 @@ func main() {
 		csvOut   = flag.String("csv", "", "also write machine-readable CSV to this file")
 		jsonDir  = flag.String("benchjson", "", "write BENCH_table<N>.json files into this directory")
 		workers  = flag.Int("workers", 0, "concurrent optimizer runs (0 = all CPUs, 1 = sequential)")
-		servURL  = flag.String("server", "", "drive a running fpserve at this base URL end-to-end and exit")
+		servURL  = flag.String("server", "", "drive a running fpserve at this base URL end-to-end and exit (-load and -cluster-check accept a comma-separated list)")
 		load     = flag.Bool("load", false, "with -server: run the open-loop load harness instead of the functional check")
 		loadSpec = flag.String("load-spec", "", "with -load: JSON load spec file (default: built-in schedule)")
 		loadOut  = flag.String("load-out", "", "with -load: write the JSON load report here (default: stdout)")
+		clCheck  = flag.Bool("cluster-check", false, "with -server (comma-separated node URLs): assert cluster-wide dedup and byte-identity, then exit")
+		single   = flag.String("single", "", "with -cluster-check: also compare results against this single-node reference fpserve")
 		snapshot = flag.String("snapshot", "", "measure the pinned perf grid, write a BENCH snapshot to this file and exit")
 		baseFile = flag.String("baseline", "", "with -snapshot: embed this snapshot file as the diff baseline")
 		snapPR   = flag.Int("snapshot-pr", 6, "with -snapshot: PR number stamped into the snapshot")
@@ -53,18 +59,25 @@ func main() {
 	tf.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *load && *servURL == "" {
-		log.Fatal("-load needs -server pointing at a running fpserve")
+	if (*load || *clCheck) && *servURL == "" {
+		log.Fatal("-load/-cluster-check need -server pointing at running fpserve nodes")
 	}
 	if *servURL != "" {
-		if *load {
+		switch {
+		case *load:
 			if err := runLoad(*servURL, *loadSpec, *loadOut); err != nil {
 				log.Fatal(err)
 			}
-			return
-		}
-		if err := serveCheck(*servURL); err != nil {
-			log.Fatal(err)
+		case *clCheck:
+			if err := clusterCheck(*servURL, *single); err != nil {
+				log.Fatal(err)
+			}
+		case strings.Contains(*servURL, ","):
+			log.Fatal("the functional check takes a single URL; use -load or -cluster-check for multi-node runs")
+		default:
+			if err := serveCheck(*servURL); err != nil {
+				log.Fatal(err)
+			}
 		}
 		return
 	}

@@ -22,6 +22,17 @@
 // request emits one structured access-log record on stderr (tune with
 // -log-level and -log-format), and responses carry the request's W3C trace
 // ID — propagated from a client traceparent header when one was sent.
+//
+// Cluster mode: start every node with the same -peers list and its own
+// -self URL, e.g.
+//
+//	fpserve -addr localhost:8081 -self http://localhost:8081 \
+//	  -peers http://localhost:8081,http://localhost:8082,http://localhost:8083
+//
+// Each cache key then has one owning node on a consistent-hash ring;
+// requests landing elsewhere are forwarded to the owner (so a repeated
+// fingerprint costs one optimizer run cluster-wide), hot keys replicate to
+// every node's local cache, and a down peer degrades to local computation.
 package main
 
 import (
@@ -30,11 +41,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"floorplan/internal/cache"
 	"floorplan/internal/cliutil"
+	"floorplan/internal/cluster"
 	"floorplan/internal/server"
 )
 
@@ -53,6 +66,12 @@ func main() {
 		drain      = flag.Duration("drain", 15*time.Second, "graceful shutdown drain deadline")
 		slowThresh = flag.Duration("slow-threshold", 0, "capture requests at least this slow into GET /debug/slow (0 disables)")
 		slowCap    = flag.Int("slow-capacity", 0, "slow-request capture ring size (0 = 64)")
+		peers      = flag.String("peers", "", "comma-separated base URLs of every cluster node, including this one (empty = single-node)")
+		self       = flag.String("self", "", "this node's base URL exactly as spelled in -peers (required with -peers)")
+		nodeID     = flag.String("node-id", "", "display id for this node in stats/logs (default: -self, or the listen address single-node)")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per backend on the placement ring (0 = 128)")
+		hotKeys    = flag.Int("hot-keys", 0, "top-K hot keys replicated to every node's cache (0 = 32, negative disables)")
+		peerTO     = flag.Duration("peer-timeout", 0, "per-hop timeout for one peer forward attempt (0 = 2s)")
 		tf         cliutil.TelemetryFlags
 	)
 	tf.Register(flag.CommandLine)
@@ -82,6 +101,31 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var cl *cluster.Cluster
+	if *peers != "" {
+		if *self == "" {
+			log.Fatal("-peers requires -self (this node's URL as spelled in the peer list)")
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:        *self,
+			Peers:       peerList,
+			NodeID:      *nodeID,
+			VNodes:      *vnodes,
+			HotK:        *hotKeys,
+			PeerTimeout: *peerTO,
+			Telemetry:   col,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -92,6 +136,8 @@ func main() {
 		Logger:         logger,
 		SlowThreshold:  *slowThresh,
 		SlowCapacity:   *slowCap,
+		NodeID:         *nodeID,
+		Cluster:        cl,
 		// Span retention grows without bound on a long-lived server, so
 		// only a run that will export a trace keeps them.
 		KeepSpans: tf.Trace != "",
@@ -103,7 +149,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on http://%s (cache %d MiB, workers %d)", bound, *cacheMB, *workers)
+	if cl != nil {
+		log.Printf("listening on http://%s (cache %d MiB, workers %d, cluster node %s of %d peers)",
+			bound, *cacheMB, *workers, cl.NodeID(), len(cl.Ring().Nodes()))
+	} else {
+		log.Printf("listening on http://%s (cache %d MiB, workers %d)", bound, *cacheMB, *workers)
+	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound.String()), 0o644); err != nil {
 			log.Fatal(err)

@@ -166,6 +166,51 @@ func TestRaceOneKey(t *testing.T) {
 	}
 }
 
+// TestRacePeerFillEviction models the cluster tier's peer-fill traffic: many
+// goroutines repeatedly Put the same small key set — idempotent stores of
+// identical bytes per key, exactly what hot-key replication produces — into a
+// budget that holds only a fraction of it, so every fill races an eviction.
+// Correctness under -race: a Get never returns another key's bytes and the
+// budget invariant holds throughout.
+func TestRacePeerFillEviction(t *testing.T) {
+	const distinct = 12
+	budget := 3 * (32 + entryOverhead) // room for ~3 of the 12 keys
+	c, err := New(Config{MaxBytes: int64(budget), Shards: 2, Telemetry: telemetry.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i)}, 32)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				n := (g*7 + i) % distinct
+				k := testKey(byte(n))
+				if v, ok := c.Get(k); ok {
+					if !bytes.Equal(v, payload(n)) {
+						t.Errorf("key %d answered another key's bytes", n)
+						return
+					}
+				} else {
+					c.Put(k, payload(n))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.Budget {
+		t.Fatalf("bytes %d exceed budget %d", st.Bytes, st.Budget)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions: the budget did not force fill/evict contention")
+	}
+}
+
 func TestShardedSpread(t *testing.T) {
 	c, err := New(Config{MaxBytes: 1 << 20, Shards: 8})
 	if err != nil {

@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"floorplan/internal/cache"
+	"floorplan/internal/telemetry"
+)
+
+// Peer-protocol headers. The hop marker doubles as the loop guard: a
+// request carrying it is already an intra-cluster hop and is never
+// forwarded again, so a misconfigured ring degrades to local computation
+// instead of a proxy loop.
+const (
+	// HeaderInternal marks an intra-cluster hop; its value is the origin
+	// node's id (which the owner's access log records as the peer).
+	HeaderInternal = "X-FP-Internal"
+	// HeaderHot is set to "1" by an owner on responses whose key currently
+	// ranks in its top-K hit EWMAs; peers replicate exactly these into
+	// their local caches.
+	HeaderHot = "X-FP-Hot"
+)
+
+// Config describes one node's view of the cluster.
+type Config struct {
+	// Self is this node's base URL exactly as it appears in Peers.
+	Self string
+	// Peers lists every backend's base URL, including Self. Every node must
+	// be started with the same set (order does not matter).
+	Peers []string
+	// NodeID labels this node in stats, logs and response envelopes
+	// (default: Self).
+	NodeID string
+	// VNodes is the virtual-node count per backend (0 = DefaultVNodes).
+	VNodes int
+	// HotK is the top-K size for hot-key replication (0 = 32; negative
+	// disables replication).
+	HotK int
+	// HotHalfLife is the decay half-life of the per-key hit EWMA (0 = 10s).
+	HotHalfLife time.Duration
+	// PeerTimeout caps one forward hop (0 = 2s). A forward is always a
+	// single attempt: the origin client owns the retry budget, and a second
+	// server-side attempt would double-apply it.
+	PeerTimeout time.Duration
+	// MaxResponseBytes caps a forwarded response body (0 = 64 MiB).
+	MaxResponseBytes int64
+	// HTTPClient overrides the forwarding transport (nil = a dedicated
+	// client with per-host connection pooling).
+	HTTPClient *http.Client
+	// Telemetry receives the cluster.* counters/histograms; nil disables.
+	Telemetry *telemetry.Collector
+}
+
+func (c Config) hotK() int {
+	switch {
+	case c.HotK > 0:
+		return c.HotK
+	case c.HotK < 0:
+		return 0
+	default:
+		return 32
+	}
+}
+
+func (c Config) hotHalfLife() time.Duration {
+	if c.HotHalfLife > 0 {
+		return c.HotHalfLife
+	}
+	return 10 * time.Second
+}
+
+func (c Config) peerTimeout() time.Duration {
+	if c.PeerTimeout > 0 {
+		return c.PeerTimeout
+	}
+	return 2 * time.Second
+}
+
+func (c Config) maxResponseBytes() int64 {
+	if c.MaxResponseBytes > 0 {
+		return c.MaxResponseBytes
+	}
+	return 64 << 20
+}
+
+// Cluster is one node's handle on the tier: ownership lookups, the peer
+// forwarder and the hot-key tracker. Create with New; all methods are safe
+// for concurrent use.
+type Cluster struct {
+	cfg  Config
+	ring *Ring
+	hot  *hotTracker
+	hc   *http.Client
+	tel  *telemetry.Collector
+
+	forwardInflight atomic.Int64
+
+	// Stats counters, snapshotted into /v1/stats.
+	forwarded     atomic.Int64
+	forwardErrors atomic.Int64
+	peerFallbacks atomic.Int64
+	internalIn    atomic.Int64
+	hotFills      atomic.Int64
+	replicaHits   atomic.Int64
+}
+
+// New validates the config and builds the node's cluster handle.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: config needs Self")
+	}
+	found := false
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", cfg.Self, cfg.Peers)
+	}
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NodeID == "" {
+		cfg.NodeID = cfg.Self
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Cluster{
+		cfg:  cfg,
+		ring: ring,
+		hot:  newHotTracker(cfg.hotK(), cfg.hotHalfLife(), nil),
+		hc:   hc,
+		tel:  cfg.Telemetry,
+	}, nil
+}
+
+// NodeID returns this node's display id.
+func (c *Cluster) NodeID() string { return c.cfg.NodeID }
+
+// Ring exposes the placement ring, for tests and introspection.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Owner resolves a key's owning backend and whether that backend is this
+// node.
+func (c *Cluster) Owner(k cache.Key) (node string, self bool) {
+	node = c.ring.Owner(k)
+	return node, node == c.cfg.Self
+}
+
+// TouchOwned records one owner-served request for key on the hit EWMA and
+// reports whether the key is currently hot (so the response can carry the
+// replication marker).
+func (c *Cluster) TouchOwned(k cache.Key) bool { return c.hot.Touch(k) }
+
+// NoteInternal counts one hop-marked request served for a peer.
+func (c *Cluster) NoteInternal() { c.internalIn.Add(1); c.tel.Inc(telemetry.CtrClusterInternal) }
+
+// NoteReplicaHit counts one local cache hit on a key owned by a peer —
+// replication (or an earlier fallback) paying off.
+func (c *Cluster) NoteReplicaHit() { c.replicaHits.Add(1); c.tel.Inc(telemetry.CtrClusterReplicaHits) }
+
+// NoteHotFill counts one peer-fill store of a hot key into the local cache.
+func (c *Cluster) NoteHotFill() { c.hotFills.Add(1); c.tel.Inc(telemetry.CtrClusterHotFills) }
+
+// NotePeerFallback counts one owner-unreachable fallback to local
+// computation.
+func (c *Cluster) NotePeerFallback() {
+	c.peerFallbacks.Add(1)
+	c.tel.Inc(telemetry.CtrClusterPeerFallback)
+}
+
+// PeerStatusError is a non-2xx reply from the owning peer, relayed to the
+// origin's client verbatim: same status, same message, and — crucially —
+// the owner's Retry-After hint exactly as sent. The origin must not
+// re-derive the hint from its own queue (it did not queue anything) nor
+// retry the hop itself (the client's retry budget already covers the
+// logical request).
+type PeerStatusError struct {
+	// Node is the owning peer that answered.
+	Node string
+	// Status is the peer's HTTP status code.
+	Status int
+	// Message is the peer's error body.
+	Message string
+	// RetryAfter is the peer's Retry-After header value, verbatim ("" when
+	// absent).
+	RetryAfter string
+}
+
+func (e *PeerStatusError) Error() string {
+	return fmt.Sprintf("cluster: peer %s answered HTTP %d: %s", e.Node, e.Status, e.Message)
+}
+
+// ForwardReply is a successful forwarded optimize: the owner's
+// deterministic result payload plus the replication marker.
+type ForwardReply struct {
+	// Payload is the owner's deterministic result bytes (the response's
+	// "result" field) — byte-identical to what the owner cached.
+	Payload []byte
+	// Hot reports whether the owner marked the key for replication.
+	Hot bool
+}
+
+// forwardedResponse is the loosely-decoded owner reply; only the
+// deterministic payload is extracted (the origin builds its own runtime
+// envelope).
+type forwardedResponse struct {
+	Result json.RawMessage `json:"result"`
+}
+
+type forwardedError struct {
+	Error string `json:"error"`
+}
+
+// Forward proxies one optimize body to the owning peer: a single POST with
+// the per-hop timeout, the hop marker and the origin's traceparent (so the
+// cross-node spans join one trace). It returns a ForwardReply on success, a
+// *PeerStatusError when the owner answered non-2xx (to be relayed), or a
+// transport error when the owner never answered (the caller falls back to
+// computing locally).
+func (c *Cluster) Forward(ctx context.Context, owner string, body []byte, traceparent string) (*ForwardReply, error) {
+	c.forwarded.Add(1)
+	c.tel.Inc(telemetry.CtrClusterForwarded)
+	c.tel.Observe(telemetry.MaxClusterForwardInflight, c.forwardInflight.Add(1))
+	defer c.forwardInflight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.peerTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(owner, "/")+"/v1/optimize", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building forward to %s: %w", owner, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderInternal, c.cfg.NodeID)
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.tel.Record(telemetry.HistClusterForwardNs, time.Since(start).Nanoseconds())
+		return nil, fmt.Errorf("cluster: forwarding to %s: %w", owner, err)
+	}
+	defer resp.Body.Close()
+	max := c.cfg.maxResponseBytes()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, max+1))
+	c.tel.Record(telemetry.HistClusterForwardNs, time.Since(start).Nanoseconds())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading forward reply from %s: %w", owner, err)
+	}
+	if int64(len(raw)) > max {
+		return nil, fmt.Errorf("cluster: forward reply from %s exceeds the %d-byte limit", owner, max)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		c.forwardErrors.Add(1)
+		c.tel.Inc(telemetry.CtrClusterForwardErrors)
+		msg := strings.TrimSpace(string(raw))
+		var fe forwardedError
+		if json.Unmarshal(raw, &fe) == nil && fe.Error != "" {
+			msg = fe.Error
+		}
+		return nil, &PeerStatusError{
+			Node:       owner,
+			Status:     resp.StatusCode,
+			Message:    msg,
+			RetryAfter: resp.Header.Get("Retry-After"),
+		}
+	}
+	var fr forwardedResponse
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		return nil, fmt.Errorf("cluster: decoding forward reply from %s: %w", owner, err)
+	}
+	if len(fr.Result) == 0 {
+		return nil, fmt.Errorf("cluster: forward reply from %s carries no result payload", owner)
+	}
+	return &ForwardReply{Payload: fr.Result, Hot: resp.Header.Get(HeaderHot) == "1"}, nil
+}
+
+// Stats is the point-in-time cluster snapshot embedded in /v1/stats.
+type Stats struct {
+	NodeID string   `json:"node_id"`
+	Peers  []string `json:"peers"`
+	VNodes int      `json:"vnodes"`
+	// Forwarded counts requests this node proxied to their owner;
+	// ForwardErrors the subset whose owner answered non-2xx (relayed);
+	// PeerFallbacks the subset whose owner never answered and were computed
+	// locally instead.
+	Forwarded     int64 `json:"forwarded"`
+	ForwardErrors int64 `json:"forward_errors"`
+	PeerFallbacks int64 `json:"peer_fallback"`
+	// InternalRequests counts hop-marked requests served for peers;
+	// ReplicaHits local cache hits on peer-owned keys; HotFills peer-fill
+	// stores of owner-marked hot keys.
+	InternalRequests int64 `json:"internal_requests"`
+	ReplicaHits      int64 `json:"replica_hits"`
+	HotFills         int64 `json:"hot_fills"`
+	// HotTracked is the current size of the hit-EWMA tracker.
+	HotTracked int `json:"hot_tracked"`
+}
+
+// Stats snapshots the cluster counters. Safe on a nil receiver (reports
+// zeros), so the single-node stats path needs no branch.
+func (c *Cluster) Stats() *Stats {
+	if c == nil {
+		return nil
+	}
+	return &Stats{
+		NodeID:           c.cfg.NodeID,
+		Peers:            c.ring.Nodes(),
+		VNodes:           c.ring.VNodes(),
+		Forwarded:        c.forwarded.Load(),
+		ForwardErrors:    c.forwardErrors.Load(),
+		PeerFallbacks:    c.peerFallbacks.Load(),
+		InternalRequests: c.internalIn.Load(),
+		ReplicaHits:      c.replicaHits.Load(),
+		HotFills:         c.hotFills.Load(),
+		HotTracked:       c.hot.tracked(),
+	}
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func twoNodeCluster(t *testing.T, self, peer string) *Cluster {
+	t.Helper()
+	c, err := New(Config{Self: self, Peers: []string{self, peer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"a"}}); err == nil {
+		t.Fatal("missing Self accepted")
+	}
+	if _, err := New(Config{Self: "c", Peers: []string{"a", "b"}}); err == nil {
+		t.Fatal("Self outside the peer list accepted")
+	}
+	c, err := New(Config{Self: "a", Peers: []string{"b", "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NodeID() != "a" {
+		t.Fatalf("NodeID defaulted to %q, want Self", c.NodeID())
+	}
+}
+
+// TestForwardSuccess: a 2xx owner reply yields the result payload verbatim
+// plus the hot marker, and the hop carries the loop-guard and trace
+// headers.
+func TestForwardSuccess(t *testing.T) {
+	payload := `{"best":{"W":3,"H":4},"area":12}`
+	var gotInternal, gotTrace, gotPath string
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotInternal = r.Header.Get(HeaderInternal)
+		gotTrace = r.Header.Get("traceparent")
+		gotPath = r.URL.Path
+		w.Header().Set(HeaderHot, "1")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"key":    "k",
+			"result": json.RawMessage(payload),
+		})
+	}))
+	defer owner.Close()
+
+	c := twoNodeCluster(t, "http://origin", owner.URL)
+	tp := "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	reply, err := c.Forward(context.Background(), owner.URL, []byte(`{"tree":null}`), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply.Payload) != payload {
+		t.Fatalf("payload = %s, want the owner's result verbatim", reply.Payload)
+	}
+	if !reply.Hot {
+		t.Fatal("hot marker lost")
+	}
+	if gotPath != "/v1/optimize" {
+		t.Fatalf("forwarded to %q", gotPath)
+	}
+	if gotInternal != "http://origin" {
+		t.Fatalf("hop marker = %q, want the origin's node id", gotInternal)
+	}
+	if gotTrace != tp {
+		t.Fatalf("traceparent = %q, want %q propagated", gotTrace, tp)
+	}
+	if s := c.Stats(); s.Forwarded != 1 || s.ForwardErrors != 0 {
+		t.Fatalf("stats = %+v, want 1 forward, 0 errors", s)
+	}
+}
+
+// TestForwardStatusRelay: a non-2xx owner reply becomes a PeerStatusError
+// carrying the owner's status, decoded message and Retry-After hint
+// *verbatim* — the single-attempt contract that keeps the client's retry
+// budget from being applied twice.
+func TestForwardStatusRelay(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"saturated: request queue full"}`))
+	}))
+	defer owner.Close()
+
+	c := twoNodeCluster(t, "http://origin", owner.URL)
+	_, err := c.Forward(context.Background(), owner.URL, []byte(`{}`), "")
+	var pe *PeerStatusError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PeerStatusError", err)
+	}
+	if pe.Status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", pe.Status)
+	}
+	if pe.Message != "saturated: request queue full" {
+		t.Fatalf("message = %q, want the owner's error body decoded", pe.Message)
+	}
+	if pe.RetryAfter != "7" {
+		t.Fatalf("RetryAfter = %q, want the owner's header verbatim", pe.RetryAfter)
+	}
+	if pe.Node != owner.URL {
+		t.Fatalf("node = %q, want %q", pe.Node, owner.URL)
+	}
+	if s := c.Stats(); s.ForwardErrors != 1 {
+		t.Fatalf("forward_errors = %d, want 1", s.ForwardErrors)
+	}
+}
+
+// TestForwardSingleAttempt: the owner sees exactly one request per Forward
+// call even when it answers 503 — retries belong to the origin's client.
+func TestForwardSingleAttempt(t *testing.T) {
+	hits := 0
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer owner.Close()
+
+	c := twoNodeCluster(t, "http://origin", owner.URL)
+	_, err := c.Forward(context.Background(), owner.URL, []byte(`{}`), "")
+	var pe *PeerStatusError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PeerStatusError", err)
+	}
+	if hits != 1 {
+		t.Fatalf("owner saw %d requests for one Forward, want exactly 1", hits)
+	}
+}
+
+// TestForwardTimeout: an owner that never answers within the per-hop
+// timeout yields a transport error (not a PeerStatusError), the signal for
+// the caller's local-compute fallback.
+func TestForwardTimeout(t *testing.T) {
+	block := make(chan struct{})
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer owner.Close()
+	defer close(block)
+
+	c, err := New(Config{
+		Self:        "http://origin",
+		Peers:       []string{"http://origin", owner.URL},
+		PeerTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Forward(context.Background(), owner.URL, []byte(`{}`), "")
+	if err == nil {
+		t.Fatal("forward to a hung owner succeeded")
+	}
+	var pe *PeerStatusError
+	if errors.As(err, &pe) {
+		t.Fatalf("hung owner produced a status error %v, want a transport error", pe)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("forward took %v, per-hop timeout did not apply", elapsed)
+	}
+}
+
+// TestForwardDeadPeer: a connection refusal is a transport error too.
+func TestForwardDeadPeer(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := dead.URL
+	dead.Close() // port now refuses connections
+
+	c := twoNodeCluster(t, "http://origin", url)
+	_, err := c.Forward(context.Background(), url, []byte(`{}`), "")
+	if err == nil {
+		t.Fatal("forward to a dead peer succeeded")
+	}
+	var pe *PeerStatusError
+	if errors.As(err, &pe) {
+		t.Fatal("dead peer produced a status error, want a transport error")
+	}
+}
+
+// TestForwardResponseCap: an oversized owner reply is refused rather than
+// buffered without bound.
+func TestForwardResponseCap(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"result":"` + strings.Repeat("x", 4096) + `"}`))
+	}))
+	defer owner.Close()
+
+	c, err := New(Config{
+		Self:             "http://origin",
+		Peers:            []string{"http://origin", owner.URL},
+		MaxResponseBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Forward(context.Background(), owner.URL, []byte(`{}`), ""); err == nil ||
+		!strings.Contains(err.Error(), "byte limit") {
+		t.Fatalf("err = %v, want the byte-limit refusal", err)
+	}
+}
+
+// TestStatsNil: the nil receiver snapshot keeps the single-node stats path
+// branch-free.
+func TestStatsNil(t *testing.T) {
+	var c *Cluster
+	if c.Stats() != nil {
+		t.Fatal("nil cluster Stats() != nil")
+	}
+}
+
+// TestOwnerSelf: Owner resolves self-ownership against the ring.
+func TestOwnerSelf(t *testing.T) {
+	c := twoNodeCluster(t, "http://a", "http://b")
+	selfOwned, peerOwned := 0, 0
+	for i := 0; i < 1000; i++ {
+		node, self := c.Owner(testKey(i))
+		if self {
+			if node != "http://a" {
+				t.Fatalf("self=true but node %q", node)
+			}
+			selfOwned++
+		} else {
+			if node != "http://b" {
+				t.Fatalf("self=false but node %q", node)
+			}
+			peerOwned++
+		}
+	}
+	if selfOwned == 0 || peerOwned == 0 {
+		t.Fatalf("degenerate split: self %d, peer %d", selfOwned, peerOwned)
+	}
+}

@@ -1,0 +1,150 @@
+// Package cluster is the multi-node serving tier: a consistent-hash ring
+// that assigns every content-addressed cache key an owning fpserve backend,
+// plus the peer protocol (forwarding, peer cache fill, hot-key replication,
+// owner-failure fallback) the server layers over its existing HTTP API.
+//
+// Membership is static — the ring is built once from a -peers list every
+// node shares — and placement is a pure function of (node name, key), so
+// every node computes the same owner for a key without any coordination,
+// across process restarts and regardless of the order the peer list was
+// spelled in. Virtual nodes smooth the partition: each node projects
+// VNodes points onto a 64-bit ring and a key belongs to the node owning
+// the first point at or after the key's own projection.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"floorplan/internal/cache"
+)
+
+// DefaultVNodes is the virtual-node count per backend when Config leaves
+// VNodes zero. Each virtual node contributes pointsPerVNode ring positions
+// (the full SHA-256 digest sliced into 64-bit words, ketama-style), so 128
+// vnodes place 512 points per backend — enough to keep the max/mean key
+// imbalance within 15% for the 3–16 node clusters this tier targets
+// (property-tested in TestRingBalance).
+const DefaultVNodes = 128
+
+// pointsPerVNode is how many ring positions one virtual-node digest yields:
+// a SHA-256 digest is 32 bytes, exactly four 64-bit points. Slicing the
+// digest instead of hashing four times buys the extra smoothing for free.
+const pointsPerVNode = 4
+
+// Ring is an immutable consistent-hash ring over a static node set. Build
+// with NewRing; all methods are safe for concurrent use (the ring never
+// mutates after construction).
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+	vnodes int
+}
+
+// ringPoint is one virtual node: a position on the 64-bit ring and the
+// index (into nodes) of the backend owning it.
+type ringPoint struct {
+	hash uint64
+	node int32
+}
+
+// NewRing builds the ring for the given node names (peer base URLs in the
+// serving tier). Names are deduplicated and sorted first, so every process
+// handed the same set — in any order — builds the identical ring. vnodes
+// <= 0 selects DefaultVNodes.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node name in ring")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		nodes:  uniq,
+		points: make([]ringPoint, 0, len(uniq)*vnodes*pointsPerVNode),
+		vnodes: vnodes,
+	}
+	for i, n := range uniq {
+		for v := 0; v < vnodes; v++ {
+			for _, h := range vnodeHashes(n, v) {
+				r.points = append(r.points, ringPoint{hash: h, node: int32(i)})
+			}
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break by node index so placement
+		// stays deterministic.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// vnodeHashes projects one virtual node onto the ring: SHA-256 of
+// "<node>#<index>" sliced into four 64-bit positions. SHA-256 keeps vnode
+// points uniform for any node naming scheme (URLs, short ids) so the arc
+// lengths — and with them the key balance — do not depend on how operators
+// spell their peer lists.
+func vnodeHashes(node string, v int) [pointsPerVNode]uint64 {
+	h := sha256.Sum256([]byte(node + "#" + strconv.Itoa(v)))
+	var out [pointsPerVNode]uint64
+	for i := range out {
+		out[i] = binary.BigEndian.Uint64(h[8*i : 8*i+8])
+	}
+	return out
+}
+
+// keyPoint projects a cache key onto the ring. Bytes 8..16 keep the ring
+// projection independent of the cache's shard selector (bytes 0..4): a
+// node owns contiguous arcs of its projection, and reusing the shard bytes
+// would collapse each arc's keys onto one or two local cache shards.
+func keyPoint(k cache.Key) uint64 {
+	return binary.BigEndian.Uint64(k[8:16])
+}
+
+// Owner returns the node owning key: the backend whose virtual node is the
+// first at or clockwise after the key's ring position.
+func (r *Ring) Owner(k cache.Key) string {
+	return r.nodes[r.ownerIdx(keyPoint(k))]
+}
+
+// OwnerPoint resolves ownership of a raw ring position; exported for the
+// ring property tests.
+func (r *Ring) OwnerPoint(h uint64) string {
+	return r.nodes[r.ownerIdx(h)]
+}
+
+func (r *Ring) ownerIdx(h uint64) int32 {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the last point to the ring's first
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's member names, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// VNodes reports the per-node virtual-node count the ring was built with.
+func (r *Ring) VNodes() int { return r.vnodes }

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"floorplan/internal/cache"
+)
+
+// testKey derives a deterministic cache key from an integer, hashed so the
+// ring projection (key bytes 8..16) is uniform like real content addresses.
+func testKey(i int) cache.Key {
+	var seed [8]byte
+	binary.BigEndian.PutUint64(seed[:], uint64(i))
+	return cache.Key(sha256.Sum256(seed[:]))
+}
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://node-%d:8080", i)
+	}
+	return out
+}
+
+// TestRingDeterministic is the placement property the whole tier rests on:
+// the owner of a key is a pure function of (node set, key) — independent of
+// the order the peer list was spelled in, of duplicates in it, and of which
+// process builds the ring (a rebuild stands in for a restart).
+func TestRingDeterministic(t *testing.T) {
+	nodes := nodeNames(5)
+	a, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shuffled := append([]string(nil), nodes...)
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	shuffled = append(shuffled, nodes[2]) // duplicate entry must be harmless
+	b, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewRing(nodes, 0) // "restarted process" rebuild
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 10_000; i++ {
+		k := testKey(i)
+		oa, ob, oc := a.Owner(k), b.Owner(k), c.Owner(k)
+		if oa != ob || oa != oc {
+			t.Fatalf("key %d: owners diverge: ordered %q, shuffled %q, rebuilt %q", i, oa, ob, oc)
+		}
+	}
+}
+
+// TestRingGoldenOwners pins concrete placements so an accidental change to
+// the vnode hash or the key projection — which would strand every cluster's
+// cached ownership mid-upgrade — fails loudly, not statistically. Update
+// the golden values only with a deliberate placement-format change.
+func TestRingGoldenOwners(t *testing.T) {
+	r, err := NewRing(nodeNames(4), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[int]string{
+		0: "http://node-0:8080",
+		1: "http://node-1:8080",
+		2: "http://node-0:8080",
+		3: "http://node-3:8080",
+		4: "http://node-3:8080",
+		5: "http://node-1:8080",
+		6: "http://node-0:8080",
+		7: "http://node-0:8080",
+	}
+	for i, want := range golden {
+		if got := r.Owner(testKey(i)); got != want {
+			t.Errorf("golden owner of key %d: %q, want %q (placement format changed?)", i, got, want)
+		}
+	}
+}
+
+// TestRingBalance: with the default 128 vnodes, key load across 3–16 nodes
+// stays within 15% of the mean (max/mean − 1 ≤ 0.15) for a uniform key
+// population — the bound DESIGN.md promises for the tier's target sizes.
+func TestRingBalance(t *testing.T) {
+	const keys = 100_000
+	for n := 3; n <= 16; n++ {
+		r, err := NewRing(nodeNames(n), DefaultVNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for i := 0; i < keys; i++ {
+			counts[r.Owner(testKey(i))]++
+		}
+		if len(counts) != n {
+			t.Fatalf("%d nodes: only %d received keys", n, len(counts))
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		mean := float64(keys) / float64(n)
+		if imbalance := float64(max)/mean - 1; imbalance > 0.15 {
+			t.Errorf("%d nodes: max/mean imbalance %.1f%% > 15%% (max %d, mean %.0f)",
+				n, 100*imbalance, max, mean)
+		}
+	}
+}
+
+// TestRingMinimalMovement is consistent hashing's defining property: when a
+// node leaves, exactly the keys it owned move (to some surviving node) and
+// every other key keeps its owner. Checked exhaustively over a key sample
+// for each possible departure from a 5-node ring.
+func TestRingMinimalMovement(t *testing.T) {
+	nodes := nodeNames(5)
+	full, err := NewRing(nodes, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 20_000
+	for drop := 0; drop < len(nodes); drop++ {
+		var rest []string
+		for i, n := range nodes {
+			if i != drop {
+				rest = append(rest, n)
+			}
+		}
+		shrunk, err := NewRing(rest, DefaultVNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i := 0; i < keys; i++ {
+			k := testKey(i)
+			before, after := full.Owner(k), shrunk.Owner(k)
+			if before == nodes[drop] {
+				moved++
+				if after == nodes[drop] {
+					t.Fatalf("key %d still owned by removed node %q", i, nodes[drop])
+				}
+			} else if before != after {
+				t.Fatalf("key %d moved %q -> %q although its owner survived the removal of %q",
+					i, before, after, nodes[drop])
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("removing %q moved no keys at all", nodes[drop])
+		}
+	}
+}
+
+// TestRingValidation covers the constructor's rejects.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+	r, err := NewRing([]string{"solo"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Owner(testKey(1)); got != "solo" {
+		t.Fatalf("single-node ring owner = %q", got)
+	}
+	if r.VNodes() != 4 {
+		t.Fatalf("VNodes() = %d, want 4", r.VNodes())
+	}
+}
+
+// TestOwnerPointWrap: a position past the last vnode wraps to the ring's
+// first point.
+func TestOwnerPointWrap(t *testing.T) {
+	r, err := NewRing(nodeNames(3), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := r.points[len(r.points)-1].hash
+	if last == ^uint64(0) {
+		t.Skip("last vnode sits at the ring maximum")
+	}
+	wantFirst := r.nodes[r.points[0].node]
+	if got := r.OwnerPoint(last + 1); got != wantFirst {
+		t.Fatalf("OwnerPoint(past last) = %q, want wrap to first point's node %q", got, wantFirst)
+	}
+	if got := r.OwnerPoint(r.points[0].hash); got != wantFirst {
+		t.Fatalf("OwnerPoint(exactly first) = %q, want %q", got, wantFirst)
+	}
+}

@@ -116,7 +116,7 @@ func TestRunOpenLoop(t *testing.T) {
 	spec := fastSpec()
 	var mu sync.Mutex
 	keyCounts := map[int]int64{}
-	report, err := Run(context.Background(), spec, func(ctx context.Context, w Workload) (string, error) {
+	report, err := Run(context.Background(), spec, nil, func(ctx context.Context, w Workload, target int) (string, error) {
 		if w.Tree == nil || len(w.Library) == 0 {
 			t.Error("workload arrived without tree/library")
 		}
@@ -166,6 +166,60 @@ func TestRunOpenLoop(t *testing.T) {
 	}
 }
 
+// TestRunMultiTarget: arrivals rotate round-robin over the targets by
+// intended send time, so every endpoint receives an equal share (±1) of
+// the offered load, and the report carries a per-target section whose
+// counts agree with what the stub observed.
+func TestRunMultiTarget(t *testing.T) {
+	spec := fastSpec() // 40 deterministic arrivals
+	targets := []string{"http://a", "http://b", "http://c"}
+	var mu sync.Mutex
+	seen := make([]int64, len(targets))
+	report, err := Run(context.Background(), spec, targets, func(ctx context.Context, w Workload, target int) (string, error) {
+		if target < 0 || target >= len(targets) {
+			t.Errorf("target index %d out of range", target)
+			return "", nil
+		}
+		mu.Lock()
+		seen[target]++
+		mu.Unlock()
+		return "hit", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Targets) != len(targets) {
+		t.Fatalf("report has %d target sections, want %d", len(report.Targets), len(targets))
+	}
+	var sent, lo, hi int64
+	lo = 1 << 62
+	for i, tr := range report.Targets {
+		if tr.Target != targets[i] {
+			t.Errorf("target %d labeled %q, want %q", i, tr.Target, targets[i])
+		}
+		if tr.Done != seen[i] || tr.Errors != 0 || tr.Dropped != 0 {
+			t.Errorf("target %s: done/errors/dropped = %d/%d/%d, stub saw %d",
+				tr.Target, tr.Done, tr.Errors, tr.Dropped, seen[i])
+		}
+		if tr.Dispositions["hit"] != tr.Done {
+			t.Errorf("target %s dispositions = %v, want all hit", tr.Target, tr.Dispositions)
+		}
+		sent += tr.Sent
+		if tr.Sent < lo {
+			lo = tr.Sent
+		}
+		if tr.Sent > hi {
+			hi = tr.Sent
+		}
+	}
+	if sent != 40 {
+		t.Fatalf("per-target sent sums to %d, want 40", sent)
+	}
+	if hi-lo > 1 {
+		t.Fatalf("round-robin spread uneven: per-target sent ranges %d..%d", lo, hi)
+	}
+}
+
 // TestCoordinatedOmission is the harness's core guarantee: with a single
 // slow connection, queued arrivals record latency from their *intended*
 // send time, so the report shows the latency a real open-loop client
@@ -176,7 +230,7 @@ func TestCoordinatedOmission(t *testing.T) {
 	spec.Connections = 1
 	spec.Phases = []PhaseSpec{{Name: "steady", DurationMs: 200, Rate: 100}} // 20 arrivals
 	const service = 20 * time.Millisecond
-	report, err := Run(context.Background(), spec, func(ctx context.Context, w Workload) (string, error) {
+	report, err := Run(context.Background(), spec, nil, func(ctx context.Context, w Workload, target int) (string, error) {
 		time.Sleep(service)
 		return "miss", nil
 	})
@@ -210,7 +264,7 @@ func TestRunCancellation(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	report, err := Run(ctx, spec, func(ctx context.Context, w Workload) (string, error) {
+	report, err := Run(ctx, spec, nil, func(ctx context.Context, w Workload, target int) (string, error) {
 		return "hit", nil
 	})
 	if err != context.DeadlineExceeded {
@@ -227,7 +281,7 @@ func TestRunCancellation(t *testing.T) {
 
 func TestEvaluateSLOs(t *testing.T) {
 	spec := fastSpec()
-	report, err := Run(context.Background(), spec, func(ctx context.Context, w Workload) (string, error) {
+	report, err := Run(context.Background(), spec, nil, func(ctx context.Context, w Workload, target int) (string, error) {
 		return "hit", nil
 	})
 	if err != nil {
@@ -283,7 +337,7 @@ func TestEvaluateSLOs(t *testing.T) {
 // histogram snapshot.
 func TestReportRoundTrip(t *testing.T) {
 	spec := fastSpec()
-	report, err := Run(context.Background(), spec, func(ctx context.Context, w Workload) (string, error) {
+	report, err := Run(context.Background(), spec, nil, func(ctx context.Context, w Workload, target int) (string, error) {
 		return "hit", nil
 	})
 	if err != nil {

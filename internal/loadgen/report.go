@@ -96,6 +96,21 @@ func (p PhaseReport) metric(name string) (float64, error) {
 	}
 }
 
+// TargetReport is one endpoint's share of a multi-target run: what the
+// round-robin rotation sent it and how it answered. Latency is not split
+// per target — the histogram already aggregates the run, and a per-node
+// tail question is better answered by the node's own /debug/slow.
+type TargetReport struct {
+	Target  string `json:"target"`
+	Sent    int64  `json:"sent"`
+	Done    int64  `json:"done"`
+	Errors  int64  `json:"errors"`
+	Dropped int64  `json:"dropped"`
+	// Dispositions counts completions by server disposition as this target
+	// reported them ("hit", "forwarded", "peer_fallback", ...).
+	Dispositions map[string]int64 `json:"dispositions,omitempty"`
+}
+
 // SLOResult is one evaluated assertion.
 type SLOResult struct {
 	SLO
@@ -114,14 +129,38 @@ type SLOResult struct {
 // detects a server restart mid-run (which would silently zero counters
 // and invalidate the deltas).
 type StatsDelta struct {
-	Requests      int64   `json:"requests"`
-	Shed          int64   `json:"shed"`
-	Coalesced     int64   `json:"coalesced"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	TimedOut      int64   `json:"timed_out"`
+	Requests    int64 `json:"requests"`
+	Shed        int64 `json:"shed"`
+	Coalesced   int64 `json:"coalesced"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	TimedOut    int64 `json:"timed_out"`
+	// Computed counts optimizer runs actually executed; in a multi-node run
+	// it is the sum across nodes — the cluster-wide dedup number.
+	Computed int64 `json:"computed"`
+	// Forwarded and PeerFallback aggregate the cluster tier's hop counters
+	// across nodes (zero single-node).
+	Forwarded     int64   `json:"forwarded,omitempty"`
+	PeerFallback  int64   `json:"peer_fallback"`
 	Restarted     bool    `json:"restarted"`
 	UptimeSeconds float64 `json:"uptime_s"`
+	// Nodes carries the per-node deltas behind the sums above (multi-node
+	// runs only).
+	Nodes []NodeStatsDelta `json:"nodes,omitempty"`
+}
+
+// NodeStatsDelta is one node's share of a multi-node stats delta.
+type NodeStatsDelta struct {
+	// Target is the endpoint URL polled; NodeID the server's own label.
+	Target       string `json:"target"`
+	NodeID       string `json:"node_id,omitempty"`
+	Requests     int64  `json:"requests"`
+	Computed     int64  `json:"computed"`
+	Coalesced    int64  `json:"coalesced"`
+	CacheHits    int64  `json:"cache_hits"`
+	Forwarded    int64  `json:"forwarded"`
+	PeerFallback int64  `json:"peer_fallback"`
+	Restarted    bool   `json:"restarted"`
 }
 
 // Report is the load run's full JSON output.
@@ -133,6 +172,9 @@ type Report struct {
 	WallMs int64 `json:"wall_ms"`
 	// Phases lists each scheduled phase followed by the "total" rollup.
 	Phases []PhaseReport `json:"phases"`
+	// Targets splits the run per endpoint when more than one target was
+	// driven (cluster runs); absent otherwise.
+	Targets []TargetReport `json:"targets,omitempty"`
 	// Server is the /v1/stats delta, when the driver captured one.
 	Server *StatsDelta `json:"server,omitempty"`
 	// SLOResults and Pass are filled by Evaluate.
@@ -144,7 +186,7 @@ type Report struct {
 // the "total" rollup phase whose histogram is the merge of every phase's
 // (exactly equal to one histogram observing the union stream, by the
 // telemetry merge guarantee).
-func buildReport(spec Spec, accums []*phaseAccum, wall time.Duration) *Report {
+func buildReport(spec Spec, accums []*phaseAccum, taccums []*targetAccum, wall time.Duration) *Report {
 	r := &Report{Schema: ReportSchema, Spec: spec, WallMs: wall.Milliseconds()}
 	var total PhaseReport
 	total.Name = TotalPhase
@@ -181,6 +223,16 @@ func buildReport(spec Spec, accums []*phaseAccum, wall time.Duration) *Report {
 	}
 	total.Latency = latencyFrom(totalHist)
 	r.Phases = append(r.Phases, total)
+	for _, t := range taccums {
+		r.Targets = append(r.Targets, TargetReport{
+			Target:       t.name,
+			Sent:         t.sent.Load(),
+			Done:         t.done.Load(),
+			Errors:       t.errs.Load(),
+			Dropped:      t.dropped.Load(),
+			Dispositions: t.dispositions,
+		})
+	}
 	return r
 }
 

@@ -11,21 +11,25 @@ import (
 )
 
 // SendFunc executes one request for the workload with the given corpus
-// key and reports the server's disposition label (e.g. "hit", "miss",
-// "coalesced"; "" is recorded as "unknown"). A non-nil error counts as a
-// failed request; the returned disposition still labels it ("shed",
-// "timeout"), falling back to "error" when empty.
+// key against the target'th configured endpoint, and reports the server's
+// disposition label (e.g. "hit", "miss", "coalesced"; "" is recorded as
+// "unknown"). A non-nil error counts as a failed request; the returned
+// disposition still labels it ("shed", "timeout"), falling back to "error"
+// when empty. target indexes the Run targets list (always 0 single-target).
 //
 // The callback keeps the engine transport-agnostic: fpbench wires it to a
-// floorplan.Client, tests wire it to a stub.
-type SendFunc func(ctx context.Context, w Workload) (disposition string, err error)
+// floorplan.Client per target, tests wire it to a stub.
+type SendFunc func(ctx context.Context, w Workload, target int) (disposition string, err error)
 
 // job is one scheduled arrival: which phase it belongs to, when the
-// schedule intended it to leave, and which workload it carries.
+// schedule intended it to leave, which workload it carries and which
+// target it goes to.
 type job struct {
 	acc      *phaseAccum
+	tacc     *targetAccum
 	intended time.Time
 	workload Workload
+	target   int
 }
 
 // phaseAccum accumulates one phase's results. The latency histogram and
@@ -64,6 +68,38 @@ func (p *phaseAccum) finish(disposition string, err error, latency time.Duration
 	p.mu.Unlock()
 }
 
+// targetAccum accumulates one target's results across every phase, so a
+// multi-node run can say per node what it sent and how the node answered.
+type targetAccum struct {
+	name string
+
+	sent    atomic.Int64
+	done    atomic.Int64
+	errs    atomic.Int64
+	dropped atomic.Int64
+
+	mu           sync.Mutex
+	dispositions map[string]int64
+}
+
+func (t *targetAccum) finish(disposition string, err error) {
+	if t == nil {
+		return
+	}
+	t.done.Add(1)
+	if err != nil {
+		t.errs.Add(1)
+		if disposition == "" {
+			disposition = "error"
+		}
+	} else if disposition == "" {
+		disposition = "unknown"
+	}
+	t.mu.Lock()
+	t.dispositions[disposition]++
+	t.mu.Unlock()
+}
+
 // Run executes the spec's schedule against send and returns the report.
 //
 // The scheduler walks the intended timeline phase by phase: each arrival's
@@ -77,7 +113,14 @@ func (p *phaseAccum) finish(disposition string, err error, latency time.Duration
 //
 // Cancelling ctx stops scheduling new arrivals, lets in-flight requests
 // finish, and returns the partial report with ctx's error.
-func Run(ctx context.Context, spec Spec, send SendFunc) (*Report, error) {
+//
+// targets names the endpoints the run spreads over: arrivals rotate
+// round-robin by intended send time (arrival i goes to target i mod n), so
+// every node of a cluster sees the same offered rate and the same key
+// skew. Empty or single-element targets degenerate to the single-endpoint
+// run (every send gets target 0); the report carries a per-target section
+// only when more than one target is named.
+func Run(ctx context.Context, spec Spec, targets []string, send SendFunc) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -92,6 +135,13 @@ func Run(ctx context.Context, spec Spec, send SendFunc) (*Report, error) {
 	for i, p := range spec.Phases {
 		accums[i] = &phaseAccum{spec: p, dispositions: map[string]int64{}}
 	}
+	var taccums []*targetAccum
+	if len(targets) > 1 {
+		taccums = make([]*targetAccum, len(targets))
+		for i, t := range targets {
+			taccums[i] = &targetAccum{name: t, dispositions: map[string]int64{}}
+		}
+	}
 
 	jobs := make(chan job, spec.queueDepth())
 	var senders sync.WaitGroup
@@ -101,15 +151,21 @@ func Run(ctx context.Context, spec Spec, send SendFunc) (*Report, error) {
 			defer senders.Done()
 			for j := range jobs {
 				reqCtx, cancel := context.WithTimeout(ctx, spec.RequestTimeout())
-				disposition, err := send(reqCtx, j.workload)
+				disposition, err := send(reqCtx, j.workload, j.target)
 				cancel()
 				j.acc.finish(disposition, err, time.Since(j.intended))
+				j.tacc.finish(disposition, err)
 			}
 		}()
 	}
 
+	nTargets := len(targets)
+	if nTargets == 0 {
+		nTargets = 1
+	}
 	start := time.Now()
 	phaseStart := start
+	seq := 0 // arrival counter across phases, for the round-robin rotation
 schedule:
 	for _, acc := range accums {
 		dur := acc.spec.duration()
@@ -126,8 +182,14 @@ schedule:
 			} else if ctx.Err() != nil {
 				break schedule
 			}
+			target := seq % nTargets
+			seq++
 			acc.sent.Add(1)
-			j := job{acc: acc, intended: intended, workload: corpus[int(zipf.Uint64())]}
+			j := job{acc: acc, intended: intended, workload: corpus[int(zipf.Uint64())], target: target}
+			if taccums != nil {
+				j.tacc = taccums[target]
+				j.tacc.sent.Add(1)
+			}
 			select {
 			case jobs <- j:
 			default:
@@ -135,6 +197,9 @@ schedule:
 				// schedule. Count the drop instead of queueing without bound;
 				// dropped arrivals fail the error_rate SLO.
 				acc.dropped.Add(1)
+				if j.tacc != nil {
+					j.tacc.dropped.Add(1)
+				}
 			}
 			// Advance the intended timeline by the instantaneous interval.
 			off += time.Duration(float64(time.Second) / acc.spec.rateAt(off))
@@ -145,6 +210,6 @@ schedule:
 	senders.Wait()
 	wall := time.Since(start)
 
-	report := buildReport(spec, accums, wall)
+	report := buildReport(spec, accums, taccums, wall)
 	return report, ctx.Err()
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"floorplan/internal/cache"
+	"floorplan/internal/cluster"
 	"floorplan/internal/optimizer"
 	"floorplan/internal/plan"
 	"floorplan/internal/shape"
@@ -68,8 +69,13 @@ type ResponseRuntime struct {
 	ElapsedMs int64 `json:"elapsed_ms"`
 	// Cache is the disposition: "hit", "miss", "coalesced" (answered by
 	// joining another request's in-flight computation of the same key),
-	// "bypass" (NoCache set) or "off" (server cache disabled).
+	// "bypass" (NoCache set), "off" (server cache disabled), "forwarded"
+	// (cluster mode: answered by the key's owning peer) or "peer_fallback"
+	// (owner unreachable, computed locally).
 	Cache string `json:"cache"`
+	// NodeID names the node that answered; empty when the server runs
+	// without an id.
+	NodeID string `json:"node_id,omitempty"`
 	// TraceID is the W3C trace ID the answer was produced under: the
 	// caller's own trace (propagated from its traceparent header, or minted
 	// by the server), except for coalesced answers, which report the trace
@@ -171,7 +177,13 @@ type StatsResponse struct {
 	StartTimeUnixMs int64   `json:"start_time_unix_ms"`
 	UptimeMs        int64   `json:"uptime_ms"`
 	UptimeSeconds   float64 `json:"uptime_s"`
-	Requests        int64   `json:"requests"`
+	// NodeID names this instance in cluster deployments (empty when unset).
+	NodeID   string `json:"node_id,omitempty"`
+	Requests int64  `json:"requests"`
+	// Computed counts optimizer runs executed on this node — the number
+	// cluster-wide dedup assertions sum across peers: a coalesced, cached or
+	// forwarded answer does not increment it, only an actual local run.
+	Computed int64 `json:"computed"`
 	// Shed counts requests refused 429 at admission (queue full).
 	Shed int64 `json:"shed"`
 	// Coalesced counts misses answered by joining another request's
@@ -191,6 +203,9 @@ type StatsResponse struct {
 	QueueCapacity   int         `json:"queue_capacity"`
 	Cache           cache.Stats `json:"cache"`
 	CacheEnabled    bool        `json:"cache_enabled"`
+	// Cluster carries the multi-node tier's counters (forwards, fallbacks,
+	// hot fills); absent on single-node servers.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 	// Histograms exports the server's populated latency/size histograms
 	// keyed by metric name (the same data GET /metrics renders); empty
 	// histograms are omitted, and the whole field is absent when telemetry

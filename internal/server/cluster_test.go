@@ -1,0 +1,453 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"floorplan/internal/cache"
+	"floorplan/internal/cluster"
+	"floorplan/internal/plan"
+)
+
+// clusterNode is one in-process fpserve instance of a test cluster.
+type clusterNode struct {
+	srv *Server
+	url string
+}
+
+// startCluster boots n in-process nodes sharing one static peer list. The
+// listeners bind before any ring is built — mirroring fpserve's -peers flag,
+// where membership is known ahead of serving — so every node constructs the
+// identical ring over the real URLs.
+func startCluster(t *testing.T, n int, mutate func(i int, cfg *Config)) []*clusterNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		cfg := Config{
+			Workers: 2,
+			Cache:   testCache(t, 1<<20),
+			NodeID:  fmt.Sprintf("node-%d", i),
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:   urls[i],
+			Peers:  urls,
+			NodeID: cfg.NodeID,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cluster = cl
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go func() { _ = hs.Serve(lns[i]) }()
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = hs.Shutdown(ctx)
+			_ = s.Shutdown(ctx) // waits out detached computations
+		})
+		nodes[i] = &clusterNode{srv: s, url: urls[i]}
+	}
+	return nodes
+}
+
+// postURL is postOptimize against a raw base URL with optional extra headers.
+func postURL(t *testing.T, base string, req *OptimizeRequest, hdr map[string]string) (int, []byte, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/optimize", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw, resp.Header
+}
+
+func getStatsURL(t *testing.T, base string) *StatsResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// keyOf derives the content address the server will compute for req,
+// mirroring handleOptimize's KeySpec (no MaxMemoryLimit clamp in tests).
+func keyOf(t *testing.T, req *OptimizeRequest) cache.Key {
+	t.Helper()
+	lib, err := plan.CanonicalLibrary(req.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := cache.KeySpec{
+		Tree:          req.Tree,
+		Lib:           lib,
+		K1:            req.Options.K1,
+		K2:            req.Options.K2,
+		Theta:         req.Options.Theta,
+		S:             req.Options.S,
+		MemoryLimit:   req.Options.MemoryLimit,
+		SkipPlacement: req.Options.SkipPlacement,
+	}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// reqOwnedBy fabricates a request whose content address lands on owner's
+// ring arc by perturbing Theta — a knob that changes the key without
+// changing what a correct answer looks like for the tiny test tree. salt
+// keeps different call sites from minting the same request.
+func reqOwnedBy(t *testing.T, cl *cluster.Cluster, owner string, salt int) *OptimizeRequest {
+	t.Helper()
+	for i := 0; i < 100_000; i++ {
+		req := &OptimizeRequest{
+			Tree:    testTree(),
+			Library: testLibrary(),
+			Options: RequestOptions{Theta: float64(salt*100_000+i+1) * 1e-9},
+		}
+		if node, _ := cl.Owner(keyOf(t, req)); node == owner {
+			return req
+		}
+	}
+	t.Fatalf("no request found whose key is owned by %q", owner)
+	return nil
+}
+
+// TestClusterForwardDedupAndPeerFill is the tentpole end to end on two
+// in-process nodes: a request at the non-owner is forwarded (one optimizer
+// run cluster-wide, byte-identical bytes everywhere), the hot-marked reply
+// fills the non-owner's local cache, and the next request for the key is a
+// local hit with no second hop.
+func TestClusterForwardDedupAndPeerFill(t *testing.T) {
+	nodes := startCluster(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+	req := reqOwnedBy(t, a.srv.cfg.Cluster, b.url, 1)
+
+	status, raw, _ := postURL(t, a.url, req, nil)
+	if status != http.StatusOK {
+		t.Fatalf("forwarded request: HTTP %d: %s", status, raw)
+	}
+	fwd := decodeOptimize(t, raw)
+	if fwd.Runtime.Cache != "forwarded" {
+		t.Fatalf("disposition %q, want forwarded", fwd.Runtime.Cache)
+	}
+	if fwd.Runtime.NodeID != "node-0" {
+		t.Fatalf("responding node %q, want node-0", fwd.Runtime.NodeID)
+	}
+
+	sa, sb := getStatsURL(t, a.url), getStatsURL(t, b.url)
+	if got := sa.Computed + sb.Computed; got != 1 {
+		t.Fatalf("cluster-wide optimizer runs = %d, want exactly 1", got)
+	}
+	if sb.Computed != 1 {
+		t.Fatalf("owner computed %d, want 1 (non-owner ran the optimizer)", sb.Computed)
+	}
+	if sa.Cluster == nil || sa.Cluster.Forwarded != 1 {
+		t.Fatalf("origin cluster stats = %+v, want 1 forward", sa.Cluster)
+	}
+	if sa.Cluster.HotFills != 1 {
+		t.Fatalf("hot_fills = %d, want 1 (the only tracked key is top-K by definition)",
+			sa.Cluster.HotFills)
+	}
+
+	// The owner answers the same request from its cache, byte-identically.
+	status, raw, _ = postURL(t, b.url, req, nil)
+	if status != http.StatusOK {
+		t.Fatalf("owner request: HTTP %d: %s", status, raw)
+	}
+	own := decodeOptimize(t, raw)
+	if own.Runtime.Cache != "hit" {
+		t.Fatalf("owner disposition %q, want hit", own.Runtime.Cache)
+	}
+	if own.Key != fwd.Key || !bytes.Equal(own.Result, fwd.Result) {
+		t.Fatal("owner's bytes differ from the forwarded reply")
+	}
+
+	// Peer fill: the non-owner now answers locally — no second hop.
+	status, raw, _ = postURL(t, a.url, req, nil)
+	if status != http.StatusOK {
+		t.Fatalf("replica request: HTTP %d: %s", status, raw)
+	}
+	rep := decodeOptimize(t, raw)
+	if rep.Runtime.Cache != "hit" {
+		t.Fatalf("replica disposition %q, want hit from the peer-filled cache", rep.Runtime.Cache)
+	}
+	if !bytes.Equal(rep.Result, fwd.Result) {
+		t.Fatal("replica bytes differ from the forwarded reply")
+	}
+	if sa2 := getStatsURL(t, a.url); sa2.Cluster.Forwarded != 1 {
+		t.Fatalf("replica hit forwarded again: %d hops", sa2.Cluster.Forwarded)
+	}
+}
+
+// TestClusterLoopGuard: a request already carrying the hop marker is never
+// forwarded again, even when the ring says a peer owns the key — a
+// disagreeing ring degrades to a local computation, not a proxy loop.
+func TestClusterLoopGuard(t *testing.T) {
+	nodes := startCluster(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+	req := reqOwnedBy(t, a.srv.cfg.Cluster, b.url, 2)
+
+	status, raw, _ := postURL(t, a.url, req, map[string]string{
+		cluster.HeaderInternal: "node-x",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("hop-marked request: HTTP %d: %s", status, raw)
+	}
+	resp := decodeOptimize(t, raw)
+	if resp.Runtime.Cache != "miss" {
+		t.Fatalf("disposition %q, want miss (local computation)", resp.Runtime.Cache)
+	}
+	sa := getStatsURL(t, a.url)
+	if sa.Computed != 1 {
+		t.Fatalf("hop-marked request computed %d times locally, want 1", sa.Computed)
+	}
+	if sa.Cluster.Forwarded != 0 {
+		t.Fatalf("hop-marked request was re-forwarded %d times", sa.Cluster.Forwarded)
+	}
+	if sa.Cluster.InternalRequests != 1 {
+		t.Fatalf("internal_requests = %d, want 1", sa.Cluster.InternalRequests)
+	}
+	if sb := getStatsURL(t, b.url); sb.Computed != 0 {
+		t.Fatalf("owner computed %d, want 0 — the loop guard leaked a hop", sb.Computed)
+	}
+}
+
+// TestClusterPeerFallback: an owner that refuses connections costs one
+// failed hop, not availability — the origin computes locally and the
+// request succeeds with the peer_fallback disposition.
+func TestClusterPeerFallback(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close() // the port now refuses connections
+
+	self := "http://origin-a"
+	cl, err := cluster.New(cluster.Config{
+		Self:        self,
+		Peers:       []string{self, deadURL},
+		NodeID:      "node-a",
+		PeerTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, Cache: testCache(t, 1<<20), Cluster: cl})
+	req := reqOwnedBy(t, cl, deadURL, 3)
+
+	status, raw, _ := postOptimize(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("request with a dead owner: HTTP %d: %s", status, raw)
+	}
+	resp := decodeOptimize(t, raw)
+	if resp.Runtime.Cache != "peer_fallback" {
+		t.Fatalf("disposition %q, want peer_fallback", resp.Runtime.Cache)
+	}
+	if len(resp.Result) == 0 {
+		t.Fatal("fallback produced no result")
+	}
+	st := getStats(t, ts)
+	if st.Computed != 1 {
+		t.Fatalf("fallback computed %d times, want 1", st.Computed)
+	}
+	if st.Cluster.PeerFallbacks != 1 {
+		t.Fatalf("peer_fallback = %d, want 1", st.Cluster.PeerFallbacks)
+	}
+
+	// The fallback stored locally: a retry is a plain hit, no second hop.
+	status, raw, _ = postOptimize(t, ts, req)
+	if status != http.StatusOK || decodeOptimize(t, raw).Runtime.Cache != "hit" {
+		t.Fatalf("retry after fallback: HTTP %d, %s", status, raw)
+	}
+}
+
+// TestClusterStatusRelay: a non-2xx owner answer is relayed verbatim —
+// status, message and Retry-After — in exactly one upstream attempt, so the
+// origin's client retry budget is the only one applied.
+func TestClusterStatusRelay(t *testing.T) {
+	var hits int
+	var mu sync.Mutex
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		w.Header().Set("Retry-After", "9")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"owner saturated"}`))
+	}))
+	defer owner.Close()
+
+	self := "http://origin-a"
+	cl, err := cluster.New(cluster.Config{
+		Self:   self,
+		Peers:  []string{self, owner.URL},
+		NodeID: "node-a",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, Cache: testCache(t, 1<<20), Cluster: cl})
+	req := reqOwnedBy(t, cl, owner.URL, 4)
+
+	status, raw, hdr := postOptimize(t, ts, req)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("relayed status = %d, want the owner's 429", status)
+	}
+	if got := hdr.Get("Retry-After"); got != "9" {
+		t.Fatalf("Retry-After = %q, want the owner's hint verbatim", got)
+	}
+	var body errorResponse
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error != "owner saturated" {
+		t.Fatalf("relayed message = %q, want the owner's verbatim", body.Error)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits != 1 {
+		t.Fatalf("owner saw %d attempts for one request, want exactly 1", hits)
+	}
+}
+
+// TestClusterPeerFillEvictionRace drives concurrent forwarded requests into
+// a non-owner whose cache budget holds only a couple of entries, so peer
+// fills (Cache.Put from runForward), local evictions and cache reads race
+// constantly. Run under -race; correctness assertion: every request
+// succeeds and a key's bytes never change.
+func TestClusterPeerFillEvictionRace(t *testing.T) {
+	nodes := startCluster(t, 2, func(i int, cfg *Config) {
+		cfg.Workers = 4
+		if i == 0 {
+			// Room for at most ~2 peer-filled payloads: every fill evicts.
+			cfg.Cache = testCache(t, 2<<10)
+		}
+	})
+	a, b := nodes[0], nodes[1]
+
+	const distinct = 12
+	reqs := make([]*OptimizeRequest, distinct)
+	for i := range reqs {
+		reqs[i] = reqOwnedBy(t, a.srv.cfg.Cluster, b.url, 100+i)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[string][]byte, distinct) // key -> first observed bytes
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				req := reqs[(g*31+i)%distinct]
+				status, raw, _ := postURL(t, a.url, req, nil)
+				if status != http.StatusOK {
+					select {
+					case errs <- fmt.Errorf("goroutine %d: HTTP %d: %s", g, status, raw):
+					default:
+					}
+					return
+				}
+				resp := decodeOptimize(t, raw)
+				mu.Lock()
+				if prev, ok := seen[resp.Key]; !ok {
+					seen[resp.Key] = resp.Result
+				} else if !bytes.Equal(prev, resp.Result) {
+					mu.Unlock()
+					select {
+					case errs <- fmt.Errorf("key %s answered with diverging bytes", resp.Key):
+					default:
+					}
+					return
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != distinct {
+		t.Fatalf("observed %d distinct keys, want %d", len(seen), distinct)
+	}
+	// The owner computed each key at most once — coalescing plus its own
+	// cache absorb every repeat, however the non-owner's evictions fell.
+	if sb := getStatsURL(t, b.url); sb.Computed > distinct {
+		t.Fatalf("owner computed %d times for %d distinct keys", sb.Computed, distinct)
+	}
+}
+
+// TestClusterNoCacheStaysLocal: a NoCache request never leaves the node it
+// arrived at — private runs touch no shared state, including peers.
+func TestClusterNoCacheStaysLocal(t *testing.T) {
+	nodes := startCluster(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+	req := reqOwnedBy(t, a.srv.cfg.Cluster, b.url, 5)
+	req.Options.NoCache = true
+
+	status, raw, _ := postURL(t, a.url, req, nil)
+	if status != http.StatusOK {
+		t.Fatalf("NoCache request: HTTP %d: %s", status, raw)
+	}
+	if got := decodeOptimize(t, raw).Runtime.Cache; got != "bypass" {
+		t.Fatalf("disposition %q, want bypass", got)
+	}
+	sa, sb := getStatsURL(t, a.url), getStatsURL(t, b.url)
+	if sa.Computed != 1 || sa.Cluster.Forwarded != 0 || sb.Computed != 0 {
+		t.Fatalf("NoCache leaked off-node: local computed %d, forwards %d, peer computed %d",
+			sa.Computed, sa.Cluster.Forwarded, sb.Computed)
+	}
+}

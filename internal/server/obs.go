@@ -32,12 +32,20 @@ type accessInfo struct {
 	parentSpan string
 	// disposition classifies how the request was answered: hit, miss,
 	// coalesced, bypass, off, shed, draining, timeout_queued,
-	// timeout_computing, invalid or error. Empty for non-optimize
-	// endpoints.
+	// timeout_computing, invalid, error — plus the cluster set: forwarded
+	// (answered by the owning peer), peer_fallback (owner unreachable,
+	// computed locally), forwarded_shed and forwarded_error (owner's
+	// non-2xx relayed). Empty for non-optimize endpoints.
 	disposition string
 	// flightTraceID is the leader's trace ID when this request coalesced
 	// onto another request's computation.
 	flightTraceID string
+	// forwardedTo is the owning peer this request's key was (or would have
+	// been) forwarded to; empty when this node owns the key.
+	forwardedTo string
+	// internalFrom is the origin node's id when this request arrived as an
+	// intra-cluster hop (X-FP-Internal).
+	internalFrom string
 	// flight carries the answering computation's timing (leader's slot
 	// wait and compute wall time); nil for cache hits and early exits.
 	flight *flightMeta
@@ -49,9 +57,17 @@ type accessInfo struct {
 // detached computation goroutine and read by each waiter's handler
 // goroutine, hence atomics.
 type flightMeta struct {
-	trace       reqid.Context
+	trace reqid.Context
+	// forwardedTo is the owning peer the leader forwarded to ("" for local
+	// computations); copied to coalesced waiters for tail attribution.
+	forwardedTo string
 	queueWaitNs atomic.Int64 // wait for a worker slot before Begin
 	computeNs   atomic.Int64 // optimization wall time
+	forwardNs   atomic.Int64 // wall time of the peer hop (forwarded calls)
+	// fellBack flips when the owner never answered and the flight degraded
+	// to a local computation; waiters report peer_fallback instead of
+	// forwarded.
+	fellBack atomic.Bool
 	// spans is the computation's span tree, stashed by compute when slow
 	// capture is on (nil otherwise); shared by every coalesced waiter.
 	spans atomic.Pointer[[]telemetry.Span]
@@ -133,9 +149,13 @@ func dispositionHist(d string) (telemetry.Hist, bool) {
 		return telemetry.HistServeCoalescedNs, true
 	case "bypass", "off":
 		return telemetry.HistServeBypassNs, true
-	case "shed", "draining", "timeout_queued", "timeout_computing":
+	case "forwarded":
+		return telemetry.HistServeForwardedNs, true
+	case "peer_fallback":
+		return telemetry.HistServeFallbackNs, true
+	case "shed", "draining", "timeout_queued", "timeout_computing", "forwarded_shed":
 		return telemetry.HistServeShedNs, true
-	case "invalid", "error":
+	case "invalid", "error", "forwarded_error":
 		return telemetry.HistServeErrorNs, true
 	}
 	return 0, false
@@ -171,6 +191,9 @@ func (s *Server) logAccess(r *http.Request, sw *statusWriter, rec *accessInfo, e
 		slog.String("span_id", rec.trace.SpanID.String()),
 		slog.Float64("elapsed_ms", durMs(elapsed)),
 	}
+	if id := s.cfg.NodeID; id != "" {
+		attrs = append(attrs, slog.String("node_id", id))
+	}
 	if rec.parentSpan != "" {
 		attrs = append(attrs, slog.String("parent_span_id", rec.parentSpan))
 	}
@@ -180,7 +203,16 @@ func (s *Server) logAccess(r *http.Request, sw *statusWriter, rec *accessInfo, e
 			attrs = append(attrs,
 				slog.Float64("queue_wait_ms", durMs(time.Duration(m.queueWaitNs.Load()))),
 				slog.Float64("compute_ms", durMs(time.Duration(m.computeNs.Load()))))
+			if fwd := m.forwardNs.Load(); fwd > 0 {
+				attrs = append(attrs, slog.Float64("forward_ms", durMs(time.Duration(fwd))))
+			}
 		}
+	}
+	if rec.forwardedTo != "" {
+		attrs = append(attrs, slog.String("forwarded_to", rec.forwardedTo))
+	}
+	if rec.internalFrom != "" {
+		attrs = append(attrs, slog.String("internal_from", rec.internalFrom))
 	}
 	if rec.flightTraceID != "" {
 		attrs = append(attrs, slog.String("flight_trace_id", rec.flightTraceID))

@@ -33,6 +33,20 @@
 // "coalesced" disposition. Retry-After hints on 429/503 are derived from
 // observed queue pressure (pending depth × smoothed compute time) rather
 // than a constant.
+//
+// Cluster mode (Config.Cluster): each content address has one owning
+// backend on a consistent-hash ring. A request arriving at a non-owner
+// first consults its local cache; on a miss the flight leader forwards the
+// request to the owner — one hop, loop-guarded by the X-FP-Internal marker,
+// traceparent-propagated — and local concurrent misses coalesce onto that
+// single forward while the owner's own flight group coalesces across nodes,
+// so a viral fingerprint costs one optimizer run cluster-wide. Owners track
+// per-key hit EWMAs; responses for top-K keys carry X-FP-Hot and non-owners
+// replicate exactly those into their local caches (peer fill), so hot keys
+// are answered from any node without a hop. A non-2xx owner reply is
+// relayed verbatim — status, message and Retry-After hint — in a single
+// attempt (the origin client owns the retry budget); an owner that never
+// answers degrades to local computation, counted as cluster.peer_fallback.
 package server
 
 import (
@@ -50,6 +64,7 @@ import (
 	"time"
 
 	"floorplan/internal/cache"
+	"floorplan/internal/cluster"
 	"floorplan/internal/flight"
 	"floorplan/internal/optimizer"
 	"floorplan/internal/plan"
@@ -97,6 +112,15 @@ type Config struct {
 	// SlowCapacity bounds the capture ring (0 = 64); when full, the oldest
 	// capture is evicted.
 	SlowCapacity int
+	// NodeID labels this server instance in /v1/stats, access-log records,
+	// slow captures and response runtime envelopes; empty omits it. In
+	// cluster mode it defaults to the cluster's node id.
+	NodeID string
+	// Cluster enables the multi-node tier: requests for content addresses
+	// owned by a peer are forwarded there (single attempt, per-hop timeout,
+	// verbatim error relay) with hot-key peer fill and local-compute
+	// fallback when the owner is down. Nil serves single-node.
+	Cluster *cluster.Cluster
 	// KeepSpans retains each request's optimizer spans in the collector
 	// (full Merge instead of MergeScalars), so a shutdown WriteTrace holds
 	// every request's cross-layer trace. Off by default: span retention
@@ -161,6 +185,7 @@ type Server struct {
 	pending           atomic.Int64 // admitted requests not yet answered
 	inflight          atomic.Int64 // computations holding a worker slot
 	requests          atomic.Int64
+	computed          atomic.Int64 // optimizer runs executed on this node
 	shed              atomic.Int64 // 429: queue full at admission
 	coalesced         atomic.Int64 // misses that joined an in-flight computation
 	timedOutQueued    atomic.Int64 // 503: deadline before the computation began
@@ -191,6 +216,9 @@ func New(cfg Config) (*Server, error) {
 	var slow *slowRing
 	if cfg.SlowThreshold > 0 {
 		slow = newSlowRing(cfg.slowCapacity())
+	}
+	if cfg.NodeID == "" && cfg.Cluster != nil {
+		cfg.NodeID = cfg.Cluster.NodeID()
 	}
 	return &Server{
 		cfg:            cfg,
@@ -267,7 +295,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		StartTimeUnixMs:   s.start.UnixMilli(),
 		UptimeMs:          time.Since(s.start).Milliseconds(),
 		UptimeSeconds:     time.Since(s.start).Seconds(),
+		NodeID:            s.cfg.NodeID,
 		Requests:          s.requests.Load(),
+		Computed:          s.computed.Load(),
 		Shed:              s.shed.Load(),
 		Coalesced:         s.coalesced.Load(),
 		TimedOutQueued:    s.timedOutQueued.Load(),
@@ -279,6 +309,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueCapacity:     s.cfg.queueDepth(),
 		Cache:             s.cfg.Cache.Stats(),
 		CacheEnabled:      s.cfg.Cache != nil,
+		Cluster:           s.cfg.Cluster.Stats(),
 		Histograms:        s.tel.HistSnapshots(),
 	})
 }
@@ -361,11 +392,33 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Cluster-mode placement: resolve the key's owner once. A request
+	// carrying the hop marker is already an intra-cluster forward and is
+	// never forwarded again (loop guard) — a disagreeing ring degrades to a
+	// local computation, not a proxy loop.
+	cl := s.cfg.Cluster
+	internalFrom := r.Header.Get(cluster.HeaderInternal)
+	owner, ownsKey := "", true
+	if cl != nil {
+		if internalFrom != "" {
+			rec.internalFrom = internalFrom
+			cl.NoteInternal()
+		}
+		owner, ownsKey = cl.Owner(key)
+	}
+
 	mode := "off"
 	if s.cfg.Cache != nil {
 		if req.Options.NoCache {
 			mode = "bypass"
 		} else if payload, ok := s.cfg.Cache.Get(key); ok {
+			if cl != nil {
+				if ownsKey {
+					s.markHot(w, key)
+				} else if internalFrom == "" {
+					cl.NoteReplicaHit()
+				}
+			}
 			rec.disposition = "hit"
 			s.recordServeSpan(spanStart, "hit", rec)
 			s.respond(w, key, payload, "hit", started, rec)
@@ -373,6 +426,20 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		} else {
 			mode = "miss"
 		}
+	}
+	if cl != nil && ownsKey && !req.Options.NoCache {
+		// Owner-side misses (and the coalesced waiters behind them) feed
+		// the hit EWMA too: a key going viral is hot before its first
+		// computation finishes.
+		s.markHot(w, key)
+	}
+	// Forward decision: non-owned keys leave this node unless the request
+	// is an internal hop (loop guard) or demands a private run (NoCache
+	// computes locally and never touches shared state).
+	forward := cl != nil && !ownsKey && internalFrom == "" && !req.Options.NoCache
+	if forward {
+		mode = "forwarded"
+		rec.forwardedTo = owner
 	}
 
 	timeout := s.cfg.timeout()
@@ -401,7 +468,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		// The leader's request identity names the shared computation: its
 		// trace ID is stamped on the flight tag (so followers can report
 		// it), on the flight span and on the optimizer's spans.
-		meta := &flightMeta{trace: rec.trace}
+		meta := &flightMeta{trace: rec.trace, forwardedTo: rec.forwardedTo}
 		rec.flight = meta
 		call.SetTag(meta)
 		// The computation runs detached from the HTTP goroutine:
@@ -410,7 +477,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		// stores its result, which warms the cache for the client's retry.
 		// Shutdown waits for these.
 		s.wg.Add(1)
-		go s.runCall(call, meta, req, lib, memLimit, key)
+		if forward {
+			go s.runForward(call, meta, req, lib, memLimit, key, owner)
+		} else {
+			go s.runCall(call, meta, req, lib, memLimit, key)
+		}
 	} else {
 		s.coalesced.Add(1)
 		s.tel.Inc(telemetry.CtrServeCoalesced)
@@ -420,10 +491,32 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-call.Done():
 		payload, err := call.Result()
-		rec.disposition = mode
 		s.noteFlight(rec, call, leader)
+		if mode == "forwarded" && rec.flight != nil && rec.flight.fellBack.Load() {
+			// The owner never answered; the flight degraded to a local
+			// computation mid-call.
+			mode = "peer_fallback"
+		}
+		rec.disposition = mode
 		s.recordServeSpan(spanStart, mode, rec)
 		if err != nil {
+			var pe *cluster.PeerStatusError
+			if errors.As(err, &pe) {
+				// Relay the owner's answer verbatim — status, message and
+				// Retry-After hint. No local re-derivation (this node queued
+				// nothing) and no second hop (the origin client owns the
+				// retry budget).
+				if pe.Status == http.StatusTooManyRequests || pe.Status == http.StatusServiceUnavailable {
+					rec.disposition = "forwarded_shed"
+				} else {
+					rec.disposition = "forwarded_error"
+				}
+				if pe.RetryAfter != "" {
+					w.Header().Set("Retry-After", pe.RetryAfter)
+				}
+				writeError(w, pe.Status, pe.Message)
+				return
+			}
 			rec.disposition = "error"
 			if optimizer.IsMemoryLimit(err) {
 				writeError(w, http.StatusUnprocessableEntity, err.Error())
@@ -465,6 +558,9 @@ func (s *Server) noteFlight(rec *accessInfo, call *flight.Call[[]byte], leader b
 	}
 	rec.flight = meta
 	rec.flightTraceID = meta.trace.TraceID.String()
+	if rec.forwardedTo == "" {
+		rec.forwardedTo = meta.forwardedTo
+	}
 }
 
 // runCall is the leader side of one flight call: wait for a worker slot
@@ -486,11 +582,20 @@ func (s *Server) runCall(call *flight.Call[[]byte], meta *flightMeta, req *Optim
 		<-s.sem
 		return
 	}
+	s.computeCall(call, meta, req, lib, memLimit, key)
+}
+
+// computeCall is the slot-holding body of a computation: the caller has
+// Begun the flight call and acquired a worker slot; computeCall runs the
+// optimizer, stores the result and publishes the outcome. Shared by the
+// plain miss path (runCall) and the owner-unreachable fallback (runForward).
+func (s *Server) computeCall(call *flight.Call[[]byte], meta *flightMeta, req *OptimizeRequest, lib plan.Library, memLimit int64, key cache.Key) {
 	s.tel.Observe(telemetry.MaxServeInFlight, s.inflight.Add(1))
 	defer func() { <-s.sem; s.inflight.Add(-1) }()
 	if testHookComputeStart != nil {
 		testHookComputeStart()
 	}
+	s.computed.Add(1)
 	computeStart := time.Now()
 	spanStart := s.tel.Now()
 	payload, err := s.compute(req, lib, memLimit, meta)
@@ -509,6 +614,14 @@ func (s *Server) runCall(call *flight.Call[[]byte], meta *flightMeta, req *Optim
 	if err == nil && s.cfg.Cache != nil && !req.Options.NoCache {
 		s.cfg.Cache.Put(key, payload)
 	}
+	s.finishCall(call, meta, payload, err)
+}
+
+// finishCall publishes a flight call's outcome and accounts for failures
+// nobody was left to observe: a computation that began always completes,
+// and if it then fails with zero waiters the error would vanish with them,
+// so it is counted as an abandoned error.
+func (s *Server) finishCall(call *flight.Call[[]byte], meta *flightMeta, payload []byte, err error) {
 	if waiters := call.Finish(payload, err); err != nil && waiters == 0 {
 		s.abandonedErrs.Add(1)
 		s.tel.Inc(telemetry.CtrServeAbandonedErrors)
@@ -519,6 +632,71 @@ func (s *Server) runCall(call *flight.Call[[]byte], meta *flightMeta, req *Optim
 				slog.String("error", err.Error()),
 				slog.Uint64("event_count", s.abandonSampler.Count()))
 		}
+	}
+}
+
+// runForward is the leader side of a forwarded flight call: re-encode the
+// request, hand it to the owning peer (a single attempt under the per-hop
+// timeout, hop-marked and traceparent-propagated so the cross-node spans
+// join one trace) and publish the owner's deterministic bytes to every
+// local waiter — local concurrent misses coalesce onto this one forward
+// while the owner's own flight group coalesces across nodes. A hot-marked
+// reply also fills the local cache (peer fill), so the next request for
+// the key is a local hit on this node. An owner that answered non-2xx
+// finishes the call with its *PeerStatusError for verbatim relay; an owner
+// that never answered degrades to computing locally (peer fallback). The
+// call Begins before the hop — forwarding holds no local worker slot, and
+// a Begun call cannot be abandoned, so the fallback may block on a slot
+// unconditionally.
+func (s *Server) runForward(call *flight.Call[[]byte], meta *flightMeta, req *OptimizeRequest, lib plan.Library, memLimit int64, key cache.Key, owner string) {
+	defer s.wg.Done()
+	cl := s.cfg.Cluster
+	if !call.Begin() {
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		s.finishCall(call, meta, nil, fmt.Errorf("re-encoding request for forward: %w", err))
+		return
+	}
+	start := time.Now()
+	reply, err := cl.Forward(context.Background(), owner, body, meta.trace.Child().Traceparent())
+	meta.forwardNs.Store(time.Since(start).Nanoseconds())
+	if err == nil {
+		if reply.Hot && s.cfg.Cache != nil {
+			s.cfg.Cache.Put(key, reply.Payload)
+			cl.NoteHotFill()
+		}
+		s.finishCall(call, meta, reply.Payload, nil)
+		return
+	}
+	var pe *cluster.PeerStatusError
+	if errors.As(err, &pe) {
+		s.finishCall(call, meta, nil, pe)
+		return
+	}
+	// Transport-level failure: the owner never answered. Degrade to a local
+	// computation so a dead peer costs one hop of latency, not availability.
+	cl.NotePeerFallback()
+	meta.fellBack.Store(true)
+	if s.logger != nil {
+		s.logger.Warn("peer forward failed, computing locally",
+			slog.String("owner", owner),
+			slog.String("trace_id", meta.trace.TraceID.String()),
+			slog.String("error", err.Error()))
+	}
+	queued := time.Now()
+	s.sem <- struct{}{}
+	meta.queueWaitNs.Store(time.Since(queued).Nanoseconds())
+	s.computeCall(call, meta, req, lib, memLimit, key)
+}
+
+// markHot feeds one owner-served request for key into the hit EWMA and
+// stamps the replication marker on the response when the key currently
+// ranks in the top K, telling peers to fill their local caches.
+func (s *Server) markHot(w http.ResponseWriter, key cache.Key) {
+	if s.cfg.Cluster.TouchOwned(key) {
+		w.Header().Set(cluster.HeaderHot, "1")
 	}
 }
 
@@ -667,6 +845,7 @@ func (s *Server) respond(w http.ResponseWriter, key cache.Key, payload []byte, m
 		Runtime: ResponseRuntime{
 			ElapsedMs: time.Since(started).Milliseconds(),
 			Cache:     mode,
+			NodeID:    s.cfg.NodeID,
 			TraceID:   traceID,
 			SpanID:    rec.trace.SpanID.String(),
 		},

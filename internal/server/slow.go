@@ -33,18 +33,25 @@ type SlowRequest struct {
 	// FlightTraceID names the leader's trace when this request coalesced
 	// onto another request's computation — the spans below belong to it.
 	FlightTraceID string `json:"flight_trace_id,omitempty"`
+	// NodeID names the node that served the request; ForwardedTo the owning
+	// peer the compute was forwarded to (cluster mode). Together they say
+	// which node actually did the work a tail capture attributes.
+	NodeID      string `json:"node_id,omitempty"`
+	ForwardedTo string `json:"forwarded_to,omitempty"`
 	// CapturedUnixMs is the capture wall-clock time.
 	CapturedUnixMs int64 `json:"captured_unix_ms"`
 
 	// The latency decomposition: ElapsedMs is end-to-end; QueueWaitMs is
 	// the computation's wait for a worker slot; ComputeMs is optimization
-	// wall time; UnattributedMs is the remainder (decode, marshal, response
-	// write, and — for followers — waiting on a flight that started before
-	// this request arrived). All zero except ElapsedMs when the request
-	// never reached a computation (hits, shed, invalid).
+	// wall time; ForwardMs is the peer hop on forwarded requests;
+	// UnattributedMs is the remainder (decode, marshal, response write,
+	// and — for followers — waiting on a flight that started before this
+	// request arrived). All zero except ElapsedMs when the request never
+	// reached a computation (hits, shed, invalid).
 	ElapsedMs      float64 `json:"elapsed_ms"`
 	QueueWaitMs    float64 `json:"queue_wait_ms,omitempty"`
 	ComputeMs      float64 `json:"compute_ms,omitempty"`
+	ForwardMs      float64 `json:"forward_ms,omitempty"`
 	UnattributedMs float64 `json:"unattributed_ms,omitempty"`
 
 	// Spans is the span tree the answering computation recorded (flight and
@@ -111,13 +118,16 @@ func (s *Server) maybeCaptureSlow(r *http.Request, sw *statusWriter, rec *access
 		Status:         status,
 		Disposition:    rec.disposition,
 		FlightTraceID:  rec.flightTraceID,
+		NodeID:         s.cfg.NodeID,
+		ForwardedTo:    rec.forwardedTo,
 		CapturedUnixMs: time.Now().UnixMilli(),
 		ElapsedMs:      durMs(elapsed),
 	}
 	if m := rec.flight; m != nil {
 		cap.QueueWaitMs = durMs(time.Duration(m.queueWaitNs.Load()))
 		cap.ComputeMs = durMs(time.Duration(m.computeNs.Load()))
-		if rest := cap.ElapsedMs - cap.QueueWaitMs - cap.ComputeMs; rest > 0 {
+		cap.ForwardMs = durMs(time.Duration(m.forwardNs.Load()))
+		if rest := cap.ElapsedMs - cap.QueueWaitMs - cap.ComputeMs - cap.ForwardMs; rest > 0 {
 			cap.UnattributedMs = rest
 		}
 		if sp := m.spans.Load(); sp != nil {

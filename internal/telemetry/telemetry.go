@@ -82,6 +82,16 @@ const (
 	CtrClientAttempts // HTTP attempts, including first tries
 	CtrClientRetries  // attempts that were retries of a retryable failure
 
+	// Cluster tier: consistent-hash fingerprint sharding across fpserve
+	// backends. All runtime-only — forwarding and replication depend on
+	// request arrival and peer health, never on the optimization computed.
+	CtrClusterForwarded     // requests proxied to their owning peer
+	CtrClusterForwardErrors // forwards the owner answered non-2xx (relayed)
+	CtrClusterPeerFallback  // owner unreachable; computed locally instead
+	CtrClusterInternal      // hop-marked requests served for peers
+	CtrClusterHotFills      // peer-fill stores of owner-marked hot keys
+	CtrClusterReplicaHits   // local cache hits on peer-owned keys
+
 	numCounters
 )
 
@@ -101,6 +111,8 @@ const (
 	MaxServeInFlight   // most requests evaluating concurrently
 	MaxCacheBytes      // largest cache byte footprint observed
 	MaxServeRetryAfter // largest Retry-After hint sent, in milliseconds
+
+	MaxClusterForwardInflight // most peer forwards in flight concurrently
 
 	numWatermarks
 )
@@ -127,6 +139,12 @@ const (
 	HistServeBypassNs    // cache bypassed (NoCache) or disabled
 	HistServeShedNs      // shed at admission or timed out (429/503)
 	HistServeErrorNs     // invalid requests and failed computations
+
+	// Cluster tier: forward hop round trips and the end-to-end latency of
+	// the two cluster dispositions. All runtime-only.
+	HistClusterForwardNs // one forward hop to the owning peer, round trip
+	HistServeForwardedNs // end-to-end, answered by proxying to the owner
+	HistServeFallbackNs  // end-to-end, computed locally after owner failure
 
 	numHists
 )
@@ -179,6 +197,12 @@ var counterMeta = [numCounters]metricMeta{
 	CtrServeAbandonedErrors:  {name: "server.abandoned_errors", help: "Abandoned computations that finished with an error.", runtime: true},
 	CtrClientAttempts:        {name: "client.attempts", help: "Client HTTP attempts, including first tries.", runtime: true},
 	CtrClientRetries:         {name: "client.retries", help: "Client attempts that were retries of a retryable failure.", runtime: true},
+	CtrClusterForwarded:      {name: "cluster.forwarded", help: "Requests proxied to their owning peer.", runtime: true},
+	CtrClusterForwardErrors:  {name: "cluster.forward_errors", help: "Forwards whose owner answered non-2xx (relayed to the client).", runtime: true},
+	CtrClusterPeerFallback:   {name: "cluster.peer_fallback", help: "Requests computed locally because their owner was unreachable.", runtime: true},
+	CtrClusterInternal:       {name: "cluster.internal_requests", help: "Hop-marked optimize requests served for peers.", runtime: true},
+	CtrClusterHotFills:       {name: "cluster.hot_fills", help: "Peer-fill cache stores of owner-marked hot keys.", runtime: true},
+	CtrClusterReplicaHits:    {name: "cluster.replica_hits", help: "Local cache hits on keys owned by a peer.", runtime: true},
 }
 
 var watermarkMeta = [numWatermarks]metricMeta{
@@ -192,6 +216,8 @@ var watermarkMeta = [numWatermarks]metricMeta{
 	MaxServeInFlight:   {name: "server.inflight_peak", help: "Most requests evaluating concurrently.", runtime: true},
 	MaxCacheBytes:      {name: "cache.bytes_peak", help: "Largest result-cache byte footprint observed.", runtime: true},
 	MaxServeRetryAfter: {name: "server.retry_after_ms", help: "Largest Retry-After hint sent, in milliseconds.", runtime: true},
+	MaxClusterForwardInflight: {name: "cluster.forward_inflight_peak",
+		help: "Most peer forwards in flight concurrently.", runtime: true},
 }
 
 var histMeta = [numHists]metricMeta{
@@ -206,6 +232,9 @@ var histMeta = [numHists]metricMeta{
 	HistServeBypassNs:    {name: "server.latency_bypass_ns", help: "End-to-end latency of optimize requests that bypassed the cache or ran with it disabled, in nanoseconds.", runtime: true},
 	HistServeShedNs:      {name: "server.latency_shed_ns", help: "End-to-end latency of optimize requests shed or timed out (429/503), in nanoseconds.", runtime: true},
 	HistServeErrorNs:     {name: "server.latency_error_ns", help: "End-to-end latency of invalid or failed optimize requests, in nanoseconds.", runtime: true},
+	HistClusterForwardNs: {name: "cluster.forward_ns", help: "Round-trip time of one forward hop to the owning peer, in nanoseconds.", runtime: true},
+	HistServeForwardedNs: {name: "server.latency_forwarded_ns", help: "End-to-end latency of optimize requests answered by proxying to their owning peer, in nanoseconds.", runtime: true},
+	HistServeFallbackNs:  {name: "server.latency_fallback_ns", help: "End-to-end latency of optimize requests computed locally after their owner was unreachable, in nanoseconds.", runtime: true},
 }
 
 // Collector accumulates one run's telemetry. The zero value is not used;

@@ -1,0 +1,194 @@
+#!/bin/sh
+# cluster_smoke.sh boots a 3-node fpserve cluster (static -peers ring) plus
+# a single-node reference and drives it end to end:
+#
+#   1. `fpbench -cluster-check`: a burst of identical fingerprints across all
+#      three nodes must cost exactly one optimizer run cluster-wide, answer
+#      byte-identically everywhere, match the single-node reference, and a
+#      warm second wave must compute nothing (hot-key peer fill).
+#   2. `fpbench -load` against all three nodes with a zipf-skewed corpus:
+#      the SLO block must pass and the report must carry the per-target
+#      disposition sections and per-node stats deltas.
+#   3. kill -9 one node mid-run under a fresh corpus: the survivors must
+#      degrade to local computation (peer_fallback > 0) with zero failed
+#      requests and a passing SLO block.
+#
+# Cluster nodes need their ports fixed before boot (every peer list entry
+# names a bound address), so the script picks a random base port and retries
+# with a new one if any node loses the bind race.
+#
+# Invoked by `make cluster-smoke` and, through it, `make check`.
+set -eu
+
+GO="${GO:-go}"
+workdir="$(mktemp -d)"
+pid1="" pid2="" pid3="" ref_pid="" load_pid=""
+
+kill_node() {
+    if [ -n "$1" ] && kill -0 "$1" 2>/dev/null; then
+        kill -9 "$1" 2>/dev/null || true
+        wait "$1" 2>/dev/null || true
+    fi
+}
+
+cleanup() {
+    status=$?
+    kill_node "$load_pid"
+    kill_node "$pid1"
+    kill_node "$pid2"
+    kill_node "$pid3"
+    kill_node "$ref_pid"
+    rm -rf "$workdir"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+"$GO" build -o "$workdir/fpserve" ./cmd/fpserve
+"$GO" build -o "$workdir/fpbench" ./cmd/fpbench
+
+# --- boot the 3-node ring, retrying the port block on bind races ---------
+
+# start_node reports the child's pid through $node_pid rather than stdout:
+# command substitution would block on the background server holding the
+# substitution pipe open.
+start_node() { # $1 = index, $2 = base port, $3 = peer list
+    port=$(($2 + $1))
+    "$workdir/fpserve" -addr "127.0.0.1:$port" -addr-file "$workdir/addr$1" \
+        -peers "$3" -self "http://127.0.0.1:$port" -node-id "node$1" \
+        -cache-mb 16 -workers 4 -queue 64 -peer-timeout 1s \
+        >"$workdir/node$1.log" 2>&1 &
+    node_pid=$!
+}
+
+attempt=0
+while :; do
+    attempt=$((attempt + 1))
+    if [ "$attempt" -gt 5 ]; then
+        echo "cluster-smoke: no free port block after 5 attempts" >&2
+        exit 1
+    fi
+    base=$(awk 'BEGIN{srand('"$$$attempt"'); print 20000 + int(rand()*30000)}')
+    peers="http://127.0.0.1:$((base + 1)),http://127.0.0.1:$((base + 2)),http://127.0.0.1:$((base + 3))"
+    rm -f "$workdir/addr1" "$workdir/addr2" "$workdir/addr3"
+    start_node 1 "$base" "$peers" && pid1=$node_pid
+    start_node 2 "$base" "$peers" && pid2=$node_pid
+    start_node 3 "$base" "$peers" && pid3=$node_pid
+    i=0
+    ok=1
+    while [ ! -s "$workdir/addr1" ] || [ ! -s "$workdir/addr2" ] || [ ! -s "$workdir/addr3" ]; do
+        if ! kill -0 "$pid1" 2>/dev/null || ! kill -0 "$pid2" 2>/dev/null ||
+            ! kill -0 "$pid3" 2>/dev/null; then
+            ok=0 # a node lost its bind; retry the whole block on a new base
+            break
+        fi
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "cluster-smoke: nodes did not publish addresses in time" >&2
+            cat "$workdir"/node*.log >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    [ "$ok" -eq 1 ] && break
+    kill_node "$pid1"
+    kill_node "$pid2"
+    kill_node "$pid3"
+    pid1="" pid2="" pid3=""
+done
+
+node1="http://$(cat "$workdir/addr1")"
+node2="http://$(cat "$workdir/addr2")"
+node3="http://$(cat "$workdir/addr3")"
+
+# Single-node reference for byte-identity: same optimizer, no cluster.
+"$workdir/fpserve" -addr localhost:0 -addr-file "$workdir/addr_ref" \
+    -cache-mb 16 -workers 4 2>"$workdir/ref.log" &
+ref_pid=$!
+i=0
+while [ ! -s "$workdir/addr_ref" ]; do
+    if ! kill -0 "$ref_pid" 2>/dev/null; then
+        echo "cluster-smoke: reference fpserve died during startup:" >&2
+        cat "$workdir/ref.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "cluster-smoke: reference fpserve did not publish an address" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ref="http://$(cat "$workdir/addr_ref")"
+
+# --- 1. cluster-wide dedup + byte identity vs the reference --------------
+
+"$workdir/fpbench" -cluster-check -server "$node1,$node2,$node3" -single "$ref"
+
+# --- 2. skewed open-loop load spread across all three nodes --------------
+
+cat >"$workdir/spec.json" <<'EOF'
+{
+  "seed": 11,
+  "k1": 8,
+  "connections": 32,
+  "request_timeout_ms": 5000,
+  "corpus": {"keys": 16, "min_modules": 4, "max_modules": 8, "impls": 4, "zipf_s": 1.6},
+  "phases": [
+    {"name": "warmup", "duration_ms": 600, "rate": 30},
+    {"name": "steady", "duration_ms": 1200, "rate": 90}
+  ],
+  "slos": [
+    {"metric": "error_rate", "max": 0.1},
+    {"metric": "p999_ms", "max": 60000}
+  ]
+}
+EOF
+
+"$workdir/fpbench" -load -server "$node1,$node2,$node3" \
+    -load-spec "$workdir/spec.json" -load-out "$workdir/report.json"
+
+for needle in '"pass": true' '"targets"' '"nodes"' '"node_id"' '"computed"'; do
+    grep -q -- "$needle" "$workdir/report.json" || {
+        echo "cluster-smoke: report.json missing $needle" >&2
+        cat "$workdir/report.json" >&2
+        exit 1
+    }
+done
+
+# --- 3. kill one node mid-run: graceful degradation ----------------------
+
+# Fresh seed = cold corpus, so keys owned by the doomed node are still
+# uncached on the survivors when it dies; their forwards must degrade to
+# local computation without failing a single request. Traffic goes to the
+# two survivors only — the ring still routes ~1/3 of keys at node3.
+sed 's/"seed": 11/"seed": 23/' "$workdir/spec.json" >"$workdir/spec_kill.json"
+
+"$workdir/fpbench" -load -server "$node1,$node2" \
+    -load-spec "$workdir/spec_kill.json" -load-out "$workdir/report_kill.json" \
+    2>"$workdir/load_kill.log" &
+load_pid=$!
+sleep 0.5
+kill -9 "$pid3" 2>/dev/null || true
+wait "$pid3" 2>/dev/null || true
+pid3=""
+if ! wait "$load_pid"; then
+    echo "cluster-smoke: load run with a killed node failed:" >&2
+    cat "$workdir/load_kill.log" >&2
+    [ -f "$workdir/report_kill.json" ] && cat "$workdir/report_kill.json" >&2
+    exit 1
+fi
+load_pid=""
+
+grep -q '"pass": true' "$workdir/report_kill.json" || {
+    echo "cluster-smoke: SLO block failed after killing a node" >&2
+    cat "$workdir/report_kill.json" >&2
+    exit 1
+}
+fallbacks=$(sed -n 's/.*"peer_fallback": \([0-9][0-9]*\).*/\1/p' "$workdir/report_kill.json" | head -1)
+if [ -z "$fallbacks" ] || [ "$fallbacks" -eq 0 ]; then
+    echo "cluster-smoke: killing a node produced no peer_fallback (got '${fallbacks:-none}')" >&2
+    cat "$workdir/report_kill.json" >&2
+    exit 1
+fi
+
+echo "cluster-smoke: OK ($node1 $node2 $node3; $fallbacks peer fallbacks after kill)"
