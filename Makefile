@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-report bench-snapshot bench-diff race-arena serve-smoke load-smoke cluster-smoke race-serve obs-check check
+.PHONY: all build test race vet bench bench-report bench-snapshot bench-diff race-arena serve-smoke load-smoke cluster-smoke race-serve editloop-smoke obs-check check
 
 all: build
 
@@ -43,7 +43,7 @@ bench-report: build
 # committed BENCH snapshot, carrying the previous trajectory forward as the
 # embedded baseline. Run on an idle machine; commit the result.
 bench-snapshot: build
-	$(GO) run ./cmd/fpbench -snapshot BENCH_0006.json
+	$(GO) run ./cmd/fpbench -snapshot BENCH_0009.json
 
 # bench-diff is the offline perf gate: the newest committed BENCH snapshot
 # must not regress (>10% ns/op or any allocs/op) against its predecessor
@@ -81,10 +81,17 @@ cluster-smoke:
 	GO="$(GO)" sh scripts/cluster_smoke.sh
 
 # Focused race pass over the serving hot path: the flight coalescing group,
-# the cluster ring/forwarding layer and the server's shared-computation
-# plumbing.
+# the cluster ring/forwarding layer, the subtree result store and the
+# server's shared-computation plumbing.
 race-serve:
-	$(GO) test -race -count=2 ./internal/flight/... ./internal/cluster/... ./internal/server/...
+	$(GO) test -race -count=2 ./internal/flight/... ./internal/cluster/... ./internal/server/... ./internal/substore/...
+
+# editloop-smoke is the incremental re-optimization gate: fpbench's edit
+# loop asserts that re-solving after a one-module edit evaluates only the
+# root-to-leaf spine (subtree store splices the rest) and stays
+# bit-identical to store-off runs at workers 1 and 8.
+editloop-smoke: build
+	$(GO) run ./cmd/fpbench -editloop -edit-iters 6
 
 # obs-check gates the observability surface: vet over the trace/log
 # packages, the Prometheus exposition golden + metric-metadata lint tests,
@@ -95,5 +102,5 @@ obs-check:
 	$(GO) test ./internal/reqid/... ./internal/slogx/...
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
-check: vet race obs-check race-serve race-arena bench-diff load-smoke cluster-smoke
+check: vet race obs-check race-serve race-arena bench-diff editloop-smoke load-smoke cluster-smoke
 	$(GO) test -race ./internal/telemetry/... ./internal/cache/...

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"floorplan/internal/gen"
+	"floorplan/internal/optimizer"
+	"floorplan/internal/plan"
+	"floorplan/internal/selection"
+	"floorplan/internal/shape"
+	"floorplan/internal/substore"
+)
+
+// The edit-loop proof (-editloop): the interactive-floorplanning workload
+// the subtree store exists for. Solve a floorplan cold, then repeatedly
+// regenerate one module's implementation list and re-solve. Each re-solve
+// must (a) evaluate exactly the root-to-leaf spine through the edited
+// leaves — every other node's digest is unchanged and splices from the
+// store — and (b) produce a result bit-identical to a store-disabled run
+// of the same edited workload, at workers 1 and 8. Any violation is a
+// fatal error, so the mode doubles as a CI smoke gate (make check).
+
+// editLoopSpine counts the nodes of the restructured binary tree whose
+// subtree contains a leaf of the given module — the set an edit of that
+// module dirties — plus the total node count.
+func editLoopSpine(bin *plan.BinNode, module string) (spine, total int) {
+	var walk func(b *plan.BinNode) bool
+	walk = func(b *plan.BinNode) bool {
+		total++
+		if b.Kind == plan.BinLeaf {
+			if b.Module == module {
+				spine++
+				return true
+			}
+			return false
+		}
+		l := walk(b.Left)
+		r := walk(b.Right)
+		if l || r {
+			spine++
+			return true
+		}
+		return false
+	}
+	walk(bin)
+	return spine, total
+}
+
+// editLoopCompare demands bit-identical deterministic payloads.
+func editLoopCompare(got, want *optimizer.Result) error {
+	if got.Best != want.Best {
+		return fmt.Errorf("Best %v != %v", got.Best, want.Best)
+	}
+	gs, ws := got.Stats, want.Stats
+	gs.Elapsed, ws.Elapsed = 0, 0
+	if gs != ws {
+		return fmt.Errorf("Stats %+v != %+v", gs, ws)
+	}
+	if !got.RootList.Equal(want.RootList) {
+		return fmt.Errorf("root lists diverged")
+	}
+	if !reflect.DeepEqual(got.NodeStats, want.NodeStats) {
+		return fmt.Errorf("NodeStats diverged")
+	}
+	if (got.Placement == nil) != (want.Placement == nil) {
+		return fmt.Errorf("placement presence diverged")
+	}
+	if got.Placement != nil && !reflect.DeepEqual(got.Placement.Modules, want.Placement.Modules) {
+		return fmt.Errorf("placements diverged")
+	}
+	return nil
+}
+
+func runEditLoop(iters int) error {
+	if iters <= 0 {
+		return fmt.Errorf("editloop: non-positive -edit-iters %d", iters)
+	}
+	tree, err := gen.ByName("FP2")
+	if err != nil {
+		return err
+	}
+	bin, err := plan.Restructure(tree)
+	if err != nil {
+		return err
+	}
+	params := gen.ModuleParams{N: 12, MinArea: 2000000, MaxArea: 20000000, MaxAspect: 5}
+	rng := rand.New(rand.NewSource(17))
+	rawLib, err := gen.Library(rng, tree, params)
+	if err != nil {
+		return err
+	}
+	lib := optimizer.Library(rawLib)
+	policy := selection.Policy{K1: 20, K2: 600, Theta: 0.5, S: 400}
+
+	newStore := func() (*substore.Store, error) {
+		return substore.New(substore.Config{MaxBytes: 64 << 20})
+	}
+	run := func(w int, st *substore.Store) (*optimizer.Result, error) {
+		opt, err := optimizer.New(lib, optimizer.Options{Policy: policy, Workers: w, Substore: st})
+		if err != nil {
+			return nil, err
+		}
+		return opt.Run(tree)
+	}
+
+	// One primed store per worker count under test, so the spine assertion
+	// holds for both (a shared store would already hold the edit's records
+	// after the first run).
+	storeA, err := newStore()
+	if err != nil {
+		return err
+	}
+	storeB, err := newStore()
+	if err != nil {
+		return err
+	}
+	cold, err := run(1, storeA)
+	if err != nil {
+		return err
+	}
+	nodes := len(cold.NodeStats)
+	if cold.Reuse.ComputedNodes != nodes || cold.Reuse.SplicedNodes != 0 {
+		return fmt.Errorf("editloop: cold solve reuse %+v, want %d computed", cold.Reuse, nodes)
+	}
+	if _, err := run(8, storeB); err != nil {
+		return err
+	}
+	fmt.Printf("editloop: FP2, %d modules, %d tree nodes, cold solve %v\n",
+		len(tree.Modules()), nodes, cold.Stats.Elapsed.Round(0))
+
+	modules := tree.Modules()
+	var spineSum, evalSaved int
+	var refNs, incNs int64
+	for i := 0; i < iters; i++ {
+		name := modules[i%len(modules)]
+		for {
+			nl, err := gen.Module(rng, params)
+			if err != nil {
+				return err
+			}
+			if !shape.RList(nl).Equal(lib[name]) {
+				lib[name] = nl
+				break
+			}
+		}
+		spine, total := editLoopSpine(bin, name)
+		ref, err := run(1, nil)
+		if err != nil {
+			return err
+		}
+		refNs += ref.Stats.Elapsed.Nanoseconds()
+		for _, tc := range []struct {
+			workers int
+			store   *substore.Store
+		}{{1, storeA}, {8, storeB}} {
+			got, err := run(tc.workers, tc.store)
+			if err != nil {
+				return err
+			}
+			if err := editLoopCompare(got, ref); err != nil {
+				return fmt.Errorf("editloop: edit %d (module %s, workers %d): store-on result diverged: %w",
+					i+1, name, tc.workers, err)
+			}
+			if got.Reuse.ComputedNodes != spine || got.Reuse.SplicedNodes != total-spine {
+				return fmt.Errorf("editloop: edit %d (module %s, workers %d): reuse %+v, want %d-node spine of %d",
+					i+1, name, tc.workers, got.Reuse, spine, total)
+			}
+			if tc.workers == 1 {
+				incNs += got.Stats.Elapsed.Nanoseconds()
+			}
+		}
+		spineSum += spine
+		evalSaved += total - spine
+		fmt.Printf("editloop: edit %2d: module %-8s spine %2d/%d nodes, identical at workers 1 and 8\n",
+			i+1, name, spine, total)
+	}
+	speedup := float64(refNs) / float64(incNs)
+	fmt.Printf("editloop: OK — %d edits, avg spine %.1f/%d nodes, %d evaluations spliced, incremental re-solve %.1fx faster than full\n",
+		iters, float64(spineSum)/float64(iters), nodes, evalSaved, speedup)
+	return nil
+}

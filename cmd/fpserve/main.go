@@ -49,6 +49,7 @@ import (
 	"floorplan/internal/cliutil"
 	"floorplan/internal/cluster"
 	"floorplan/internal/server"
+	"floorplan/internal/substore"
 )
 
 func main() {
@@ -63,6 +64,7 @@ func main() {
 		maxLimit   = flag.Int64("max-limit", 0, "ceiling on per-request stored-implementation budgets (0 = none)")
 		cacheMB    = flag.Int64("cache-mb", 64, "result cache budget in MiB (0 disables the cache)")
 		cacheShard = flag.Int("cache-shards", 16, "cache shard count")
+		subBytes   = flag.Int64("subtree-cache-bytes", 64<<20, "subtree result store budget in bytes (0 disables subtree memoization)")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful shutdown drain deadline")
 		slowThresh = flag.Duration("slow-threshold", 0, "capture requests at least this slow into GET /debug/slow (0 disables)")
 		slowCap    = flag.Int("slow-capacity", 0, "slow-request capture ring size (0 = 64)")
@@ -101,6 +103,17 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var sub *substore.Store
+	if *subBytes > 0 {
+		var err error
+		sub, err = substore.New(substore.Config{
+			MaxBytes:  *subBytes,
+			Telemetry: col,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	var cl *cluster.Cluster
 	if *peers != "" {
 		if *self == "" {
@@ -132,6 +145,7 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxMemoryLimit: *maxLimit,
 		Cache:          store,
+		Substore:       sub,
 		Telemetry:      col,
 		Logger:         logger,
 		SlowThreshold:  *slowThresh,

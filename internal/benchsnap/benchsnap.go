@@ -35,6 +35,7 @@ import (
 	"floorplan/internal/optimizer"
 	"floorplan/internal/selection"
 	"floorplan/internal/shape"
+	"floorplan/internal/substore"
 )
 
 // Schema identifies the snapshot file layout.
@@ -121,6 +122,11 @@ func Run(pr int) (*Snapshot, error) {
 		}
 		s.Cells = append(s.Cells, cell)
 	}
+	edit, err := runEditLoop()
+	if err != nil {
+		return nil, err
+	}
+	s.Cells = append(s.Cells, edit)
 	s.Cells = append(s.Cells,
 		microCell("micro/minima_l_8k", benchMinimaL),
 		microCell("micro/minima_r_64k", benchMinimaR),
@@ -180,6 +186,80 @@ func runGrid(g gridCell) (Cell, error) {
 		PeakImpls:   peak,
 		Iters:       r.N,
 		Large:       g.large,
+	}, nil
+}
+
+// runEditLoop measures the incremental re-optimization path the subtree
+// store exists for: against a warm store, each op regenerates one module's
+// implementation list and re-solves, so only the root-to-leaf spine through
+// the edited leaf is evaluated — everything else splices. PeakImpls is left
+// zero: the peak varies with the regenerated list, unlike the pinned grid
+// workloads.
+func runEditLoop() (Cell, error) {
+	const name = "grid/editloop_fp2_n12"
+	tree, err := gen.ByName("FP2")
+	if err != nil {
+		return Cell{}, err
+	}
+	params := gen.ModuleParams{N: 12, MinArea: 2000000, MaxArea: 20000000, MaxAspect: 5}
+	rng := rand.New(rand.NewSource(11))
+	rawLib, err := gen.Library(rng, tree, params)
+	if err != nil {
+		return Cell{}, err
+	}
+	lib := optimizer.Library(rawLib)
+	store, err := substore.New(substore.Config{MaxBytes: 64 << 20})
+	if err != nil {
+		return Cell{}, err
+	}
+	policy := selection.Policy{K1: 20, K2: 800, Theta: 0.5, S: 500}
+	opts := optimizer.Options{
+		Policy:        policy,
+		SkipPlacement: true,
+		Workers:       1,
+		Substore:      store,
+	}
+	opt, err := optimizer.New(lib, opts)
+	if err != nil {
+		return Cell{}, err
+	}
+	if _, err := opt.Run(tree); err != nil {
+		return Cell{}, fmt.Errorf("benchsnap: %s: priming run: %w", name, err)
+	}
+	modules := tree.Modules()
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nl, err := gen.Module(rng, params)
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			lib[modules[i%len(modules)]] = nl
+			opt, err := optimizer.New(lib, opts)
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			if _, err := opt.Run(tree); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return Cell{}, fmt.Errorf("benchsnap: %s: %w", name, runErr)
+	}
+	if r.N == 0 {
+		return Cell{}, fmt.Errorf("benchsnap: %s: benchmark did not run", name)
+	}
+	return Cell{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iters:       r.N,
 	}, nil
 }
 

@@ -108,16 +108,31 @@ func (t *hotTracker) Hot(k cache.Key) bool {
 	return s.score*decay(t.now().Sub(s.last), t.halfLife) >= t.threshold
 }
 
-// recalcThreshold recomputes the k-th largest decayed score. Caller holds
-// the mutex.
+// hotScoreFloor is the decayed score below which an entry is noise: a key
+// untouched for ten half-lives has kept under 0.1% of one hit's weight and
+// can never rank anywhere near the top K. Pruning at the floor keeps churn
+// workloads (every request a unique key) from pinning maxTracked stale
+// entries forever — without it the map fills with decayed-to-zero keys
+// that survive until an eviction scan happens to pick them, and every
+// recalc/evict pass pays for scanning them.
+const hotScoreFloor = 1.0 / 1024
+
+// recalcThreshold recomputes the k-th largest decayed score, pruning
+// entries whose decayed score has fallen below the noise floor along the
+// way (deleting during the range is safe in Go). Caller holds the mutex.
 func (t *hotTracker) recalcThreshold(now time.Time) {
-	if len(t.scores) <= t.k {
+	decayed := make([]float64, 0, len(t.scores))
+	for k, s := range t.scores {
+		d := s.score * decay(now.Sub(s.last), t.halfLife)
+		if d < hotScoreFloor {
+			delete(t.scores, k)
+			continue
+		}
+		decayed = append(decayed, d)
+	}
+	if len(decayed) <= t.k {
 		t.threshold = 0
 		return
-	}
-	decayed := make([]float64, 0, len(t.scores))
-	for _, s := range t.scores {
-		decayed = append(decayed, s.score*decay(now.Sub(s.last), t.halfLife))
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(decayed)))
 	t.threshold = decayed[t.k-1]

@@ -139,3 +139,31 @@ func TestHotTrackerConcurrent(t *testing.T) {
 		t.Fatal("most-shared key not hot after concurrent touches")
 	}
 }
+
+// TestHotTrackerChurnPrunesDecayed: under pure churn — every request a
+// unique key — decayed-to-zero entries must be pruned at the noise floor,
+// not merely capped at maxTracked. Each key is touched once; after ten
+// half-lives its score is under hotScoreFloor and the next threshold
+// recalc deletes it, so the live set stays near the number of keys seen
+// within the last ten half-lives instead of pinning maxTracked stale
+// entries forever.
+func TestHotTrackerChurnPrunesDecayed(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	halfLife := time.Second
+	tr := newHotTracker(64, halfLife, clock.now) // maxTracked = 512
+	for i := 0; i < 5000; i++ {
+		tr.Touch(testKey(i))
+		clock.advance(halfLife / 8) // ten half-lives ≈ 80 keys back
+	}
+	// Live window: ~80 keys within ten half-lives, plus at most one
+	// recalc interval (64 touches) of staleness.
+	n := tr.tracked()
+	if n > 80+thresholdRecalcEvery {
+		t.Fatalf("churn left %d tracked keys; pruning should bound it near %d",
+			n, 80+thresholdRecalcEvery)
+	}
+	if n >= tr.maxTracked/2 {
+		t.Fatalf("tracking %d of %d keys under pure churn — decayed entries not pruned",
+			n, tr.maxTracked)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"floorplan/internal/plan"
 	"floorplan/internal/selection"
 	"floorplan/internal/shape"
+	"floorplan/internal/substore"
 	"floorplan/internal/telemetry"
 )
 
@@ -80,6 +81,13 @@ type Options struct {
 	// computed — pinned by tests); the knob exists for debugging and for
 	// those equality tests.
 	DisableArena bool
+	// Substore, when non-nil, memoizes per-subtree evaluation results
+	// across runs: nodes whose content address resolves are spliced from
+	// the store instead of evaluated, and freshly evaluated nodes fill it.
+	// Results are bit-identical with the store nil, cold or warm, at any
+	// worker count (pinned by tests). Memory-limited runs never consult
+	// the store — when MemoryLimit > 0 this field is ignored.
+	Substore *substore.Store
 }
 
 // workers resolves the effective worker count for a schedule of n nodes.
@@ -139,6 +147,20 @@ type Result struct {
 	// NodeStats describes every evaluated block in preorder (ID order):
 	// where the implementations live and what selection did to them.
 	NodeStats []NodeStat
+	// Reuse reports how much of the run the subtree store absorbed; all
+	// zeros when no store was configured.
+	Reuse Reuse
+}
+
+// Reuse is a run's subtree-store scorecard. SplicedNodes + ComputedNodes
+// equals Stats.Nodes on a successful run.
+type Reuse struct {
+	// ComputedNodes is the number of nodes actually evaluated.
+	ComputedNodes int
+	// SplicedNodes is the number of nodes resolved from the store.
+	SplicedNodes int
+	// StorePuts is the number of freshly evaluated records offered back.
+	StorePuts int
 }
 
 // NodeStat records one block's evaluation outcome.
@@ -238,6 +260,11 @@ type runState struct {
 	// arenaLedger accounts slab bytes across all workers' arenas; its Peak
 	// feeds the arena.slab_bytes_peak watermark. Nil when arenas are off.
 	arenaLedger *memtrack.Tracker
+	// sub is the subtree result store consulted and filled by this run;
+	// nil when memoization is off. digests holds every node's content
+	// address, indexed by BinNode.ID, computed once up front.
+	sub     *substore.Store
+	digests []plan.Digest
 }
 
 // arenaSlabImpls is the slab capacity, in implementations, of each combine
@@ -318,7 +345,17 @@ func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 		evals:    make([]*nodeEval, len(schedule)),
 		outcomes: make([]*nodeOutcome, len(schedule)),
 	}
-	workers := o.opts.workers(len(schedule))
+	// Subtree memoization: resolve what the store already knows and
+	// schedule only the remainder. Memory-limited runs never consult the
+	// store — an abort's partial accounting depends on which nodes really
+	// admitted implementations, which splicing would change.
+	work := schedule
+	if o.opts.Substore != nil && o.opts.MemoryLimit <= 0 {
+		st.sub = o.opts.Substore
+		st.digests = plan.SubtreeDigests(bin, o.substoreContext(), o.planLibrary())
+		work = st.resolveFromStore(schedule)
+	}
+	workers := o.opts.workers(len(work))
 	if o.opts.DisableArena {
 		st.allocs = make([]combine.Alloc, workers)
 	} else {
@@ -334,10 +371,16 @@ func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 	}
 	start := time.Now()
 	var evalErr error
-	if workers <= 1 {
-		evalErr = st.runSequential(schedule)
-	} else {
-		evalErr = st.runParallel(schedule, workers)
+	if len(work) > 0 {
+		if workers <= 1 {
+			evalErr = st.runSequential(work)
+		} else {
+			evalErr = st.runParallel(work, workers)
+		}
+	}
+	var puts int
+	if evalErr == nil && st.sub != nil {
+		puts = st.fillStore(work)
 	}
 	stats, nodeStats := st.mergeOutcomes(schedule)
 	stats.Elapsed = time.Since(start)
@@ -381,6 +424,13 @@ func (o *Optimizer) RunBinary(bin *plan.BinNode) (*Result, error) {
 		RootList:  rootEval.rl.Clone(),
 		Stats:     stats,
 		NodeStats: nodeStats,
+	}
+	if st.sub != nil {
+		res.Reuse = Reuse{
+			ComputedNodes: len(work),
+			SplicedNodes:  len(schedule) - len(work),
+			StorePuts:     puts,
+		}
 	}
 	if !o.opts.SkipPlacement {
 		traceStart := st.tel.Now()
@@ -505,8 +555,11 @@ func (st *runState) evalNodeInner(b *plan.BinNode, worker int) error {
 	}
 	left := st.evals[b.Left.ID]
 	right := st.evals[b.Right.ID]
-	if st.tel != nil {
+	if st.tel != nil || st.sub != nil {
 		// Candidate pairs the combine operation enumerates: |left|·|right|.
+		// Computed for the store as well as for telemetry: stored records
+		// must carry the exact count so a spliced node's telemetry
+		// contribution matches the evaluation it replaced.
 		var ln, rn int
 		if b.Left.IsL() {
 			ln = left.ls.Size()

@@ -8,12 +8,20 @@ import (
 	"floorplan/internal/plan"
 )
 
-// runParallel evaluates the schedule with a bounded pool of worker
+// runParallel evaluates the work schedule with a bounded pool of worker
 // goroutines using dependency-counting dispatch: every node carries the
-// number of unevaluated children; leaves start ready, and the worker that
-// completes a node's last child enqueues the node. The ready queue is a
-// buffered channel sized for the whole schedule, so enqueues never block
-// and a worker is only ever idle when no node is ready.
+// number of unevaluated children; nodes with no unevaluated children
+// (leaves, and nodes whose operands the subtree store resolved) start
+// ready, and the worker that completes a node's last unevaluated child
+// enqueues the node. The ready queue is a buffered channel sized for the
+// whole schedule, so enqueues never block and a worker is only ever idle
+// when no node is ready.
+//
+// work may be any postorder-closed subset of the tree: a node's operands
+// are either in work (evaluated here, ordered by the dependency hand-off)
+// or were spliced into st.evals before this call (ordered by goroutine
+// creation). The per-ID tables are sized for the whole tree, so resolved
+// IDs simply stay inert.
 //
 // Correctness notes:
 //
@@ -27,27 +35,34 @@ import (
 //     drain without running) and, after all workers join, reports the error
 //     of the lowest-ID failed node — deterministic when a failure is itself
 //     deterministic, e.g. a selection error on a specific node.
-func (st *runState) runParallel(schedule []*plan.BinNode, workers int) error {
-	n := len(schedule)
+func (st *runState) runParallel(work []*plan.BinNode, workers int) error {
+	n := len(st.outcomes)
 	byID := make([]*plan.BinNode, n)
 	parent := make([]int, n)
 	pending := make([]atomic.Int32, n)
-	for _, b := range schedule {
+	for _, b := range work {
 		byID[b.ID] = b
 		parent[b.ID] = -1
 	}
-	ready := make(chan int, n)
+	ready := make(chan int, len(work))
 	var inFlight atomic.Int64
-	for _, b := range schedule {
+	for _, b := range work {
 		if b.Kind == plan.BinLeaf {
 			continue
 		}
-		parent[b.Left.ID] = b.ID
-		parent[b.Right.ID] = b.ID
-		pending[b.ID].Store(2)
+		var deps int32
+		if byID[b.Left.ID] != nil {
+			parent[b.Left.ID] = b.ID
+			deps++
+		}
+		if byID[b.Right.ID] != nil {
+			parent[b.Right.ID] = b.ID
+			deps++
+		}
+		pending[b.ID].Store(deps)
 	}
-	for _, b := range schedule {
-		if b.Kind == plan.BinLeaf {
+	for _, b := range work {
+		if pending[b.ID].Load() == 0 {
 			inFlight.Add(1)
 			ready <- b.ID
 		}

@@ -73,6 +73,11 @@ func FuzzParseLibrary(f *testing.F) {
 		`{"m": []}`,
 		`{"m": [{"W":0,"H":1}]}`,
 		`{"m": [{"W":-3,"H":4}]}`,
+		// Extents that pass W>0/H>0 but overflow the int64 area product
+		// (2^32 × 2^32 ≡ 0) — must be rejected by the MaxExtent bound.
+		`{"m": [{"W":4294967296,"H":4294967296}]}`,
+		`{"m": [{"W":2147483648,"H":1}]}`,
+		`{"m": [{"W":2147483647,"H":2147483647}]}`,
 		`{"m": null}`,
 		`[1,2,3]`,
 		`not json at all`,
@@ -92,6 +97,12 @@ func FuzzParseLibrary(f *testing.F) {
 			for _, im := range impls {
 				if !im.Valid() {
 					t.Fatalf("ParseLibrary accepted invalid implementation %v in %q", im, name)
+				}
+				if im.W > MaxExtent || im.H > MaxExtent {
+					t.Fatalf("ParseLibrary accepted oversize implementation %v in %q", im, name)
+				}
+				if im.Area() <= 0 {
+					t.Fatalf("ParseLibrary accepted non-positive area %d for %v in %q", im.Area(), im, name)
 				}
 			}
 		}

@@ -13,15 +13,30 @@ import (
 // below prunes and sorts them.
 type Library map[string][]shape.RImpl
 
+// MaxExtent bounds a single implementation extent (width or height).
+// Without it, a pair of large positive extents overflows the int64 area
+// product — e.g. W = H = 2^32 gives Area() == 0 — and the degenerate
+// "zero-area" curve sails through every downstream comparison. 2^31−1
+// keeps any single implementation's area under 2^62, leaving slack for
+// the envelope sums placement verification computes.
+const MaxExtent = int64(1)<<31 - 1
+
 // CanonicalModule validates and canonicalizes one module's implementation
 // list: the module must have at least one implementation and every
-// implementation positive extents; the result is the irreducible,
+// implementation positive extents no larger than MaxExtent (so areas can
+// never overflow to zero or negative); the result is the irreducible,
 // staircase-ordered R-list. This is the single validation path shared by
 // EncodeLibrary and ParseLibrary (and by the optimizer entry points), so
 // the rules cannot drift between the encode and decode directions.
 func CanonicalModule(name string, impls []shape.RImpl) (shape.RList, error) {
 	if len(impls) == 0 {
 		return nil, fmt.Errorf("plan: module %q has no implementations", name)
+	}
+	for _, im := range impls {
+		if im.W > MaxExtent || im.H > MaxExtent {
+			return nil, fmt.Errorf("plan: module %q: implementation %dx%d exceeds the maximum extent %d",
+				name, im.W, im.H, MaxExtent)
+		}
 	}
 	l, err := shape.NewRList(impls)
 	if err != nil {

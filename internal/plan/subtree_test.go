@@ -1,0 +1,290 @@
+package plan
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"floorplan/internal/shape"
+)
+
+var subtreeTestLib = Library{
+	"a": {{W: 4, H: 7}, {W: 7, H: 4}},
+	"b": {{W: 3, H: 3}},
+	"c": {{W: 2, H: 5}, {W: 5, H: 2}},
+	"d": {{W: 6, H: 1}},
+	"e": {{W: 2, H: 2}},
+}
+
+func digestsOf(t *testing.T, tree *Node, ctx []byte, lib Library) []Digest {
+	t.Helper()
+	bin, err := Restructure(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SubtreeDigests(bin, ctx, lib)
+}
+
+// TestSubtreeDigestsDistinguish checks that structurally different
+// sub-problems never share a root digest.
+func TestSubtreeDigestsDistinguish(t *testing.T) {
+	trees := []*Node{
+		NewLeaf("a"),
+		NewLeaf("b"),
+		NewVSlice(NewLeaf("a"), NewLeaf("b")),
+		NewHSlice(NewLeaf("a"), NewLeaf("b")),
+		NewVSlice(NewLeaf("b"), NewLeaf("a")),
+		// Note: VSlice(a,b,c) and VSlice(VSlice(a,b),c) restructure to the
+		// SAME left-leaning binary tree, so they share a digest by design;
+		// the right-leaning nesting below is a genuinely different one.
+		NewVSlice(NewLeaf("a"), NewLeaf("b"), NewLeaf("c")),
+		NewVSlice(NewLeaf("a"), NewVSlice(NewLeaf("b"), NewLeaf("c"))),
+		NewWheel(NewLeaf("a"), NewLeaf("b"), NewLeaf("c"), NewLeaf("d"), NewLeaf("e")),
+		NewWheel(NewLeaf("b"), NewLeaf("a"), NewLeaf("c"), NewLeaf("d"), NewLeaf("e")),
+	}
+	ctx := []byte{1}
+	seen := make(map[Digest]int)
+	for i, tr := range trees {
+		d := digestsOf(t, tr, ctx, subtreeTestLib)[0]
+		if j, dup := seen[d]; dup {
+			t.Errorf("trees %d and %d share a root digest", i, j)
+		}
+		seen[d] = i
+	}
+}
+
+// TestSubtreeDigestsIgnoreNames pins the deliberate name exclusion: two
+// trees whose leaves carry different module names but byte-identical
+// canonical shape lists are the same sub-problem and digest identically,
+// node for node.
+func TestSubtreeDigestsIgnoreNames(t *testing.T) {
+	t1 := NewVSlice(NewLeaf("a"), NewHSlice(NewLeaf("b"), NewLeaf("c")))
+	t2 := NewVSlice(NewLeaf("x"), NewHSlice(NewLeaf("y"), NewLeaf("z")))
+	lib2 := Library{"x": subtreeTestLib["a"], "y": subtreeTestLib["b"], "z": subtreeTestLib["c"]}
+	ctx := []byte{1}
+	d1 := digestsOf(t, t1, ctx, subtreeTestLib)
+	d2 := digestsOf(t, t2, ctx, lib2)
+	if len(d1) != len(d2) {
+		t.Fatalf("digest counts diverged: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("node %d digests apart under renamed modules", i)
+		}
+	}
+}
+
+// TestSubtreeDigestsMirrorInvariant pins the Mirror exclusion: a clockwise
+// wheel and its mirror image — the counter-clockwise wheel with NW/NE and
+// SW/SE exchanged, which Restructure maps to the same block assignment with
+// only the Mirror flag set — evaluate to the same shape sets (only
+// placement traceback reflects), so they must share digests and stored
+// results.
+func TestSubtreeDigestsMirrorInvariant(t *testing.T) {
+	cw := NewWheel(NewLeaf("a"), NewLeaf("b"), NewLeaf("c"), NewLeaf("d"), NewLeaf("e"))
+	ccw := NewCCWWheel(NewLeaf("b"), NewLeaf("a"), NewLeaf("d"), NewLeaf("c"), NewLeaf("e"))
+	ctx := []byte{1}
+	if digestsOf(t, cw, ctx, subtreeTestLib)[0] != digestsOf(t, ccw, ctx, subtreeTestLib)[0] {
+		t.Fatal("wheel orientation changed the digest; shape sets are mirror-invariant")
+	}
+}
+
+// TestSubtreeDigestsCtxSensitivity checks that the evaluation context is
+// mixed into every node's digest — a policy change invalidates the whole
+// tree, leaves included.
+func TestSubtreeDigestsCtxSensitivity(t *testing.T) {
+	tree := NewVSlice(NewLeaf("a"), NewHSlice(NewLeaf("b"), NewLeaf("c")))
+	d1 := digestsOf(t, tree, []byte{1, 7}, subtreeTestLib)
+	d2 := digestsOf(t, tree, []byte{1, 8}, subtreeTestLib)
+	for i := range d1 {
+		if d1[i] == d2[i] {
+			t.Fatalf("node %d digest survived a context change", i)
+		}
+	}
+}
+
+// TestSubtreeDigestsImplSensitivity checks that a changed implementation
+// list dirties the leaf and every ancestor, and nothing else.
+func TestSubtreeDigestsImplSensitivity(t *testing.T) {
+	tree := NewVSlice(NewLeaf("a"), NewHSlice(NewLeaf("b"), NewLeaf("c")))
+	lib2 := Library{
+		"a": subtreeTestLib["a"],
+		"b": {{W: 1, H: 9}},
+		"c": subtreeTestLib["c"],
+	}
+	ctx := []byte{1}
+	d1 := digestsOf(t, tree, ctx, subtreeTestLib)
+	d2 := digestsOf(t, tree, ctx, lib2)
+	// Preorder of the restructured binary tree: 0 = root vcut, 1 = leaf a,
+	// 2 = hcut, 3 = leaf b, 4 = leaf c.
+	changed := map[int]bool{0: true, 2: true, 3: true}
+	for i := range d1 {
+		if changed[i] && d1[i] == d2[i] {
+			t.Fatalf("node %d digest survived an implementation-list change on its spine", i)
+		}
+		if !changed[i] && d1[i] != d2[i] {
+			t.Fatalf("node %d digest changed although its sub-problem did not", i)
+		}
+	}
+}
+
+// TestSubtreePreimagePrefixUnambiguous checks, pairwise over an adversarial
+// corpus, that no preimage is a proper prefix of another — the property
+// that makes digest equality imply sub-problem equality — and that the
+// domain tags stay disjoint from every first byte AppendCanonical emits.
+func TestSubtreePreimagePrefixUnambiguous(t *testing.T) {
+	ctxs := [][]byte{nil, {0}, {1}, {1, 0}, {1, 0, 0}, {0xf0}, {0xf1, 0xf1}}
+	implSets := [][]shape.RImpl{
+		nil,
+		{{W: 1, H: 1}},
+		{{W: 1, H: 2}, {W: 2, H: 1}},
+		{{W: 0xf0, H: 0xf1}},
+		{{W: 240, H: 240}, {W: 241, H: 241}},
+	}
+	var zero, patt Digest
+	for i := range patt {
+		patt[i] = 0xf0
+	}
+	var corpus [][]byte
+	for _, ctx := range ctxs {
+		for _, impls := range implSets {
+			corpus = append(corpus, appendLeafPreimage(nil, ctx, impls))
+		}
+		for _, kind := range []BinKind{BinLeaf, BinVCut, BinHCut, BinLStack, BinLNotch, BinLBottom, BinClose} {
+			corpus = append(corpus, appendCompositePreimage(nil, ctx, kind, zero, patt))
+			corpus = append(corpus, appendCompositePreimage(nil, ctx, kind, patt, zero))
+		}
+	}
+	seen := make(map[string]bool)
+	var uniq [][]byte
+	for _, p := range corpus {
+		if !seen[string(p)] {
+			seen[string(p)] = true
+			uniq = append(uniq, p)
+		}
+	}
+	for i, p := range uniq {
+		for j, q := range uniq {
+			if i != j && bytes.HasPrefix(q, p) {
+				t.Fatalf("preimage %d is a proper prefix of preimage %d:\n%x\n%x", i, j, p, q)
+			}
+		}
+	}
+	// Domain separation from the canonical tree encoding (the cache-key
+	// preimage): no canonical encoding starts with a subtree tag.
+	for _, tr := range []*Node{
+		NewLeaf("a"),
+		NewVSlice(NewLeaf("a"), NewLeaf("b")),
+		NewWheel(NewLeaf("a"), NewLeaf("b"), NewLeaf("c"), NewLeaf("d"), NewLeaf("e")),
+	} {
+		enc := tr.AppendCanonical(nil)
+		if enc[0] == subtreeLeafTag || enc[0] == subtreeCompositeTag {
+			t.Fatalf("canonical encoding starts with reserved subtree tag %#x", enc[0])
+		}
+	}
+}
+
+// subtreeRefEncode is an unambiguous reference encoding of the sub-problem
+// a node roots: structure, kinds and canonical shape lists — exactly what
+// the digest is meant to identify (names and Mirror excluded).
+func subtreeRefEncode(b *BinNode, lib Library) string {
+	if b.Kind == BinLeaf {
+		return fmt.Sprintf("L%v", lib[b.Module])
+	}
+	return fmt.Sprintf("%d(%s,%s)", b.Kind, subtreeRefEncode(b.Left, lib), subtreeRefEncode(b.Right, lib))
+}
+
+// FuzzSubtreeDigests builds trees from arbitrary bytes and checks the
+// digest's defining property on every pair of nodes: digests are equal
+// exactly when the reference encodings of the sub-problems are equal. The
+// library deliberately maps two module names to one identical list, so
+// name-blind sharing is exercised on every input that uses both.
+func FuzzSubtreeDigests(f *testing.F) {
+	f.Add([]byte{0, 4, 1})
+	f.Add([]byte{0, 4, 8, 1, 5})
+	f.Add([]byte{0, 4, 8, 12, 0, 2, 2, 2})
+	f.Add([]byte{0, 0, 0, 0, 0, 2, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lists := [][]shape.RImpl{
+			{{W: 1, H: 2}, {W: 2, H: 1}},
+			{{W: 3, H: 3}},
+			{{W: 1, H: 2}, {W: 2, H: 1}}, // same list as 0, different name
+			{{W: 2, H: 5}, {W: 5, H: 2}},
+		}
+		lib := make(Library, len(lists))
+		for i, l := range lists {
+			lib[fmt.Sprintf("m%d", i)] = l
+		}
+		// Stack machine: byte%3 == 0 pushes a leaf (module from the upper
+		// bits), 1 joins two nodes with a slice, 2 closes five into a wheel.
+		var stack []*Node
+		for _, c := range data {
+			switch c % 3 {
+			case 0:
+				stack = append(stack, NewLeaf(fmt.Sprintf("m%d", (c>>2)%4)))
+			case 1:
+				if len(stack) >= 2 {
+					l, r := stack[len(stack)-2], stack[len(stack)-1]
+					stack = stack[:len(stack)-2]
+					if (c>>2)&1 == 0 {
+						stack = append(stack, NewVSlice(l, r))
+					} else {
+						stack = append(stack, NewHSlice(l, r))
+					}
+				}
+			case 2:
+				if len(stack) >= 5 {
+					k := stack[len(stack)-5:]
+					w := NewWheel(k[0], k[1], k[2], k[3], k[4])
+					if (c>>2)&1 == 1 {
+						w = NewCCWWheel(k[0], k[1], k[2], k[3], k[4])
+					}
+					stack = append(stack[:len(stack)-5], w)
+				}
+			}
+		}
+		for len(stack) > 1 {
+			l, r := stack[len(stack)-2], stack[len(stack)-1]
+			stack = append(stack[:len(stack)-2], NewVSlice(l, r))
+		}
+		if len(stack) == 0 {
+			return
+		}
+		bin, err := Restructure(stack[0])
+		if err != nil {
+			return
+		}
+		ctx := []byte{1}
+		digests := SubtreeDigests(bin, ctx, lib)
+		again := SubtreeDigests(bin, ctx, lib)
+		var nodes []*BinNode
+		var collect func(b *BinNode)
+		collect = func(b *BinNode) {
+			nodes = append(nodes, b)
+			if b.Kind != BinLeaf {
+				collect(b.Left)
+				collect(b.Right)
+			}
+		}
+		collect(bin)
+		refs := make([]string, len(nodes))
+		for i, b := range nodes {
+			if digests[b.ID] != again[b.ID] {
+				t.Fatalf("node %d digest not deterministic", b.ID)
+			}
+			refs[i] = subtreeRefEncode(b, lib)
+		}
+		for i, bi := range nodes {
+			for j, bj := range nodes {
+				if j <= i {
+					continue
+				}
+				same := digests[bi.ID] == digests[bj.ID]
+				if same != (refs[i] == refs[j]) {
+					t.Fatalf("nodes %d and %d: digest equality %v but sub-problem equality %v\n%s\n%s",
+						bi.ID, bj.ID, same, refs[i] == refs[j], refs[i], refs[j])
+				}
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"floorplan/internal/optimizer"
 	"floorplan/internal/plan"
 	"floorplan/internal/shape"
+	"floorplan/internal/substore"
 	"floorplan/internal/telemetry"
 )
 
@@ -84,6 +85,13 @@ type ResponseRuntime struct {
 	// SpanID is the server-side span for this specific request, always the
 	// request's own even when TraceID names the coalesced leader's trace.
 	SpanID string `json:"span_id,omitempty"`
+	// SubtreeSpliced/SubtreeComputed are the answering computation's
+	// subtree-store scorecard: how many tree nodes resolved from the store
+	// versus were evaluated. Runtime data (store warmth varies; the result
+	// bytes never do); both absent for cache hits, forwards and runs
+	// without a subtree store.
+	SubtreeSpliced  int64 `json:"subtree_spliced,omitempty"`
+	SubtreeComputed int64 `json:"subtree_computed,omitempty"`
 }
 
 // Result is the deterministic optimization payload.
@@ -203,6 +211,10 @@ type StatsResponse struct {
 	QueueCapacity   int         `json:"queue_capacity"`
 	Cache           cache.Stats `json:"cache"`
 	CacheEnabled    bool        `json:"cache_enabled"`
+	// Substore carries the subtree result store's counters (per-node hits,
+	// misses, evictions and byte footprint); zeros when disabled.
+	Substore        substore.Stats `json:"substore"`
+	SubstoreEnabled bool           `json:"substore_enabled"`
 	// Cluster carries the multi-node tier's counters (forwards, fallbacks,
 	// hot fills); absent on single-node servers.
 	Cluster *cluster.Stats `json:"cluster,omitempty"`

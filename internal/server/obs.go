@@ -68,6 +68,12 @@ type flightMeta struct {
 	// to a local computation; waiters report peer_fallback instead of
 	// forwarded.
 	fellBack atomic.Bool
+	// subSpliced/subComputed are the computation's subtree-store scorecard
+	// (nodes resolved from the store vs. evaluated), written by the
+	// detached computation goroutine and copied into every sharing
+	// request's ResponseRuntime. Zero when the substore is off.
+	subSpliced  atomic.Int64
+	subComputed atomic.Int64
 	// spans is the computation's span tree, stashed by compute when slow
 	// capture is on (nil otherwise); shared by every coalesced waiter.
 	spans atomic.Pointer[[]telemetry.Span]

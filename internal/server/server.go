@@ -71,6 +71,7 @@ import (
 	"floorplan/internal/selection"
 	"floorplan/internal/shape"
 	"floorplan/internal/slogx"
+	"floorplan/internal/substore"
 	"floorplan/internal/telemetry"
 )
 
@@ -95,6 +96,12 @@ type Config struct {
 	MaxBodyBytes int64
 	// Cache memoizes results across requests; nil disables.
 	Cache *cache.Cache
+	// Substore memoizes per-subtree optimizer results across requests:
+	// two requests sharing a sub-floorplan share the evaluation work below
+	// it, even when their full-workload cache keys differ. Responses are
+	// byte-identical with or without it; nil disables. NoCache requests
+	// never consult or fill it (a private run touches no shared state).
+	Substore *substore.Store
 	// Telemetry receives request/queue/cache counters, queue watermarks,
 	// per-disposition latency histograms, per-request serve spans and the
 	// optimizer's scalar metrics; GET /metrics renders it.
@@ -309,6 +316,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueCapacity:     s.cfg.queueDepth(),
 		Cache:             s.cfg.Cache.Stats(),
 		CacheEnabled:      s.cfg.Cache != nil,
+		Substore:          s.cfg.Substore.Stats(),
+		SubstoreEnabled:   s.cfg.Substore != nil,
 		Cluster:           s.cfg.Cluster.Stats(),
 		Histograms:        s.tel.HistSnapshots(),
 	})
@@ -317,6 +326,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // testHookComputeStart, when non-nil, runs at the start of every background
 // computation; tests use it to hold a run past its request deadline.
 var testHookComputeStart func()
+
+// errDraining refuses a computation whose flight call formed after drain
+// began: the leader publishes it instead of spawning, and every waiter
+// answers 503.
+var errDraining = errors.New("draining")
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	rec := accessInfoFrom(r.Context())
@@ -475,9 +489,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		// optimization is not cancelable mid-evaluation, so on timeout we
 		// answer 503 and let the run finish in the background — it still
 		// stores its result, which warms the cache for the client's retry.
-		// Shutdown waits for these.
+		// Shutdown waits for these. The draining re-check after Add closes
+		// a race with Shutdown's wg.Wait: a handler past the entry check
+		// could otherwise Add after Wait already returned and leak the
+		// computation past "drain complete" (mid-Cache.Put at exit). The
+		// atomics are sequentially consistent, so a false Load here proves
+		// the Add preceded Wait's first look at the counter.
 		s.wg.Add(1)
-		if forward {
+		if s.draining.Load() {
+			s.wg.Done()
+			call.Finish(nil, errDraining)
+		} else if forward {
 			go s.runForward(call, meta, req, lib, memLimit, key, owner)
 		} else {
 			go s.runCall(call, meta, req, lib, memLimit, key)
@@ -500,6 +522,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		rec.disposition = mode
 		s.recordServeSpan(spanStart, mode, rec)
 		if err != nil {
+			if errors.Is(err, errDraining) {
+				// The drain re-check refused the computation after this
+				// request joined (or led) the flight call.
+				rec.disposition = "draining"
+				writeError(w, http.StatusServiceUnavailable, "draining")
+				return
+			}
 			var pe *cluster.PeerStatusError
 			if errors.As(err, &pe) {
 				// Relay the owner's answer verbatim — status, message and
@@ -801,6 +830,12 @@ func (s *Server) compute(req *OptimizeRequest, lib plan.Library, memLimit int64,
 	}
 	shard := s.tel.Shard()
 	shard.SetTraceID(meta.trace.TraceID.String())
+	// NoCache demands a private run: it must not read shared state another
+	// request warmed, nor warm it — the same contract as the result cache.
+	sub := s.cfg.Substore
+	if req.Options.NoCache {
+		sub = nil
+	}
 	o, err := optimizer.New(olib, optimizer.Options{
 		Policy: selection.Policy{
 			K1:    req.Options.K1,
@@ -812,11 +847,16 @@ func (s *Server) compute(req *OptimizeRequest, lib plan.Library, memLimit int64,
 		SkipPlacement: req.Options.SkipPlacement,
 		Workers:       workers,
 		Telemetry:     shard,
+		Substore:      sub,
 	})
 	if err != nil {
 		return nil, err
 	}
 	res, err := o.Run(req.Tree)
+	if err == nil && sub != nil {
+		meta.subSpliced.Store(int64(res.Reuse.SplicedNodes))
+		meta.subComputed.Store(int64(res.Reuse.ComputedNodes))
+	}
 	if s.slow != nil {
 		sp := shard.Spans()
 		meta.spans.Store(&sp)
@@ -839,16 +879,25 @@ func (s *Server) respond(w http.ResponseWriter, key cache.Key, payload []byte, m
 	if rec.flightTraceID != "" {
 		traceID = rec.flightTraceID
 	}
+	rt := ResponseRuntime{
+		ElapsedMs: time.Since(started).Milliseconds(),
+		Cache:     mode,
+		NodeID:    s.cfg.NodeID,
+		TraceID:   traceID,
+		SpanID:    rec.trace.SpanID.String(),
+	}
+	if rec.flight != nil {
+		// Subtree-store scorecard of the computation that answered this
+		// request (the leader's, for coalesced followers). Zero for cache
+		// hits, forwards and substore-less runs; runtime data by nature —
+		// what resolves depends on store warmth, never the result bytes.
+		rt.SubtreeSpliced = rec.flight.subSpliced.Load()
+		rt.SubtreeComputed = rec.flight.subComputed.Load()
+	}
 	writeJSON(w, http.StatusOK, &OptimizeResponse{
-		Key:    key.String(),
-		Result: json.RawMessage(payload),
-		Runtime: ResponseRuntime{
-			ElapsedMs: time.Since(started).Milliseconds(),
-			Cache:     mode,
-			NodeID:    s.cfg.NodeID,
-			TraceID:   traceID,
-			SpanID:    rec.trace.SpanID.String(),
-		},
+		Key:     key.String(),
+		Result:  json.RawMessage(payload),
+		Runtime: rt,
 	})
 }
 

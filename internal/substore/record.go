@@ -1,0 +1,207 @@
+package substore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"floorplan/internal/shape"
+)
+
+// NodeRecord is one node's complete evaluation outcome: the retained
+// shape curve plus every statistic the optimizer's deterministic
+// accounting and telemetry derive from evaluating the node. Splicing a
+// record in place of evaluation must be observationally identical to
+// having evaluated — the Stats replay, NodeStats table, telemetry
+// counters and placement traceback all read these fields — which is why
+// the record carries selection and candidate counts, not just the curve.
+type NodeRecord struct {
+	// LShaped mirrors BinNode.IsL of the node that produced the record:
+	// false stores RL, true stores LS. A digest hit whose LShaped
+	// disagrees with the consulting node would indicate a hash collision
+	// or format drift; callers treat it as a miss.
+	LShaped bool
+	// RSel/LSel record whether a selection pass ran on the node's curve.
+	RSel, LSel bool
+	// Generated and Stored are the implementation counts before and after
+	// selection; Lists is the number of L-lists in the set (0 for R).
+	Generated, Stored, Lists int
+	// SelErr is the selection error admitted; SelN/SelK the CSPP instance
+	// dimensions (zero when no selection ran).
+	SelErr int64
+	SelN   int
+	SelK   int
+	// Candidates is the combine operator's candidate-pair count.
+	Candidates int64
+	// RL is the retained rectangular curve (LShaped=false).
+	RL shape.RList
+	// LS is the retained L-shaped set (LShaped=true).
+	LS shape.LSet
+}
+
+// recordVersion tags the serialized format; decodeRecord rejects other
+// versions so a format change cannot misinterpret resident entries.
+const recordVersion = 1
+
+// Record flag bits.
+const (
+	flagLShaped = 1 << iota
+	flagRSel
+	flagLSel
+)
+
+// appendRecord appends the deterministic binary serialization of rec.
+func appendRecord(dst []byte, rec NodeRecord) []byte {
+	dst = append(dst, recordVersion)
+	var flags byte
+	if rec.LShaped {
+		flags |= flagLShaped
+	}
+	if rec.RSel {
+		flags |= flagRSel
+	}
+	if rec.LSel {
+		flags |= flagLSel
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(rec.Generated))
+	dst = binary.AppendUvarint(dst, uint64(rec.Stored))
+	dst = binary.AppendUvarint(dst, uint64(rec.Lists))
+	dst = binary.AppendVarint(dst, rec.SelErr)
+	dst = binary.AppendUvarint(dst, uint64(rec.SelN))
+	dst = binary.AppendUvarint(dst, uint64(rec.SelK))
+	dst = binary.AppendVarint(dst, rec.Candidates)
+	if rec.LShaped {
+		dst = binary.AppendUvarint(dst, uint64(len(rec.LS.Lists)))
+		for _, l := range rec.LS.Lists {
+			dst = binary.AppendUvarint(dst, uint64(len(l)))
+			for _, im := range l {
+				dst = binary.AppendVarint(dst, im.W1)
+				dst = binary.AppendVarint(dst, im.W2)
+				dst = binary.AppendVarint(dst, im.H1)
+				dst = binary.AppendVarint(dst, im.H2)
+			}
+		}
+	} else {
+		dst = binary.AppendUvarint(dst, uint64(len(rec.RL)))
+		for _, im := range rec.RL {
+			dst = binary.AppendVarint(dst, im.W)
+			dst = binary.AppendVarint(dst, im.H)
+		}
+	}
+	return dst
+}
+
+// decoder is a cursor over a record blob.
+type decoder struct {
+	buf []byte
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("substore: truncated uvarint")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("substore: truncated varint")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+// decodeRecord parses a serialized record, returning freshly allocated
+// slices the caller owns.
+func decodeRecord(blob []byte) (NodeRecord, error) {
+	var rec NodeRecord
+	if len(blob) < 2 {
+		return rec, fmt.Errorf("substore: record too short (%d bytes)", len(blob))
+	}
+	if blob[0] != recordVersion {
+		return rec, fmt.Errorf("substore: record version %d, want %d", blob[0], recordVersion)
+	}
+	flags := blob[1]
+	rec.LShaped = flags&flagLShaped != 0
+	rec.RSel = flags&flagRSel != 0
+	rec.LSel = flags&flagLSel != 0
+	d := &decoder{buf: blob[2:]}
+	gen, err := d.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	stored, err := d.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	lists, err := d.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	rec.Generated, rec.Stored, rec.Lists = int(gen), int(stored), int(lists)
+	if rec.SelErr, err = d.varint(); err != nil {
+		return rec, err
+	}
+	seln, err := d.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	selk, err := d.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	rec.SelN, rec.SelK = int(seln), int(selk)
+	if rec.Candidates, err = d.varint(); err != nil {
+		return rec, err
+	}
+	if rec.LShaped {
+		nLists, err := d.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		rec.LS.Lists = make([]shape.LList, nLists)
+		for i := range rec.LS.Lists {
+			n, err := d.uvarint()
+			if err != nil {
+				return rec, err
+			}
+			l := make(shape.LList, n)
+			for j := range l {
+				if l[j].W1, err = d.varint(); err != nil {
+					return rec, err
+				}
+				if l[j].W2, err = d.varint(); err != nil {
+					return rec, err
+				}
+				if l[j].H1, err = d.varint(); err != nil {
+					return rec, err
+				}
+				if l[j].H2, err = d.varint(); err != nil {
+					return rec, err
+				}
+			}
+			rec.LS.Lists[i] = l
+		}
+	} else {
+		n, err := d.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		rec.RL = make(shape.RList, n)
+		for i := range rec.RL {
+			if rec.RL[i].W, err = d.varint(); err != nil {
+				return rec, err
+			}
+			if rec.RL[i].H, err = d.varint(); err != nil {
+				return rec, err
+			}
+		}
+	}
+	if len(d.buf) != 0 {
+		return rec, fmt.Errorf("substore: %d trailing bytes after record", len(d.buf))
+	}
+	return rec, nil
+}

@@ -1,0 +1,248 @@
+package substore
+
+import (
+	"reflect"
+	"testing"
+
+	"floorplan/internal/plan"
+	"floorplan/internal/shape"
+)
+
+func digest(b byte) plan.Digest {
+	var d plan.Digest
+	d[0] = b
+	return d
+}
+
+func rRecord(w int64) NodeRecord {
+	return NodeRecord{
+		RSel:       true,
+		Generated:  7,
+		Stored:     3,
+		SelErr:     12,
+		SelN:       7,
+		SelK:       3,
+		Candidates: 21,
+		RL:         shape.RList{{W: w, H: 2}, {W: w + 1, H: 1}},
+	}
+}
+
+// TestRecordRoundTrip serializes and re-decodes both record shapes and
+// demands exact equality — splicing depends on every field surviving.
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []NodeRecord{
+		rRecord(4),
+		{
+			LShaped:    true,
+			LSel:       true,
+			Generated:  11,
+			Stored:     5,
+			Lists:      2,
+			SelErr:     -3,
+			SelN:       11,
+			SelK:       5,
+			Candidates: 40,
+			LS: shape.LSet{Lists: []shape.LList{
+				{{W1: 5, W2: 2, H1: 4, H2: 1}, {W1: 4, W2: 3, H1: 5, H2: 2}},
+				{},
+			}},
+		},
+		{RL: shape.RList{}},
+	}
+	for i, rec := range recs {
+		blob := appendRecord(nil, rec)
+		back, err := decodeRecord(blob)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		// Decoding materializes empty slices; normalize before comparing.
+		if len(rec.RL) == 0 && len(back.RL) == 0 {
+			rec.RL, back.RL = nil, nil
+		}
+		if !reflect.DeepEqual(rec, back) {
+			t.Fatalf("record %d round trip:\n%+v\n%+v", i, rec, back)
+		}
+	}
+}
+
+// TestRecordDecodeRejects feeds malformed blobs: wrong version, truncation
+// and trailing garbage must all error rather than decode junk.
+func TestRecordDecodeRejects(t *testing.T) {
+	good := appendRecord(nil, rRecord(4))
+	bad := [][]byte{
+		nil,
+		{recordVersion},
+		{recordVersion + 1, 0},
+		good[:len(good)-1],
+		append(append([]byte{}, good...), 0),
+	}
+	for i, blob := range bad {
+		if _, err := decodeRecord(blob); err == nil {
+			t.Fatalf("blob %d decoded without error", i)
+		}
+	}
+}
+
+// TestStoreGetPut covers the basic contract: miss before put, hit after,
+// content-addressed no-op on re-put, and stats accounting.
+func TestStoreGetPut(t *testing.T) {
+	s, err := New(Config{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := digest(1)
+	if _, ok := s.Get(k); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Put(k, rRecord(4))
+	rec, ok := s.Get(k)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if !rec.RL.Equal(rRecord(4).RL) || rec.SelErr != 12 {
+		t.Fatalf("got %+v", rec)
+	}
+	// Same digest, same evaluation: a second put must not grow the store.
+	s.Put(k, rRecord(4))
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate put", s.Len())
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Bytes <= 0 || st.Bytes > st.Budget {
+		t.Fatalf("bytes %d outside (0, %d]", st.Bytes, st.Budget)
+	}
+}
+
+// TestStoreEviction fills a small store past its budget and checks that
+// LRU entries are evicted, the budget is never exceeded, and recently used
+// entries survive over stale ones.
+func TestStoreEviction(t *testing.T) {
+	// Single shard so LRU order is global and deterministic.
+	s, err := New(Config{MaxBytes: 4 * (entryOverhead + 64), Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		s.Put(digest(byte(i)), rRecord(int64(i+1)))
+		// Keep key 0 hot so eviction takes the stale middle keys.
+		s.Get(digest(0))
+		if cur := s.Stats().Bytes; cur > s.Stats().Budget {
+			t.Fatalf("over budget: %d", cur)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under a 4-entry budget")
+	}
+	if st.Entries >= 32 {
+		t.Fatalf("store kept all %d entries", st.Entries)
+	}
+	if _, ok := s.Get(digest(0)); !ok {
+		t.Fatal("hot key was evicted over stale ones")
+	}
+	if _, ok := s.Get(digest(1)); ok {
+		t.Fatal("stale key 1 survived 31 younger puts in a 4-entry budget")
+	}
+}
+
+// TestStoreRejectsOversize checks that a record larger than the whole
+// budget is dropped without sacrificing resident entries.
+func TestStoreRejectsOversize(t *testing.T) {
+	s, err := New(Config{MaxBytes: entryOverhead + 64, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(digest(1), rRecord(4))
+	if s.Len() != 1 {
+		t.Fatal("small record not admitted")
+	}
+	big := NodeRecord{RL: make(shape.RList, 4096)}
+	for i := range big.RL {
+		big.RL[i] = shape.RImpl{W: int64(i + 1), H: int64(4096 - i)}
+	}
+	s.Put(digest(2), big)
+	if _, ok := s.Get(digest(2)); ok {
+		t.Fatal("oversize record admitted")
+	}
+	if _, ok := s.Get(digest(1)); !ok {
+		t.Fatal("oversize reject evicted a resident entry")
+	}
+	if s.Stats().Rejects != 1 {
+		t.Fatalf("rejects = %d, want 1", s.Stats().Rejects)
+	}
+}
+
+// TestStoreDropsUndecodable plants a corrupt blob and checks Get treats it
+// as a miss and removes it.
+func TestStoreDropsUndecodable(t *testing.T) {
+	s, err := New(Config{MaxBytes: 1 << 20, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := digest(3)
+	s.Put(k, rRecord(4))
+	sh := s.shard(k)
+	sh.mu.Lock()
+	sh.entries[k].Value.(*entry).blob = []byte{recordVersion + 9}
+	sh.mu.Unlock()
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt record served as a hit")
+	}
+	if s.Len() != 0 {
+		t.Fatal("corrupt record left resident")
+	}
+}
+
+// TestNilStore checks the disabled state: every method is a safe no-op.
+func TestNilStore(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get(digest(1)); ok {
+		t.Fatal("nil store hit")
+	}
+	s.Put(digest(1), rRecord(4))
+	if s.Len() != 0 || s.Stats() != (Stats{}) {
+		t.Fatal("nil store reported state")
+	}
+}
+
+// TestNewRejectsNonPositiveBudget: a disabled store is a nil *Store, not a
+// zero-budget one.
+func TestNewRejectsNonPositiveBudget(t *testing.T) {
+	for _, b := range []int64{0, -1} {
+		if _, err := New(Config{MaxBytes: b}); err == nil {
+			t.Fatalf("New accepted budget %d", b)
+		}
+	}
+}
+
+// TestStoreConcurrent hammers one store from many goroutines under the
+// race detector.
+func TestStoreConcurrent(t *testing.T) {
+	s, err := New(Config{MaxBytes: 8 * (entryOverhead + 64), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := digest(byte((g*37 + i) % 64))
+				if i%2 == 0 {
+					s.Put(k, rRecord(int64(i%7+1)))
+				} else {
+					s.Get(k)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if st := s.Stats(); st.Bytes > st.Budget {
+		t.Fatalf("over budget: %+v", st)
+	}
+}

@@ -92,6 +92,15 @@ const (
 	CtrClusterHotFills      // peer-fill stores of owner-marked hot keys
 	CtrClusterReplicaHits   // local cache hits on peer-owned keys
 
+	// Subtree result store: per-node shape-curve memoization across
+	// requests. All runtime-only — what resolves from the store depends on
+	// traffic history, never on the optimization computed (splices are
+	// byte-identical to fresh evaluation by construction).
+	CtrSubstoreHits      // node records resolved from the subtree store
+	CtrSubstoreMisses    // node lookups that fell through to evaluation
+	CtrSubstoreEvictions // node records evicted to fit the byte budget
+	CtrSubstoreRejects   // node records too large to admit under the budget
+
 	numCounters
 )
 
@@ -113,6 +122,8 @@ const (
 	MaxServeRetryAfter // largest Retry-After hint sent, in milliseconds
 
 	MaxClusterForwardInflight // most peer forwards in flight concurrently
+
+	MaxSubstoreBytes // largest subtree-store byte footprint observed
 
 	numWatermarks
 )
@@ -203,6 +214,10 @@ var counterMeta = [numCounters]metricMeta{
 	CtrClusterInternal:       {name: "cluster.internal_requests", help: "Hop-marked optimize requests served for peers.", runtime: true},
 	CtrClusterHotFills:       {name: "cluster.hot_fills", help: "Peer-fill cache stores of owner-marked hot keys.", runtime: true},
 	CtrClusterReplicaHits:    {name: "cluster.replica_hits", help: "Local cache hits on keys owned by a peer.", runtime: true},
+	CtrSubstoreHits:          {name: "substore.hits", help: "Subtree-store node records resolved without evaluation.", runtime: true},
+	CtrSubstoreMisses:        {name: "substore.misses", help: "Subtree-store node lookups that fell through to evaluation.", runtime: true},
+	CtrSubstoreEvictions:     {name: "substore.evictions", help: "Subtree-store node records evicted to fit the byte budget.", runtime: true},
+	CtrSubstoreRejects:       {name: "substore.rejects", help: "Subtree-store node records too large to admit under the budget.", runtime: true},
 }
 
 var watermarkMeta = [numWatermarks]metricMeta{
@@ -218,6 +233,8 @@ var watermarkMeta = [numWatermarks]metricMeta{
 	MaxServeRetryAfter: {name: "server.retry_after_ms", help: "Largest Retry-After hint sent, in milliseconds.", runtime: true},
 	MaxClusterForwardInflight: {name: "cluster.forward_inflight_peak",
 		help: "Most peer forwards in flight concurrently.", runtime: true},
+	MaxSubstoreBytes: {name: "substore.bytes_peak",
+		help: "Largest subtree-store byte footprint observed.", runtime: true},
 }
 
 var histMeta = [numHists]metricMeta{
