@@ -107,6 +107,10 @@ type ServeResult = server.Result
 // ServeStats is the GET /v1/stats reply.
 type ServeStats = server.StatsResponse
 
+// ClusterStats is the GET /v1/cluster/stats reply: the ring-wide aggregate
+// one node assembles by fanning out to its peers.
+type ClusterStats = server.ClusterStatsResponse
+
 // ServeError is a non-2xx server reply; errors.As-compatible. Its
 // RetryAfter field carries the server's hint on 429/503 answers.
 type ServeError = server.StatusError
@@ -137,6 +141,17 @@ func (c *Client) Health(ctx context.Context) error {
 func (c *Client) Stats(ctx context.Context) (*ServeStats, error) {
 	var out ServeStats
 	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ClusterStats fetches GET /v1/cluster/stats: the addressed node fans out to
+// every ring peer and aggregates. An unreachable peer yields a partial
+// response with Incomplete set, not an error.
+func (c *Client) ClusterStats(ctx context.Context) (*ClusterStats, error) {
+	var out ClusterStats
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster/stats", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"floorplan"
+)
+
+// clusterStatsReport fetches GET /v1/cluster/stats from the first node of a
+// comma-separated server list and renders the ring-wide aggregate as a
+// human-readable report: the per-node health table, the counter totals, the
+// merged latency quantiles with their exemplar traces, and the placement
+// balance. This is the operator's one-command cluster view — the same data a
+// dashboard would scrape, without standing one up.
+func clusterStatsReport(servers string) error {
+	first := strings.TrimSpace(strings.Split(servers, ",")[0])
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := &floorplan.Client{
+		BaseURL: first,
+		Retry:   floorplan.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond},
+	}
+	cs, err := c.ClusterStats(ctx)
+	if err != nil {
+		return fmt.Errorf("cluster stats via %s: %w", first, err)
+	}
+
+	fmt.Printf("cluster stats (aggregated by %s)\n", first)
+	if cs.Incomplete {
+		fmt.Println("  PARTIAL: at least one node was unreachable; totals cover the reachable subset")
+	}
+	if cs.MixedVersions {
+		fmt.Println("  WARNING: mixed build versions across the ring")
+	}
+	if r := cs.Ring; r != nil {
+		fmt.Printf("  ring: %d nodes, %d vnodes, imbalance %.3f (1.0 = perfectly fair)\n",
+			r.Nodes, r.VNodes, r.Imbalance)
+	}
+
+	fmt.Println("  nodes:")
+	for _, n := range cs.Nodes {
+		mark := " "
+		if n.Self {
+			mark = "*"
+		}
+		if !n.Reachable {
+			fmt.Printf("  %s %-28s UNREACHABLE: %s\n", mark, n.Node, n.Error)
+			continue
+		}
+		name := n.Node
+		if n.NodeID != "" && n.NodeID != n.Node {
+			name = fmt.Sprintf("%s (%s)", n.Node, n.NodeID)
+		}
+		fmt.Printf("  %s %-28s up %s  req %d  computed %d  pending %d  shed %d  share %.3f  rev %s\n",
+			mark, name, (time.Duration(n.UptimeMs) * time.Millisecond).Round(time.Second),
+			n.Requests, n.Computed, n.Pending, n.Shed, n.RingShare, shortRev(n.Revision))
+	}
+
+	t := cs.Totals
+	fmt.Printf("  totals: requests %d  computed %d  coalesced %d  shed %d  cache %d/%d hit/miss  forwarded %d  fallback %d\n",
+		t.Requests, t.Computed, t.Coalesced, t.Shed, t.CacheHits, t.CacheMisses,
+		t.Forwarded, t.PeerFallbacks)
+
+	if len(cs.Histograms) > 0 {
+		fmt.Println("  merged latency (cluster-wide):")
+		names := make([]string, 0, len(cs.Histograms))
+		for name := range cs.Histograms {
+			if strings.HasPrefix(name, "server.latency_") {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := cs.Histograms[name]
+			p50 := time.Duration(h.Quantile(0.50)).Round(10 * time.Microsecond)
+			p99 := time.Duration(h.Quantile(0.99)).Round(10 * time.Microsecond)
+			line := fmt.Sprintf("    %-28s n %-7d p50 %-10v p99 %-10v", name, h.Count, p50, p99)
+			if ex := slowestExemplar(h); ex != nil {
+				line += fmt.Sprintf(" slowest trace %s@%s", ex.TraceID, ex.NodeID)
+			}
+			fmt.Println(line)
+		}
+	}
+	return nil
+}
+
+// slowestExemplar returns the exemplar of the highest exemplared bucket —
+// the trace to pull first when the p99 looks wrong.
+func slowestExemplar(h floorplan.HistSnapshot) *floorplan.HistExemplar {
+	for i := len(h.Buckets) - 1; i >= 0; i-- {
+		if e := h.Buckets[i].Exemplar; e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// shortRev abbreviates a VCS revision for the table.
+func shortRev(rev string) string {
+	if len(rev) > 9 {
+		return rev[:9]
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	return rev
+}

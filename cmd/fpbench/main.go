@@ -50,6 +50,7 @@ func main() {
 		loadSpec  = flag.String("load-spec", "", "with -load: JSON load spec file (default: built-in schedule)")
 		loadOut   = flag.String("load-out", "", "with -load: write the JSON load report here (default: stdout)")
 		clCheck   = flag.Bool("cluster-check", false, "with -server (comma-separated node URLs): assert cluster-wide dedup and byte-identity, then exit")
+		clStats   = flag.Bool("cluster-stats", false, "with -server: fetch GET /v1/cluster/stats from the first node and print the ring-wide aggregate, then exit")
 		single    = flag.String("single", "", "with -cluster-check: also compare results against this single-node reference fpserve")
 		editLoop  = flag.Bool("editloop", false, "run the subtree-store edit-loop proof (spine-only recompute + bit-identity) and exit")
 		editIters = flag.Int("edit-iters", 8, "with -editloop: number of one-module edits")
@@ -63,13 +64,17 @@ func main() {
 	tf.Register(flag.CommandLine)
 	flag.Parse()
 
-	if (*load || *clCheck) && *servURL == "" {
-		log.Fatal("-load/-cluster-check need -server pointing at running fpserve nodes")
+	if (*load || *clCheck || *clStats) && *servURL == "" {
+		log.Fatal("-load/-cluster-check/-cluster-stats need -server pointing at running fpserve nodes")
 	}
 	if *servURL != "" {
 		switch {
 		case *load:
 			if err := runLoad(*servURL, *loadSpec, *loadOut); err != nil {
+				log.Fatal(err)
+			}
+		case *clStats:
+			if err := clusterStatsReport(*servURL); err != nil {
 				log.Fatal(err)
 			}
 		case *clCheck:

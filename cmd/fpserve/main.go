@@ -74,6 +74,10 @@ func main() {
 		vnodes     = flag.Int("vnodes", 0, "virtual nodes per backend on the placement ring (0 = 128)")
 		hotKeys    = flag.Int("hot-keys", 0, "top-K hot keys replicated to every node's cache (0 = 32, negative disables)")
 		peerTO     = flag.Duration("peer-timeout", 0, "per-hop timeout for one peer forward attempt (0 = 2s)")
+		statsTO    = flag.Duration("cluster-stats-timeout", 0, "per-peer timeout for one GET /v1/cluster/stats fan-out fetch (0 = 1s)")
+		profP99    = flag.Duration("profile-trigger-p99", 0, "arm the profiling flight recorder: capture CPU+heap profiles when a sampling window's p99 crosses this (0 disables)")
+		profRing   = flag.Int("profile-ring", 0, "profile capture ring size (0 = 4)")
+		profEvery  = flag.Duration("profile-interval", 0, "flight recorder sampling period (0 = 5s)")
 		tf         cliutil.TelemetryFlags
 	)
 	tf.Register(flag.CommandLine)
@@ -152,6 +156,11 @@ func main() {
 		SlowCapacity:   *slowCap,
 		NodeID:         *nodeID,
 		Cluster:        cl,
+
+		ClusterStatsTimeout: *statsTO,
+		ProfileTriggerP99:   *profP99,
+		ProfileRing:         *profRing,
+		ProfileInterval:     *profEvery,
 		// Span retention grows without bound on a long-lived server, so
 		// only a run that will export a trace keeps them.
 		KeepSpans: tf.Trace != "",

@@ -136,6 +136,16 @@ type Collector = telemetry.Collector
 // section (wall times, spans, contention churn).
 type TelemetryReport = telemetry.Report
 
+// HistSnapshot is a latency/size histogram's point-in-time state, as carried
+// by /v1/stats and /v1/cluster/stats; its Quantile method answers p50/p99
+// queries from the bucket counts.
+type HistSnapshot = telemetry.HistSnapshot
+
+// HistExemplar is one histogram bucket's trace link: the W3C trace ID of a
+// real request that landed in the bucket, with the node that recorded it in
+// cluster aggregates.
+type HistExemplar = telemetry.Exemplar
+
 // NewCollector returns an empty telemetry collector whose span clock
 // starts now.
 func NewCollector() *Collector { return telemetry.New() }

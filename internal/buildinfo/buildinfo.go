@@ -1,0 +1,48 @@
+// Package buildinfo resolves the running binary's embedded build identity
+// (VCS revision, dirty flag, Go toolchain) once, from debug.ReadBuildInfo.
+// The serving layer surfaces it as the build_info gauge on /metrics and the
+// version block of /v1/stats, which is what lets the cluster stats
+// aggregator flag a mixed-version ring — the classic silent cause of
+// "only some nodes show the regression".
+package buildinfo
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build identity of this binary.
+type Info struct {
+	// Revision is the VCS revision the binary was built from ("unknown"
+	// when the build carried no VCS stamp, e.g. test binaries).
+	Revision string `json:"revision"`
+	// Modified is true when the working tree was dirty at build time.
+	Modified bool `json:"modified,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+var get = sync.OnceValue(func() Info {
+	info := Info{Revision: "unknown", GoVersion: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if s.Value != "" {
+				info.Revision = s.Value
+			}
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+})
+
+// Get returns the binary's build identity; the lookup runs once.
+func Get() Info { return get() }

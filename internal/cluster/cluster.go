@@ -150,6 +150,9 @@ func New(cfg Config) (*Cluster, error) {
 // NodeID returns this node's display id.
 func (c *Cluster) NodeID() string { return c.cfg.NodeID }
 
+// Self returns this node's base URL as it appears in the peer list.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
 // Ring exposes the placement ring, for tests and introspection.
 func (c *Cluster) Ring() *Ring { return c.ring }
 
@@ -289,6 +292,43 @@ func (c *Cluster) Forward(ctx context.Context, owner string, body []byte, tracep
 		return nil, fmt.Errorf("cluster: forward reply from %s carries no result payload", owner)
 	}
 	return &ForwardReply{Payload: fr.Result, Hot: resp.Header.Get(HeaderHot) == "1"}, nil
+}
+
+// FetchStats retrieves a peer's /v1/stats snapshot as raw JSON. The request
+// carries the hop marker (so the peer's access log attributes the scrape and
+// never re-fans it out) and is bounded by the caller's timeout (0 = the
+// per-hop forward timeout) and the configured response-size cap. The cluster
+// layer does not decode the body — the stats schema belongs to the server
+// package, which sits above this one.
+func (c *Cluster) FetchStats(ctx context.Context, peer string, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = c.cfg.peerTimeout()
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(peer, "/")+"/v1/stats", nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building stats fetch to %s: %w", peer, err)
+	}
+	req.Header.Set(HeaderInternal, c.cfg.NodeID)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetching stats from %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	max := c.cfg.maxResponseBytes()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, max+1))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading stats from %s: %w", peer, err)
+	}
+	if int64(len(raw)) > max {
+		return nil, fmt.Errorf("cluster: stats reply from %s exceeds the %d-byte limit", peer, max)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer %s answered stats with HTTP %d", peer, resp.StatusCode)
+	}
+	return raw, nil
 }
 
 // Stats is the point-in-time cluster snapshot embedded in /v1/stats.

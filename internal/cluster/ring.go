@@ -148,3 +148,27 @@ func (r *Ring) Nodes() []string {
 
 // VNodes reports the per-node virtual-node count the ring was built with.
 func (r *Ring) VNodes() int { return r.vnodes }
+
+// Shares returns each node's exact fraction of the 64-bit ring it owns: the
+// summed lengths of the arcs ending at its points, normalized by 2^64. This
+// is the expected share of uniformly-hashed keys the node serves, so the
+// cluster stats aggregator can report placement imbalance without sampling
+// keys. The arcs are computed with wraparound subtraction (p − prev mod
+// 2^64), so the shares of all nodes sum to exactly 1.
+func (r *Ring) Shares() map[string]float64 {
+	arcs := make([]uint64, len(r.nodes))
+	prev := r.points[len(r.points)-1].hash // the wrap-around arc start
+	for _, p := range r.points {
+		arcs[p.node] += p.hash - prev
+		prev = p.hash
+	}
+	// A single-node ring has one arc of length 2^64, which wraps to 0.
+	if len(r.nodes) == 1 {
+		return map[string]float64{r.nodes[0]: 1}
+	}
+	out := make(map[string]float64, len(r.nodes))
+	for i, n := range r.nodes {
+		out[n] = float64(arcs[i]) / (1 << 64)
+	}
+	return out
+}

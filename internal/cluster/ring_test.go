@@ -198,3 +198,49 @@ func TestOwnerPointWrap(t *testing.T) {
 		t.Fatalf("OwnerPoint(exactly first) = %q, want %q", got, wantFirst)
 	}
 }
+
+// TestRingShares: shares sum to 1, stay near 1/n at the default vnode
+// count, and a single-node ring owns everything.
+func TestRingShares(t *testing.T) {
+	r, err := NewRing([]string{"solo"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Shares(); s["solo"] != 1 {
+		t.Fatalf("single-node share = %v, want 1", s["solo"])
+	}
+
+	const n = 5
+	r, err = NewRing(nodeNames(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := r.Shares()
+	if len(shares) != n {
+		t.Fatalf("Shares() has %d entries, want %d", len(shares), n)
+	}
+	var sum float64
+	for node, s := range shares {
+		sum += s
+		if s < 1.0/n*0.80 || s > 1.0/n*1.20 {
+			t.Errorf("node %s share %.4f strays more than 20%% from fair %.4f", node, s, 1.0/n)
+		}
+	}
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+
+	// Shares must agree with empirical placement: sample keys and compare
+	// each node's observed fraction to its arc-length share.
+	counts := map[string]int{}
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		counts[r.Owner(testKey(i))]++
+	}
+	for node, s := range shares {
+		got := float64(counts[node]) / samples
+		if got < s-0.02 || got > s+0.02 {
+			t.Errorf("node %s: empirical share %.4f vs arc share %.4f", node, got, s)
+		}
+	}
+}

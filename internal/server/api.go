@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"floorplan/internal/buildinfo"
 	"floorplan/internal/cache"
 	"floorplan/internal/cluster"
 	"floorplan/internal/optimizer"
@@ -186,8 +187,12 @@ type StatsResponse struct {
 	UptimeMs        int64   `json:"uptime_ms"`
 	UptimeSeconds   float64 `json:"uptime_s"`
 	// NodeID names this instance in cluster deployments (empty when unset).
-	NodeID   string `json:"node_id,omitempty"`
-	Requests int64  `json:"requests"`
+	NodeID string `json:"node_id,omitempty"`
+	// Version is the binary's build identity (VCS revision, toolchain). The
+	// cluster stats aggregator compares it across nodes and flags
+	// mixed-version rings.
+	Version  buildinfo.Info `json:"version"`
+	Requests int64          `json:"requests"`
 	// Computed counts optimizer runs executed on this node — the number
 	// cluster-wide dedup assertions sum across peers: a coalesced, cached or
 	// forwarded answer does not increment it, only an actual local run.

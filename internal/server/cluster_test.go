@@ -18,10 +18,13 @@ import (
 	"floorplan/internal/plan"
 )
 
-// clusterNode is one in-process fpserve instance of a test cluster.
+// clusterNode is one in-process fpserve instance of a test cluster. hs is
+// the HTTP front end, exposed so partial-failure tests can kill one node
+// while the rest of the ring keeps serving.
 type clusterNode struct {
 	srv *Server
 	url string
+	hs  *http.Server
 }
 
 // startCluster boots n in-process nodes sharing one static peer list. The
@@ -71,7 +74,7 @@ func startCluster(t *testing.T, n int, mutate func(i int, cfg *Config)) []*clust
 			_ = hs.Shutdown(ctx)
 			_ = s.Shutdown(ctx) // waits out detached computations
 		})
-		nodes[i] = &clusterNode{srv: s, url: urls[i]}
+		nodes[i] = &clusterNode{srv: s, url: urls[i], hs: hs}
 	}
 	return nodes
 }

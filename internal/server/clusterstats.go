@@ -1,0 +1,269 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"floorplan/internal/cluster"
+	"floorplan/internal/telemetry"
+)
+
+// GET /v1/cluster/stats: one scrape for the whole ring. The answering node
+// fans out to every peer's /v1/stats (concurrently, each fetch bounded by
+// Config.ClusterStatsTimeout), folds the snapshots with the telemetry merge
+// semantics — counters sum, histograms merge bucketwise, exemplars keep the
+// newest capture per bucket stamped with the node that recorded it — and
+// reports a per-node health table plus the ring's ownership shares. A peer
+// that cannot be reached degrades the response to a partial one marked
+// incomplete; it never fails the aggregate, because the scrape matters most
+// exactly when part of the ring is down.
+
+// ClusterNodeStats is one ring member's row in the aggregate health table.
+type ClusterNodeStats struct {
+	// Node is the member's ring name (its peer base URL); Self marks the
+	// node that served this aggregate.
+	Node string `json:"node"`
+	Self bool   `json:"self,omitempty"`
+	// Reachable reports whether the node's stats fetch succeeded; Error
+	// carries the failure when it did not (every stat below is then zero).
+	Reachable bool   `json:"reachable"`
+	Error     string `json:"error,omitempty"`
+	// NodeID is the member's display id, when it reports one.
+	NodeID string `json:"node_id,omitempty"`
+	// Revision/GoVersion identify the member's build (mixed-version rings
+	// flip the aggregate's MixedVersions flag).
+	Revision  string `json:"revision,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	// RingShare is the fraction of the key space the ring assigns this node.
+	RingShare float64 `json:"ring_share,omitempty"`
+	// The member's live serving state.
+	UptimeMs  int64 `json:"uptime_ms,omitempty"`
+	Requests  int64 `json:"requests,omitempty"`
+	Computed  int64 `json:"computed,omitempty"`
+	Pending   int64 `json:"pending,omitempty"`
+	InFlight  int64 `json:"in_flight,omitempty"`
+	Shed      int64 `json:"shed,omitempty"`
+	CacheHits int64 `json:"cache_hits,omitempty"`
+}
+
+// ClusterTotals is the counter fold across every reachable node — the same
+// numbers a single node reports in /v1/stats, summed.
+type ClusterTotals struct {
+	Requests          int64 `json:"requests"`
+	Computed          int64 `json:"computed"`
+	Shed              int64 `json:"shed"`
+	Coalesced         int64 `json:"coalesced"`
+	TimedOutQueued    int64 `json:"timed_out_queued"`
+	TimedOutComputing int64 `json:"timed_out_computing"`
+	AbandonedErrors   int64 `json:"abandoned_errors"`
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	Forwarded         int64 `json:"forwarded"`
+	PeerFallbacks     int64 `json:"peer_fallback"`
+	ReplicaHits       int64 `json:"replica_hits"`
+	HotFills          int64 `json:"hot_fills"`
+}
+
+// ClusterRingInfo describes the placement ring the aggregate was taken over.
+type ClusterRingInfo struct {
+	Nodes  int `json:"nodes"`
+	VNodes int `json:"vnodes"`
+	// Shares maps each node to its exact arc-length fraction of the key
+	// space; Imbalance is the largest share relative to fair (max/(1/n)), so
+	// 1.0 is perfectly balanced and 1.15 means the hottest node owns 15%
+	// more keys than its fair share.
+	Shares    map[string]float64 `json:"shares"`
+	Imbalance float64            `json:"imbalance"`
+}
+
+// ClusterStatsResponse is the GET /v1/cluster/stats reply.
+type ClusterStatsResponse struct {
+	// Incomplete is true when at least one ring member could not be
+	// reached: Totals and Histograms then cover only the reachable subset.
+	Incomplete bool `json:"incomplete"`
+	// MixedVersions is true when reachable nodes report different build
+	// revisions or toolchains — the classic silent cause of "only some
+	// nodes show the regression".
+	MixedVersions bool               `json:"mixed_versions,omitempty"`
+	Nodes         []ClusterNodeStats `json:"nodes"`
+	Totals        ClusterTotals      `json:"totals"`
+	Ring          *ClusterRingInfo   `json:"ring,omitempty"`
+	// Histograms is the bucketwise merge of every reachable node's latency
+	// histograms; a bucket's exemplar is the newest across the ring, with
+	// NodeID naming the node holding that trace.
+	Histograms map[string]telemetry.HistSnapshot `json:"histograms,omitempty"`
+}
+
+// fetchedStats is one node's decoded snapshot, or the fetch error.
+type fetchedStats struct {
+	node  string
+	stats *StatsResponse
+	err   error
+}
+
+// handleClusterStats serves the ring-wide aggregate. On a single-node server
+// (no cluster configured) it degenerates to aggregating just this node, so
+// tooling can scrape the same endpoint in both deployments.
+func (s *Server) handleClusterStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	cl := s.cfg.Cluster
+	if cl == nil {
+		own := s.statsResponse()
+		stampExemplars(own.Histograms, exemplarNodeName(own, s.cfg.NodeID))
+		writeJSON(w, http.StatusOK, aggregateStats(
+			[]fetchedStats{{node: exemplarNodeName(own, "self"), stats: own}}, "", nil))
+		return
+	}
+
+	// Fan out: every ring member except self is fetched concurrently, each
+	// under its own timeout slice; self snapshots locally (no loop through
+	// the network, and the aggregate works before Start).
+	nodes := cl.Ring().Nodes()
+	results := make([]fetchedStats, len(nodes))
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		if node == cl.Self() {
+			results[i] = fetchedStats{node: node, stats: s.statsResponse()}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			raw, err := cl.FetchStats(r.Context(), node, s.cfg.clusterStatsTimeout())
+			if err != nil {
+				results[i] = fetchedStats{node: node, err: err}
+				return
+			}
+			var st StatsResponse
+			if err := json.Unmarshal(raw, &st); err != nil {
+				results[i] = fetchedStats{node: node, err: fmt.Errorf("decoding stats: %w", err)}
+				return
+			}
+			results[i] = fetchedStats{node: node, stats: &st}
+		}(i, node)
+	}
+	wg.Wait()
+
+	// Stamp every node's exemplars before merging, so a cluster-level p99
+	// bucket names the node whose access log holds the trace.
+	for _, res := range results {
+		if res.stats != nil {
+			stampExemplars(res.stats.Histograms, exemplarNodeName(res.stats, res.node))
+		}
+	}
+	writeJSON(w, http.StatusOK, aggregateStats(results, cl.Self(), cl.Ring()))
+}
+
+// exemplarNodeName picks the label stamped on a node's exemplars: its
+// reported display id when it has one, its ring name otherwise.
+func exemplarNodeName(st *StatsResponse, fallback string) string {
+	if st != nil && st.NodeID != "" {
+		return st.NodeID
+	}
+	return fallback
+}
+
+// stampExemplars labels every bucket exemplar in a freshly-built (or
+// freshly-decoded) snapshot map with the node that recorded it. The map is
+// private to the aggregation — statsResponse and json.Unmarshal both build
+// new buckets — so mutating in place is safe.
+func stampExemplars(hists map[string]telemetry.HistSnapshot, node string) {
+	for _, h := range hists {
+		for _, b := range h.Buckets {
+			if b.Exemplar != nil {
+				b.Exemplar.NodeID = node
+			}
+		}
+	}
+}
+
+// aggregateStats folds the fetched snapshots into the wire response: health
+// rows in ring order, counter sums, bucketwise histogram merges and the
+// version skew check. ring is nil on single-node servers.
+func aggregateStats(results []fetchedStats, self string, ring *cluster.Ring) *ClusterStatsResponse {
+	resp := &ClusterStatsResponse{}
+	var shares map[string]float64
+	if ring != nil {
+		shares = ring.Shares()
+		info := &ClusterRingInfo{
+			Nodes:  len(ring.Nodes()),
+			VNodes: ring.VNodes(),
+			Shares: shares,
+		}
+		var maxShare float64
+		for _, sh := range shares {
+			if sh > maxShare {
+				maxShare = sh
+			}
+		}
+		info.Imbalance = maxShare * float64(info.Nodes)
+		resp.Ring = info
+	}
+
+	merged := map[string]telemetry.HistSnapshot{}
+	versions := map[string]bool{}
+	for _, res := range results {
+		row := ClusterNodeStats{
+			Node:      res.node,
+			Self:      res.node == self,
+			Reachable: res.err == nil,
+			RingShare: shares[res.node],
+		}
+		if res.err != nil {
+			row.Error = res.err.Error()
+			resp.Incomplete = true
+			resp.Nodes = append(resp.Nodes, row)
+			continue
+		}
+		st := res.stats
+		row.NodeID = st.NodeID
+		row.Revision = st.Version.Revision
+		row.GoVersion = st.Version.GoVersion
+		row.UptimeMs = st.UptimeMs
+		row.Requests = st.Requests
+		row.Computed = st.Computed
+		row.Pending = st.Pending
+		row.InFlight = st.InFlight
+		row.Shed = st.Shed
+		row.CacheHits = st.Cache.Hits
+		resp.Nodes = append(resp.Nodes, row)
+		versions[st.Version.Revision+"/"+st.Version.GoVersion] = true
+
+		t := &resp.Totals
+		t.Requests += st.Requests
+		t.Computed += st.Computed
+		t.Shed += st.Shed
+		t.Coalesced += st.Coalesced
+		t.TimedOutQueued += st.TimedOutQueued
+		t.TimedOutComputing += st.TimedOutComputing
+		t.AbandonedErrors += st.AbandonedErrors
+		t.CacheHits += st.Cache.Hits
+		t.CacheMisses += st.Cache.Misses
+		if c := st.Cluster; c != nil {
+			t.Forwarded += c.Forwarded
+			t.PeerFallbacks += c.PeerFallbacks
+			t.ReplicaHits += c.ReplicaHits
+			t.HotFills += c.HotFills
+		}
+		for name, h := range st.Histograms {
+			have := merged[name]
+			have.Merge(h)
+			merged[name] = have
+		}
+	}
+	resp.MixedVersions = len(versions) > 1
+	if len(merged) > 0 {
+		resp.Histograms = merged
+	}
+	// Ring order is already deterministic (ring.Nodes() sorts); the
+	// single-node path has one row. Sorting defensively keeps the response
+	// stable even if a future caller passes unsorted results.
+	sort.SliceStable(resp.Nodes, func(i, j int) bool { return resp.Nodes[i].Node < resp.Nodes[j].Node })
+	return resp
+}

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"floorplan/internal/reqid"
+	"floorplan/internal/telemetry"
+)
+
+// getClusterStats fetches and decodes GET /v1/cluster/stats from base.
+func getClusterStats(t *testing.T, base string) *ClusterStatsResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/cluster/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster stats: HTTP %d", resp.StatusCode)
+	}
+	var out ClusterStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// withTelemetry gives every test-cluster node its own collector, so the
+// aggregation has real per-node histograms to merge.
+func withTelemetry(i int, cfg *Config) {
+	cfg.Telemetry = telemetry.New()
+}
+
+// TestClusterStatsAggregate is the tentpole integration check on three
+// in-process nodes: the fan-out totals equal the sum of the per-node stats,
+// the merged histograms answer the same quantiles as a reference merge of
+// the per-node snapshots, and a directed request's exemplar surfaces in the
+// aggregate stamped with the node that recorded it.
+func TestClusterStatsAggregate(t *testing.T) {
+	nodes := startCluster(t, 3, withTelemetry)
+	cl := nodes[0].srv.cfg.Cluster
+
+	// One computed miss per node, each posted directly at its owner.
+	for i, n := range nodes {
+		req := reqOwnedBy(t, cl, n.url, i+1)
+		if status, raw, _ := postURL(t, n.url, req, nil); status != http.StatusOK {
+			t.Fatalf("node %d optimize: HTTP %d: %s", i, status, raw)
+		}
+	}
+	// One more directed at node 2 under a known trace, so the aggregate's
+	// exemplar for that request is predictable. A fresh Theta salt makes it
+	// a miss (a new computation), which records the exemplared histogram.
+	trace := reqid.New()
+	tracedReq := reqOwnedBy(t, cl, nodes[2].url, 7)
+	if status, raw, _ := postURL(t, nodes[2].url, tracedReq,
+		map[string]string{"traceparent": trace.Traceparent()}); status != http.StatusOK {
+		t.Fatalf("traced optimize: HTTP %d: %s", status, raw)
+	}
+
+	// Reference: every node's own stats, fetched the same way the
+	// aggregator does (nothing serves optimize traffic in between, and
+	// stats scrapes do not perturb the counters they report).
+	perNode := make([]*StatsResponse, len(nodes))
+	for i, n := range nodes {
+		perNode[i] = getStatsURL(t, n.url)
+		if perNode[i].Version.GoVersion == "" {
+			t.Fatalf("node %d reports no go_version in /v1/stats", i)
+		}
+	}
+
+	cs := getClusterStats(t, nodes[0].url)
+	if cs.Incomplete {
+		t.Fatal("aggregate marked incomplete with every node up")
+	}
+	if cs.MixedVersions {
+		t.Fatal("identical binaries flagged as mixed versions")
+	}
+	if len(cs.Nodes) != 3 {
+		t.Fatalf("aggregate has %d node rows, want 3", len(cs.Nodes))
+	}
+
+	var wantRequests, wantComputed, wantHits int64
+	for _, st := range perNode {
+		wantRequests += st.Requests
+		wantComputed += st.Computed
+		wantHits += st.Cache.Hits
+	}
+	if cs.Totals.Requests != wantRequests {
+		t.Fatalf("totals.requests = %d, want sum of per-node %d", cs.Totals.Requests, wantRequests)
+	}
+	if cs.Totals.Computed != wantComputed || wantComputed != 4 {
+		t.Fatalf("totals.computed = %d (per-node sum %d), want 4", cs.Totals.Computed, wantComputed)
+	}
+	if cs.Totals.CacheHits != wantHits {
+		t.Fatalf("totals.cache_hits = %d, want %d", cs.Totals.CacheHits, wantHits)
+	}
+
+	var selfRows int
+	for _, row := range cs.Nodes {
+		if !row.Reachable {
+			t.Fatalf("node %s unreachable in a healthy ring: %s", row.Node, row.Error)
+		}
+		if row.Self {
+			selfRows++
+			if row.NodeID != "node-0" {
+				t.Fatalf("self row is %q, want node-0", row.NodeID)
+			}
+		}
+		if row.RingShare <= 0 || row.RingShare >= 1 {
+			t.Fatalf("node %s ring share %v out of (0,1)", row.Node, row.RingShare)
+		}
+	}
+	if selfRows != 1 {
+		t.Fatalf("%d rows marked self, want exactly 1", selfRows)
+	}
+	if cs.Ring == nil || cs.Ring.Nodes != 3 {
+		t.Fatalf("ring info = %+v, want 3 nodes", cs.Ring)
+	}
+	if cs.Ring.Imbalance < 1 {
+		t.Fatalf("ring imbalance %v below 1 (max share cannot be under fair)", cs.Ring.Imbalance)
+	}
+
+	// Merged histograms must be indistinguishable from a reference merge of
+	// the per-node snapshots: same counts, same quantiles.
+	reference := map[string]telemetry.HistSnapshot{}
+	for _, st := range perNode {
+		for name, h := range st.Histograms {
+			have := reference[name]
+			have.Merge(h)
+			reference[name] = have
+		}
+	}
+	if len(cs.Histograms) != len(reference) {
+		t.Fatalf("aggregate has %d histogram families, reference %d", len(cs.Histograms), len(reference))
+	}
+	for name, want := range reference {
+		got, ok := cs.Histograms[name]
+		if !ok {
+			t.Fatalf("aggregate lacks histogram %q", name)
+		}
+		if got.Count != want.Count {
+			t.Fatalf("%s: merged count %d, reference %d", name, got.Count, want.Count)
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if g, w := got.Quantile(q), want.Quantile(q); g != w {
+				t.Fatalf("%s: merged q%.2f = %d, reference %d", name, q, g, w)
+			}
+		}
+	}
+
+	// The traced request's exemplar surfaces in the merged miss histogram,
+	// stamped with the node that recorded it.
+	miss, ok := cs.Histograms["server.latency_miss_ns"]
+	if !ok {
+		t.Fatal("aggregate lacks the miss latency histogram")
+	}
+	found := false
+	for _, b := range miss.Buckets {
+		if e := b.Exemplar; e != nil {
+			if e.NodeID == "" {
+				t.Fatalf("merged exemplar %s carries no node id", e.TraceID)
+			}
+			if e.TraceID == trace.TraceID.String() {
+				found = true
+				if e.NodeID != "node-2" {
+					t.Fatalf("traced exemplar attributed to %q, want node-2", e.NodeID)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not found among merged exemplars", trace.TraceID.String())
+	}
+}
+
+// TestClusterStatsPartial: killing one node degrades the aggregate to a
+// partial response marked incomplete — never an error — with the dead node
+// reported unreachable and the live ones still summed.
+func TestClusterStatsPartial(t *testing.T) {
+	nodes := startCluster(t, 3, func(i int, cfg *Config) {
+		withTelemetry(i, cfg)
+		cfg.ClusterStatsTimeout = 2 * time.Second
+	})
+	req := reqOwnedBy(t, nodes[0].srv.cfg.Cluster, nodes[0].url, 1)
+	if status, raw, _ := postURL(t, nodes[0].url, req, nil); status != http.StatusOK {
+		t.Fatalf("optimize: HTTP %d: %s", status, raw)
+	}
+
+	if err := nodes[2].hs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cs := getClusterStats(t, nodes[0].url)
+	if !cs.Incomplete {
+		t.Fatal("aggregate not marked incomplete with a dead peer")
+	}
+	if len(cs.Nodes) != 3 {
+		t.Fatalf("aggregate has %d node rows, want 3", len(cs.Nodes))
+	}
+	for _, row := range cs.Nodes {
+		dead := row.Node == nodes[2].url
+		if dead == row.Reachable {
+			t.Fatalf("node %s reachable=%v, dead=%v", row.Node, row.Reachable, dead)
+		}
+		if dead && row.Error == "" {
+			t.Fatal("dead node row carries no error")
+		}
+	}
+	if cs.Totals.Computed != 1 {
+		t.Fatalf("partial totals.computed = %d, want 1 from the live nodes", cs.Totals.Computed)
+	}
+}
+
+// TestClusterStatsSingleNode: the endpoint answers on a server with no
+// cluster configured — one self row, never incomplete — so tooling scrapes
+// the same URL in both deployments.
+func TestClusterStatsSingleNode(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, NodeID: "solo", Telemetry: telemetry.New()})
+	_ = s
+	status, raw, _ := postOptimize(t, ts, &OptimizeRequest{Tree: testTree(), Library: testLibrary()})
+	if status != http.StatusOK {
+		t.Fatalf("optimize: HTTP %d: %s", status, raw)
+	}
+	cs := getClusterStats(t, ts.URL)
+	if cs.Incomplete {
+		t.Fatal("single-node aggregate marked incomplete")
+	}
+	if len(cs.Nodes) != 1 || !cs.Nodes[0].Reachable {
+		t.Fatalf("single-node rows = %+v, want one reachable row", cs.Nodes)
+	}
+	if cs.Totals.Computed != 1 {
+		t.Fatalf("single-node totals.computed = %d, want 1", cs.Totals.Computed)
+	}
+	if cs.Ring != nil {
+		t.Fatalf("single-node aggregate reports ring info %+v", cs.Ring)
+	}
+	// The lone node's exemplars still carry its id, so dashboards built on
+	// the cluster endpoint read identically against one node.
+	for _, h := range cs.Histograms {
+		for _, b := range h.Buckets {
+			if b.Exemplar != nil && b.Exemplar.NodeID != "solo" {
+				t.Fatalf("exemplar node id %q, want solo", b.Exemplar.NodeID)
+			}
+		}
+	}
+}
+
+// TestSlowPeekKeep: ?keep=1 reads the slow ring without scrubbing it, the
+// default drain still empties it.
+func TestSlowPeekKeep(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:       1,
+		SlowThreshold: time.Nanosecond, // everything is "slow"
+		Telemetry:     telemetry.New(),
+	})
+	status, raw, _ := postOptimize(t, ts, &OptimizeRequest{Tree: testTree(), Library: testLibrary()})
+	if status != http.StatusOK {
+		t.Fatalf("optimize: HTTP %d: %s", status, raw)
+	}
+
+	fetch := func(path string) *slowResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d", path, resp.StatusCode)
+		}
+		var out slowResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return &out
+	}
+
+	// At a 1ns threshold the debug requests themselves get captured too, so
+	// the optimize capture is identified by path rather than by count.
+	hasOptimize := func(sr *slowResponse) bool {
+		for _, req := range sr.Requests {
+			if req.Path == "/v1/optimize" {
+				return true
+			}
+		}
+		return false
+	}
+
+	if peek1 := fetch("/debug/slow?keep=1"); !hasOptimize(peek1) {
+		t.Fatal("first peek did not return the optimize capture")
+	}
+	if peek2 := fetch("/debug/slow?keep=1"); !hasOptimize(peek2) {
+		t.Fatal("second peek lacks the optimize capture — the first peek drained the ring")
+	}
+	if drained := fetch("/debug/slow"); !hasOptimize(drained) {
+		t.Fatal("drain did not return the peeked optimize capture")
+	}
+	if after := fetch("/debug/slow?keep=1"); hasOptimize(after) {
+		t.Fatal("optimize capture survived the drain")
+	}
+}

@@ -1,0 +1,344 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"floorplan/internal/telemetry"
+)
+
+// Triggered profiling flight recorder: when Config.ProfileTriggerP99 is set,
+// a watchdog goroutine samples this node's own serve-latency histograms
+// every ProfileInterval and, when the window looks bad — p99 over the
+// threshold, requests shed, or the queue watermark at capacity — captures a
+// CPU+heap profile pair into a bounded ring served by GET /debug/profiles.
+// The point is to have the profile of the incident, taken while it happened,
+// waiting for the operator — instead of asking them to reproduce a tail
+// spike with a manual pprof session after the fact. Each capture is
+// annotated with the trigger reason and the window's exemplar trace IDs, so
+// the profile cross-references the exact slow requests in the access log.
+
+// latencyHists are the per-disposition end-to-end histograms the watchdog
+// merges into one window (the same set dispositionHist records into).
+var latencyHists = []telemetry.Hist{
+	telemetry.HistServeHitNs,
+	telemetry.HistServeMissNs,
+	telemetry.HistServeCoalescedNs,
+	telemetry.HistServeBypassNs,
+	telemetry.HistServeForwardedNs,
+	telemetry.HistServeFallbackNs,
+	telemetry.HistServeShedNs,
+	telemetry.HistServeErrorNs,
+}
+
+// maxCaptureTraces bounds the exemplar trace IDs annotated per capture.
+const maxCaptureTraces = 8
+
+// ProfileCapture is one flight-recorder entry: the trigger that fired, the
+// window evidence, and the sizes of the captured profiles (the binary pprof
+// bytes are fetched separately via ?id=N&kind=cpu|heap).
+type ProfileCapture struct {
+	ID int64 `json:"id"`
+	// Reason is the trigger class: "p99" (window p99 over the threshold),
+	// "shed" (requests refused in the window) or "pressure" (pending at
+	// queue capacity). Detail is the human-readable specifics.
+	Reason string `json:"reason"`
+	Detail string `json:"detail"`
+	// TriggeredUnixMs is the capture wall-clock time.
+	TriggeredUnixMs int64 `json:"triggered_unix_ms"`
+	// WindowRequests and P99Ms describe the sampling window that fired.
+	WindowRequests int64   `json:"window_requests"`
+	P99Ms          float64 `json:"p99_ms"`
+	// TraceIDs are the window's bucket exemplars, slowest buckets first —
+	// real requests from the incident, ready to grep in the access log.
+	TraceIDs []string `json:"trace_ids,omitempty"`
+	// CPUProfileBytes/HeapProfileBytes are the captured profile sizes (0
+	// when that capture failed; see Error).
+	CPUProfileBytes  int `json:"cpu_profile_bytes"`
+	HeapProfileBytes int `json:"heap_profile_bytes"`
+	// Error reports a partial capture (e.g. the CPU profiler was already
+	// running); the heap profile is usually still present.
+	Error string `json:"error,omitempty"`
+
+	cpu  []byte
+	heap []byte
+}
+
+// flightRecorder is the watchdog and its capture ring.
+type flightRecorder struct {
+	s        *Server
+	trigger  time.Duration
+	interval time.Duration
+
+	mu       sync.Mutex
+	captures []ProfileCapture // oldest first, bounded by cfg.profileRing()
+	nextID   int64
+	total    int64 // captures ever taken
+	cooldown int   // ticks to skip after a capture
+	prev     []telemetry.HistSnapshot
+	prevShed int64
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+}
+
+func newFlightRecorder(s *Server) *flightRecorder {
+	fr := &flightRecorder{
+		s:        s,
+		trigger:  s.cfg.ProfileTriggerP99,
+		interval: s.cfg.profileInterval(),
+		stopCh:   make(chan struct{}),
+	}
+	// Baseline the cumulative histograms now, so the first window covers
+	// [construction, first tick] instead of all of process history.
+	fr.prev, fr.prevShed = fr.sample()
+	return fr
+}
+
+// sample snapshots the cumulative state the windows are deltas of.
+func (fr *flightRecorder) sample() ([]telemetry.HistSnapshot, int64) {
+	cur := make([]telemetry.HistSnapshot, len(latencyHists))
+	for i, h := range latencyHists {
+		cur[i] = fr.s.tel.SnapshotHist(h)
+	}
+	return cur, fr.s.shed.Load()
+}
+
+// start launches the watchdog loop; nil-safe so the disabled server calls it
+// unconditionally.
+func (fr *flightRecorder) start() {
+	if fr == nil {
+		return
+	}
+	go func() {
+		t := time.NewTicker(fr.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fr.tick()
+			case <-fr.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// stop ends the watchdog; nil-safe and idempotent, and harmless when start
+// never ran (Handler-only servers).
+func (fr *flightRecorder) stop() {
+	if fr == nil {
+		return
+	}
+	fr.stopOnce.Do(func() { close(fr.stopCh) })
+}
+
+// tick runs one watchdog evaluation: build the window since the previous
+// tick, check the triggers, capture if one fired. Exposed to tests directly
+// (they drive ticks without the timer).
+func (fr *flightRecorder) tick() {
+	cur, shed := fr.sample()
+	prev, prevShed := fr.prev, fr.prevShed
+	fr.prev, fr.prevShed = cur, shed
+
+	fr.mu.Lock()
+	inCooldown := fr.cooldown > 0
+	if inCooldown {
+		fr.cooldown--
+	}
+	fr.mu.Unlock()
+	if inCooldown {
+		return
+	}
+
+	var window telemetry.HistSnapshot
+	for i := range cur {
+		window.Merge(cur[i].Delta(prev[i]))
+	}
+	p99 := time.Duration(window.Quantile(0.99))
+	shedDelta := shed - prevShed
+	pending := fr.s.pending.Load()
+	capacity := int64(fr.s.cfg.workers() + fr.s.cfg.queueDepth())
+
+	var reason, detail string
+	switch {
+	case window.Count > 0 && p99 >= fr.trigger:
+		reason = "p99"
+		detail = fmt.Sprintf("window p99 %.1fms over threshold %.1fms (%d requests)",
+			durMs(p99), durMs(fr.trigger), window.Count)
+	case shedDelta > 0:
+		reason = "shed"
+		detail = fmt.Sprintf("%d requests shed in the window", shedDelta)
+	case pending >= capacity:
+		reason = "pressure"
+		detail = fmt.Sprintf("pending %d at queue capacity %d", pending, capacity)
+	default:
+		return
+	}
+	fr.capture(reason, detail, window, p99)
+}
+
+// windowTraces collects the window's exemplar trace IDs, slowest buckets
+// first — the requests most likely responsible for the trigger.
+func windowTraces(window telemetry.HistSnapshot) []string {
+	var out []string
+	seen := map[string]bool{}
+	for i := len(window.Buckets) - 1; i >= 0 && len(out) < maxCaptureTraces; i-- {
+		if e := window.Buckets[i].Exemplar; e != nil && !seen[e.TraceID] {
+			seen[e.TraceID] = true
+			out = append(out, e.TraceID)
+		}
+	}
+	return out
+}
+
+// capture takes the CPU+heap profile pair and appends it to the ring. The
+// CPU profile samples min(interval/2, 1s) of live execution — during the
+// incident, which is the whole point; a failed CPU start (e.g. a concurrent
+// manual pprof session) degrades to a heap-only capture with the error
+// recorded, never a lost entry.
+func (fr *flightRecorder) capture(reason, detail string, window telemetry.HistSnapshot, p99 time.Duration) {
+	cap := ProfileCapture{
+		Reason:          reason,
+		Detail:          detail,
+		TriggeredUnixMs: time.Now().UnixMilli(),
+		WindowRequests:  window.Count,
+		P99Ms:           durMs(p99),
+		TraceIDs:        windowTraces(window),
+	}
+	var cpuBuf bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpuBuf); err != nil {
+		cap.Error = fmt.Sprintf("starting CPU profile: %v", err)
+	} else {
+		dur := fr.interval / 2
+		if dur > time.Second {
+			dur = time.Second
+		}
+		time.Sleep(dur)
+		pprof.StopCPUProfile()
+		cap.cpu = cpuBuf.Bytes()
+		cap.CPUProfileBytes = len(cap.cpu)
+	}
+	var heapBuf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&heapBuf, 0); err != nil {
+		if cap.Error != "" {
+			cap.Error += "; "
+		}
+		cap.Error += fmt.Sprintf("writing heap profile: %v", err)
+	} else {
+		cap.heap = heapBuf.Bytes()
+		cap.HeapProfileBytes = len(cap.heap)
+	}
+
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.nextID++
+	cap.ID = fr.nextID
+	fr.total++
+	if max := fr.s.cfg.profileRing(); len(fr.captures) >= max {
+		n := copy(fr.captures, fr.captures[1:])
+		fr.captures = fr.captures[:n]
+	}
+	fr.captures = append(fr.captures, cap)
+	// Cooldown: skip the next two windows so one sustained incident yields
+	// a few spaced captures, not a profile per tick.
+	fr.cooldown = 2
+	if l := fr.s.logger; l != nil {
+		l.Warn("flight recorder captured profiles",
+			"reason", reason, "detail", detail, "capture_id", cap.ID)
+	}
+}
+
+// snapshot returns the ring's entries (oldest first) without the profile
+// bytes, plus the total capture count.
+func (fr *flightRecorder) snapshot() (caps []ProfileCapture, total int64) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	caps = make([]ProfileCapture, len(fr.captures))
+	for i, c := range fr.captures {
+		c.cpu, c.heap = nil, nil
+		caps[i] = c
+	}
+	return caps, fr.total
+}
+
+// profileBytes returns one capture's raw pprof bytes.
+func (fr *flightRecorder) profileBytes(id int64, kind string) ([]byte, bool) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	for _, c := range fr.captures {
+		if c.ID != id {
+			continue
+		}
+		switch kind {
+		case "cpu":
+			return c.cpu, c.cpu != nil
+		case "heap":
+			return c.heap, c.heap != nil
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// profilesResponse is the GET /debug/profiles index.
+type profilesResponse struct {
+	TriggerP99Ms float64          `json:"trigger_p99_ms"`
+	IntervalMs   float64          `json:"interval_ms"`
+	Capacity     int              `json:"capacity"`
+	Captured     int64            `json:"captured"`
+	Captures     []ProfileCapture `json:"captures"`
+}
+
+// handleProfiles serves the flight recorder: the annotated capture index by
+// default, one capture's raw pprof bytes with ?id=N&kind=cpu|heap (feed
+// those straight to `go tool pprof`).
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.rec == nil {
+		writeError(w, http.StatusNotFound, "profiling flight recorder disabled (set ProfileTriggerP99)")
+		return
+	}
+	q := r.URL.Query()
+	if idStr := q.Get("id"); idStr != "" {
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad capture id")
+			return
+		}
+		kind := q.Get("kind")
+		if kind != "cpu" && kind != "heap" {
+			writeError(w, http.StatusBadRequest, "kind must be cpu or heap")
+			return
+		}
+		raw, ok := s.rec.profileBytes(id, kind)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such capture (the ring may have evicted it)")
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("capture-%d-%s.pb.gz", id, kind)))
+		_, _ = w.Write(raw)
+		return
+	}
+	caps, total := s.rec.snapshot()
+	if caps == nil {
+		caps = []ProfileCapture{}
+	}
+	writeJSON(w, http.StatusOK, &profilesResponse{
+		TriggerP99Ms: durMs(s.rec.trigger),
+		IntervalMs:   durMs(s.rec.interval),
+		Capacity:     s.cfg.profileRing(),
+		Captured:     total,
+		Captures:     caps,
+	})
+}

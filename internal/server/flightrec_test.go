@@ -1,0 +1,156 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"floorplan/internal/reqid"
+	"floorplan/internal/telemetry"
+)
+
+// recorderConfig enables the flight recorder with a hair trigger and a short
+// interval (so the CPU capture sleeps 50ms, not 2.5s).
+func recorderConfig() Config {
+	return Config{
+		Workers:           1,
+		Telemetry:         telemetry.New(),
+		ProfileTriggerP99: time.Millisecond,
+		ProfileInterval:   100 * time.Millisecond,
+		ProfileRing:       2,
+	}
+}
+
+// TestFlightRecorderP99Trigger drives the watchdog directly: a slow
+// exemplared observation lands in the window, the tick fires the p99 trigger,
+// and the capture carries the reason, the trace ID, and both profiles —
+// retrievable through GET /debug/profiles.
+func TestFlightRecorderP99Trigger(t *testing.T) {
+	s, ts := newTestServer(t, recorderConfig())
+	if s.rec == nil {
+		t.Fatal("flight recorder not constructed despite ProfileTriggerP99")
+	}
+
+	// A 50ms observation against a 1ms trigger, recorded with a known trace
+	// — exactly what the obs middleware does for a genuinely slow request.
+	trace := reqid.New()
+	s.tel.RecordExemplar(telemetry.HistServeMissNs,
+		(50 * time.Millisecond).Nanoseconds(), trace.TraceID)
+
+	s.rec.tick()
+
+	caps, total := s.rec.snapshot()
+	if total != 1 || len(caps) != 1 {
+		t.Fatalf("captures after trigger: total=%d len=%d, want 1", total, len(caps))
+	}
+	cap := caps[0]
+	if cap.Reason != "p99" {
+		t.Fatalf("capture reason %q, want p99", cap.Reason)
+	}
+	if cap.P99Ms < 1 {
+		t.Fatalf("capture p99 %.3fms under the 1ms trigger", cap.P99Ms)
+	}
+	if cap.WindowRequests != 1 {
+		t.Fatalf("window requests %d, want 1", cap.WindowRequests)
+	}
+	found := false
+	for _, id := range cap.TraceIDs {
+		if id == trace.TraceID.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("capture traces %v lack the slow request's %s", cap.TraceIDs, trace.TraceID)
+	}
+	if cap.Error != "" {
+		t.Fatalf("capture error: %s", cap.Error)
+	}
+	if cap.CPUProfileBytes == 0 || cap.HeapProfileBytes == 0 {
+		t.Fatalf("profile sizes cpu=%d heap=%d, want both nonzero",
+			cap.CPUProfileBytes, cap.HeapProfileBytes)
+	}
+
+	// The index over HTTP mirrors the snapshot, without profile bytes.
+	resp, err := http.Get(ts.URL + "/debug/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profiles index: HTTP %d", resp.StatusCode)
+	}
+	var idx profilesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Captured != 1 || len(idx.Captures) != 1 || idx.Captures[0].Reason != "p99" {
+		t.Fatalf("index = %+v, want one p99 capture", idx)
+	}
+	if idx.Capacity != 2 {
+		t.Fatalf("index capacity %d, want the configured ring of 2", idx.Capacity)
+	}
+
+	// The raw heap profile downloads as bytes.
+	resp2, err := http.Get(ts.URL + "/debug/profiles?id=1&kind=heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusOK || len(raw) == 0 {
+		t.Fatalf("heap download: HTTP %d, %d bytes", resp2.StatusCode, len(raw))
+	}
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("heap download content type %q", ct)
+	}
+
+	// Cooldown: another slow request in the very next windows must not stack
+	// a second capture immediately.
+	s.tel.RecordExemplar(telemetry.HistServeMissNs,
+		(50 * time.Millisecond).Nanoseconds(), reqid.New().TraceID)
+	s.rec.tick()
+	if _, total := s.rec.snapshot(); total != 1 {
+		t.Fatalf("capture during cooldown: total=%d, want still 1", total)
+	}
+}
+
+// TestFlightRecorderQuietWindow: a fast window fires nothing.
+func TestFlightRecorderQuietWindow(t *testing.T) {
+	s, _ := newTestServer(t, recorderConfig())
+	s.tel.Record(telemetry.HistServeHitNs, int64(100*time.Microsecond))
+	s.rec.tick()
+	if _, total := s.rec.snapshot(); total != 0 {
+		t.Fatalf("capture on a sub-threshold window: total=%d", total)
+	}
+}
+
+// TestFlightRecorderShedTrigger: a shed request in the window triggers even
+// when latencies look fine.
+func TestFlightRecorderShedTrigger(t *testing.T) {
+	s, _ := newTestServer(t, recorderConfig())
+	s.shed.Add(1)
+	s.rec.tick()
+	caps, total := s.rec.snapshot()
+	if total != 1 || len(caps) != 1 || caps[0].Reason != "shed" {
+		t.Fatalf("captures = %+v (total %d), want one shed capture", caps, total)
+	}
+}
+
+// TestProfilesDisabled: without ProfileTriggerP99 the endpoint 404s and the
+// server runs recorder-free.
+func TestProfilesDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	if s.rec != nil {
+		t.Fatal("flight recorder constructed without ProfileTriggerP99")
+	}
+	resp, err := http.Get(ts.URL + "/debug/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("profiles on a disabled server: HTTP %d, want 404", resp.StatusCode)
+	}
+}

@@ -135,7 +135,10 @@ func (s *Server) withObservability(h http.HandlerFunc) http.HandlerFunc {
 		h(sw, r.WithContext(ctx))
 		elapsed := time.Since(started)
 		if hist, ok := dispositionHist(rec.disposition); ok {
-			s.tel.Record(hist, elapsed.Nanoseconds())
+			// The request's trace ID rides along as the bucket's exemplar, so
+			// a latency bucket on /metrics or in a cluster merge links to a
+			// real trace in this node's access log.
+			s.tel.RecordExemplar(hist, elapsed.Nanoseconds(), rec.trace.TraceID)
 		}
 		s.maybeCaptureSlow(r, sw, rec, elapsed)
 		s.logAccess(r, sw, rec, elapsed)

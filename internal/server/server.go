@@ -63,6 +63,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"floorplan/internal/buildinfo"
 	"floorplan/internal/cache"
 	"floorplan/internal/cluster"
 	"floorplan/internal/flight"
@@ -128,6 +129,23 @@ type Config struct {
 	// verbatim error relay) with hot-key peer fill and local-compute
 	// fallback when the owner is down. Nil serves single-node.
 	Cluster *cluster.Cluster
+	// ClusterStatsTimeout caps each per-peer stats fetch of one GET
+	// /v1/cluster/stats fan-out (0 = 1s). A peer that misses it is reported
+	// unreachable in the aggregate rather than failing the whole response.
+	ClusterStatsTimeout time.Duration
+	// ProfileTriggerP99 arms the profiling flight recorder: a telemetry
+	// watchdog samples this node's own latency histograms every
+	// ProfileInterval, and when the window's p99 crosses this threshold —
+	// or requests were shed, or the queue watermark hit capacity — it
+	// captures a CPU+heap profile pair into a bounded ring served by GET
+	// /debug/profiles, annotated with the trigger reason and the window's
+	// exemplar trace IDs. 0 disables the recorder and the endpoint.
+	ProfileTriggerP99 time.Duration
+	// ProfileRing bounds the capture ring (0 = 4); when full, the oldest
+	// capture is evicted.
+	ProfileRing int
+	// ProfileInterval is the watchdog sampling period (0 = 5s).
+	ProfileInterval time.Duration
 	// KeepSpans retains each request's optimizer spans in the collector
 	// (full Merge instead of MergeScalars), so a shutdown WriteTrace holds
 	// every request's cross-layer trace. Off by default: span retention
@@ -165,6 +183,27 @@ func (c Config) slowCapacity() int {
 	return 64
 }
 
+func (c Config) clusterStatsTimeout() time.Duration {
+	if c.ClusterStatsTimeout > 0 {
+		return c.ClusterStatsTimeout
+	}
+	return time.Second
+}
+
+func (c Config) profileRing() int {
+	if c.ProfileRing > 0 {
+		return c.ProfileRing
+	}
+	return 4
+}
+
+func (c Config) profileInterval() time.Duration {
+	if c.ProfileInterval > 0 {
+		return c.ProfileInterval
+	}
+	return 5 * time.Second
+}
+
 func (c Config) maxBody() int64 {
 	if c.MaxBodyBytes > 0 {
 		return c.MaxBodyBytes
@@ -188,6 +227,7 @@ type Server struct {
 
 	flight flight.Group[cache.Key, []byte] // coalesces concurrent misses per key
 	slow   *slowRing                       // tail captures; nil when disabled
+	rec    *flightRecorder                 // triggered profiler; nil when disabled
 
 	pending           atomic.Int64 // admitted requests not yet answered
 	inflight          atomic.Int64 // computations holding a worker slot
@@ -224,10 +264,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SlowThreshold > 0 {
 		slow = newSlowRing(cfg.slowCapacity())
 	}
+	if cfg.ProfileTriggerP99 < 0 || cfg.ProfileRing < 0 || cfg.ProfileInterval < 0 {
+		return nil, fmt.Errorf("server: negative profile trigger/ring/interval (%v, %d, %v)",
+			cfg.ProfileTriggerP99, cfg.ProfileRing, cfg.ProfileInterval)
+	}
 	if cfg.NodeID == "" && cfg.Cluster != nil {
 		cfg.NodeID = cfg.Cluster.NodeID()
 	}
-	return &Server{
+	srv := &Server{
 		cfg:            cfg,
 		sem:            make(chan struct{}, cfg.workers()),
 		slow:           slow,
@@ -237,7 +281,11 @@ func New(cfg Config) (*Server, error) {
 		shedSampler:    slogx.NewSampler(16),
 		timeoutSampler: slogx.NewSampler(16),
 		abandonSampler: slogx.NewSampler(1),
-	}, nil
+	}
+	if cfg.ProfileTriggerP99 > 0 {
+		srv.rec = newFlightRecorder(srv)
+	}
+	return srv, nil
 }
 
 // Handler returns the API routes, for tests and embedding. Every route
@@ -247,9 +295,11 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.withObservability(s.handleHealth))
 	mux.HandleFunc("/v1/stats", s.withObservability(s.handleStats))
+	mux.HandleFunc("/v1/cluster/stats", s.withObservability(s.handleClusterStats))
 	mux.HandleFunc("/v1/optimize", s.withObservability(s.handleOptimize))
 	mux.HandleFunc("/metrics", s.withObservability(s.handleMetrics))
 	mux.HandleFunc("/debug/slow", s.withObservability(s.handleSlow))
+	mux.HandleFunc("/debug/profiles", s.withObservability(s.handleProfiles))
 	return mux
 }
 
@@ -262,6 +312,7 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	}
 	s.http = &http.Server{Handler: s.Handler()}
 	go func() { _ = s.http.Serve(ln) }()
+	s.rec.start()
 	return ln.Addr(), nil
 }
 
@@ -270,6 +321,7 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 // (or ctx expires).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.rec.stop()
 	var err error
 	if s.http != nil {
 		err = s.http.Shutdown(ctx)
@@ -297,12 +349,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, &StatsResponse{
+// statsResponse snapshots the node's full /v1/stats state — shared by
+// handleStats and the cluster stats aggregator (which embeds this node's own
+// snapshot next to the fetched peer ones).
+func (s *Server) statsResponse() *StatsResponse {
+	return &StatsResponse{
 		StartTimeUnixMs:   s.start.UnixMilli(),
 		UptimeMs:          time.Since(s.start).Milliseconds(),
 		UptimeSeconds:     time.Since(s.start).Seconds(),
 		NodeID:            s.cfg.NodeID,
+		Version:           buildinfo.Get(),
 		Requests:          s.requests.Load(),
 		Computed:          s.computed.Load(),
 		Shed:              s.shed.Load(),
@@ -320,7 +376,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SubstoreEnabled:   s.cfg.Substore != nil,
 		Cluster:           s.cfg.Cluster.Stats(),
 		Histograms:        s.tel.HistSnapshots(),
-	})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsResponse())
 }
 
 // testHookComputeStart, when non-nil, runs at the start of every background

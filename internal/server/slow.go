@@ -99,6 +99,18 @@ func (r *slowRing) drain() (reqs []SlowRequest, captured, evicted int64) {
 	return reqs, r.captured, r.evicted
 }
 
+// peek returns a copy of the buffered captures without scrubbing them — the
+// non-destructive read behind GET /debug/slow?keep=1, so a human can look at
+// the evidence without stealing it from the alerting pipeline's next drain.
+func (r *slowRing) peek() (reqs []SlowRequest, captured, evicted int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) > 0 {
+		reqs = append([]SlowRequest(nil), r.buf...)
+	}
+	return reqs, r.captured, r.evicted
+}
+
 // maybeCaptureSlow records the finished request into the slow ring when
 // tail capture is enabled and the request crossed the threshold.
 func (s *Server) maybeCaptureSlow(r *http.Request, sw *statusWriter, rec *accessInfo, elapsed time.Duration) {
@@ -152,7 +164,8 @@ type slowResponse struct {
 }
 
 // handleSlow serves GET /debug/slow: the buffered tail captures, scrubbed
-// on read.
+// on read. ?keep=1 peeks without scrubbing, so an interactive look does not
+// steal captures from whatever automation drains the ring.
 func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
@@ -162,7 +175,11 @@ func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "slow-request capture disabled (set SlowThreshold)")
 		return
 	}
-	reqs, captured, evicted := s.slow.drain()
+	read := s.slow.drain
+	if r.URL.Query().Get("keep") == "1" {
+		read = s.slow.peek
+	}
+	reqs, captured, evicted := read()
 	if reqs == nil {
 		reqs = []SlowRequest{}
 	}

@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// Trace exemplars: each histogram bucket can carry the W3C trace ID of one
+// request that landed in it, so a p99 bucket on a dashboard links directly
+// to a real slow trace instead of an anonymous count. The memory model is
+// deliberately lossy — per-bucket last-writer-wins, drop-on-contention —
+// because exemplars are samples: any recent trace from the bucket is as
+// good as any other, and the hot path must stay lock-free and
+// allocation-free (the 960-slot table is allocated once, on the first
+// exemplared observation of a histogram, and never again).
+
+// exemplarSlot is one bucket's exemplar: a seqlock over four atomic words.
+// A writer claims the slot by CASing the sequence from even to odd, stores
+// the fields, then publishes by restoring even; a writer that loses the CAS
+// simply drops its exemplar (the winner's is just as representative).
+// Readers retry on a torn read, so a published exemplar is always a
+// consistent (trace, value, timestamp) triple — never two requests' halves
+// stitched together.
+type exemplarSlot struct {
+	seq     atomic.Uint64 // even = stable, odd = writer mid-update; 0 = empty
+	traceHi atomic.Uint64 // trace ID bytes 0..8, big-endian
+	traceLo atomic.Uint64 // trace ID bytes 8..16, big-endian
+	value   atomic.Int64  // the observed value
+	unixMs  atomic.Int64  // wall-clock capture time, for cross-node LWW
+}
+
+// store publishes an exemplar unconditionally (last writer wins). Dropped
+// silently when another writer holds the slot.
+func (s *exemplarSlot) store(hi, lo uint64, v, unixMs int64) {
+	n := s.seq.Load()
+	if n&1 != 0 || !s.seq.CompareAndSwap(n, n+1) {
+		return
+	}
+	s.traceHi.Store(hi)
+	s.traceLo.Store(lo)
+	s.value.Store(v)
+	s.unixMs.Store(unixMs)
+	s.seq.Store(n + 2)
+}
+
+// storeNewer publishes an exemplar only if the slot is empty or holds an
+// older capture — the merge fold, where "last writer" means the later
+// wall-clock observation regardless of which shard or node carried it.
+func (s *exemplarSlot) storeNewer(hi, lo uint64, v, unixMs int64) {
+	n := s.seq.Load()
+	if n&1 != 0 || !s.seq.CompareAndSwap(n, n+1) {
+		return
+	}
+	if n == 0 || unixMs >= s.unixMs.Load() {
+		s.traceHi.Store(hi)
+		s.traceLo.Store(lo)
+		s.value.Store(v)
+		s.unixMs.Store(unixMs)
+	}
+	s.seq.Store(n + 2)
+}
+
+// load returns a consistent exemplar snapshot; ok is false when the slot is
+// empty or a writer kept it busy for all retries (rare, and losing one
+// exemplar read is harmless).
+func (s *exemplarSlot) load() (hi, lo uint64, v, unixMs int64, ok bool) {
+	for attempt := 0; attempt < 4; attempt++ {
+		n := s.seq.Load()
+		if n == 0 {
+			return 0, 0, 0, 0, false
+		}
+		if n&1 != 0 {
+			continue
+		}
+		hi, lo = s.traceHi.Load(), s.traceLo.Load()
+		v, unixMs = s.value.Load(), s.unixMs.Load()
+		if s.seq.Load() == n {
+			return hi, lo, v, unixMs, true
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
+// Exemplar is one bucket's published trace link, as carried by snapshots,
+// /v1/stats, the cluster aggregation and the OpenMetrics exposition.
+type Exemplar struct {
+	// TraceID is the lowercase-hex W3C trace ID of the exemplared request.
+	TraceID string `json:"trace_id"`
+	// Value is the exemplared observation (nanoseconds for latency
+	// histograms).
+	Value int64 `json:"value"`
+	// UnixMs is the wall-clock capture time; merges keep the newer exemplar.
+	UnixMs int64 `json:"unix_ms"`
+	// NodeID names the node that recorded the exemplar. Stamped by the
+	// cluster stats aggregator (a process-local snapshot leaves it empty),
+	// so a cluster-level p99 bucket names the node holding the slow trace.
+	NodeID string `json:"node_id,omitempty"`
+}
+
+// traceHex renders the packed trace words as the 32-char lowercase-hex W3C
+// trace ID.
+func traceHex(hi, lo uint64) string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], hi)
+	binary.BigEndian.PutUint64(b[8:], lo)
+	return hex.EncodeToString(b[:])
+}
+
+// exemplarWords packs a raw 16-byte trace ID into the slot's two words.
+func exemplarWords(trace [16]byte) (hi, lo uint64) {
+	return binary.BigEndian.Uint64(trace[:8]), binary.BigEndian.Uint64(trace[8:])
+}
+
+// exemplars returns the histogram's slot table, allocating it on first use.
+// Histograms that never record exemplars (the per-request optimizer shards)
+// never pay for the table.
+func (h *Histogram) exemplars() *[histBuckets]exemplarSlot {
+	if e := h.ex.Load(); e != nil {
+		return e
+	}
+	e := new([histBuckets]exemplarSlot)
+	if h.ex.CompareAndSwap(nil, e) {
+		return e
+	}
+	return h.ex.Load()
+}
+
+// ObserveExemplar adds one observation and attaches the observing request's
+// trace identity to the observation's bucket, last writer wins. unixMs is
+// the capture wall-clock time (millis) used to order exemplars across
+// merges; a zero trace records the observation with no exemplar. Safe for
+// concurrent use; allocation-free after the first call.
+func (h *Histogram) ObserveExemplar(v int64, traceHi, traceLo uint64, unixMs int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Observe(v)
+	if traceHi == 0 && traceLo == 0 {
+		return
+	}
+	h.exemplars()[bucketIndex(v)].store(traceHi, traceLo, v, unixMs)
+}
+
+// mergeExemplars folds o's published exemplars into h, keeping the newer
+// capture per bucket. Called by Histogram.Merge under no locks; both sides
+// may be concurrently observed.
+func (h *Histogram) mergeExemplars(o *Histogram) {
+	oe := o.ex.Load()
+	if oe == nil {
+		return
+	}
+	he := h.exemplars()
+	for i := range oe {
+		if hi, lo, v, ts, ok := oe[i].load(); ok {
+			he[i].storeNewer(hi, lo, v, ts)
+		}
+	}
+}
+
+// exemplarAt returns the published exemplar for bucket i, if any.
+func (h *Histogram) exemplarAt(i int) *Exemplar {
+	e := h.ex.Load()
+	if e == nil {
+		return nil
+	}
+	hi, lo, v, ts, ok := e[i].load()
+	if !ok {
+		return nil
+	}
+	return &Exemplar{TraceID: traceHex(hi, lo), Value: v, UnixMs: ts}
+}
+
+// newerExemplar picks the exemplar with the later capture time; either may
+// be nil.
+func newerExemplar(a, b *Exemplar) *Exemplar {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case b.UnixMs >= a.UnixMs:
+		return b
+	default:
+		return a
+	}
+}
+
+// RecordExemplar adds one observation to a histogram and links the
+// observation's bucket to the recording request's raw 16-byte W3C trace ID
+// (last writer wins). The serving layer calls this once per request with
+// the request's trace, which is what lets a /metrics scrape or a cluster
+// stats merge hand an operator a real slow trace for any latency bucket. A
+// zero trace degrades to a plain Record; a nil collector records nothing.
+func (c *Collector) RecordExemplar(h Hist, v int64, trace [16]byte) {
+	if c == nil {
+		return
+	}
+	hi, lo := exemplarWords(trace)
+	if hi == 0 && lo == 0 {
+		c.hists[h].Observe(clampNonNegative(v))
+		return
+	}
+	c.hists[h].ObserveExemplar(v, hi, lo, time.Now().UnixMilli())
+}
+
+func clampNonNegative(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -56,6 +56,9 @@ type Histogram struct {
 	max     atomic.Int64
 	minPlus atomic.Int64 // min+1; 0 means "no observations yet"
 	buckets [histBuckets]atomic.Int64
+	// ex is the per-bucket trace-exemplar table (exemplar.go), allocated
+	// lazily on the first ObserveExemplar so plain histograms never pay.
+	ex atomic.Pointer[[histBuckets]exemplarSlot]
 }
 
 // bucketIndex maps a non-negative value to its log-linear bucket.
@@ -108,7 +111,8 @@ func (h *Histogram) Observe(v int64) {
 
 // Merge folds o's observations into h bucketwise. Because every fold is
 // commutative, a merged histogram is indistinguishable from one that
-// observed the union stream directly.
+// observed the union stream directly. Exemplars fold too, newest capture
+// per bucket winning.
 func (h *Histogram) Merge(o *Histogram) {
 	if o == nil || o.count.Load() == 0 {
 		return
@@ -118,6 +122,7 @@ func (h *Histogram) Merge(o *Histogram) {
 			h.buckets[i].Add(n)
 		}
 	}
+	h.mergeExemplars(o)
 	h.count.Add(o.count.Load())
 	h.sum.Add(o.sum.Load())
 	bumpMax(&h.max, o.max.Load())
@@ -146,11 +151,15 @@ func (h *Histogram) Quantile(q float64) int64 {
 }
 
 // BucketCount is one populated histogram bucket in a snapshot: observations
-// v with Lo <= v < Hi.
+// v with Lo <= v < Hi, plus — when the histogram recorded exemplars — the
+// trace link of one recent observation in the bucket.
 type BucketCount struct {
 	Lo int64 `json:"lo"`
 	Hi int64 `json:"hi"`
 	N  int64 `json:"n"`
+	// Exemplar links the bucket to a real request trace (exemplar.go);
+	// absent on buckets (and histograms) never exemplared.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistSnapshot is a histogram's point-in-time state for the JSON report,
@@ -231,6 +240,7 @@ func (s *HistSnapshot) Merge(o HistSnapshot) {
 	for _, b := range o.Buckets {
 		if have, ok := byLo[b.Lo]; ok {
 			have.N += b.N
+			have.Exemplar = newerExemplar(have.Exemplar, b.Exemplar)
 			byLo[b.Lo] = have
 		} else {
 			byLo[b.Lo] = b
@@ -263,6 +273,16 @@ func (c *Collector) HistSnapshots() map[string]HistSnapshot {
 	return out
 }
 
+// SnapshotHist captures one histogram's current state by enum. A nil
+// collector returns the empty snapshot. The profiling watchdog samples the
+// serve-latency histograms through this without touching the full map form.
+func (c *Collector) SnapshotHist(h Hist) HistSnapshot {
+	if c == nil {
+		return HistSnapshot{}
+	}
+	return c.hists[h].Snapshot()
+}
+
 // Snapshot captures the histogram's current state: totals plus every
 // populated bucket with its bounds, in ascending value order.
 func (h *Histogram) Snapshot() HistSnapshot {
@@ -277,8 +297,39 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n != 0 {
 			lo, hi := bucketBounds(i)
-			s.Buckets = append(s.Buckets, BucketCount{Lo: lo, Hi: hi, N: n})
+			s.Buckets = append(s.Buckets, BucketCount{Lo: lo, Hi: hi, N: n, Exemplar: h.exemplarAt(i)})
 		}
 	}
 	return s
+}
+
+// Delta returns the window s − prev of two cumulative snapshots of the same
+// histogram (prev taken earlier): the observations recorded between the two
+// captures. Bucket exemplars carry over from s — per-bucket last-writer-wins
+// makes them the most recent trace in each bucket, which is exactly what a
+// watchdog sampling its own telemetry wants to annotate a capture with.
+// Min/Max tighten to the window's populated bucket bounds (the exact
+// extremes are not recoverable from cumulative state).
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	if out.Count <= 0 {
+		return HistSnapshot{}
+	}
+	prevByLo := make(map[int64]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevByLo[b.Lo] = b.N
+	}
+	for _, b := range s.Buckets {
+		if n := b.N - prevByLo[b.Lo]; n > 0 {
+			out.Buckets = append(out.Buckets, BucketCount{Lo: b.Lo, Hi: b.Hi, N: n, Exemplar: b.Exemplar})
+		}
+	}
+	if len(out.Buckets) > 0 {
+		out.Min = out.Buckets[0].Lo
+		out.Max = out.Buckets[len(out.Buckets)-1].Hi - 1
+		if s.Max < out.Max {
+			out.Max = s.Max // the cumulative max bounds every window's max
+		}
+	}
+	return out
 }

@@ -6,6 +6,8 @@ import (
 	"math"
 	"net/http"
 	"strings"
+
+	"floorplan/internal/buildinfo"
 )
 
 // This file renders a Collector in the Prometheus text exposition format
@@ -41,12 +43,30 @@ func writeFamily(w io.Writer, name, help, typ string) error {
 	return err
 }
 
+// buildInfoSample is the single sample of the constant build_info gauge: the
+// binary's VCS revision and toolchain as labels, value 1 — the standard
+// *_build_info idiom, which lets dashboards join any series to the version
+// that produced it and lets alerts catch mixed-version rings. A var (not a
+// per-call lookup) so the golden test can pin it.
+var buildInfoSample = func() string {
+	bi := buildinfo.Get()
+	return fmt.Sprintf("%s_build_info{revision=%q,modified=\"%t\",go_version=%q} 1",
+		promNamespace, bi.Revision, bi.Modified, bi.GoVersion)
+}()
+
 // WritePrometheus renders the collector's counters, watermarks and
 // histograms in the Prometheus text exposition format. Families appear in
 // enum order, so the output for a given collector state is deterministic
 // (the golden-file test relies on it). A nil collector renders every
 // family at zero.
 func (c *Collector) WritePrometheus(w io.Writer) error {
+	name := promNamespace + "_build_info"
+	if err := writeFamily(w, name, "Build identity of this binary (VCS revision, toolchain); constant 1.", "gauge"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", buildInfoSample); err != nil {
+		return err
+	}
 	for i := Counter(0); i < numCounters; i++ {
 		m := counterMeta[i]
 		name := promName(m.name) + "_total"
@@ -88,7 +108,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 // _bucket series for every populated bucket (empty buckets add no
 // information to a cumulative exposition and would bloat the scrape ~16×
 // at log-linear resolution), the mandatory +Inf bucket, then _sum and
-// _count. A nil histogram (disabled collector) emits the empty family.
+// _count. Buckets holding an exemplar append it in OpenMetrics syntax
+// ("# {trace_id=...} value timestamp" after the sample), so a scraper that
+// understands exemplars links the bucket straight to a trace and a plain
+// 0.0.4 dashboard still reads the counts. A nil histogram (disabled
+// collector) emits the empty family.
 func writePromHistogram(w io.Writer, name string, h *Histogram) error {
 	var cum, sum, count int64
 	if h != nil {
@@ -108,7 +132,12 @@ func writePromHistogram(w io.Writer, name string, h *Histogram) error {
 			if hi == math.MaxInt64 {
 				le = hi
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum); err != nil {
+			ex := ""
+			if e := h.exemplarAt(i); e != nil {
+				ex = fmt.Sprintf(" # {trace_id=\"%s\"} %d %d.%03d",
+					e.TraceID, e.Value, e.UnixMs/1000, e.UnixMs%1000)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d%s\n", name, le, cum, ex); err != nil {
 				return err
 			}
 		}

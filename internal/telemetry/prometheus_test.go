@@ -13,9 +13,17 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
+// goldenTrace is the fixed trace identity exemplared into the seeded
+// collector, and goldenTraceMs its capture time.
+var goldenTrace = [16]byte{0x4b, 0xf9, 0x2f, 0x35, 0x77, 0xb3, 0x4d, 0xa6,
+	0xa3, 0xce, 0x92, 0x9d, 0x0e, 0x0e, 0x47, 0x36}
+
+const goldenTraceMs = 1700000000123
+
 // seededCollector builds a collector with a fixed, representative state:
 // counters, watermarks and histogram observations spanning several
-// power-of-two buckets, including the zero bucket.
+// power-of-two buckets, including the zero bucket, plus one bucket
+// exemplar with a pinned trace ID and capture time.
 func seededCollector() *Collector {
 	c := New()
 	c.Add(CtrNodes, 11)
@@ -25,18 +33,30 @@ func seededCollector() *Collector {
 	c.Add(CtrCacheHits, 3)
 	c.Observe(MaxPeakStored, 4096)
 	c.Observe(MaxServeQueue, 9)
-	for _, v := range []int64{0, 1, 2, 3, 900, 1024, 70000} {
+	for _, v := range []int64{0, 1, 2, 3, 900, 1024} {
 		c.Record(HistServeMissNs, v)
 	}
+	hi, lo := exemplarWords(goldenTrace)
+	c.hists[HistServeMissNs].ObserveExemplar(70000, hi, lo, goldenTraceMs)
 	c.Record(HistServeHitNs, 512)
 	c.Record(HistListBefore, 33)
 	return c
+}
+
+// pinBuildInfo swaps the build_info sample for a fixed one so golden output
+// does not depend on the toolchain or VCS state the tests were built under.
+func pinBuildInfo(t *testing.T) {
+	t.Helper()
+	old := buildInfoSample
+	buildInfoSample = `floorplan_build_info{revision="deadbeef",modified="false",go_version="gotest"} 1`
+	t.Cleanup(func() { buildInfoSample = old })
 }
 
 // TestPrometheusGolden pins the full exposition output for a seeded
 // collector. Regenerate with `go test ./internal/telemetry -run
 // TestPrometheusGolden -update` after intentional format changes.
 func TestPrometheusGolden(t *testing.T) {
+	pinBuildInfo(t)
 	var buf bytes.Buffer
 	if err := seededCollector().WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
@@ -61,16 +81,22 @@ func TestPrometheusGolden(t *testing.T) {
 }
 
 // promFamily and promSample are the grammar of the text exposition format
-// this repo emits: family names, optional single le label, integer values.
+// this repo emits: family names, an optional label set (le on buckets, the
+// identity labels on build_info), integer values, and an optional trailing
+// OpenMetrics exemplar on bucket samples.
 var (
 	promFamily = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
-	promSample = regexp.MustCompile(`^([a-z_][a-z0-9_]*)(\{le="(\+Inf|[0-9]+)"\})? (-?[0-9]+)$`)
+	promSample = regexp.MustCompile(`^([a-z_][a-z0-9_]*)` +
+		`(\{[a-z0-9_]+="[^"]*"(?:,[a-z0-9_]+="[^"]*")*\})?` +
+		` (-?[0-9]+)` +
+		`( # \{trace_id="[0-9a-f]{32}"\} -?[0-9]+ [0-9]+\.[0-9]{3})?$`)
 )
 
 // TestPrometheusWellFormed parses every emitted line: HELP/TYPE comments
 // pair up, every sample matches the grammar, histogram buckets are
 // cumulative and end in +Inf matching _count.
 func TestPrometheusWellFormed(t *testing.T) {
+	pinBuildInfo(t)
 	var buf bytes.Buffer
 	if err := seededCollector().WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
@@ -108,7 +134,7 @@ func TestPrometheusWellFormed(t *testing.T) {
 			}
 			if curHist != "" && m[1] == curHist+"_bucket" {
 				var v int64
-				fmt.Sscanf(m[4], "%d", &v)
+				fmt.Sscanf(m[3], "%d", &v)
 				if v < lastCum {
 					t.Fatalf("line %d: bucket counts not cumulative (%d after %d): %q",
 						i+1, v, lastCum, line)
@@ -126,9 +152,10 @@ func TestPrometheusWellFormed(t *testing.T) {
 		`floorplan_server_latency_miss_ns_bucket{le="3"} 4`,
 		`floorplan_server_latency_miss_ns_bucket{le="927"} 5`,
 		`floorplan_server_latency_miss_ns_bucket{le="1087"} 6`,
-		`floorplan_server_latency_miss_ns_bucket{le="73727"} 7`,
+		`floorplan_server_latency_miss_ns_bucket{le="73727"} 7 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 70000 1700000000.123`,
 		`floorplan_server_latency_miss_ns_bucket{le="+Inf"} 7`,
 		"floorplan_server_latency_miss_ns_count 7",
+		`floorplan_build_info{revision="deadbeef",modified="false",go_version="gotest"} 1`,
 	} {
 		if !strings.Contains(out, must+"\n") {
 			t.Errorf("exposition output missing %q", must)

@@ -9,9 +9,16 @@
 #   2. `fpbench -load` against all three nodes with a zipf-skewed corpus:
 #      the SLO block must pass and the report must carry the per-target
 #      disposition sections and per-node stats deltas.
-#   3. kill -9 one node mid-run under a fresh corpus: the survivors must
+#   3. the observability plane: GET /v1/cluster/stats must aggregate all
+#      three nodes (complete, ring info, summed totals), a latency exemplar
+#      scraped from /metrics must round-trip to a trace_id in that node's
+#      access log, and the load run must have left a p99-triggered capture
+#      in the profiling flight recorder (the nodes run with a 1ms hair
+#      trigger, so steady load is an "incident").
+#   4. kill -9 one node mid-run under a fresh corpus: the survivors must
 #      degrade to local computation (peer_fallback > 0) with zero failed
-#      requests and a passing SLO block.
+#      requests and a passing SLO block — and the cluster stats aggregate
+#      must degrade to a partial response marked incomplete, not an error.
 #
 # Cluster nodes need their ports fixed before boot (every peer list entry
 # names a bound address), so the script picks a random base port and retries
@@ -56,6 +63,7 @@ start_node() { # $1 = index, $2 = base port, $3 = peer list
     "$workdir/fpserve" -addr "127.0.0.1:$port" -addr-file "$workdir/addr$1" \
         -peers "$3" -self "http://127.0.0.1:$port" -node-id "node$1" \
         -cache-mb 16 -workers 4 -queue 64 -peer-timeout 1s \
+        -profile-trigger-p99 1ms -profile-interval 500ms \
         >"$workdir/node$1.log" 2>&1 &
     node_pid=$!
 }
@@ -155,7 +163,68 @@ for needle in '"pass": true' '"targets"' '"nodes"' '"node_id"' '"computed"'; do
     }
 done
 
-# --- 3. kill one node mid-run: graceful degradation ----------------------
+# --- 3. observability plane: cluster stats, exemplars, flight recorder ---
+
+# The ring-wide aggregate from any node must be complete with all three up.
+curl -sf "$node1/v1/cluster/stats" >"$workdir/clstats.json"
+for needle in '"incomplete":false' '"node_id":"node1"' '"node_id":"node2"' \
+    '"node_id":"node3"' '"ring":{' '"totals":' '"go_version"'; do
+    grep -q -- "$needle" "$workdir/clstats.json" || {
+        echo "cluster-smoke: /v1/cluster/stats missing $needle" >&2
+        cat "$workdir/clstats.json" >&2
+        exit 1
+    }
+done
+
+# The operator CLI renders the same aggregate.
+"$workdir/fpbench" -cluster-stats -server "$node1,$node2,$node3" >"$workdir/clstats.txt"
+grep -q 'ring: 3 nodes' "$workdir/clstats.txt" || {
+    echo "cluster-smoke: fpbench -cluster-stats did not report the 3-node ring" >&2
+    cat "$workdir/clstats.txt" >&2
+    exit 1
+}
+
+# A latency exemplar scraped from /metrics names a real trace: the same
+# trace_id must appear in that node's access log.
+tid=$(curl -sf "$node1/metrics" |
+    sed -n 's/.*# {trace_id="\([0-9a-f]\{32\}\)"}.*/\1/p' | head -1)
+if [ -z "$tid" ]; then
+    echo "cluster-smoke: no exemplar trace_id on $node1/metrics" >&2
+    exit 1
+fi
+grep -q "$tid" "$workdir/node1.log" || {
+    echo "cluster-smoke: exemplar trace $tid not found in node1's access log" >&2
+    exit 1
+}
+
+# The 1ms hair trigger makes steady load an incident: the flight recorder
+# must have captured a p99-annotated profile pair by now (its watchdog
+# samples every 500ms; give it a few more windows before giving up).
+i=0
+while :; do
+    curl -sf "$node1/debug/profiles" >"$workdir/profiles.json"
+    grep -q '"reason":"p99"' "$workdir/profiles.json" && break
+    i=$((i + 1))
+    if [ "$i" -gt 20 ]; then
+        echo "cluster-smoke: no p99-triggered capture in /debug/profiles" >&2
+        cat "$workdir/profiles.json" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+grep -q '"trace_ids":\[' "$workdir/profiles.json" || {
+    echo "cluster-smoke: flight-recorder capture carries no exemplar traces" >&2
+    cat "$workdir/profiles.json" >&2
+    exit 1
+}
+cap_id=$(sed -n 's/.*"id":\([0-9][0-9]*\).*/\1/p' "$workdir/profiles.json" | head -1)
+curl -sf "$node1/debug/profiles?id=$cap_id&kind=heap" >"$workdir/heap.pb.gz"
+[ -s "$workdir/heap.pb.gz" ] || {
+    echo "cluster-smoke: capture $cap_id served an empty heap profile" >&2
+    exit 1
+}
+
+# --- 4. kill one node mid-run: graceful degradation ----------------------
 
 # Fresh seed = cold corpus, so keys owned by the doomed node are still
 # uncached on the survivors when it dies; their forwards must degrade to
@@ -190,5 +259,16 @@ if [ -z "$fallbacks" ] || [ "$fallbacks" -eq 0 ]; then
     cat "$workdir/report_kill.json" >&2
     exit 1
 fi
+
+# With a peer dead the cluster aggregate degrades, it does not error: still
+# HTTP 200, marked incomplete, survivors still reported.
+curl -sf "$node1/v1/cluster/stats" >"$workdir/clstats_kill.json"
+for needle in '"incomplete":true' '"reachable":false' '"node_id":"node1"'; do
+    grep -q -- "$needle" "$workdir/clstats_kill.json" || {
+        echo "cluster-smoke: partial cluster stats missing $needle" >&2
+        cat "$workdir/clstats_kill.json" >&2
+        exit 1
+    }
+done
 
 echo "cluster-smoke: OK ($node1 $node2 $node3; $fallbacks peer fallbacks after kill)"
